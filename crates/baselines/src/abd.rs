@@ -1,0 +1,403 @@
+use hermes_common::{
+    Capabilities, ClientOp, Effect, Key, NodeId, OpId, Reply, ReplicaProtocol, Value,
+};
+use std::collections::BTreeMap;
+
+/// ABD quorum-register messages (paper §2.3 background).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbdMsg {
+    /// Phase 1: query a replica's `(timestamp, value)` for a key.
+    GetTs {
+        /// Request id (unique per phase at the issuing node).
+        rid: u64,
+        /// Key queried.
+        key: Key,
+    },
+    /// Phase 1 reply.
+    GetTsReply {
+        /// Request id echoed.
+        rid: u64,
+        /// Timestamp `(version, writer)` held by the replier.
+        ts: (u64, u32),
+        /// Value held by the replier.
+        value: Value,
+    },
+    /// Phase 2: store `(ts, value)` if newer.
+    Put {
+        /// Request id (unique per phase at the issuing node).
+        rid: u64,
+        /// Key written.
+        key: Key,
+        /// Timestamp to install.
+        ts: (u64, u32),
+        /// Value to install.
+        value: Value,
+    },
+    /// Phase 2 acknowledgment.
+    PutAck {
+        /// Request id echoed.
+        rid: u64,
+    },
+}
+
+#[derive(Debug)]
+enum Phase {
+    /// Gathering GetTs replies.
+    Query {
+        replies: usize,
+        best_ts: (u64, u32),
+        best_value: Value,
+    },
+    /// Gathering PutAck replies.
+    Propagate { replies: usize, value: Value },
+}
+
+#[derive(Debug)]
+struct AbdOp {
+    op: OpId,
+    key: Key,
+    /// `None` for reads; `Some(v)` for writes.
+    write_value: Option<Value>,
+    phase: Phase,
+}
+
+/// One ABD (Attiya-Bar-Noy-Dolev) multi-writer register replica.
+///
+/// The canonical majority-based protocol the paper cites to explain why
+/// majority protocols "give up on local reads" (§2.3–2.4): every read *and*
+/// write takes two quorum round-trips (query the highest timestamp, then
+/// propagate it). Included for the ablation benches contrasting
+/// quorum-based operation with Hermes' local reads.
+#[derive(Debug)]
+pub struct AbdNode {
+    me: NodeId,
+    n: usize,
+    store: BTreeMap<Key, ((u64, u32), Value)>,
+    ops: BTreeMap<u64, AbdOp>,
+    next_rid: u64,
+    stats: AbdStats,
+}
+
+/// ABD event counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AbdStats {
+    /// Completed reads.
+    pub reads: u64,
+    /// Completed writes.
+    pub writes: u64,
+}
+
+impl AbdNode {
+    /// Creates replica `me` of an `n`-node group.
+    pub fn new(me: NodeId, n: usize) -> Self {
+        AbdNode {
+            me,
+            n,
+            store: BTreeMap::new(),
+            ops: BTreeMap::new(),
+            next_rid: 0,
+            stats: AbdStats::default(),
+        }
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> AbdStats {
+        self.stats
+    }
+
+    fn quorum(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    fn local(&self, key: Key) -> ((u64, u32), Value) {
+        self.store
+            .get(&key)
+            .cloned()
+            .unwrap_or(((0, 0), Value::EMPTY))
+    }
+
+    fn apply(&mut self, key: Key, ts: (u64, u32), value: Value) {
+        let entry = self.store.entry(key).or_insert(((0, 0), Value::EMPTY));
+        if ts > entry.0 {
+            *entry = (ts, value);
+        }
+    }
+
+    fn start_phase2(&mut self, rid: u64, fx: &mut Vec<Effect<AbdMsg>>) {
+        let Some(pending) = self.ops.get_mut(&rid) else {
+            return;
+        };
+        let Phase::Query {
+            best_ts,
+            best_value,
+            ..
+        } = &pending.phase
+        else {
+            return;
+        };
+        let key = pending.key;
+        let (ts, value) = match &pending.write_value {
+            // Writes install a fresh timestamp above the quorum maximum.
+            Some(v) => ((best_ts.0 + 1, self.me.0), v.clone()),
+            // Reads write back the maximum they observed (the ABD
+            // "read-repair" that makes reads linearizable).
+            None => (*best_ts, best_value.clone()),
+        };
+        pending.phase = Phase::Propagate {
+            replies: 1, // self
+            value: value.clone(),
+        };
+        self.apply(key, ts, value.clone());
+        fx.push(Effect::Broadcast {
+            msg: AbdMsg::Put {
+                rid,
+                key,
+                ts,
+                value,
+            },
+        });
+        self.maybe_finish(rid, fx);
+    }
+
+    fn maybe_finish(&mut self, rid: u64, fx: &mut Vec<Effect<AbdMsg>>) {
+        let quorum = self.quorum();
+        let Some(pending) = self.ops.get(&rid) else {
+            return;
+        };
+        let Phase::Propagate { replies, value } = &pending.phase else {
+            return;
+        };
+        if *replies < quorum {
+            return;
+        }
+        let value = value.clone();
+        let pending = self.ops.remove(&rid).expect("checked above");
+        let reply = if pending.write_value.is_some() {
+            self.stats.writes += 1;
+            Reply::WriteOk
+        } else {
+            self.stats.reads += 1;
+            Reply::ReadOk(value)
+        };
+        fx.push(Effect::Reply {
+            op: pending.op,
+            reply,
+        });
+    }
+}
+
+impl ReplicaProtocol for AbdNode {
+    type Msg = AbdMsg;
+
+    fn node_id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_client_op(&mut self, op: OpId, key: Key, cop: ClientOp, fx: &mut Vec<Effect<AbdMsg>>) {
+        let write_value = match cop {
+            ClientOp::Read => None,
+            ClientOp::Write(v) => Some(v),
+            ClientOp::Rmw(_) => {
+                fx.push(Effect::Reply {
+                    op,
+                    reply: Reply::Unsupported,
+                });
+                return;
+            }
+        };
+        self.next_rid += 1;
+        let rid = self.next_rid;
+        let (local_ts, local_value) = self.local(key);
+        self.ops.insert(
+            rid,
+            AbdOp {
+                op,
+                key,
+                write_value,
+                phase: Phase::Query {
+                    replies: 1, // self
+                    best_ts: local_ts,
+                    best_value: local_value,
+                },
+            },
+        );
+        fx.push(Effect::Broadcast {
+            msg: AbdMsg::GetTs { rid, key },
+        });
+        if self.quorum() == 1 {
+            self.start_phase2(rid, fx);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: AbdMsg, fx: &mut Vec<Effect<AbdMsg>>) {
+        match msg {
+            AbdMsg::GetTs { rid, key } => {
+                let (ts, value) = self.local(key);
+                fx.push(Effect::Send {
+                    to: from,
+                    msg: AbdMsg::GetTsReply { rid, ts, value },
+                });
+            }
+            AbdMsg::GetTsReply { rid, ts, value } => {
+                let quorum = self.quorum();
+                let mut ready = false;
+                if let Some(pending) = self.ops.get_mut(&rid) {
+                    if let Phase::Query {
+                        replies,
+                        best_ts,
+                        best_value,
+                    } = &mut pending.phase
+                    {
+                        *replies += 1;
+                        if ts > *best_ts {
+                            *best_ts = ts;
+                            *best_value = value;
+                        }
+                        ready = *replies >= quorum;
+                    }
+                }
+                if ready {
+                    self.start_phase2(rid, fx);
+                }
+            }
+            AbdMsg::Put {
+                rid,
+                key,
+                ts,
+                value,
+            } => {
+                self.apply(key, ts, value);
+                fx.push(Effect::Send {
+                    to: from,
+                    msg: AbdMsg::PutAck { rid },
+                });
+            }
+            AbdMsg::PutAck { rid } => {
+                if let Some(pending) = self.ops.get_mut(&rid) {
+                    if let Phase::Propagate { replies, .. } = &mut pending.phase {
+                        *replies += 1;
+                    }
+                }
+                self.maybe_finish(rid, fx);
+            }
+        }
+    }
+
+    fn msg_wire_size(msg: &AbdMsg) -> usize {
+        match msg {
+            AbdMsg::GetTs { .. } => 1 + 8 + 8,
+            AbdMsg::GetTsReply { value, .. } => 1 + 8 + 12 + 4 + value.len(),
+            AbdMsg::Put { value, .. } => 1 + 8 + 8 + 12 + 4 + value.len(),
+            AbdMsg::PutAck { .. } => 1 + 8,
+        }
+    }
+
+    fn capabilities() -> Capabilities {
+        Capabilities {
+            name: "ABD",
+            local_reads: false,
+            leases: "none",
+            consistency: "Lin",
+            write_concurrency: "inter-key",
+            write_latency_rtts: "2",
+            decentralized_writes: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testnet::Net;
+
+    fn cluster(n: usize) -> Net<AbdNode> {
+        Net::new((0..n).map(|i| AbdNode::new(NodeId(i as u32), n)).collect())
+    }
+
+    fn v(n: u64) -> Value {
+        Value::from_u64(n)
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut c = cluster(3);
+        let w = c.write(0, Key(1), v(5));
+        c.deliver_all();
+        c.assert_reply(w, Reply::WriteOk);
+        let r = c.read(2, Key(1));
+        c.deliver_all();
+        c.assert_reply(r, Reply::ReadOk(v(5)));
+    }
+
+    #[test]
+    fn reads_are_never_local() {
+        // Even reading your own write requires quorum communication.
+        let mut c = cluster(3);
+        let r = c.read(0, Key(1));
+        assert!(c.reply_of(r).is_none(), "ABD read must wait for a quorum");
+        c.deliver_all();
+        c.assert_reply(r, Reply::ReadOk(Value::EMPTY));
+    }
+
+    #[test]
+    fn later_writes_win_by_timestamp() {
+        let mut c = cluster(3);
+        let w1 = c.write(0, Key(1), v(1));
+        c.deliver_all();
+        let w2 = c.write(2, Key(1), v(2));
+        c.deliver_all();
+        c.assert_reply(w1, Reply::WriteOk);
+        c.assert_reply(w2, Reply::WriteOk);
+        let r = c.read(1, Key(1));
+        c.deliver_all();
+        c.assert_reply(r, Reply::ReadOk(v(2)));
+    }
+
+    #[test]
+    fn concurrent_writes_converge_via_writer_id_tiebreak() {
+        let mut c = cluster(5);
+        let w1 = c.write(1, Key(1), v(11));
+        let w2 = c.write(3, Key(1), v(33));
+        c.deliver_all();
+        c.assert_reply(w1, Reply::WriteOk);
+        c.assert_reply(w2, Reply::WriteOk);
+        // Reads from every node agree (read-repair propagates the max).
+        let mut seen = std::collections::BTreeSet::new();
+        for node in 0..5 {
+            let r = c.read(node, Key(1));
+            c.deliver_all();
+            if let Some(Reply::ReadOk(val)) = c.reply_of(r) {
+                seen.insert(val.to_u64().unwrap());
+            }
+        }
+        assert_eq!(seen.len(), 1, "all reads must agree, saw {seen:?}");
+    }
+
+    #[test]
+    fn quorum_tolerates_minority_silence() {
+        let mut c = cluster(5);
+        let w = c.write(0, Key(1), v(9));
+        // Drop all traffic to/from nodes 3 and 4.
+        c.inflight.retain(|(from, to, _)| from.0 < 3 && to.0 < 3);
+        c.deliver_all();
+        c.inflight.retain(|(from, to, _)| from.0 < 3 && to.0 < 3);
+        c.deliver_all();
+        c.assert_reply(w, Reply::WriteOk);
+    }
+
+    #[test]
+    fn single_node_quorum_is_immediate() {
+        let mut c = cluster(1);
+        let w = c.write(0, Key(1), v(4));
+        c.assert_reply(w, Reply::WriteOk);
+        let r = c.read(0, Key(1));
+        c.assert_reply(r, Reply::ReadOk(v(4)));
+    }
+
+    #[test]
+    fn capabilities_match_paper() {
+        let caps = AbdNode::capabilities();
+        assert!(!caps.local_reads, "majority protocols give up local reads");
+        assert!(caps.decentralized_writes);
+    }
+}

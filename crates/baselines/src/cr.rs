@@ -1,0 +1,404 @@
+use hermes_common::{
+    Capabilities, ClientOp, Effect, Key, NodeId, OpId, Reply, ReplicaProtocol, Value,
+};
+use std::collections::BTreeMap;
+
+/// Classic Chain Replication messages (paper §2.4, van Renesse & Schneider).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CrMsg {
+    /// Forward a client write to the head.
+    ForwardWrite {
+        /// Originating client operation.
+        op: OpId,
+        /// Key to write.
+        key: Key,
+        /// Value to write.
+        value: Value,
+        /// Replica the client submitted to.
+        origin: NodeId,
+    },
+    /// The write propagating down the chain.
+    WriteDown {
+        /// Key being written.
+        key: Key,
+        /// Version assigned by the head.
+        ver: u64,
+        /// New value.
+        value: Value,
+        /// Replica that must answer the client.
+        origin: NodeId,
+        /// Originating client operation.
+        op: OpId,
+    },
+    /// Commit acknowledgment propagating back up from the tail.
+    AckUp {
+        /// Key committed.
+        key: Key,
+        /// Committed version.
+        ver: u64,
+        /// Replica that must answer the client.
+        origin: NodeId,
+        /// Originating client operation.
+        op: OpId,
+    },
+    /// Forward a client read to the tail (only the tail serves reads).
+    ForwardRead {
+        /// Originating client operation.
+        op: OpId,
+        /// Key to read.
+        key: Key,
+        /// Replica that will answer the client.
+        origin: NodeId,
+    },
+    /// Tail's answer to a forwarded read.
+    ReadReply {
+        /// The read operation this answers.
+        op: OpId,
+        /// Value at the tail.
+        value: Value,
+    },
+}
+
+/// One classic Chain Replication replica (paper §2.4).
+///
+/// Writes enter at the head and commit at the tail; **only the tail serves
+/// reads** (that is what makes CR linearizable without per-key queries).
+/// CRAQ's contribution (paper §2.5) is exactly the removal of this
+/// restriction; keeping CR around lets the ablation benches quantify it.
+#[derive(Debug)]
+pub struct CrNode {
+    me: NodeId,
+    n: usize,
+    next_ver: u64,
+    committed: BTreeMap<Key, (u64, Value)>,
+    pending: BTreeMap<Key, BTreeMap<u64, Value>>,
+    stats: CrStats,
+}
+
+/// CR event counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrStats {
+    /// Reads served at the tail.
+    pub tail_reads: u64,
+    /// Reads forwarded to the tail from other replicas.
+    pub forwarded_reads: u64,
+}
+
+impl CrNode {
+    /// Creates replica `me` of an `n`-node chain.
+    pub fn new(me: NodeId, n: usize) -> Self {
+        CrNode {
+            me,
+            n,
+            next_ver: 0,
+            committed: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            stats: CrStats::default(),
+        }
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> CrStats {
+        self.stats
+    }
+
+    /// The committed value of `key` at this replica.
+    pub fn committed_value(&self, key: Key) -> Value {
+        self.committed
+            .get(&key)
+            .map_or(Value::EMPTY, |(_, v)| v.clone())
+    }
+
+    fn tail(&self) -> NodeId {
+        NodeId(self.n as u32 - 1)
+    }
+
+    fn is_head(&self) -> bool {
+        self.me.0 == 0
+    }
+
+    fn is_tail(&self) -> bool {
+        self.me == self.tail()
+    }
+
+    fn commit(&mut self, key: Key, ver: u64, value: Value) {
+        let entry = self.committed.entry(key).or_insert((0, Value::EMPTY));
+        if ver > entry.0 {
+            *entry = (ver, value);
+        }
+        if let Some(p) = self.pending.get_mut(&key) {
+            *p = p.split_off(&(ver + 1));
+        }
+    }
+
+    fn start_write(
+        &mut self,
+        key: Key,
+        value: Value,
+        origin: NodeId,
+        op: OpId,
+        fx: &mut Vec<Effect<CrMsg>>,
+    ) {
+        debug_assert!(self.is_head());
+        self.next_ver += 1;
+        let ver = self.next_ver;
+        if self.n == 1 {
+            self.commit(key, ver, value);
+            fx.push(Effect::Reply {
+                op,
+                reply: Reply::WriteOk,
+            });
+            return;
+        }
+        self.pending.entry(key).or_default().insert(ver, value.clone());
+        fx.push(Effect::Send {
+            to: NodeId(1),
+            msg: CrMsg::WriteDown {
+                key,
+                ver,
+                value,
+                origin,
+                op,
+            },
+        });
+    }
+}
+
+impl ReplicaProtocol for CrNode {
+    type Msg = CrMsg;
+
+    fn node_id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_client_op(&mut self, op: OpId, key: Key, cop: ClientOp, fx: &mut Vec<Effect<CrMsg>>) {
+        match cop {
+            ClientOp::Read => {
+                if self.is_tail() {
+                    self.stats.tail_reads += 1;
+                    let value = self.committed_value(key);
+                    fx.push(Effect::Reply {
+                        op,
+                        reply: Reply::ReadOk(value),
+                    });
+                } else {
+                    self.stats.forwarded_reads += 1;
+                    fx.push(Effect::Send {
+                        to: self.tail(),
+                        msg: CrMsg::ForwardRead {
+                            op,
+                            key,
+                            origin: self.me,
+                        },
+                    });
+                }
+            }
+            ClientOp::Write(value) => {
+                if self.is_head() {
+                    let me = self.me;
+                    self.start_write(key, value, me, op, fx);
+                } else {
+                    fx.push(Effect::Send {
+                        to: NodeId(0),
+                        msg: CrMsg::ForwardWrite {
+                            op,
+                            key,
+                            value,
+                            origin: self.me,
+                        },
+                    });
+                }
+            }
+            ClientOp::Rmw(_) => fx.push(Effect::Reply {
+                op,
+                reply: Reply::Unsupported,
+            }),
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: CrMsg, fx: &mut Vec<Effect<CrMsg>>) {
+        match msg {
+            CrMsg::ForwardWrite {
+                op,
+                key,
+                value,
+                origin,
+            } => {
+                if self.is_head() {
+                    self.start_write(key, value, origin, op, fx);
+                }
+            }
+            CrMsg::WriteDown {
+                key,
+                ver,
+                value,
+                origin,
+                op,
+            } => {
+                if self.is_tail() {
+                    self.commit(key, ver, value);
+                    if origin == self.me {
+                        fx.push(Effect::Reply {
+                            op,
+                            reply: Reply::WriteOk,
+                        });
+                    }
+                    fx.push(Effect::Send {
+                        to: NodeId(self.me.0 - 1),
+                        msg: CrMsg::AckUp {
+                            key,
+                            ver,
+                            origin,
+                            op,
+                        },
+                    });
+                } else {
+                    self.pending.entry(key).or_default().insert(ver, value.clone());
+                    fx.push(Effect::Send {
+                        to: NodeId(self.me.0 + 1),
+                        msg: CrMsg::WriteDown {
+                            key,
+                            ver,
+                            value,
+                            origin,
+                            op,
+                        },
+                    });
+                }
+            }
+            CrMsg::AckUp {
+                key,
+                ver,
+                origin,
+                op,
+            } => {
+                let value = self
+                    .pending
+                    .get(&key)
+                    .and_then(|p| p.get(&ver).cloned())
+                    .unwrap_or_else(|| self.committed_value(key));
+                self.commit(key, ver, value);
+                if origin == self.me {
+                    fx.push(Effect::Reply {
+                        op,
+                        reply: Reply::WriteOk,
+                    });
+                }
+                if !self.is_head() {
+                    fx.push(Effect::Send {
+                        to: NodeId(self.me.0 - 1),
+                        msg: CrMsg::AckUp {
+                            key,
+                            ver,
+                            origin,
+                            op,
+                        },
+                    });
+                }
+            }
+            CrMsg::ForwardRead { op, key, origin } => {
+                debug_assert!(self.is_tail());
+                self.stats.tail_reads += 1;
+                let value = self.committed_value(key);
+                fx.push(Effect::Send {
+                    to: origin,
+                    msg: CrMsg::ReadReply { op, value },
+                });
+            }
+            CrMsg::ReadReply { op, value } => {
+                fx.push(Effect::Reply {
+                    op,
+                    reply: Reply::ReadOk(value),
+                });
+            }
+        }
+    }
+
+    fn msg_wire_size(msg: &CrMsg) -> usize {
+        match msg {
+            CrMsg::ForwardWrite { value, .. } => 1 + 16 + 8 + 4 + value.len() + 4,
+            CrMsg::WriteDown { value, .. } => 1 + 8 + 8 + 4 + value.len() + 4 + 16,
+            CrMsg::AckUp { .. } => 1 + 8 + 8 + 4 + 16,
+            CrMsg::ForwardRead { .. } => 1 + 16 + 8 + 4,
+            CrMsg::ReadReply { value, .. } => 1 + 16 + 4 + value.len(),
+        }
+    }
+
+    fn capabilities() -> Capabilities {
+        Capabilities {
+            name: "CR",
+            local_reads: false,
+            leases: "one per RM",
+            consistency: "Lin",
+            write_concurrency: "inter-key",
+            write_latency_rtts: "O(n)",
+            decentralized_writes: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testnet::Net;
+
+    fn cluster(n: usize) -> Net<CrNode> {
+        Net::new((0..n).map(|i| CrNode::new(NodeId(i as u32), n)).collect())
+    }
+
+    fn v(n: u64) -> Value {
+        Value::from_u64(n)
+    }
+
+    #[test]
+    fn write_then_read_via_tail() {
+        let mut c = cluster(3);
+        let w = c.write(1, Key(1), v(8));
+        c.deliver_all();
+        c.assert_reply(w, Reply::WriteOk);
+        // Reads at non-tail nodes are forwarded.
+        let r = c.read(0, Key(1));
+        c.deliver_all();
+        c.assert_reply(r, Reply::ReadOk(v(8)));
+        assert_eq!(c.nodes[0].stats().forwarded_reads, 1);
+        // Tail reads are local.
+        let r = c.read(2, Key(1));
+        c.assert_reply(r, Reply::ReadOk(v(8)));
+        assert_eq!(c.nodes[2].stats().tail_reads, 2);
+    }
+
+    #[test]
+    fn reads_never_observe_uncommitted_writes() {
+        let mut c = cluster(3);
+        c.write(0, Key(1), v(1));
+        // Write still in flight down the chain: a read (via the tail) sees
+        // the old state — linearizable, since the write has not committed.
+        let r = c.read(1, Key(1));
+        c.deliver_all();
+        // Depending on arrival order the read may see EMPTY or v(1); both
+        // are linearizable. What is *not* allowed is observing a version
+        // that later disappears. Re-read must now see the committed value.
+        let r2 = c.read(1, Key(1));
+        c.deliver_all();
+        assert!(c.reply_of(r).is_some());
+        c.assert_reply(r2, Reply::ReadOk(v(1)));
+    }
+
+    #[test]
+    fn chain_of_five_commits_everywhere() {
+        let mut c = cluster(5);
+        let w = c.write(4, Key(3), v(7));
+        c.deliver_all();
+        c.assert_reply(w, Reply::WriteOk);
+        for node in &c.nodes {
+            assert_eq!(node.committed_value(Key(3)), v(7));
+        }
+    }
+
+    #[test]
+    fn capabilities_match_paper() {
+        let caps = CrNode::capabilities();
+        assert!(!caps.local_reads, "CR reads only at the tail");
+        assert_eq!(caps.consistency, "Lin");
+    }
+}

@@ -1,0 +1,511 @@
+use hermes_common::{
+    Capabilities, ClientOp, Effect, Key, NodeId, OpId, Reply, ReplicaProtocol, Value,
+};
+use std::collections::BTreeMap;
+
+/// rCRAQ wire messages (paper §2.5, §5.1.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CraqMsg {
+    /// A non-head replica forwards a client write to the head.
+    ForwardWrite {
+        /// Originating client operation.
+        op: OpId,
+        /// Key to write.
+        key: Key,
+        /// Value to write.
+        value: Value,
+        /// Replica the client submitted to.
+        origin: NodeId,
+    },
+    /// The write propagating down the chain.
+    WriteDown {
+        /// Key being written.
+        key: Key,
+        /// Version assigned by the head.
+        ver: u64,
+        /// New value.
+        value: Value,
+        /// Replica that must answer the client.
+        origin: NodeId,
+        /// Originating client operation.
+        op: OpId,
+    },
+    /// The commit acknowledgment propagating up the chain from the tail.
+    AckUp {
+        /// Key committed.
+        key: Key,
+        /// Committed version.
+        ver: u64,
+        /// Replica that must answer the client.
+        origin: NodeId,
+        /// Originating client operation.
+        op: OpId,
+    },
+    /// A dirty read queries the tail for the committed version.
+    VersionQuery {
+        /// Key being read.
+        key: Key,
+        /// Replica that will answer the client.
+        origin: NodeId,
+        /// Originating client operation.
+        op: OpId,
+    },
+    /// Tail's answer to a version query (committed version and value).
+    VersionReply {
+        /// The read operation this answers.
+        op: OpId,
+        /// Key read.
+        key: Key,
+        /// Committed value at the tail.
+        value: Value,
+    },
+}
+
+#[derive(Clone, Debug, Default)]
+struct CraqEntry {
+    clean_ver: u64,
+    clean: Value,
+    /// Outstanding (not yet tail-committed) versions, oldest first.
+    dirty: BTreeMap<u64, Value>,
+}
+
+/// rCRAQ event counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CraqStats {
+    /// Reads served from the local clean copy.
+    pub local_reads: u64,
+    /// Reads that had to query the tail (dirty key at a non-tail node).
+    pub tail_queries: u64,
+    /// Version queries answered (tail only).
+    pub tail_replies: u64,
+    /// Writes this node injected at the head.
+    pub writes_started: u64,
+}
+
+/// One rCRAQ replica (paper §2.5, §5.1.2).
+///
+/// Replicas form a chain in node-id order: node 0 is the **head**, node
+/// `n-1` the **tail**. Writes enter at the head, propagate down, commit at
+/// the tail, and acknowledgments flow back up, cleaning the dirty versions.
+/// Reads are served locally when the key is clean; a dirty key at a non-tail
+/// node triggers a version query to the tail — the behaviour that makes the
+/// tail a hotspot under skew (paper §6.2) and write latency O(n) (§6.3).
+#[derive(Debug)]
+pub struct CraqNode {
+    me: NodeId,
+    n: usize,
+    next_ver: u64,
+    keys: BTreeMap<Key, CraqEntry>,
+    stats: CraqStats,
+}
+
+impl CraqNode {
+    /// Creates replica `me` of an `n`-node chain.
+    pub fn new(me: NodeId, n: usize) -> Self {
+        CraqNode {
+            me,
+            n,
+            next_ver: 0,
+            keys: BTreeMap::new(),
+            stats: CraqStats::default(),
+        }
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> CraqStats {
+        self.stats
+    }
+
+    fn head(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The chain's tail node.
+    pub fn tail(&self) -> NodeId {
+        NodeId(self.n as u32 - 1)
+    }
+
+    fn successor(&self) -> NodeId {
+        NodeId(self.me.0 + 1)
+    }
+
+    fn predecessor(&self) -> NodeId {
+        NodeId(self.me.0 - 1)
+    }
+
+    fn is_head(&self) -> bool {
+        self.me == self.head()
+    }
+
+    fn is_tail(&self) -> bool {
+        self.me == self.tail()
+    }
+
+    /// The committed (clean) value of `key` at this replica.
+    pub fn clean_value(&self, key: Key) -> Value {
+        self.keys.get(&key).map_or(Value::EMPTY, |e| e.clean.clone())
+    }
+
+    /// Whether `key` has uncommitted (dirty) versions at this replica.
+    pub fn is_dirty(&self, key: Key) -> bool {
+        self.keys.get(&key).is_some_and(|e| !e.dirty.is_empty())
+    }
+
+    fn head_start_write(
+        &mut self,
+        key: Key,
+        value: Value,
+        origin: NodeId,
+        op: OpId,
+        fx: &mut Vec<Effect<CraqMsg>>,
+    ) {
+        debug_assert!(self.is_head());
+        self.next_ver += 1;
+        let ver = self.next_ver;
+        self.stats.writes_started += 1;
+        if self.n == 1 {
+            // Head == tail: commit immediately.
+            let e = self.keys.entry(key).or_default();
+            e.clean_ver = ver;
+            e.clean = value;
+            fx.push(Effect::Reply {
+                op,
+                reply: Reply::WriteOk,
+            });
+            return;
+        }
+        let e = self.keys.entry(key).or_default();
+        e.dirty.insert(ver, value.clone());
+        fx.push(Effect::Send {
+            to: self.successor(),
+            msg: CraqMsg::WriteDown {
+                key,
+                ver,
+                value,
+                origin,
+                op,
+            },
+        });
+    }
+
+    fn commit(&mut self, key: Key, ver: u64, value: Value) {
+        let e = self.keys.entry(key).or_default();
+        if ver > e.clean_ver {
+            e.clean_ver = ver;
+            e.clean = value;
+        }
+        // All dirty versions up to the committed one are resolved.
+        e.dirty = e.dirty.split_off(&(ver + 1));
+    }
+}
+
+impl ReplicaProtocol for CraqNode {
+    type Msg = CraqMsg;
+
+    fn node_id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_client_op(&mut self, op: OpId, key: Key, cop: ClientOp, fx: &mut Vec<Effect<CraqMsg>>) {
+        match cop {
+            ClientOp::Read => {
+                let dirty = self.is_dirty(key);
+                if !dirty || self.is_tail() {
+                    self.stats.local_reads += 1;
+                    let value = self.clean_value(key);
+                    fx.push(Effect::Reply {
+                        op,
+                        reply: Reply::ReadOk(value),
+                    });
+                } else {
+                    // Dirty at a non-tail node: ask the tail which version
+                    // is committed (paper §2.5).
+                    self.stats.tail_queries += 1;
+                    fx.push(Effect::Send {
+                        to: self.tail(),
+                        msg: CraqMsg::VersionQuery {
+                            key,
+                            origin: self.me,
+                            op,
+                        },
+                    });
+                }
+            }
+            ClientOp::Write(value) => {
+                if self.is_head() {
+                    let me = self.me;
+                    self.head_start_write(key, value, me, op, fx);
+                } else {
+                    fx.push(Effect::Send {
+                        to: self.head(),
+                        msg: CraqMsg::ForwardWrite {
+                            op,
+                            key,
+                            value,
+                            origin: self.me,
+                        },
+                    });
+                }
+            }
+            ClientOp::Rmw(_) => {
+                fx.push(Effect::Reply {
+                    op,
+                    reply: Reply::Unsupported,
+                });
+            }
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: CraqMsg, fx: &mut Vec<Effect<CraqMsg>>) {
+        match msg {
+            CraqMsg::ForwardWrite {
+                op,
+                key,
+                value,
+                origin,
+            } => {
+                if self.is_head() {
+                    self.head_start_write(key, value, origin, op, fx);
+                }
+            }
+            CraqMsg::WriteDown {
+                key,
+                ver,
+                value,
+                origin,
+                op,
+            } => {
+                if self.is_tail() {
+                    // Commit point: apply clean and start the ack wave.
+                    self.commit(key, ver, value);
+                    if origin == self.me {
+                        fx.push(Effect::Reply {
+                            op,
+                            reply: Reply::WriteOk,
+                        });
+                    }
+                    fx.push(Effect::Send {
+                        to: self.predecessor(),
+                        msg: CraqMsg::AckUp {
+                            key,
+                            ver,
+                            origin,
+                            op,
+                        },
+                    });
+                } else {
+                    let e = self.keys.entry(key).or_default();
+                    e.dirty.insert(ver, value.clone());
+                    fx.push(Effect::Send {
+                        to: self.successor(),
+                        msg: CraqMsg::WriteDown {
+                            key,
+                            ver,
+                            value,
+                            origin,
+                            op,
+                        },
+                    });
+                }
+            }
+            CraqMsg::AckUp {
+                key,
+                ver,
+                origin,
+                op,
+            } => {
+                // Apply the committed version: the value is the dirty entry
+                // with this version (guaranteed present on the chain path).
+                let value = self
+                    .keys
+                    .get(&key)
+                    .and_then(|e| e.dirty.get(&ver).cloned())
+                    .unwrap_or_else(|| self.clean_value(key));
+                self.commit(key, ver, value);
+                if origin == self.me {
+                    fx.push(Effect::Reply {
+                        op,
+                        reply: Reply::WriteOk,
+                    });
+                }
+                if !self.is_head() {
+                    fx.push(Effect::Send {
+                        to: self.predecessor(),
+                        msg: CraqMsg::AckUp {
+                            key,
+                            ver,
+                            origin,
+                            op,
+                        },
+                    });
+                }
+            }
+            CraqMsg::VersionQuery { key, origin, op } => {
+                debug_assert!(self.is_tail());
+                self.stats.tail_replies += 1;
+                let value = self.clean_value(key);
+                fx.push(Effect::Send {
+                    to: origin,
+                    msg: CraqMsg::VersionReply { op, key, value },
+                });
+            }
+            CraqMsg::VersionReply { op, value, .. } => {
+                fx.push(Effect::Reply {
+                    op,
+                    reply: Reply::ReadOk(value),
+                });
+            }
+        }
+    }
+
+    fn msg_wire_size(msg: &CraqMsg) -> usize {
+        match msg {
+            CraqMsg::ForwardWrite { value, .. } => 1 + 16 + 8 + 4 + value.len() + 4,
+            CraqMsg::WriteDown { value, .. } => 1 + 8 + 8 + 4 + value.len() + 4 + 16,
+            CraqMsg::AckUp { .. } => 1 + 8 + 8 + 4 + 16,
+            CraqMsg::VersionQuery { .. } => 1 + 8 + 4 + 16,
+            CraqMsg::VersionReply { value, .. } => 1 + 16 + 8 + 4 + value.len(),
+        }
+    }
+
+    fn capabilities() -> Capabilities {
+        // Paper Table 2, rCRAQ row.
+        Capabilities {
+            name: "rCRAQ",
+            local_reads: true,
+            leases: "one per RM",
+            consistency: "Lin",
+            write_concurrency: "inter-key",
+            write_latency_rtts: "O(n)",
+            decentralized_writes: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testnet::Net;
+
+    fn cluster(n: usize) -> Net<CraqNode> {
+        Net::new((0..n).map(|i| CraqNode::new(NodeId(i as u32), n)).collect())
+    }
+
+    fn v(n: u64) -> Value {
+        Value::from_u64(n)
+    }
+
+    #[test]
+    fn write_traverses_chain_and_commits_at_tail() {
+        let mut c = cluster(3);
+        let w = c.write(0, Key(1), v(5));
+        // After the head step the key is dirty at the head.
+        assert!(c.nodes[0].is_dirty(Key(1)));
+        c.deliver_all();
+        c.assert_reply(w, Reply::WriteOk);
+        for node in &c.nodes {
+            assert!(!node.is_dirty(Key(1)));
+            assert_eq!(node.clean_value(Key(1)), v(5));
+        }
+    }
+
+    #[test]
+    fn writes_from_any_node_are_forwarded_to_head() {
+        let mut c = cluster(5);
+        let w = c.write(3, Key(2), v(9));
+        c.deliver_all();
+        c.assert_reply(w, Reply::WriteOk);
+        assert_eq!(c.nodes[0].stats().writes_started, 1);
+        assert_eq!(c.nodes[4].clean_value(Key(2)), v(9));
+    }
+
+    #[test]
+    fn clean_reads_are_local_everywhere() {
+        let mut c = cluster(3);
+        c.write(0, Key(1), v(4));
+        c.deliver_all();
+        for node in 0..3 {
+            let r = c.read(node, Key(1));
+            c.assert_reply(r, Reply::ReadOk(v(4)));
+        }
+        let local: u64 = c.nodes.iter().map(|n| n.stats().local_reads).sum();
+        assert_eq!(local, 3);
+        let queries: u64 = c.nodes.iter().map(|n| n.stats().tail_queries).sum();
+        assert_eq!(queries, 0);
+    }
+
+    #[test]
+    fn dirty_read_at_non_tail_queries_the_tail() {
+        let mut c = cluster(3);
+        c.write(0, Key(1), v(1));
+        c.deliver_all();
+        // Second write: stop it at the middle node so head+middle are dirty.
+        c.write(0, Key(1), v(2));
+        // Deliver only the WriteDown from head to middle.
+        let (from, to, msg) = c.inflight.pop_front().unwrap();
+        assert!(matches!(msg, CraqMsg::WriteDown { .. }));
+        let mut fx = Vec::new();
+        c.nodes[to.index()].on_message(from, msg, &mut fx);
+        // Hold the middle->tail WriteDown (in fx); key is dirty at middle.
+        assert!(c.nodes[1].is_dirty(Key(1)));
+
+        // A read at the middle node must query the tail, which still has
+        // the old committed version: linearizable (the new write has not
+        // committed).
+        let r = c.read(1, Key(1));
+        c.deliver_all();
+        c.assert_reply(r, Reply::ReadOk(v(1)));
+        assert_eq!(c.nodes[1].stats().tail_queries, 1);
+        assert_eq!(c.nodes[2].stats().tail_replies, 1);
+    }
+
+    #[test]
+    fn tail_reads_are_always_local() {
+        let mut c = cluster(3);
+        c.write(0, Key(1), v(1));
+        // Even with the write still in flight, the tail serves locally.
+        let r = c.read(2, Key(1));
+        c.assert_reply(r, Reply::ReadOk(Value::EMPTY));
+        assert_eq!(c.nodes[2].stats().local_reads, 1);
+        c.deliver_all();
+        let r = c.read(2, Key(1));
+        c.assert_reply(r, Reply::ReadOk(v(1)));
+    }
+
+    #[test]
+    fn pipelined_writes_to_same_key_commit_in_version_order() {
+        let mut c = cluster(3);
+        let w1 = c.write(0, Key(1), v(10));
+        let w2 = c.write(1, Key(1), v(20));
+        let w3 = c.write(2, Key(1), v(30));
+        c.deliver_all();
+        for w in [w1, w2, w3] {
+            c.assert_reply(w, Reply::WriteOk);
+        }
+        // All replicas converge on the highest version's value.
+        let expect = c.nodes[0].clean_value(Key(1));
+        for node in &c.nodes {
+            assert_eq!(node.clean_value(Key(1)), expect);
+            assert!(!node.is_dirty(Key(1)));
+        }
+    }
+
+    #[test]
+    fn single_node_chain_works() {
+        let mut c = cluster(1);
+        let w = c.write(0, Key(1), v(2));
+        c.assert_reply(w, Reply::WriteOk);
+        let r = c.read(0, Key(1));
+        c.assert_reply(r, Reply::ReadOk(v(2)));
+    }
+
+    #[test]
+    fn capabilities_match_table2() {
+        let caps = CraqNode::capabilities();
+        assert_eq!(caps.name, "rCRAQ");
+        assert!(caps.local_reads);
+        assert_eq!(caps.consistency, "Lin");
+        assert_eq!(caps.write_latency_rtts, "O(n)");
+        assert!(!caps.decentralized_writes);
+    }
+}

@@ -1,0 +1,122 @@
+//! # hermes-baselines — the protocols Hermes is evaluated against
+//!
+//! The paper compares Hermes with highly optimized in-house implementations
+//! of competing replication protocols over the *same* KVS and messaging
+//! substrate (§5.1). This crate provides those baselines as sans-io state
+//! machines implementing [`hermes_common::ReplicaProtocol`], so the shared
+//! runtimes drive them exactly like the Hermes core:
+//!
+//! * [`ZabNode`] (**rZAB**, §5.1.1) — leader-serialized atomic broadcast with
+//!   per-session sequentially consistent local reads;
+//! * [`CraqNode`] (**rCRAQ**, §2.5, §5.1.2) — chain replication with
+//!   apportioned queries: local reads of clean keys, tail version queries
+//!   for dirty keys;
+//! * [`CrNode`] (**CR**, §2.4) — classic chain replication: writes at the
+//!   head, linearizable reads only at the tail;
+//! * [`AbdNode`] (**ABD**, §2.3) — the majority-quorum multi-writer register:
+//!   no local reads (2 RTT reads and writes), used in ablations to show what
+//!   majority protocols give up;
+//! * [`LockstepNode`] ("Derecho-like", §6.5) — round-based, totally ordered,
+//!   lock-step delivery: every replica's round-`r` proposals must be
+//!   received everywhere before anything from round `r+1` is sent, which is
+//!   the delivery model the paper contrasts with Hermes' inter-key
+//!   concurrent writes in Figure 8.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod abd;
+mod cr;
+mod craq;
+mod lockstep;
+mod zab;
+
+pub use abd::{AbdMsg, AbdNode};
+pub use cr::{CrMsg, CrNode};
+pub use craq::{CraqMsg, CraqNode};
+pub use lockstep::{LockstepMsg, LockstepNode};
+pub use zab::{ZabMsg, ZabNode};
+
+#[cfg(test)]
+pub(crate) mod testnet {
+    //! Generic deterministic message router for baseline unit tests.
+
+    use hermes_common::{
+        ClientId, ClientOp, Effect, Key, NodeId, OpId, Reply, ReplicaProtocol, Value,
+    };
+    use std::collections::VecDeque;
+
+    pub struct Net<P: ReplicaProtocol> {
+        pub nodes: Vec<P>,
+        pub inflight: VecDeque<(NodeId, NodeId, P::Msg)>,
+        pub replies: Vec<(OpId, Reply)>,
+        next_seq: u64,
+    }
+
+    impl<P: ReplicaProtocol> Net<P> {
+        pub fn new(nodes: Vec<P>) -> Self {
+            Net {
+                nodes,
+                inflight: VecDeque::new(),
+                replies: Vec::new(),
+                next_seq: 0,
+            }
+        }
+
+        pub fn client(&mut self, node: usize, key: Key, cop: ClientOp) -> OpId {
+            self.next_seq += 1;
+            let op = OpId::new(ClientId(node as u64), self.next_seq);
+            let mut fx = Vec::new();
+            self.nodes[node].on_client_op(op, key, cop, &mut fx);
+            self.apply(node, fx);
+            op
+        }
+
+        pub fn write(&mut self, node: usize, key: Key, value: Value) -> OpId {
+            self.client(node, key, ClientOp::Write(value))
+        }
+
+        pub fn read(&mut self, node: usize, key: Key) -> OpId {
+            self.client(node, key, ClientOp::Read)
+        }
+
+        fn apply(&mut self, at: usize, fx: Vec<Effect<P::Msg>>) {
+            let me = NodeId(at as u32);
+            let n = self.nodes.len();
+            for e in fx {
+                match e {
+                    Effect::Send { to, msg } => self.inflight.push_back((me, to, msg)),
+                    Effect::Broadcast { msg } => {
+                        for i in 0..n {
+                            if i != at {
+                                self.inflight.push_back((me, NodeId(i as u32), msg.clone()));
+                            }
+                        }
+                    }
+                    Effect::Reply { op, reply } => self.replies.push((op, reply)),
+                    Effect::ArmTimer { .. } | Effect::DisarmTimer { .. } => {}
+                }
+            }
+        }
+
+        pub fn deliver_all(&mut self) {
+            while let Some((from, to, msg)) = self.inflight.pop_front() {
+                let mut fx = Vec::new();
+                self.nodes[to.index()].on_message(from, msg, &mut fx);
+                self.apply(to.index(), fx);
+            }
+        }
+
+        pub fn reply_of(&self, op: OpId) -> Option<&Reply> {
+            self.replies.iter().find(|(o, _)| *o == op).map(|(_, r)| r)
+        }
+
+        #[track_caller]
+        pub fn assert_reply(&self, op: OpId, expected: Reply) {
+            match self.reply_of(op) {
+                Some(got) => assert_eq!(got, &expected, "unexpected reply for {op}"),
+                None => panic!("operation {op} has no reply yet"),
+            }
+        }
+    }
+}

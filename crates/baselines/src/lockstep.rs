@@ -1,0 +1,379 @@
+use hermes_common::{
+    Capabilities, ClientOp, Effect, Key, NodeId, OpId, Reply, ReplicaProtocol, Value,
+};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Lock-step total-order broadcast messages (the "Derecho-like" baseline of
+/// paper §6.5).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LockstepMsg {
+    /// A replica's (possibly empty) batch of writes for a round.
+    Round {
+        /// Round number.
+        round: u64,
+        /// Writes proposed by the sender for this round, in issue order.
+        writes: Vec<(OpId, Key, Value)>,
+    },
+    /// Stability announcement: the sender has received every replica's
+    /// round-`round` proposal (Derecho's SST stability detection; delivery
+    /// happens only once a message is known stable everywhere).
+    Stable {
+        /// Round number.
+        round: u64,
+    },
+}
+
+/// One replica of a round-based, totally ordered, lock-step SMR group.
+///
+/// Models the delivery discipline the paper contrasts Hermes with in §6.5
+/// (Derecho): all replicas' round-`r` proposals must be received everywhere
+/// before round `r` delivers, and round `r+1` begins only after `r`
+/// delivered — writes are totally ordered with **no inter-key concurrency**
+/// and lock-step commit. A round needs one all-to-all exchange, matching
+/// Table 2's "1 RTT (lock-step commit)" entry.
+///
+/// Reads are local over applied state (sequentially consistent), like ZAB.
+#[derive(Debug)]
+pub struct LockstepNode {
+    me: NodeId,
+    n: usize,
+    current_round: u64,
+    proposed_current: bool,
+    pending: VecDeque<(OpId, Key, Value)>,
+    /// Batches received per round, per sender.
+    rounds: BTreeMap<u64, BTreeMap<NodeId, Vec<(OpId, Key, Value)>>>,
+    /// Stability votes received per round (own vote included once sent).
+    stable: BTreeMap<u64, hermes_common::NodeSet>,
+    /// Whether this node announced stability for the current round.
+    announced_stable: bool,
+    store: BTreeMap<Key, Value>,
+    stats: LockstepStats,
+}
+
+/// Lock-step SMR event counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LockstepStats {
+    /// Rounds delivered.
+    pub rounds_delivered: u64,
+    /// Writes applied (across all senders).
+    pub writes_applied: u64,
+    /// Local reads served.
+    pub local_reads: u64,
+}
+
+impl LockstepNode {
+    /// Creates replica `me` of an `n`-node group.
+    pub fn new(me: NodeId, n: usize) -> Self {
+        LockstepNode {
+            me,
+            n,
+            current_round: 1,
+            proposed_current: false,
+            pending: VecDeque::new(),
+            rounds: BTreeMap::new(),
+            stable: BTreeMap::new(),
+            announced_stable: false,
+            store: BTreeMap::new(),
+            stats: LockstepStats::default(),
+        }
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> LockstepStats {
+        self.stats
+    }
+
+    /// The applied value of `key` at this replica.
+    pub fn applied_value(&self, key: Key) -> Value {
+        self.store.get(&key).cloned().unwrap_or(Value::EMPTY)
+    }
+
+    /// The round this replica is currently in.
+    pub fn round(&self) -> u64 {
+        self.current_round
+    }
+
+    /// Broadcasts this node's proposal for the current round.
+    ///
+    /// Lock-step discipline: **at most one write per sender per round**
+    /// (Derecho's one-slot-per-sender SST row). This is what denies the
+    /// protocol pipelining: a sender's next write waits a full round even
+    /// if more writes are queued — the behaviour Figure 8 contrasts with
+    /// Hermes' inter-key concurrent writes.
+    fn propose_current(&mut self, fx: &mut Vec<Effect<LockstepMsg>>) {
+        debug_assert!(!self.proposed_current);
+        self.proposed_current = true;
+        let writes: Vec<(OpId, Key, Value)> = self.pending.pop_front().into_iter().collect();
+        let round = self.current_round;
+        self.rounds
+            .entry(round)
+            .or_default()
+            .insert(self.me, writes.clone());
+        fx.push(Effect::Broadcast {
+            msg: LockstepMsg::Round { round, writes },
+        });
+        self.try_deliver(fx);
+    }
+
+    /// Delivers the current round once proposals from all `n` replicas are
+    /// present *and* stability votes from all replicas confirm everyone has
+    /// them (lock-step commit), then starts the next round if work queues.
+    fn try_deliver(&mut self, fx: &mut Vec<Effect<LockstepMsg>>) {
+        loop {
+            let round = self.current_round;
+            let proposals_complete = self
+                .rounds
+                .get(&round)
+                .is_some_and(|byn| byn.len() == self.n && self.proposed_current);
+            if !proposals_complete {
+                return;
+            }
+            // Phase 2: announce stability once, then wait for everyone's.
+            if !self.announced_stable {
+                self.announced_stable = true;
+                self.stable
+                    .entry(round)
+                    .or_default()
+                    .insert(self.me);
+                fx.push(Effect::Broadcast {
+                    msg: LockstepMsg::Stable { round },
+                });
+            }
+            let all_stable = self
+                .stable
+                .get(&round)
+                .is_some_and(|votes| votes.len() == self.n);
+            if !all_stable {
+                return;
+            }
+            self.stable.remove(&round);
+            let batches = self.rounds.remove(&round).expect("checked complete");
+            // Deterministic total order: by sender id, then batch order.
+            for (sender, writes) in batches {
+                for (op, key, value) in writes {
+                    self.store.insert(key, value);
+                    self.stats.writes_applied += 1;
+                    if sender == self.me {
+                        fx.push(Effect::Reply {
+                            op,
+                            reply: Reply::WriteOk,
+                        });
+                    }
+                }
+            }
+            self.stats.rounds_delivered += 1;
+            self.current_round += 1;
+            self.proposed_current = false;
+            self.announced_stable = false;
+            // Lock-step: only now may round r+1 traffic be generated.
+            if !self.pending.is_empty() || self.rounds.contains_key(&self.current_round) {
+                self.propose_current(fx);
+            } else {
+                return;
+            }
+        }
+    }
+}
+
+impl ReplicaProtocol for LockstepNode {
+    type Msg = LockstepMsg;
+
+    fn node_id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_client_op(
+        &mut self,
+        op: OpId,
+        key: Key,
+        cop: ClientOp,
+        fx: &mut Vec<Effect<LockstepMsg>>,
+    ) {
+        match cop {
+            ClientOp::Read => {
+                self.stats.local_reads += 1;
+                let value = self.applied_value(key);
+                fx.push(Effect::Reply {
+                    op,
+                    reply: Reply::ReadOk(value),
+                });
+            }
+            ClientOp::Write(value) => {
+                self.pending.push_back((op, key, value));
+                if !self.proposed_current {
+                    self.propose_current(fx);
+                }
+                // Otherwise the write rides in the next round (lock-step).
+            }
+            ClientOp::Rmw(_) => fx.push(Effect::Reply {
+                op,
+                reply: Reply::Unsupported,
+            }),
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: LockstepMsg, fx: &mut Vec<Effect<LockstepMsg>>) {
+        match msg {
+            LockstepMsg::Round { round, writes } => {
+                if round < self.current_round {
+                    return; // stale duplicate
+                }
+                self.rounds.entry(round).or_default().insert(from, writes);
+                // Joining the current round: propose (possibly empty) so the
+                // round can complete everywhere.
+                if round == self.current_round && !self.proposed_current {
+                    self.propose_current(fx);
+                } else {
+                    self.try_deliver(fx);
+                }
+            }
+            LockstepMsg::Stable { round } => {
+                if round < self.current_round {
+                    return;
+                }
+                self.stable.entry(round).or_default().insert(from);
+                self.try_deliver(fx);
+            }
+        }
+    }
+
+    fn msg_serializes(&self, _msg: &LockstepMsg) -> bool {
+        // Round bookkeeping is inherently ordered: every replica processes
+        // round r fully before r+1 (lock-step delivery, paper §6.5).
+        true
+    }
+
+    fn update_serializes(&self) -> bool {
+        true
+    }
+
+    fn msg_wire_size(msg: &LockstepMsg) -> usize {
+        match msg {
+            LockstepMsg::Round { writes, .. } => {
+                1 + 8
+                    + 2
+                    + writes
+                        .iter()
+                        .map(|(_, _, v)| 16 + 8 + 4 + v.len())
+                        .sum::<usize>()
+            }
+            LockstepMsg::Stable { .. } => 1 + 8,
+        }
+    }
+
+    fn capabilities() -> Capabilities {
+        // Paper Table 2, Derecho row.
+        Capabilities {
+            name: "Lockstep SMR (Derecho-like)",
+            local_reads: true,
+            leases: "none",
+            consistency: "SC",
+            write_concurrency: "serializes all",
+            write_latency_rtts: "1 (lock-step commit)",
+            decentralized_writes: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testnet::Net;
+
+    fn cluster(n: usize) -> Net<LockstepNode> {
+        Net::new(
+            (0..n)
+                .map(|i| LockstepNode::new(NodeId(i as u32), n))
+                .collect(),
+        )
+    }
+
+    fn v(n: u64) -> Value {
+        Value::from_u64(n)
+    }
+
+    #[test]
+    fn single_write_delivers_in_one_round() {
+        let mut c = cluster(3);
+        let w = c.write(0, Key(1), v(5));
+        c.deliver_all();
+        c.assert_reply(w, Reply::WriteOk);
+        for node in &c.nodes {
+            assert_eq!(node.applied_value(Key(1)), v(5));
+            assert_eq!(node.stats().rounds_delivered, 1);
+            assert_eq!(node.round(), 2);
+        }
+    }
+
+    #[test]
+    fn concurrent_writes_share_a_round_and_order_by_sender() {
+        let mut c = cluster(3);
+        let w0 = c.write(0, Key(1), v(10));
+        let w2 = c.write(2, Key(1), v(30));
+        c.deliver_all();
+        c.assert_reply(w0, Reply::WriteOk);
+        c.assert_reply(w2, Reply::WriteOk);
+        // Sender 2 applies after sender 0 in the deterministic order.
+        for node in &c.nodes {
+            assert_eq!(node.applied_value(Key(1)), v(30));
+        }
+    }
+
+    #[test]
+    fn rounds_are_lock_step_next_starts_after_delivery() {
+        let mut c = cluster(3);
+        let w1 = c.write(0, Key(1), v(1));
+        // A second write while round 1 is in flight must wait for round 2.
+        let w2 = c.write(0, Key(1), v(2));
+        assert!(c.reply_of(w2).is_none());
+        c.deliver_all();
+        c.assert_reply(w1, Reply::WriteOk);
+        c.assert_reply(w2, Reply::WriteOk);
+        for node in &c.nodes {
+            assert_eq!(node.stats().rounds_delivered, 2, "two sequential rounds");
+            assert_eq!(node.applied_value(Key(1)), v(2));
+        }
+    }
+
+    #[test]
+    fn total_order_is_identical_across_replicas() {
+        let mut c = cluster(5);
+        for i in 0..20u64 {
+            c.write((i % 5) as usize, Key(i % 4), v(i));
+            if i % 3 == 0 {
+                c.deliver_all();
+            }
+        }
+        c.deliver_all();
+        for k in 0..4u64 {
+            let expect = c.nodes[0].applied_value(Key(k));
+            for node in &c.nodes[1..] {
+                assert_eq!(node.applied_value(Key(k)), expect, "divergence on k{k}");
+            }
+        }
+        let applied = c.nodes[0].stats().writes_applied;
+        assert_eq!(applied, 20);
+    }
+
+    #[test]
+    fn reads_are_local_and_free() {
+        let mut c = cluster(3);
+        c.write(0, Key(1), v(1));
+        c.deliver_all();
+        let r = c.read(2, Key(1));
+        c.assert_reply(r, Reply::ReadOk(v(1)));
+        assert!(c.inflight.is_empty());
+    }
+
+    #[test]
+    fn idle_nodes_join_rounds_with_empty_proposals() {
+        let mut c = cluster(3);
+        c.write(1, Key(9), v(9));
+        c.deliver_all();
+        // Nodes 0 and 2 proposed empty batches to let the round complete.
+        for node in &c.nodes {
+            assert_eq!(node.stats().rounds_delivered, 1);
+        }
+        assert_eq!(c.nodes[0].applied_value(Key(9)), v(9));
+    }
+}

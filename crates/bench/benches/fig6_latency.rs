@@ -1,0 +1,99 @@
+//! Figure 6: latency analysis (paper §6.3).
+//!
+//! (a) median and 99th-percentile latency vs throughput at 5% writes
+//!     (uniform): Hermes' tail is the latency of a single-RTT write; rCRAQ's
+//!     tail is ≥3.6× higher at matched load (chain traversal); rZAB worse.
+//! (b) read/write latencies vs write ratio at rCRAQ-peak load, uniform:
+//!     Hermes writes 29–42 µs tight; rCRAQ write medians 101–215 µs,
+//!     tails 138–330 µs.
+//! (c) same under zipf-0.99: rCRAQ *reads* collapse too (tail-node hotspot,
+//!     median up to 112 µs, tail 386 µs); Hermes read tail ≈ its write
+//!     median (stall-on-conflict), up to ~120 µs write tail.
+
+use hermes_bench::{header, paper_cluster, run_craq, run_hermes, run_zab, scaled_ops};
+
+fn fig6a() {
+    header(
+        "Figure 6a: latency vs throughput [uniform, 5% writes, 5 nodes]",
+        "Hermes p99 ~69us at peak; rCRAQ p99 42-172us (>=3.6x at matched load)",
+    );
+    println!(
+        "{:>9} | {:>22} {:>22} {:>22}",
+        "load", "Hermes p50/p99 (us)", "rCRAQ p50/p99 (us)", "rZAB p50/p99 (us)"
+    );
+    let mut hermes_peak_p99 = 0.0f64;
+    let mut craq_at_match_p99 = 0.0f64;
+    for sessions in [20usize, 60, 120, 200] {
+        let mut cfg = paper_cluster(5, 0.05, None);
+        cfg.sessions_per_node = sessions;
+        cfg.measured_ops = scaled_ops(200_000);
+        let h = run_hermes(&cfg);
+        let c = run_craq(&cfg);
+        let z = run_zab(&cfg);
+        println!(
+            "{:>9} | {:>10.1}/{:>10.1} {:>10.1}/{:>10.1} {:>10.1}/{:>10.1}",
+            format!("{sessions}/node"),
+            h.all.p50_us(),
+            h.all.p99_us(),
+            c.all.p50_us(),
+            c.all.p99_us(),
+            z.all.p50_us(),
+            z.all.p99_us(),
+        );
+        hermes_peak_p99 = h.all.p99_us();
+        craq_at_match_p99 = c.all.p99_us();
+    }
+    assert!(
+        craq_at_match_p99 > hermes_peak_p99 * 1.5,
+        "rCRAQ tail ({craq_at_match_p99:.1}us) must clearly exceed Hermes ({hermes_peak_p99:.1}us)"
+    );
+}
+
+fn fig6bc(zipf: Option<f64>, label: &str) {
+    header(
+        &format!("Figure 6{label}: read/write latency vs write ratio [5 nodes]"),
+        "Hermes writes ~1 RTT tight; rCRAQ writes O(n) hops; under skew rCRAQ reads hit the tail",
+    );
+    println!(
+        "{:>7} | {:>25} {:>25} | {:>25} {:>25}",
+        "write%", "Hermes R p50/p99 (us)", "Hermes W p50/p99 (us)", "rCRAQ R p50/p99 (us)", "rCRAQ W p50/p99 (us)"
+    );
+    for ratio in [1u32, 5, 20, 50, 75, 100] {
+        let mut cfg = paper_cluster(5, ratio as f64 / 100.0, zipf);
+        cfg.measured_ops = scaled_ops(200_000);
+        // "operating at peak throughput of CRAQ": a moderate fixed load.
+        cfg.sessions_per_node = 100;
+        let h = run_hermes(&cfg);
+        let c = run_craq(&cfg);
+        let fmt = |s: &hermes_sim::stats::LatencySummary| {
+            if s.count == 0 {
+                "        -/-        ".to_string()
+            } else {
+                format!("{:>10.1}/{:>10.1}", s.p50_us(), s.p99_us())
+            }
+        };
+        println!(
+            "{:>7} | {:>25} {:>25} | {:>25} {:>25}",
+            ratio,
+            fmt(&h.reads),
+            fmt(&h.writes),
+            fmt(&c.reads),
+            fmt(&c.writes),
+        );
+        if ratio > 1 && ratio < 100 {
+            // rCRAQ writes traverse the chain: must be slower than Hermes'.
+            assert!(
+                c.writes.p50_ns > h.writes.p50_ns,
+                "{label}@{ratio}%: rCRAQ write median must exceed Hermes'"
+            );
+        }
+    }
+}
+
+fn main() {
+    fig6a();
+    fig6bc(None, "b");
+    fig6bc(Some(0.99), "c");
+    println!();
+    println!("figure 6 harness complete");
+}

@@ -1,0 +1,55 @@
+//! Figure 7: scalability with replication degree (paper §6.4).
+//!
+//! Throughput of the three systems at 3, 5 and 7 replicas under 1% and 20%
+//! write ratios. Shapes to reproduce: Hermes scales near-linearly at 1%
+//! (local reads benefit from added replicas); rCRAQ's longer chain hurts at
+//! 20% (5→7 degrades); rZAB's leader melts at 20% (5→7 roughly halves).
+
+use hermes_bench::{header, paper_cluster, run_craq, run_hermes, run_zab};
+
+fn main() {
+    header(
+        "Figure 7: throughput at 3/5/7 replicas, 1% and 20% writes [uniform]",
+        "Hermes ~linear at 1%; rCRAQ degrades 5->7 at 20%; rZAB halves 5->7 at 20%",
+    );
+    for ratio in [0.01f64, 0.20] {
+        println!();
+        println!("write ratio {:.0}%:", ratio * 100.0);
+        println!(
+            "{:>7} | {:>14} {:>14} {:>14}",
+            "nodes", "Hermes", "rCRAQ", "rZAB"
+        );
+        let mut hermes_by_n = Vec::new();
+        let mut zab_by_n = Vec::new();
+        for nodes in [3usize, 5, 7] {
+            let cfg = paper_cluster(nodes, ratio, None);
+            let h = run_hermes(&cfg);
+            let c = run_craq(&cfg);
+            let z = run_zab(&cfg);
+            println!(
+                "{:>7} | {:>9.1} MR/s {:>9.1} MR/s {:>9.1} MR/s",
+                nodes, h.throughput_mreqs, c.throughput_mreqs, z.throughput_mreqs
+            );
+            hermes_by_n.push(h.throughput_mreqs);
+            zab_by_n.push(z.throughput_mreqs);
+        }
+        if ratio < 0.05 {
+            // Near-linear read scaling for Hermes at 1% writes: 7 nodes
+            // should deliver well over 1.8x the 3-node throughput.
+            let gain = hermes_by_n[2] / hermes_by_n[0];
+            assert!(
+                gain > 1.8,
+                "Hermes 3->7 scaling at 1% writes too weak: {gain:.2}x"
+            );
+        } else {
+            // rZAB must not scale at 20% writes (leader-bound).
+            let zab_gain = zab_by_n[2] / zab_by_n[1];
+            assert!(
+                zab_gain < 1.1,
+                "rZAB should not gain from more replicas at 20% writes ({zab_gain:.2}x)"
+            );
+        }
+    }
+    println!();
+    println!("figure 7 harness complete");
+}

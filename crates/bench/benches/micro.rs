@@ -1,0 +1,189 @@
+//! Criterion micro-benchmarks of the substrates: the per-operation costs
+//! that the simulator's cost model abstracts (DESIGN.md §1).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hermes_common::{ClientOp, Key, MembershipView, NodeId, NodeSet, OpId, Value};
+use hermes_core::{HermesNode, Msg, ProtocolConfig, Ts, UpdateKind};
+use hermes_sim::rng::Rng;
+use hermes_sim::stats::Histogram;
+use hermes_store::{SlotMeta, Store, StoreConfig};
+use hermes_wings::{codec, Batcher};
+use hermes_workload::Zipfian;
+use std::hint::black_box;
+
+fn bench_timestamps(c: &mut Criterion) {
+    c.bench_function("ts/compare", |b| {
+        let x = Ts::new(123456, 3);
+        let y = Ts::new(123456, 4);
+        b.iter(|| black_box(black_box(x) < black_box(y)));
+    });
+}
+
+fn bench_nodeset(c: &mut Criterion) {
+    c.bench_function("nodeset/superset_check", |b| {
+        let required = NodeSet::first_n(7).without(NodeId(3));
+        let acks = NodeSet::first_n(7);
+        b.iter(|| black_box(black_box(acks).is_superset(black_box(required))));
+    });
+}
+
+fn bench_kernel_write_path(c: &mut Criterion) {
+    // Full 5-replica write: coordinator CINV + 4×FINV + 4×CACK + 4×FVAL,
+    // the protocol-CPU component of one Hermes write.
+    c.bench_function("kernel/write_5replicas_full_round", |b| {
+        let view = MembershipView::initial(5);
+        let cfg = ProtocolConfig::default();
+        b.iter_batched(
+            || {
+                let nodes: Vec<HermesNode> = (0..5)
+                    .map(|i| HermesNode::new(NodeId(i), view, cfg))
+                    .collect();
+                nodes
+            },
+            |mut nodes| {
+                let mut fx = Vec::new();
+                nodes[0].on_client_op(
+                    OpId::default(),
+                    Key(1),
+                    ClientOp::Write(Value::from_u64(9)),
+                    &mut fx,
+                );
+                let inv = fx
+                    .iter()
+                    .find_map(|e| match e {
+                        hermes_common::Effect::Broadcast { msg } => Some(msg.clone()),
+                        _ => None,
+                    })
+                    .expect("INV broadcast");
+                let mut acks = Vec::new();
+                for f in 1..5u32 {
+                    let mut ffx = Vec::new();
+                    nodes[f as usize].on_message(NodeId(0), inv.clone(), &mut ffx);
+                    for e in ffx {
+                        if let hermes_common::Effect::Send { msg, .. } = e {
+                            acks.push((f, msg));
+                        }
+                    }
+                }
+                let mut val = None;
+                for (f, ack) in acks {
+                    let mut cfx = Vec::new();
+                    nodes[0].on_message(NodeId(f), ack, &mut cfx);
+                    for e in cfx {
+                        if let hermes_common::Effect::Broadcast { msg } = e {
+                            val = Some(msg);
+                        }
+                    }
+                }
+                if let Some(val) = val {
+                    for f in 1..5usize {
+                        let mut vfx = Vec::new();
+                        nodes[f].on_message(NodeId(0), val.clone(), &mut vfx);
+                    }
+                }
+                black_box(nodes)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("kernel/local_read", |b| {
+        let view = MembershipView::initial(5);
+        let mut node = HermesNode::new(NodeId(0), view, ProtocolConfig::default());
+        let mut fx = Vec::new();
+        node.on_client_op(
+            OpId::default(),
+            Key(1),
+            ClientOp::Write(Value::from_u64(1)),
+            &mut fx,
+        );
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            node.on_client_op(OpId::default(), Key(1), ClientOp::Read, &mut out);
+            black_box(&out);
+        });
+    });
+}
+
+fn bench_store(c: &mut Criterion) {
+    let store = Store::new(StoreConfig::default());
+    store.put(Key(7), SlotMeta::valid(1, 0), &[0xAB; 32]);
+    let mut buf = Vec::with_capacity(64);
+    c.bench_function("store/seqlock_get_32B", |b| {
+        b.iter(|| {
+            black_box(store.get(black_box(Key(7)), &mut buf));
+        });
+    });
+    c.bench_function("store/seqlock_put_32B", |b| {
+        let payload = [0xCD; 32];
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            store.put(Key(7), SlotMeta::valid(v, 0), &payload);
+        });
+    });
+}
+
+fn bench_codec_and_batching(c: &mut Criterion) {
+    let inv = Msg::Inv {
+        key: Key(42),
+        ts: Ts::new(9, 2),
+        value: Value::filled(7, 32),
+        kind: UpdateKind::Write,
+        epoch: hermes_common::Epoch(1),
+    };
+    c.bench_function("wings/encode_inv_32B", |b| {
+        b.iter(|| black_box(codec::encode(black_box(&inv))));
+    });
+    let encoded = codec::encode(&inv);
+    c.bench_function("wings/decode_inv_32B", |b| {
+        b.iter(|| black_box(codec::decode(black_box(&encoded)).unwrap()));
+    });
+    c.bench_function("wings/batch_16_msgs", |b| {
+        b.iter_batched(
+            || Batcher::new(4096, 64),
+            |mut batcher| {
+                for _ in 0..16 {
+                    batcher.push(NodeId(1), &encoded);
+                }
+                black_box(batcher.flush_all())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let zipf = Zipfian::new(1_000_000, 0.99);
+    let mut rng = Rng::seeded(1);
+    c.bench_function("workload/zipfian_sample", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)));
+    });
+    c.bench_function("rng/xoshiro_next", |b| {
+        b.iter(|| black_box(rng.next_u64()));
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    c.bench_function("stats/histogram_record", |b| {
+        let mut h = Histogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(v >> 40);
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_timestamps,
+    bench_nodeset,
+    bench_kernel_write_path,
+    bench_store,
+    bench_codec_and_batching,
+    bench_workload,
+    bench_stats
+);
+criterion_main!(benches);

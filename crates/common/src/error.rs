@@ -1,0 +1,133 @@
+use crate::{Epoch, Key, NodeId};
+use core::fmt;
+use std::error::Error;
+
+/// Errors surfaced to datastore clients.
+///
+/// Hermes writes never abort (paper §3.1), so clients only observe errors for
+/// RMWs that lost a conflict race, for operations issued against a replica
+/// that is not operational (no valid lease / minority partition), or for
+/// operations that the runtime shed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ClientError {
+    /// A read-modify-write lost a conflict race and was aborted (paper §3.6).
+    ///
+    /// The client may retry; in the absence of faults at most one of any set
+    /// of concurrent RMWs to a key commits.
+    RmwAborted {
+        /// The key the RMW targeted.
+        key: Key,
+    },
+    /// The replica that received the operation is not operational: its
+    /// membership lease has expired or it sits in a minority partition.
+    NotOperational {
+        /// The replica that rejected the operation.
+        node: NodeId,
+    },
+    /// The operation was retired because its session was cancelled or the
+    /// cluster shut down before completion.
+    Cancelled,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::RmwAborted { key } => {
+                write!(f, "read-modify-write on {key} aborted by a concurrent update")
+            }
+            ClientError::NotOperational { node } => {
+                write!(f, "replica {node} is not operational")
+            }
+            ClientError::Cancelled => write!(f, "operation cancelled before completion"),
+        }
+    }
+}
+
+impl Error for ClientError {}
+
+/// Internal protocol faults that indicate a broken invariant.
+///
+/// These are *not* expected in correct executions: runtimes turn them into
+/// panics in tests and the model checker reports them as counterexamples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ProtocolFault {
+    /// A message from a different membership epoch reached protocol logic
+    /// instead of being dropped at ingress.
+    EpochMismatch {
+        /// Epoch the replica is operating in.
+        local: Epoch,
+        /// Epoch the offending message was tagged with.
+        message: Epoch,
+    },
+    /// Two different values were committed for the same key at the same
+    /// logical timestamp — a linearizability violation.
+    DivergentCommit {
+        /// Key with the divergent commit.
+        key: Key,
+    },
+    /// A state transition that the protocol table does not allow.
+    IllegalTransition {
+        /// Human-readable description of the transition.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for ProtocolFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolFault::EpochMismatch { local, message } => {
+                write!(f, "epoch mismatch: local {local}, message {message}")
+            }
+            ProtocolFault::DivergentCommit { key } => {
+                write!(f, "divergent commit detected on {key}")
+            }
+            ProtocolFault::IllegalTransition { detail } => {
+                write!(f, "illegal protocol transition: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ProtocolFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_error_displays() {
+        let e = ClientError::RmwAborted { key: Key(3) };
+        assert!(e.to_string().contains("k3"));
+        let e = ClientError::NotOperational { node: NodeId(1) };
+        assert!(e.to_string().contains("n1"));
+        assert!(!ClientError::Cancelled.to_string().is_empty());
+    }
+
+    #[test]
+    fn protocol_fault_displays() {
+        let e = ProtocolFault::EpochMismatch {
+            local: Epoch(2),
+            message: Epoch(1),
+        };
+        assert!(e.to_string().contains("e2"));
+        assert!(e.to_string().contains("e1"));
+        let e = ProtocolFault::DivergentCommit { key: Key(9) };
+        assert!(e.to_string().contains("k9"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClientError>();
+        assert_send_sync::<ProtocolFault>();
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn assert_error<T: std::error::Error>() {}
+        assert_error::<ClientError>();
+        assert_error::<ProtocolFault>();
+    }
+}

@@ -1,0 +1,243 @@
+use core::fmt;
+
+/// Identifier of a replica node in a replica group.
+///
+/// Hermes deployments replicate each shard over a small group (3–7 nodes in
+/// the paper), so a `u32` is more than enough. `NodeId` is also used as the
+/// `cid` component of Hermes logical timestamps; with the virtual-node-id
+/// fairness optimization (paper §3.3 \[O2\]) several `NodeId`s may map to one
+/// physical node.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_common::NodeId;
+/// let a = NodeId(0);
+/// let b = NodeId(1);
+/// assert!(a < b);
+/// assert_eq!(format!("{a}"), "n0");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the raw index of this node.
+    ///
+    /// ```
+    /// # use hermes_common::NodeId;
+    /// assert_eq!(NodeId(3).index(), 3);
+    /// ```
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+/// Identifier of an object (a key) in the replicated datastore.
+///
+/// The paper's evaluation uses 8-byte keys accessed by index into a 1M-key
+/// dataset; a `u64` captures that directly while staying hashable and
+/// ordered. Helper methods support sharded stores.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_common::Key;
+/// let k = Key(42);
+/// assert_eq!(k.shard(8), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Key(pub u64);
+
+impl Key {
+    /// Maps the key onto one of `n_shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero.
+    #[inline]
+    pub fn shard(self, n_shards: usize) -> usize {
+        assert!(n_shards > 0, "shard count must be non-zero");
+        // Finalizing multiply spreads sequential keys across shards.
+        let h = self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h % n_shards as u64) as usize
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl From<u64> for Key {
+    fn from(raw: u64) -> Self {
+        Key(raw)
+    }
+}
+
+/// Membership-configuration number (paper §2.4, `epoch_id`).
+///
+/// Every protocol message is tagged with the sender's epoch; a receiver drops
+/// messages from a different epoch. The reliable-membership service bumps the
+/// epoch on every reconfiguration (an *m-update*).
+///
+/// # Examples
+///
+/// ```
+/// use hermes_common::Epoch;
+/// let e = Epoch(1);
+/// assert_eq!(e.next(), Epoch(2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// The epoch in effect after the next reconfiguration.
+    #[inline]
+    #[must_use]
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Identifier of a client session.
+///
+/// Clients establish a session with the datastore and issue reads and writes
+/// through it (paper §2.1). Sessions matter for the ZAB baseline, whose local
+/// reads are only sequentially consistent *per session*.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClientId(pub u64);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// End-to-end identifier of a single client operation.
+///
+/// An `OpId` is unique across the whole run: it pairs the issuing session
+/// with that session's sequence number. Histories handed to the
+/// linearizability checker are keyed by `OpId`.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_common::{ClientId, OpId};
+/// let op = OpId::new(ClientId(7), 3);
+/// assert_eq!(op.client, ClientId(7));
+/// assert_eq!(op.seq, 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OpId {
+    /// The session that issued the operation.
+    pub client: ClientId,
+    /// The session-local sequence number of the operation.
+    pub seq: u64,
+}
+
+impl OpId {
+    /// Creates an operation id for the `seq`-th operation of `client`.
+    #[inline]
+    pub fn new(client: ClientId, seq: u64) -> Self {
+        OpId { client, seq }
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.client, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn node_id_orders_by_raw_value() {
+        let mut set = BTreeSet::new();
+        set.insert(NodeId(2));
+        set.insert(NodeId(0));
+        set.insert(NodeId(1));
+        let ordered: Vec<_> = set.into_iter().collect();
+        assert_eq!(ordered, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn key_shard_is_stable_and_in_range() {
+        for raw in 0..1000u64 {
+            let s = Key(raw).shard(16);
+            assert!(s < 16);
+            assert_eq!(s, Key(raw).shard(16), "sharding must be deterministic");
+        }
+    }
+
+    #[test]
+    fn key_shard_spreads_sequential_keys() {
+        let mut counts = [0usize; 8];
+        for raw in 0..8000u64 {
+            counts[Key(raw).shard(8)] += 1;
+        }
+        for &c in &counts {
+            // Perfectly uniform would be 1000 per shard; accept a wide band.
+            assert!((500..1500).contains(&c), "unbalanced shard: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn key_shard_rejects_zero_shards() {
+        let _ = Key(1).shard(0);
+    }
+
+    #[test]
+    fn epoch_next_increments() {
+        assert_eq!(Epoch(0).next(), Epoch(1));
+        assert_eq!(Epoch(41).next().0, 42);
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(NodeId(5).to_string(), "n5");
+        assert_eq!(Key(9).to_string(), "k9");
+        assert_eq!(Epoch(3).to_string(), "e3");
+        assert_eq!(ClientId(1).to_string(), "c1");
+        assert_eq!(OpId::new(ClientId(1), 2).to_string(), "c1#2");
+    }
+
+    #[test]
+    fn op_ids_are_unique_per_client_seq() {
+        let a = OpId::new(ClientId(1), 1);
+        let b = OpId::new(ClientId(1), 2);
+        let c = OpId::new(ClientId(2), 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

@@ -1,0 +1,272 @@
+use crate::NodeId;
+use core::fmt;
+
+/// A small set of [`NodeId`]s backed by a 64-bit bitmap.
+///
+/// Replica groups are small (3–7 nodes in the paper, §2.2), so a bitmap is
+/// both the fastest and the most deterministic representation: iteration
+/// order is always ascending node id, and set algebra is single instructions.
+/// Supports node ids 0–63.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_common::{NodeId, NodeSet};
+///
+/// let mut live = NodeSet::from_iter([NodeId(0), NodeId(1), NodeId(2)]);
+/// live.remove(NodeId(1));
+/// assert_eq!(live.len(), 2);
+/// assert!(live.contains(NodeId(0)));
+/// assert!(!live.contains(NodeId(1)));
+/// let others = live.without(NodeId(0));
+/// assert_eq!(others.iter().collect::<Vec<_>>(), vec![NodeId(2)]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeSet(u64);
+
+impl NodeSet {
+    /// The empty set.
+    pub const EMPTY: NodeSet = NodeSet(0);
+
+    /// Creates the set `{0, 1, .., n-1}` — the usual initial membership.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= 64, "NodeSet supports at most 64 nodes");
+        if n == 64 {
+            NodeSet(u64::MAX)
+        } else {
+            NodeSet((1u64 << n) - 1)
+        }
+    }
+
+    #[inline]
+    fn mask(node: NodeId) -> u64 {
+        assert!(node.0 < 64, "NodeSet supports node ids 0–63, got {node}");
+        1u64 << node.0
+    }
+
+    /// Inserts a node; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let m = Self::mask(node);
+        let was = self.0 & m != 0;
+        self.0 |= m;
+        !was
+    }
+
+    /// Removes a node; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let m = Self::mask(node);
+        let was = self.0 & m != 0;
+        self.0 &= !m;
+        was
+    }
+
+    /// Whether the set contains `node`.
+    #[inline]
+    pub fn contains(self, node: NodeId) -> bool {
+        self.0 & Self::mask(node) != 0
+    }
+
+    /// Number of nodes in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// This set minus `node` (does not modify `self`).
+    #[inline]
+    #[must_use]
+    pub fn without(self, node: NodeId) -> NodeSet {
+        NodeSet(self.0 & !Self::mask(node))
+    }
+
+    /// Set union.
+    #[inline]
+    #[must_use]
+    pub fn union(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    #[must_use]
+    pub fn intersection(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[inline]
+    #[must_use]
+    pub fn difference(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 & !other.0)
+    }
+
+    /// Whether `self` is a superset of `other`.
+    #[inline]
+    pub fn is_superset(self, other: NodeSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Iterates the members in ascending node-id order.
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// The member with the smallest id, if any.
+    pub fn min(self) -> Option<NodeId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(NodeId(self.0.trailing_zeros()))
+        }
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut set = NodeSet::EMPTY;
+        for n in iter {
+            set.insert(n);
+        }
+        set
+    }
+}
+
+impl Extend<NodeId> for NodeSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for n in iter {
+            self.insert(n);
+        }
+    }
+}
+
+impl IntoIterator for NodeSet {
+    type Item = NodeId;
+    type IntoIter = Iter;
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Iterator over the members of a [`NodeSet`], ascending by id.
+#[derive(Clone, Debug)]
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = NodeId;
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let id = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(NodeId(id))
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, node) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{node}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_n_builds_prefix_sets() {
+        assert_eq!(NodeSet::first_n(0), NodeSet::EMPTY);
+        let s = NodeSet::first_n(3);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(NodeId(0)) && s.contains(NodeId(2)));
+        assert!(!s.contains(NodeId(3)));
+        assert_eq!(NodeSet::first_n(64).len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn first_n_rejects_oversize() {
+        NodeSet::first_n(65);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = NodeSet::EMPTY;
+        assert!(s.insert(NodeId(5)));
+        assert!(!s.insert(NodeId(5)), "double insert reports false");
+        assert!(s.contains(NodeId(5)));
+        assert!(s.remove(NodeId(5)));
+        assert!(!s.remove(NodeId(5)), "double remove reports false");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = NodeSet::from_iter([NodeId(0), NodeId(1), NodeId(2)]);
+        let b = NodeSet::from_iter([NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.intersection(b).len(), 2);
+        assert_eq!(a.difference(b).iter().collect::<Vec<_>>(), vec![NodeId(0)]);
+        assert!(a.union(b).is_superset(a));
+        assert!(!a.is_superset(b));
+        assert!(a.is_superset(NodeSet::EMPTY));
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let s = NodeSet::from_iter([NodeId(9), NodeId(1), NodeId(40)]);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![NodeId(1), NodeId(9), NodeId(40)]);
+        assert_eq!(s.iter().len(), 3);
+        assert_eq!(s.min(), Some(NodeId(1)));
+        assert_eq!(NodeSet::EMPTY.min(), None);
+    }
+
+    #[test]
+    fn without_does_not_mutate() {
+        let s = NodeSet::first_n(3);
+        let t = s.without(NodeId(1));
+        assert!(s.contains(NodeId(1)));
+        assert!(!t.contains(NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "0–63")]
+    fn node_64_rejected() {
+        NodeSet::EMPTY.contains(NodeId(64));
+    }
+
+    #[test]
+    fn debug_shows_members() {
+        let s = NodeSet::from_iter([NodeId(2), NodeId(0)]);
+        assert_eq!(format!("{s:?}"), "{n0, n2}");
+    }
+}

@@ -1,0 +1,192 @@
+use bytes::Bytes;
+use core::fmt;
+
+/// An object payload stored in the replicated datastore.
+///
+/// `Value` wraps [`bytes::Bytes`] so that Hermes' *early value propagation*
+/// (the new value rides inside every INV broadcast, paper §3.1) can clone the
+/// payload for each follower without copying the bytes. The paper's
+/// evaluation uses 32-byte values by default and up to 1 KiB in Figure 8.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_common::Value;
+///
+/// let v = Value::from_static(b"32-byte-ish payload");
+/// let w = v.clone(); // cheap, reference-counted
+/// assert_eq!(v, w);
+/// assert_eq!(v.as_bytes(), b"32-byte-ish payload");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Value(Bytes);
+
+impl Value {
+    /// An empty value (the state of an unwritten key).
+    pub const EMPTY: Value = Value(Bytes::new());
+
+    /// Creates a value from a static byte slice without copying.
+    #[inline]
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Value(Bytes::from_static(bytes))
+    }
+
+    /// Creates a value of `len` bytes, each set to `fill`.
+    ///
+    /// Benchmark workloads use this to generate payloads of the paper's
+    /// object sizes (32 B, 256 B, 1 KiB).
+    pub fn filled(fill: u8, len: usize) -> Self {
+        Value(Bytes::from(vec![fill; len]))
+    }
+
+    /// Creates a value holding the little-endian encoding of `n`.
+    ///
+    /// Useful for tests and for the model checker, where values come from a
+    /// small integer domain.
+    pub fn from_u64(n: u64) -> Self {
+        Value(Bytes::copy_from_slice(&n.to_le_bytes()))
+    }
+
+    /// Decodes a value previously produced by [`Value::from_u64`].
+    ///
+    /// Returns `None` if the payload is not exactly eight bytes.
+    pub fn to_u64(&self) -> Option<u64> {
+        let arr: [u8; 8] = self.0.as_ref().try_into().ok()?;
+        Some(u64::from_le_bytes(arr))
+    }
+
+    /// The payload as a byte slice.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Number of payload bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Extracts the inner [`Bytes`].
+    #[inline]
+    pub fn into_inner(self) -> Bytes {
+        self.0
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Values can be large; print a short, information-dense form.
+        if let Some(n) = self.to_u64() {
+            return write!(f, "Value(u64:{n})");
+        }
+        if self.0.len() <= 16 {
+            write!(f, "Value({:02x?})", self.0.as_ref())
+        } else {
+            write!(
+                f,
+                "Value({} bytes, {:02x?}..)",
+                self.0.len(),
+                &self.0[..8]
+            )
+        }
+    }
+}
+
+impl From<Bytes> for Value {
+    fn from(bytes: Bytes) -> Self {
+        Value(bytes)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(bytes: Vec<u8>) -> Self {
+        Value(Bytes::from(bytes))
+    }
+}
+
+impl From<&'static [u8]> for Value {
+    fn from(bytes: &'static [u8]) -> Self {
+        Value(Bytes::from_static(bytes))
+    }
+}
+
+impl AsRef<[u8]> for Value {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for Value {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(&self.0)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for Value {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let raw = <Vec<u8> as serde::Deserialize>::deserialize(deserializer)?;
+        Ok(Value::from(raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        for n in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(Value::from_u64(n).to_u64(), Some(n));
+        }
+    }
+
+    #[test]
+    fn to_u64_rejects_wrong_length() {
+        assert_eq!(Value::from_static(b"short").to_u64(), None);
+        assert_eq!(Value::filled(0, 9).to_u64(), None);
+        // EMPTY is zero bytes, not eight.
+        assert_eq!(Value::EMPTY.to_u64(), None);
+    }
+
+    #[test]
+    fn filled_has_requested_length_and_content() {
+        let v = Value::filled(0xAB, 32);
+        assert_eq!(v.len(), 32);
+        assert!(v.as_bytes().iter().all(|&b| b == 0xAB));
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let v = Value::filled(1, 1024);
+        let w = v.clone();
+        // Bytes clones share the same backing allocation.
+        assert_eq!(v.as_bytes().as_ptr(), w.as_bytes().as_ptr());
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", Value::EMPTY).is_empty());
+        assert!(!format!("{:?}", Value::filled(0, 64)).is_empty());
+        assert_eq!(format!("{:?}", Value::from_u64(7)), "Value(u64:7)");
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Value = vec![1, 2, 3].into();
+        assert_eq!(v.as_bytes(), &[1, 2, 3]);
+        let b: Bytes = v.clone().into_inner();
+        assert_eq!(&b[..], &[1, 2, 3]);
+        let v2: Value = b.into();
+        assert_eq!(v, v2);
+        assert_eq!(v.as_ref(), &[1, 2, 3]);
+    }
+}

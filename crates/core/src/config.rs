@@ -1,0 +1,110 @@
+/// Tunable behaviour of a Hermes replica (protocol-level switches).
+///
+/// The defaults run the protocol exactly as §3.2 of the paper describes, with
+/// RMW support (§3.6) and the VAL-elision optimization \[O1\] enabled. The
+/// fairness \[O2\] and ACK-broadcast \[O3\] optimizations are off by default
+/// and can be enabled for ablation studies.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_core::ProtocolConfig;
+///
+/// let cfg = ProtocolConfig::default();
+/// assert!(cfg.rmw_support);
+/// assert_eq!(cfg.write_version_increment(), 2);
+///
+/// let ablation = ProtocolConfig {
+///     broadcast_acks: true, // O3: unblock follower reads after ACKs
+///     ..ProtocolConfig::default()
+/// };
+/// assert!(ablation.broadcast_acks);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProtocolConfig {
+    /// Enable read-modify-writes (paper §3.6).
+    ///
+    /// When enabled, plain writes advance key versions by two and RMWs by
+    /// one, so racing writes always beat racing RMWs. When disabled, writes
+    /// advance versions by one (the §3.2 write-only protocol).
+    pub rmw_support: bool,
+
+    /// \[O1\] Elide the VAL broadcast when the committing update has already
+    /// been superseded by a higher-timestamped one (coordinator was in the
+    /// `Trans` state), saving network bandwidth (paper §3.3).
+    pub elide_superseded_val: bool,
+
+    /// \[O2\] Number of virtual node ids per physical node (paper §3.3).
+    ///
+    /// `1` disables the optimization. With `k > 1`, each node cycles through
+    /// `k` globally unique cids for its writes, so concurrent-write
+    /// tie-breaking does not systematically favour high-numbered nodes.
+    pub virtual_ids_per_node: u32,
+
+    /// \[O3\] Followers broadcast ACKs to all replicas instead of unicasting
+    /// to the coordinator; a follower then validates a key as soon as it has
+    /// seen ACKs from every other live replica, halving read-blocking
+    /// latency and making VAL broadcasts unnecessary (paper §3.3).
+    pub broadcast_acks: bool,
+}
+
+impl ProtocolConfig {
+    /// Spacing between virtual node ids of different physical nodes.
+    ///
+    /// Virtual id `k` of node `i` is `i + k * VID_STRIDE`; with the stride
+    /// equal to the maximum group size (64 nodes, the `NodeSet` capacity) the
+    /// id sets of distinct nodes can never overlap, which is the correctness
+    /// requirement of \[O2\].
+    pub const VID_STRIDE: u32 = 64;
+
+    /// Version increment used by plain writes (rule CTS, §3.6).
+    #[inline]
+    pub fn write_version_increment(&self) -> u64 {
+        if self.rmw_support {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Version increment used by RMWs (always one).
+    #[inline]
+    pub fn rmw_version_increment(&self) -> u64 {
+        1
+    }
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            rmw_support: true,
+            elide_superseded_val: true,
+            virtual_ids_per_node: 1,
+            broadcast_acks: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_protocol() {
+        let cfg = ProtocolConfig::default();
+        assert!(cfg.rmw_support);
+        assert!(cfg.elide_superseded_val);
+        assert_eq!(cfg.virtual_ids_per_node, 1);
+        assert!(!cfg.broadcast_acks);
+    }
+
+    #[test]
+    fn write_increment_depends_on_rmw_support() {
+        let mut cfg = ProtocolConfig::default();
+        assert_eq!(cfg.write_version_increment(), 2);
+        assert_eq!(cfg.rmw_version_increment(), 1);
+        cfg.rmw_support = false;
+        assert_eq!(cfg.write_version_increment(), 1);
+    }
+}

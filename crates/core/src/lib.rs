@@ -1,0 +1,54 @@
+//! # hermes-core — the Hermes replication protocol
+//!
+//! A from-scratch Rust implementation of **Hermes** (Katsarakis et al.,
+//! ASPLOS 2020): a broadcast-based, membership-based, fault-tolerant
+//! replication protocol for in-memory datastores that provides
+//! *linearizability* with **local reads** at every replica and
+//! **decentralized, inter-key concurrent, single-round-trip writes**.
+//!
+//! The two ideas the protocol combines (paper §1):
+//!
+//! 1. **Invalidations** — cache-coherence-inspired lightweight locking: a
+//!    write first moves the key to `Invalid` at every replica, so no replica
+//!    can serve a stale read, yet concurrent writes never abort;
+//! 2. **Per-key logical timestamps** — Lamport `[version, cid]` clocks let
+//!    every replica locally agree on one global order of writes per key,
+//!    resolve conflicts in place, and *safely replay* any interrupted write
+//!    (INVs carry the new value — early value propagation).
+//!
+//! This crate is **sans-io**: [`HermesNode`] is a deterministic state
+//! machine consuming client ops, peer [`Msg`]s, timeouts and membership
+//! updates, and emitting [`hermes_common::Effect`]s. Runtimes (simulated or
+//! threaded), the test suites and the model checker all drive this same
+//! type.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hermes_common::{ClientOp, Effect, Key, MembershipView, NodeId, OpId, Reply, Value};
+//! use hermes_core::{HermesNode, ProtocolConfig};
+//!
+//! // A single-replica "group" commits synchronously — handy to see the API.
+//! let mut node = HermesNode::new(NodeId(0), MembershipView::initial(1), ProtocolConfig::default());
+//! let mut fx = Vec::new();
+//! node.on_client_op(OpId::default(), Key(1), ClientOp::Write(Value::from_u64(9)), &mut fx);
+//! assert!(fx.iter().any(|e| matches!(e, Effect::Reply { reply: Reply::WriteOk, .. })));
+//! assert_eq!(node.local_read(Key(1)), Some(Value::from_u64(9)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod entry;
+mod msg;
+mod node;
+mod stats;
+mod ts;
+
+pub use config::ProtocolConfig;
+pub use entry::{KeyEntry, KeyState};
+pub use msg::Msg;
+pub use node::{Fx, HermesNode};
+pub use stats::ProtocolStats;
+pub use ts::{Ts, UpdateKind};

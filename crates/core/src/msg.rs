@@ -1,0 +1,153 @@
+use crate::{Ts, UpdateKind};
+use hermes_common::{Epoch, Key, Value};
+
+/// A Hermes protocol message (paper Figure 3).
+///
+/// All three message types are tagged with the sender's membership
+/// [`Epoch`]; receivers drop messages from other epochs (paper §2.4). The
+/// sender's identity travels at the transport layer, not in the message.
+///
+/// `Inv` carries the new value (*early value propagation*), which is what
+/// makes writes safely replayable by any invalidated replica (paper §3.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Msg {
+    /// Invalidation: "a write of `value` with timestamp `ts` is in flight".
+    ///
+    /// Also used as the *negative* reply a follower sends back to an RMW
+    /// coordinator whose timestamp is stale (rule FRMW-ACK, §3.6): the
+    /// follower answers with an `Inv` describing its own newer local state —
+    /// the same message shape a write replay uses.
+    Inv {
+        /// Key being written.
+        key: Key,
+        /// Timestamp assigned by the coordinator (rule CTS).
+        ts: Ts,
+        /// The new value (early value propagation).
+        value: Value,
+        /// Write or RMW (stored by followers for faithful replays).
+        kind: UpdateKind,
+        /// Sender's membership epoch.
+        epoch: Epoch,
+    },
+    /// Acknowledgment of an `Inv`, echoing its timestamp (rule FACK).
+    Ack {
+        /// Key being acknowledged.
+        key: Key,
+        /// Timestamp copied from the acknowledged INV.
+        ts: Ts,
+        /// Sender's membership epoch.
+        epoch: Epoch,
+    },
+    /// Validation: the write with timestamp `ts` committed (rule CVAL).
+    Val {
+        /// Key being validated.
+        key: Key,
+        /// Timestamp of the committed write.
+        ts: Ts,
+        /// Sender's membership epoch.
+        epoch: Epoch,
+    },
+}
+
+impl Msg {
+    /// The key this message concerns.
+    pub fn key(&self) -> Key {
+        match self {
+            Msg::Inv { key, .. } | Msg::Ack { key, .. } | Msg::Val { key, .. } => *key,
+        }
+    }
+
+    /// The timestamp this message carries.
+    pub fn ts(&self) -> Ts {
+        match self {
+            Msg::Inv { ts, .. } | Msg::Ack { ts, .. } | Msg::Val { ts, .. } => *ts,
+        }
+    }
+
+    /// The sender's membership epoch.
+    pub fn epoch(&self) -> Epoch {
+        match self {
+            Msg::Inv { epoch, .. } | Msg::Ack { epoch, .. } | Msg::Val { epoch, .. } => *epoch,
+        }
+    }
+
+    /// Short kind tag, for traces and debugging.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Msg::Inv { .. } => "INV",
+            Msg::Ack { .. } => "ACK",
+            Msg::Val { .. } => "VAL",
+        }
+    }
+
+    /// Approximate wire size in bytes, mirroring the paper's message formats
+    /// (Figure 3): INV = header + key + ts + value; ACK/VAL = header + key +
+    /// ts. Used by the simulator's bandwidth model and by the Wings codec
+    /// tests as a cross-check.
+    pub fn wire_size(&self) -> usize {
+        // 1B type tag + 8B epoch + 8B key + 8B version + 4B cid.
+        const FIXED: usize = 1 + 8 + 8 + 8 + 4;
+        match self {
+            Msg::Inv { value, .. } => FIXED + 1 + 4 + value.len(), // kind + len prefix
+            Msg::Ack { .. } | Msg::Val { .. } => FIXED,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_common::Epoch;
+
+    fn sample_inv() -> Msg {
+        Msg::Inv {
+            key: Key(7),
+            ts: Ts::new(3, 1),
+            value: Value::filled(9, 32),
+            kind: UpdateKind::Write,
+            epoch: Epoch(2),
+        }
+    }
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let inv = sample_inv();
+        let ack = Msg::Ack {
+            key: Key(7),
+            ts: Ts::new(3, 1),
+            epoch: Epoch(2),
+        };
+        let val = Msg::Val {
+            key: Key(7),
+            ts: Ts::new(3, 1),
+            epoch: Epoch(2),
+        };
+        for m in [&inv, &ack, &val] {
+            assert_eq!(m.key(), Key(7));
+            assert_eq!(m.ts(), Ts::new(3, 1));
+            assert_eq!(m.epoch(), Epoch(2));
+        }
+        assert_eq!(inv.kind_name(), "INV");
+        assert_eq!(ack.kind_name(), "ACK");
+        assert_eq!(val.kind_name(), "VAL");
+    }
+
+    #[test]
+    fn wire_size_scales_with_value() {
+        let small = sample_inv();
+        let big = Msg::Inv {
+            key: Key(7),
+            ts: Ts::new(3, 1),
+            value: Value::filled(9, 1024),
+            kind: UpdateKind::Write,
+            epoch: Epoch(2),
+        };
+        assert_eq!(big.wire_size() - small.wire_size(), 1024 - 32);
+        let ack = Msg::Ack {
+            key: Key(7),
+            ts: Ts::new(3, 1),
+            epoch: Epoch(2),
+        };
+        assert!(ack.wire_size() < small.wire_size());
+    }
+}

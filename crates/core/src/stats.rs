@@ -1,0 +1,67 @@
+/// Event counters maintained by a [`crate::HermesNode`].
+///
+/// Used by tests to assert protocol behaviour (e.g. "no replays happened in
+/// a failure-free run") and by the benchmark harness to report message
+/// amplification.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProtocolStats {
+    /// Client operations received.
+    pub client_ops: u64,
+    /// Reads served immediately from the local Valid copy.
+    pub local_reads: u64,
+    /// Reads that stalled on a non-Valid key.
+    pub stalled_reads: u64,
+    /// Updates (writes + RMWs) this node coordinated to commit.
+    pub commits: u64,
+    /// INV messages sent (unicast count; a broadcast to k peers counts k).
+    pub invs_sent: u64,
+    /// ACK messages sent.
+    pub acks_sent: u64,
+    /// VAL messages sent.
+    pub vals_sent: u64,
+    /// INV retransmissions triggered by the message-loss timeout.
+    pub retransmits: u64,
+    /// Write replays this node initiated (paper §3.4).
+    pub replays_started: u64,
+    /// RMWs aborted by rule CRMW-abort (paper §3.6).
+    pub rmw_aborts: u64,
+    /// Negative FRMW-ACK replies sent (stale RMW INV answered with local
+    /// state).
+    pub rmw_nacks: u64,
+    /// Messages dropped at ingress due to an epoch mismatch (paper §2.4).
+    pub epoch_drops: u64,
+    /// Validations applied (local key transitioned to Valid by VAL or by the
+    /// \[O3\] all-ACKs rule).
+    pub validations: u64,
+}
+
+impl ProtocolStats {
+    /// Total protocol messages sent by this node.
+    pub fn messages_sent(&self) -> u64 {
+        self.invs_sent + self.acks_sent + self.vals_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let s = ProtocolStats {
+            invs_sent: 4,
+            acks_sent: 2,
+            vals_sent: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.messages_sent(), 10);
+    }
+
+    #[test]
+    fn default_is_all_zero() {
+        let s = ProtocolStats::default();
+        assert_eq!(s.messages_sent(), 0);
+        assert_eq!(s, ProtocolStats::default());
+    }
+}

@@ -1,0 +1,136 @@
+use core::fmt;
+
+/// A Hermes per-key logical timestamp (paper §3.1).
+///
+/// A lexicographically ordered `[version, cid]` pair implemented as a Lamport
+/// clock: `version` increments on every update to the key, and `cid` is the
+/// (possibly virtual) node id of the coordinating replica. Two updates are
+/// *concurrent* when they carry the same version from different coordinators;
+/// the cid breaks the tie, so every node can locally establish one global
+/// order of updates per key.
+///
+/// With RMW support enabled, writes advance the version by **two** and RMWs
+/// by **one** (paper §3.6, rule CTS), so a write racing an RMW from the same
+/// base timestamp always wins and the RMW aborts.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_core::Ts;
+///
+/// let base = Ts::ZERO;
+/// let a = base.advanced(2, 0); // write by node 0
+/// let b = base.advanced(2, 1); // concurrent write by node 1
+/// assert!(a < b, "concurrent writes order by cid");
+/// assert!(b < b.advanced(1, 0), "higher version always wins");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Ts {
+    /// Per-key version number, incremented on every update.
+    pub version: u64,
+    /// Node id (or virtual node id, §3.3 \[O2\]) of the coordinator.
+    pub cid: u32,
+}
+
+impl Ts {
+    /// The timestamp of a never-written key.
+    pub const ZERO: Ts = Ts { version: 0, cid: 0 };
+
+    /// Creates a timestamp from its parts.
+    #[inline]
+    pub const fn new(version: u64, cid: u32) -> Self {
+        Ts { version, cid }
+    }
+
+    /// The timestamp a coordinator with id `cid` assigns when advancing this
+    /// timestamp by `increment` versions (rule CTS).
+    #[inline]
+    #[must_use]
+    pub fn advanced(self, increment: u64, cid: u32) -> Ts {
+        Ts {
+            version: self.version + increment,
+            cid,
+        }
+    }
+}
+
+impl fmt::Debug for Ts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[v{}.c{}]", self.version, self.cid)
+    }
+}
+
+impl fmt::Display for Ts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Whether an update is a plain write or a read-modify-write.
+///
+/// The flag rides in every INV message and is stored in per-key metadata so
+/// that replays re-execute the update with the correct conflict semantics
+/// (paper §3.6, *Metadata*).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum UpdateKind {
+    /// A plain write: never aborts, always commits (paper §3.1).
+    Write,
+    /// A read-modify-write: aborts if any concurrent update carries a higher
+    /// timestamp (paper §3.6).
+    Rmw,
+}
+
+impl UpdateKind {
+    /// Whether this update kind is a read-modify-write.
+    #[inline]
+    pub fn is_rmw(self) -> bool {
+        matches!(self, UpdateKind::Rmw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        // Paper footnote 5: A > B iff vA > vB, or vA == vB and cidA > cidB.
+        assert!(Ts::new(2, 0) > Ts::new(1, 9));
+        assert!(Ts::new(1, 2) > Ts::new(1, 1));
+        assert_eq!(Ts::new(3, 3), Ts::new(3, 3));
+        assert!(Ts::new(0, 1) > Ts::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_total_on_distinct_cids() {
+        // Distinct (version, cid) pairs are never equal: unique tags give a
+        // global per-key order (paper §3.1).
+        let a = Ts::new(4, 1);
+        let b = Ts::new(4, 2);
+        assert!(a < b || b < a);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn advanced_applies_increment_and_cid() {
+        let t = Ts::new(10, 3).advanced(2, 7);
+        assert_eq!(t, Ts::new(12, 7));
+        // RMW bump of 1 from the same base loses to the write bump of 2.
+        let rmw = Ts::new(10, 9).advanced(1, 9);
+        assert!(rmw < t, "write must beat concurrent RMW");
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", Ts::new(5, 2)), "[v5.c2]");
+        assert_eq!(format!("{}", Ts::ZERO), "[v0.c0]");
+    }
+
+    #[test]
+    fn update_kind_flags() {
+        assert!(UpdateKind::Rmw.is_rmw());
+        assert!(!UpdateKind::Write.is_rmw());
+    }
+}

@@ -1,0 +1,259 @@
+//! A tiny deterministic cluster harness for driving `HermesNode` state
+//! machines in tests: routes effects, tracks timers, records replies, and
+//! allows precise control over message delivery, loss and crashes.
+
+use hermes_common::{
+    ClientId, ClientOp, Effect, Key, MembershipView, NodeId, OpId, Reply, RmwOp, Value,
+};
+use hermes_core::{Fx, HermesNode, Msg, ProtocolConfig};
+use std::collections::{BTreeSet, VecDeque};
+
+/// A protocol message in flight between two replicas.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub msg: Msg,
+}
+
+/// A deterministic test cluster of Hermes replicas.
+pub struct Cluster {
+    pub nodes: Vec<HermesNode>,
+    pub inflight: VecDeque<Envelope>,
+    pub replies: Vec<(OpId, Reply)>,
+    pub timers: BTreeSet<(u32, Key)>,
+    crashed: BTreeSet<u32>,
+    next_seq: u64,
+}
+
+impl Cluster {
+    pub fn new(n: usize, cfg: ProtocolConfig) -> Self {
+        let view = MembershipView::initial(n);
+        Cluster {
+            nodes: (0..n)
+                .map(|i| HermesNode::new(NodeId(i as u32), view, cfg))
+                .collect(),
+            inflight: VecDeque::new(),
+            replies: Vec::new(),
+            timers: BTreeSet::new(),
+            crashed: BTreeSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn node(&self, i: usize) -> &HermesNode {
+        &self.nodes[i]
+    }
+
+    fn fresh_op(&mut self, node: usize) -> OpId {
+        self.next_seq += 1;
+        OpId::new(ClientId(node as u64), self.next_seq)
+    }
+
+    /// Issues a client operation at `node`, applying resulting effects.
+    pub fn client(&mut self, node: usize, key: Key, cop: ClientOp) -> OpId {
+        assert!(
+            !self.crashed.contains(&(node as u32)),
+            "client op sent to crashed node {node}"
+        );
+        let op = self.fresh_op(node);
+        let mut fx: Fx = Vec::new();
+        self.nodes[node].on_client_op(op, key, cop, &mut fx);
+        self.apply_effects(node, fx);
+        op
+    }
+
+    pub fn write(&mut self, node: usize, key: Key, value: Value) -> OpId {
+        self.client(node, key, ClientOp::Write(value))
+    }
+
+    pub fn read(&mut self, node: usize, key: Key) -> OpId {
+        self.client(node, key, ClientOp::Read)
+    }
+
+    pub fn rmw(&mut self, node: usize, key: Key, rmw: RmwOp) -> OpId {
+        self.client(node, key, ClientOp::Rmw(rmw))
+    }
+
+    fn apply_effects(&mut self, at: usize, fx: Fx) {
+        let me = NodeId(at as u32);
+        for effect in fx {
+            match effect {
+                Effect::Send { to, msg } => self.inflight.push_back(Envelope { from: me, to, msg }),
+                Effect::Broadcast { msg } => {
+                    let peers = self.nodes[at].view().broadcast_set(me);
+                    for to in peers {
+                        self.inflight.push_back(Envelope {
+                            from: me,
+                            to,
+                            msg: msg.clone(),
+                        });
+                    }
+                }
+                Effect::Reply { op, reply } => self.replies.push((op, reply)),
+                Effect::ArmTimer { key } => {
+                    self.timers.insert((at as u32, key));
+                }
+                Effect::DisarmTimer { key } => {
+                    self.timers.remove(&(at as u32, key));
+                }
+            }
+        }
+    }
+
+    /// Delivers the oldest in-flight message; returns false if none remain.
+    pub fn deliver_one(&mut self) -> bool {
+        let Some(env) = self.inflight.pop_front() else {
+            return false;
+        };
+        self.deliver_envelope(env);
+        true
+    }
+
+    fn deliver_envelope(&mut self, env: Envelope) {
+        if self.crashed.contains(&env.to.0) || self.crashed.contains(&env.from.0) {
+            return; // dropped: crashed endpoint
+        }
+        let mut fx: Fx = Vec::new();
+        self.nodes[env.to.index()].on_message(env.from, env.msg, &mut fx);
+        self.apply_effects(env.to.index(), fx);
+    }
+
+    /// Delivers all in-flight messages (including ones generated on the way)
+    /// in FIFO order until the network is empty.
+    pub fn deliver_all(&mut self) {
+        while self.deliver_one() {}
+    }
+
+    /// Delivers (repeatedly) every in-flight message matching `pred`,
+    /// including newly generated matching messages; leaves the rest queued.
+    pub fn deliver_matching(&mut self, pred: impl Fn(&Envelope) -> bool) {
+        loop {
+            let pos = self.inflight.iter().position(&pred);
+            match pos {
+                Some(i) => {
+                    let env = self.inflight.remove(i).expect("position just found");
+                    self.deliver_envelope(env);
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Silently drops every queued message matching `pred` (message loss).
+    pub fn drop_matching(&mut self, mut pred: impl FnMut(&Envelope) -> bool) -> usize {
+        let before = self.inflight.len();
+        self.inflight.retain(|e| !pred(e));
+        before - self.inflight.len()
+    }
+
+    /// Duplicates every queued message matching `pred`.
+    pub fn duplicate_matching(&mut self, mut pred: impl FnMut(&Envelope) -> bool) {
+        let dups: Vec<Envelope> = self.inflight.iter().filter(|e| pred(e)).cloned().collect();
+        self.inflight.extend(dups);
+    }
+
+    /// Fires the armed message-loss timer of `node` for `key`.
+    pub fn fire_timer(&mut self, node: usize, key: Key) {
+        assert!(
+            self.timers.contains(&(node as u32, key)),
+            "timer not armed for node {node} {key}"
+        );
+        let mut fx: Fx = Vec::new();
+        self.nodes[node].on_mlt_timeout(key, &mut fx);
+        self.apply_effects(node, fx);
+    }
+
+    /// Fires every armed timer once (snapshot taken first).
+    pub fn fire_all_timers(&mut self) {
+        let armed: Vec<(u32, Key)> = self.timers.iter().copied().collect();
+        for (node, key) in armed {
+            if self.crashed.contains(&node) {
+                continue;
+            }
+            let mut fx: Fx = Vec::new();
+            self.nodes[node as usize].on_mlt_timeout(key, &mut fx);
+            self.apply_effects(node as usize, fx);
+        }
+    }
+
+    /// Crash-stops a node: its queued messages are discarded and it neither
+    /// sends nor receives from now on.
+    pub fn crash(&mut self, node: usize) {
+        self.crashed.insert(node as u32);
+        let dead = NodeId(node as u32);
+        self.inflight.retain(|e| e.from != dead && e.to != dead);
+    }
+
+    /// Installs a reconfigured view (the dead node removed) on all live
+    /// replicas — what the reliable-membership service would do after lease
+    /// expiry (paper §3.4).
+    pub fn reconfigure(&mut self, view: MembershipView) {
+        for i in 0..self.nodes.len() {
+            if self.crashed.contains(&(i as u32)) {
+                continue;
+            }
+            let mut fx: Fx = Vec::new();
+            self.nodes[i].on_membership_update(view, &mut fx);
+            self.apply_effects(i, fx);
+        }
+    }
+
+    /// Delivers everything and fires timers until the system is fully
+    /// quiescent (no messages, and firing timers produces no messages).
+    pub fn quiesce(&mut self) {
+        for _ in 0..64 {
+            self.deliver_all();
+            let before = self.replies.len();
+            self.fire_all_timers();
+            if self.inflight.is_empty() && self.replies.len() == before {
+                return;
+            }
+        }
+        panic!("cluster failed to quiesce within 64 rounds");
+    }
+
+    /// The recorded reply for `op`, if completed.
+    pub fn reply_of(&self, op: OpId) -> Option<&Reply> {
+        self.replies.iter().find(|(o, _)| *o == op).map(|(_, r)| r)
+    }
+
+    /// Asserts `op` completed with the given reply.
+    #[track_caller]
+    pub fn assert_reply(&self, op: OpId, expected: Reply) {
+        match self.reply_of(op) {
+            Some(got) => assert_eq!(got, &expected, "unexpected reply for {op}"),
+            None => panic!("operation {op} has no reply yet"),
+        }
+    }
+
+    /// Asserts all live replicas agree on (ts, value) for `key` and hold it
+    /// Valid — the quiescent convergence invariant.
+    #[track_caller]
+    pub fn assert_converged(&self, key: Key) {
+        let live: Vec<&HermesNode> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| !self.crashed.contains(&(*i as u32)) && n.is_operational())
+            .map(|(_, n)| n)
+            .collect();
+        let ts0 = live[0].key_ts(key);
+        let v0 = live[0].key_value(key);
+        for n in &live {
+            assert_eq!(
+                n.key_state(key),
+                hermes_core::KeyState::Valid,
+                "{}: {key} not Valid at quiescence",
+                n.node_id()
+            );
+            assert_eq!(n.key_ts(key), ts0, "{}: ts divergence on {key}", n.node_id());
+            assert_eq!(
+                n.key_value(key),
+                v0,
+                "{}: value divergence on {key}",
+                n.node_id()
+            );
+        }
+    }
+}

@@ -1,0 +1,426 @@
+use hermes_common::{MembershipView, NodeId, NodeSet};
+
+/// A Paxos ballot: totally ordered, globally unique per proposer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Ballot {
+    /// Retry round (monotonically increasing per proposer).
+    pub round: u64,
+    /// Proposer's node id (tie-break).
+    pub node: u32,
+}
+
+impl Ballot {
+    /// First ballot a proposer may use.
+    pub fn initial(node: NodeId) -> Self {
+        Ballot { round: 1, node: node.0 }
+    }
+
+    /// The next higher ballot for the same proposer.
+    #[must_use]
+    pub fn next(self) -> Self {
+        Ballot {
+            round: self.round + 1,
+            node: self.node,
+        }
+    }
+}
+
+/// Messages of the single-decree Paxos instance deciding one view change.
+///
+/// `instance` is the epoch being decided: deciding epoch `e` chooses the
+/// view that will carry `epoch == e`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PaxosMsg {
+    /// Phase 1a: proposer solicits promises.
+    Prepare {
+        /// Epoch under decision.
+        instance: u64,
+        /// Proposer's ballot.
+        ballot: Ballot,
+    },
+    /// Phase 1b: acceptor promises not to accept lower ballots; reports any
+    /// previously accepted proposal.
+    Promise {
+        /// Epoch under decision.
+        instance: u64,
+        /// Ballot being promised.
+        ballot: Ballot,
+        /// Previously accepted `(ballot, view)`, if any.
+        accepted: Option<(Ballot, MembershipView)>,
+    },
+    /// Phase 2a: proposer asks acceptors to accept `view`.
+    Accept {
+        /// Epoch under decision.
+        instance: u64,
+        /// Proposer's ballot.
+        ballot: Ballot,
+        /// Proposed view.
+        view: MembershipView,
+    },
+    /// Phase 2b: acceptor accepted the proposal.
+    Accepted {
+        /// Epoch under decision.
+        instance: u64,
+        /// Ballot accepted.
+        ballot: Ballot,
+    },
+    /// Acceptor rejected a stale ballot (hints the proposer to retry
+    /// higher).
+    Nack {
+        /// Epoch under decision.
+        instance: u64,
+        /// The (higher) ballot the acceptor has promised.
+        promised: Ballot,
+    },
+}
+
+/// Acceptor-side durable state for one instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AcceptorState {
+    /// Highest ballot promised.
+    pub promised: Option<Ballot>,
+    /// Last accepted `(ballot, view)`.
+    pub accepted: Option<(Ballot, MembershipView)>,
+}
+
+impl AcceptorState {
+    /// Handles a `Prepare`, returning the reply.
+    pub fn on_prepare(&mut self, instance: u64, ballot: Ballot) -> PaxosMsg {
+        match self.promised {
+            Some(p) if p > ballot => PaxosMsg::Nack {
+                instance,
+                promised: p,
+            },
+            _ => {
+                self.promised = Some(ballot);
+                PaxosMsg::Promise {
+                    instance,
+                    ballot,
+                    accepted: self.accepted,
+                }
+            }
+        }
+    }
+
+    /// Handles an `Accept`, returning the reply.
+    pub fn on_accept(&mut self, instance: u64, ballot: Ballot, view: MembershipView) -> PaxosMsg {
+        match self.promised {
+            Some(p) if p > ballot => PaxosMsg::Nack {
+                instance,
+                promised: p,
+            },
+            _ => {
+                self.promised = Some(ballot);
+                self.accepted = Some((ballot, view));
+                PaxosMsg::Accepted { instance, ballot }
+            }
+        }
+    }
+}
+
+/// Proposer-side state machine for one single-decree Paxos instance.
+///
+/// Drives phase 1 (prepare/promise) and phase 2 (accept/accepted) against a
+/// fixed acceptor set, honouring the core Paxos invariant: if any acceptor
+/// already accepted a proposal, the highest-ballot one is adopted instead of
+/// the proposer's own value.
+#[derive(Clone, Debug)]
+pub struct Paxos {
+    /// Epoch under decision.
+    pub instance: u64,
+    ballot: Ballot,
+    value: MembershipView,
+    acceptors: NodeSet,
+    quorum: usize,
+    promises: NodeSet,
+    best_accepted: Option<(Ballot, MembershipView)>,
+    accepts: NodeSet,
+    phase2: bool,
+    decided: bool,
+}
+
+impl Paxos {
+    /// Starts a proposer for `instance` with initial proposal `value` among
+    /// `acceptors` (quorum = majority of acceptors).
+    pub fn new(
+        instance: u64,
+        ballot: Ballot,
+        value: MembershipView,
+        acceptors: NodeSet,
+    ) -> Self {
+        Paxos {
+            instance,
+            ballot,
+            value,
+            quorum: acceptors.len() / 2 + 1,
+            acceptors,
+            promises: NodeSet::EMPTY,
+            best_accepted: None,
+            accepts: NodeSet::EMPTY,
+            phase2: false,
+            decided: false,
+        }
+    }
+
+    /// The `Prepare` message to broadcast to all acceptors.
+    pub fn prepare(&self) -> PaxosMsg {
+        PaxosMsg::Prepare {
+            instance: self.instance,
+            ballot: self.ballot,
+        }
+    }
+
+    /// The current ballot.
+    pub fn ballot(&self) -> Ballot {
+        self.ballot
+    }
+
+    /// Whether the instance reached a decision.
+    pub fn is_decided(&self) -> bool {
+        self.decided
+    }
+
+    /// The proposal this proposer is pushing (after phase 1 this may be an
+    /// adopted earlier proposal rather than the original value).
+    pub fn proposal(&self) -> MembershipView {
+        match self.best_accepted {
+            Some((_, v)) if self.phase2 => v,
+            _ => self.value,
+        }
+    }
+
+    /// Processes a `Promise`; returns the `Accept` to broadcast once a
+    /// quorum of promises is in (exactly once).
+    pub fn on_promise(
+        &mut self,
+        from: NodeId,
+        ballot: Ballot,
+        accepted: Option<(Ballot, MembershipView)>,
+    ) -> Option<PaxosMsg> {
+        if ballot != self.ballot || self.phase2 || !self.acceptors.contains(from) {
+            return None;
+        }
+        self.promises.insert(from);
+        if let Some((b, v)) = accepted {
+            if self.best_accepted.map_or(true, |(bb, _)| b > bb) {
+                self.best_accepted = Some((b, v));
+            }
+        }
+        if self.promises.len() >= self.quorum {
+            self.phase2 = true;
+            Some(PaxosMsg::Accept {
+                instance: self.instance,
+                ballot: self.ballot,
+                view: self.proposal(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Processes an `Accepted`; returns the decided view once a quorum of
+    /// accepts is in (exactly once).
+    pub fn on_accepted(&mut self, from: NodeId, ballot: Ballot) -> Option<MembershipView> {
+        if ballot != self.ballot || !self.phase2 || self.decided || !self.acceptors.contains(from)
+        {
+            return None;
+        }
+        self.accepts.insert(from);
+        if self.accepts.len() >= self.quorum {
+            self.decided = true;
+            Some(self.proposal())
+        } else {
+            None
+        }
+    }
+
+    /// Abandons this attempt and retries with a ballot above `floor`,
+    /// keeping the original value (unless a higher accepted proposal was
+    /// learned, which remains adopted).
+    pub fn restart_above(&mut self, floor: Ballot) {
+        let mut b = self.ballot;
+        while b <= floor {
+            b = b.next();
+        }
+        self.ballot = b;
+        self.promises = NodeSet::EMPTY;
+        self.accepts = NodeSet::EMPTY;
+        self.phase2 = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_common::Epoch;
+
+    fn view(epoch: u64, n: usize) -> MembershipView {
+        MembershipView {
+            epoch: Epoch(epoch),
+            members: NodeSet::first_n(n),
+            shadows: NodeSet::EMPTY,
+        }
+    }
+
+    #[test]
+    fn ballots_order_by_round_then_node() {
+        assert!(Ballot { round: 2, node: 0 } > Ballot { round: 1, node: 9 });
+        assert!(Ballot { round: 1, node: 2 } > Ballot { round: 1, node: 1 });
+        assert_eq!(Ballot::initial(NodeId(3)).next().round, 2);
+    }
+
+    #[test]
+    fn happy_path_three_acceptors() {
+        let v = view(1, 3);
+        let mut proposer = Paxos::new(1, Ballot::initial(NodeId(0)), v, NodeSet::first_n(3));
+        let mut acceptors = [AcceptorState::default(); 3];
+
+        let PaxosMsg::Prepare { instance, ballot } = proposer.prepare() else {
+            panic!()
+        };
+        // Two promises reach quorum; the Accept goes out exactly once.
+        let mut accept = None;
+        for i in 0..2 {
+            let reply = acceptors[i].on_prepare(instance, ballot);
+            let PaxosMsg::Promise { ballot, accepted, .. } = reply else {
+                panic!("expected promise")
+            };
+            if let Some(msg) = proposer.on_promise(NodeId(i as u32), ballot, accepted) {
+                assert!(accept.is_none());
+                accept = Some(msg);
+            }
+        }
+        let Some(PaxosMsg::Accept { instance, ballot, view: proposal }) = accept else {
+            panic!("no accept after quorum")
+        };
+        assert_eq!(proposal, v);
+        // Two accepteds decide.
+        let mut decided = None;
+        for i in 0..2 {
+            let PaxosMsg::Accepted { ballot, .. } = acceptors[i].on_accept(instance, ballot, proposal)
+            else {
+                panic!("expected accepted")
+            };
+            if let Some(d) = proposer.on_accepted(NodeId(i as u32), ballot) {
+                assert!(decided.is_none());
+                decided = Some(d);
+            }
+        }
+        assert_eq!(decided, Some(v));
+        assert!(proposer.is_decided());
+    }
+
+    #[test]
+    fn acceptor_nacks_stale_ballots() {
+        let mut acc = AcceptorState::default();
+        let high = Ballot { round: 5, node: 1 };
+        acc.on_prepare(1, high);
+        let reply = acc.on_prepare(1, Ballot { round: 2, node: 0 });
+        assert_eq!(
+            reply,
+            PaxosMsg::Nack {
+                instance: 1,
+                promised: high
+            }
+        );
+        let reply = acc.on_accept(1, Ballot { round: 2, node: 0 }, view(1, 3));
+        assert!(matches!(reply, PaxosMsg::Nack { .. }));
+    }
+
+    #[test]
+    fn proposer_adopts_highest_previously_accepted_value() {
+        // Acceptor 1 already accepted view A at ballot (1,1); a new proposer
+        // with value B must adopt A.
+        let a = view(1, 2);
+        let b = view(1, 3);
+        let mut proposer = Paxos::new(1, Ballot { round: 2, node: 0 }, b, NodeSet::first_n(3));
+        proposer.on_promise(NodeId(0), proposer.ballot(), None);
+        let accept = proposer.on_promise(
+            NodeId(1),
+            proposer.ballot(),
+            Some((Ballot { round: 1, node: 1 }, a)),
+        );
+        let Some(PaxosMsg::Accept { view: proposal, .. }) = accept else {
+            panic!("expected accept")
+        };
+        assert_eq!(proposal, a, "must adopt previously accepted proposal");
+    }
+
+    #[test]
+    fn two_proposers_cannot_decide_differently() {
+        // Proposer P0 (value A) completes phase 1+2 with a quorum {0,1}.
+        // Proposer P2 (value B, higher ballot) then runs: its phase 1 quorum
+        // must intersect {0,1}, learn A, and decide A — agreement holds.
+        let a = view(1, 2);
+        let b = view(1, 3);
+        let acceptors = NodeSet::first_n(3);
+        let mut accs = [AcceptorState::default(); 3];
+
+        let mut p0 = Paxos::new(1, Ballot { round: 1, node: 0 }, a, acceptors);
+        let PaxosMsg::Prepare { ballot: b0, .. } = p0.prepare() else { panic!() };
+        for i in [0usize, 1] {
+            let PaxosMsg::Promise { accepted, .. } = accs[i].on_prepare(1, b0) else { panic!() };
+            if let Some(PaxosMsg::Accept { view, .. }) = p0.on_promise(NodeId(i as u32), b0, accepted) {
+                for j in [0usize, 1] {
+                    let PaxosMsg::Accepted { .. } = accs[j].on_accept(1, b0, view) else { panic!() };
+                    p0.on_accepted(NodeId(j as u32), b0);
+                }
+            }
+        }
+        assert!(p0.is_decided());
+        assert_eq!(p0.proposal(), a);
+
+        let mut p2 = Paxos::new(1, Ballot { round: 2, node: 2 }, b, acceptors);
+        let PaxosMsg::Prepare { ballot: b2, .. } = p2.prepare() else { panic!() };
+        let mut decided2 = None;
+        for i in [1usize, 2] {
+            let PaxosMsg::Promise { accepted, .. } = accs[i].on_prepare(1, b2) else { panic!() };
+            if let Some(PaxosMsg::Accept { view, .. }) = p2.on_promise(NodeId(i as u32), b2, accepted) {
+                assert_eq!(view, a, "agreement: must adopt the decided value");
+                for j in [1usize, 2] {
+                    let PaxosMsg::Accepted { .. } = accs[j].on_accept(1, b2, view) else { panic!() };
+                    if let Some(d) = p2.on_accepted(NodeId(j as u32), b2) {
+                        decided2 = Some(d);
+                    }
+                }
+            }
+        }
+        assert_eq!(decided2, Some(a), "both proposers decide the same view");
+    }
+
+    #[test]
+    fn restart_raises_ballot_and_resets_progress() {
+        let v = view(1, 3);
+        let mut p = Paxos::new(1, Ballot::initial(NodeId(0)), v, NodeSet::first_n(3));
+        p.on_promise(NodeId(0), p.ballot(), None);
+        let floor = Ballot { round: 7, node: 2 };
+        p.restart_above(floor);
+        assert!(p.ballot() > floor);
+        // Old-ballot promises are ignored after restart.
+        assert!(p.on_promise(NodeId(1), Ballot::initial(NodeId(0)), None).is_none());
+        assert!(!p.is_decided());
+    }
+
+    #[test]
+    fn duplicate_promises_do_not_double_count() {
+        let v = view(1, 5);
+        let mut p = Paxos::new(1, Ballot::initial(NodeId(0)), v, NodeSet::first_n(5));
+        assert!(p.on_promise(NodeId(1), p.ballot(), None).is_none());
+        assert!(p.on_promise(NodeId(1), p.ballot(), None).is_none());
+        assert!(p.on_promise(NodeId(1), p.ballot(), None).is_none());
+        // Quorum of 3 needs three *distinct* acceptors.
+        assert!(p.on_promise(NodeId(2), p.ballot(), None).is_none());
+        assert!(p.on_promise(NodeId(3), p.ballot(), None).is_some());
+    }
+
+    #[test]
+    fn outsiders_cannot_vote() {
+        let v = view(1, 3);
+        let mut p = Paxos::new(1, Ballot::initial(NodeId(0)), v, NodeSet::first_n(3));
+        assert!(p.on_promise(NodeId(7), p.ballot(), None).is_none());
+        p.on_promise(NodeId(0), p.ballot(), None);
+        let accept = p.on_promise(NodeId(1), p.ballot(), None);
+        assert!(accept.is_some());
+        assert!(p.on_accepted(NodeId(7), p.ballot()).is_none());
+    }
+}

@@ -1,0 +1,606 @@
+use crate::paxos::{AcceptorState, Ballot, Paxos, PaxosMsg};
+use hermes_common::{MembershipView, NodeId, NodeSet};
+use hermes_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Timing parameters of the reliable-membership service.
+///
+/// The defaults match the paper's failure experiment (Figure 9): a
+/// "conservative timeout of 150 ms" before a silent node is declared failed,
+/// with leases an order of magnitude shorter than the detection timeout so
+/// that the lease-expiry wait adds little to recovery.
+#[derive(Clone, Copy, Debug)]
+pub struct RmConfig {
+    /// How often each node broadcasts a heartbeat.
+    pub heartbeat_interval: SimDuration,
+    /// Silence longer than this marks a member as suspected.
+    pub failure_timeout: SimDuration,
+    /// Lease duration; also how long to wait after suspicion before
+    /// reconfiguring (the suspect's lease must have expired, paper §2.4).
+    pub lease_duration: SimDuration,
+}
+
+impl Default for RmConfig {
+    fn default() -> Self {
+        RmConfig {
+            heartbeat_interval: SimDuration::millis(10),
+            failure_timeout: SimDuration::millis(150),
+            lease_duration: SimDuration::millis(40),
+        }
+    }
+}
+
+/// Messages exchanged by membership agents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RmMsg {
+    /// Liveness beacon; also renews leases.
+    Heartbeat,
+    /// A Paxos message deciding a view change.
+    Paxos(PaxosMsg),
+    /// Dissemination of a decided view (learners catch up from this).
+    Decided(MembershipView),
+}
+
+/// Actions requested by an [`RmNode`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RmEffect {
+    /// Send a message to one peer.
+    Send(NodeId, RmMsg),
+    /// Send a message to every other member (and shadow).
+    Broadcast(RmMsg),
+    /// A new view was decided/learned: install it into the data-plane
+    /// protocol (`HermesNode::on_membership_update` or a baseline's
+    /// equivalent).
+    InstallView(MembershipView),
+}
+
+/// The membership agent running next to each replica (paper §2.4, §3.4).
+///
+/// Responsibilities:
+/// * broadcast heartbeats and track peers' last-heard times;
+/// * maintain this node's **lease**: valid while a majority of the current
+///   view has been heard from within the lease duration — a minority
+///   partition therefore loses its lease and stops serving (CAP choice of
+///   consistency, paper §3.4);
+/// * after a member has been silent past the failure timeout *and* its
+///   lease has provably expired, propose a view without it via single-decree
+///   Paxos among the current members (majority quorum);
+/// * learn and disseminate decided views.
+#[derive(Debug)]
+pub struct RmNode {
+    me: NodeId,
+    cfg: RmConfig,
+    view: MembershipView,
+    last_heard: BTreeMap<NodeId, SimTime>,
+    suspected_at: BTreeMap<NodeId, SimTime>,
+    proposer: Option<Paxos>,
+    proposer_started: SimTime,
+    acceptor: AcceptorState,
+    acceptor_instance: u64,
+    last_heartbeat: SimTime,
+    /// Pending join request (node, as full member after catch-up?).
+    pending_join: Option<(NodeId, bool)>,
+}
+
+impl RmNode {
+    /// Creates an agent for `me` starting from `view` at time `now`.
+    pub fn new(me: NodeId, view: MembershipView, cfg: RmConfig, now: SimTime) -> Self {
+        let mut last_heard = BTreeMap::new();
+        for n in view.ack_set() {
+            last_heard.insert(n, now);
+        }
+        RmNode {
+            me,
+            cfg,
+            view,
+            last_heard,
+            suspected_at: BTreeMap::new(),
+            proposer: None,
+            proposer_started: now,
+            acceptor: AcceptorState::default(),
+            acceptor_instance: view.epoch.0 + 1,
+            last_heartbeat: now,
+            pending_join: None,
+        }
+    }
+
+    /// The current view.
+    pub fn view(&self) -> MembershipView {
+        self.view
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.me
+    }
+
+    /// Whether this node's lease is valid at `now`: a majority of the
+    /// current members (including itself) were heard within the lease
+    /// duration. Serving any client request requires a valid lease.
+    pub fn lease_valid(&self, now: SimTime) -> bool {
+        let members = self.view.members;
+        let quorum = members.len() / 2 + 1;
+        let fresh = members
+            .iter()
+            .filter(|&n| {
+                n == self.me
+                    || self
+                        .last_heard
+                        .get(&n)
+                        .is_some_and(|&t| now.saturating_since(t) <= self.cfg.lease_duration)
+            })
+            .count();
+        fresh >= quorum
+    }
+
+    /// Requests that `node` join the group as a shadow (`promote == false`)
+    /// or be promoted to full member (`promote == true`). Drives a Paxos
+    /// reconfiguration on the next tick.
+    pub fn request_join(&mut self, node: NodeId, promote: bool) {
+        self.pending_join = Some((node, promote));
+    }
+
+    /// Periodic driver: heartbeats, failure detection, lease-gated
+    /// reconfiguration proposals and proposer retries.
+    ///
+    /// Call roughly every [`RmConfig::heartbeat_interval`].
+    pub fn on_tick(&mut self, now: SimTime, fx: &mut Vec<RmEffect>) {
+        // Heartbeat.
+        if now.saturating_since(self.last_heartbeat) >= self.cfg.heartbeat_interval {
+            self.last_heartbeat = now;
+            fx.push(RmEffect::Broadcast(RmMsg::Heartbeat));
+        }
+
+        // Failure detection over current members (not self).
+        for n in self.view.members.iter().chain(self.view.shadows.iter()) {
+            if n == self.me {
+                continue;
+            }
+            let heard = self.last_heard.get(&n).copied().unwrap_or(SimTime::ZERO);
+            if now.saturating_since(heard) > self.cfg.failure_timeout {
+                self.suspected_at.entry(n).or_insert(now);
+            } else {
+                self.suspected_at.remove(&n);
+            }
+        }
+
+        // Reconfiguration proposal: only the lowest live member proposes
+        // (ballots still make concurrent proposers safe; this just avoids
+        // duels), only while holding a valid lease, and only after the
+        // suspect's own lease has certainly expired.
+        if self.proposer.is_none() && self.lease_valid(now) {
+            let next_view = self.next_view_proposal(now);
+            if let Some(view) = next_view {
+                if self.is_designated_proposer() {
+                    let paxos = Paxos::new(
+                        view.epoch.0,
+                        Ballot::initial(self.me),
+                        view,
+                        self.view.members,
+                    );
+                    fx.push(RmEffect::Broadcast(RmMsg::Paxos(paxos.prepare())));
+                    // A proposer is its own acceptor too.
+                    self.proposer = Some(paxos);
+                    self.proposer_started = now;
+                    self.self_deliver_prepare(fx);
+                }
+            }
+        } else if let Some(p) = self.proposer.as_mut() {
+            // Stalled proposal (lost messages / ballot duel): retry higher.
+            if !p.is_decided()
+                && now.saturating_since(self.proposer_started) > self.cfg.heartbeat_interval * 4
+            {
+                let floor = p.ballot();
+                p.restart_above(floor);
+                self.proposer_started = now;
+                let prepare = p.prepare();
+                fx.push(RmEffect::Broadcast(RmMsg::Paxos(prepare)));
+                self.self_deliver_prepare(fx);
+            }
+        }
+    }
+
+    fn is_designated_proposer(&self) -> bool {
+        // Lowest member that is not itself suspected.
+        self.view
+            .members
+            .iter()
+            .find(|n| !self.suspected_at.contains_key(n))
+            == Some(self.me)
+    }
+
+    fn next_view_proposal(&self, now: SimTime) -> Option<MembershipView> {
+        // Prefer removing a failed node; otherwise process a pending join.
+        let expired: Vec<NodeId> = self
+            .suspected_at
+            .iter()
+            .filter(|(_, &t)| now.saturating_since(t) >= self.cfg.lease_duration)
+            .map(|(&n, _)| n)
+            .collect();
+        if !expired.is_empty() {
+            let mut v = self.view;
+            let mut members = v.members;
+            let mut shadows = v.shadows;
+            for n in &expired {
+                members.remove(*n);
+                shadows.remove(*n);
+            }
+            // Never propose an empty membership.
+            if members.is_empty() {
+                return None;
+            }
+            v = MembershipView {
+                epoch: self.view.epoch.next(),
+                members,
+                shadows,
+            };
+            return Some(v);
+        }
+        match self.pending_join {
+            Some((node, false)) if !self.view.ack_set().contains(node) => {
+                Some(self.view.with_shadow(node))
+            }
+            Some((node, true)) if self.view.shadows.contains(node) => {
+                Some(self.view.with_promoted(node))
+            }
+            _ => None,
+        }
+    }
+
+    fn self_deliver_prepare(&mut self, fx: &mut Vec<RmEffect>) {
+        // The proposer is also an acceptor; short-circuit its own vote.
+        let Some(p) = self.proposer.as_ref() else {
+            return;
+        };
+        let instance = p.instance;
+        let ballot = p.ballot();
+        let reply = self.acceptor_for(instance).on_prepare(instance, ballot);
+        self.handle_paxos_reply_to_self(reply, fx);
+    }
+
+    fn acceptor_for(&mut self, instance: u64) -> &mut AcceptorState {
+        if instance != self.acceptor_instance {
+            // New instance: fresh acceptor state (old instances are decided).
+            self.acceptor = AcceptorState::default();
+            self.acceptor_instance = instance;
+        }
+        &mut self.acceptor
+    }
+
+    fn handle_paxos_reply_to_self(&mut self, reply: PaxosMsg, fx: &mut Vec<RmEffect>) {
+        let me = self.me;
+        self.on_paxos(me, reply, fx);
+    }
+
+    /// Handles a message from `from`.
+    pub fn on_message(&mut self, from: NodeId, msg: RmMsg, now: SimTime, fx: &mut Vec<RmEffect>) {
+        self.last_heard.insert(from, now);
+        match msg {
+            RmMsg::Heartbeat => {}
+            RmMsg::Decided(view) => self.learn(view, fx),
+            RmMsg::Paxos(p) => self.on_paxos(from, p, fx),
+        }
+    }
+
+    fn on_paxos(&mut self, from: NodeId, msg: PaxosMsg, fx: &mut Vec<RmEffect>) {
+        match msg {
+            PaxosMsg::Prepare { instance, ballot } => {
+                if instance != self.view.epoch.0 + 1 {
+                    // Stale or future instance; stale proposers catch up via
+                    // Decided dissemination.
+                    if instance <= self.view.epoch.0 {
+                        fx.push(RmEffect::Send(from, RmMsg::Decided(self.view)));
+                    }
+                    return;
+                }
+                let reply = self.acceptor_for(instance).on_prepare(instance, ballot);
+                self.route_paxos(from, reply, fx);
+            }
+            PaxosMsg::Accept {
+                instance,
+                ballot,
+                view,
+            } => {
+                if instance != self.view.epoch.0 + 1 {
+                    if instance <= self.view.epoch.0 {
+                        fx.push(RmEffect::Send(from, RmMsg::Decided(self.view)));
+                    }
+                    return;
+                }
+                let reply = self.acceptor_for(instance).on_accept(instance, ballot, view);
+                self.route_paxos(from, reply, fx);
+            }
+            PaxosMsg::Promise {
+                instance,
+                ballot,
+                accepted,
+            } => {
+                let Some(p) = self.proposer.as_mut() else {
+                    return;
+                };
+                if p.instance != instance {
+                    return;
+                }
+                if let Some(accept) = p.on_promise(from, ballot, accepted) {
+                    fx.push(RmEffect::Broadcast(RmMsg::Paxos(accept.clone())));
+                    // Self-vote on the accept as well.
+                    if let PaxosMsg::Accept {
+                        instance,
+                        ballot,
+                        view,
+                    } = accept
+                    {
+                        let reply = self.acceptor_for(instance).on_accept(instance, ballot, view);
+                        self.handle_paxos_reply_to_self(reply, fx);
+                    }
+                }
+            }
+            PaxosMsg::Accepted { instance, ballot } => {
+                let Some(p) = self.proposer.as_mut() else {
+                    return;
+                };
+                if p.instance != instance {
+                    return;
+                }
+                if let Some(view) = p.on_accepted(from, ballot) {
+                    fx.push(RmEffect::Broadcast(RmMsg::Decided(view)));
+                    self.learn(view, fx);
+                }
+            }
+            PaxosMsg::Nack { promised, .. } => {
+                if let Some(p) = self.proposer.as_mut() {
+                    if !p.is_decided() {
+                        p.restart_above(promised);
+                        let prepare = p.prepare();
+                        fx.push(RmEffect::Broadcast(RmMsg::Paxos(prepare)));
+                        self.self_deliver_prepare(fx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn route_paxos(&mut self, to: NodeId, reply: PaxosMsg, fx: &mut Vec<RmEffect>) {
+        if to == self.me {
+            self.handle_paxos_reply_to_self(reply, fx);
+        } else {
+            fx.push(RmEffect::Send(to, RmMsg::Paxos(reply)));
+        }
+    }
+
+    fn learn(&mut self, view: MembershipView, fx: &mut Vec<RmEffect>) {
+        if view.epoch <= self.view.epoch {
+            return;
+        }
+        self.view = view;
+        self.suspected_at.clear();
+        self.proposer = None;
+        self.acceptor = AcceptorState::default();
+        self.acceptor_instance = view.epoch.0 + 1;
+        if let Some((node, promote)) = self.pending_join {
+            // Clear satisfied join requests.
+            let satisfied = if promote {
+                view.members.contains(node)
+            } else {
+                view.ack_set().contains(node)
+            };
+            if satisfied {
+                self.pending_join = None;
+            }
+        }
+        fx.push(RmEffect::InstallView(view));
+    }
+
+    /// Members currently suspected by the local failure detector.
+    pub fn suspects(&self) -> NodeSet {
+        self.suspected_at.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_common::Epoch;
+    use std::collections::VecDeque;
+
+    /// Minimal harness routing RmMsg traffic between agents.
+    struct Net {
+        nodes: Vec<RmNode>,
+        queue: VecDeque<(NodeId, NodeId, RmMsg)>,
+        installed: Vec<(NodeId, MembershipView)>,
+        crashed: NodeSet,
+    }
+
+    impl Net {
+        fn new(n: usize, cfg: RmConfig) -> Self {
+            let view = MembershipView::initial(n);
+            Net {
+                nodes: (0..n)
+                    .map(|i| RmNode::new(NodeId(i as u32), view, cfg, SimTime::ZERO))
+                    .collect(),
+                queue: VecDeque::new(),
+                installed: Vec::new(),
+                crashed: NodeSet::EMPTY,
+            }
+        }
+
+        fn apply(&mut self, at: usize, fx: Vec<RmEffect>) {
+            let me = NodeId(at as u32);
+            for e in fx {
+                match e {
+                    RmEffect::Send(to, m) => self.queue.push_back((me, to, m)),
+                    RmEffect::Broadcast(m) => {
+                        let peers = self.nodes[at].view().broadcast_set(me);
+                        for to in peers {
+                            self.queue.push_back((me, to, m.clone()));
+                        }
+                    }
+                    RmEffect::InstallView(v) => self.installed.push((me, v)),
+                }
+            }
+        }
+
+        fn tick_all(&mut self, now: SimTime) {
+            for i in 0..self.nodes.len() {
+                if self.crashed.contains(NodeId(i as u32)) {
+                    continue;
+                }
+                let mut fx = Vec::new();
+                self.nodes[i].on_tick(now, &mut fx);
+                self.apply(i, fx);
+            }
+            self.deliver_all(now);
+        }
+
+        fn deliver_all(&mut self, now: SimTime) {
+            while let Some((from, to, msg)) = self.queue.pop_front() {
+                if self.crashed.contains(from) || self.crashed.contains(to) {
+                    continue;
+                }
+                let mut fx = Vec::new();
+                self.nodes[to.index()].on_message(from, msg, now, &mut fx);
+                self.apply(to.index(), fx);
+            }
+        }
+    }
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_nanos(n * 1_000_000)
+    }
+
+    #[test]
+    fn steady_state_no_reconfiguration() {
+        let mut net = Net::new(3, RmConfig::default());
+        for t in (0..500).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        assert!(net.installed.is_empty(), "no view change without failures");
+        for n in &net.nodes {
+            assert_eq!(n.view().epoch, Epoch(0));
+            assert!(n.lease_valid(ms(500)));
+            assert!(n.suspects().is_empty());
+        }
+    }
+
+    #[test]
+    fn crashed_node_is_detected_and_removed() {
+        let mut net = Net::new(5, RmConfig::default());
+        for t in (0..100).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        net.crashed.insert(NodeId(4));
+        // Detection after 150ms silence + 40ms lease expiry ≈ within 300ms.
+        for t in (100..500).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        let live: Vec<&RmNode> = net.nodes[..4].iter().collect();
+        for n in live {
+            assert_eq!(n.view().epoch, Epoch(1), "{} did not reconfigure", n.node_id());
+            assert!(!n.view().members.contains(NodeId(4)));
+            assert_eq!(n.view().members.len(), 4);
+        }
+        // Every live node installed the new view exactly once.
+        assert_eq!(net.installed.len(), 4);
+    }
+
+    #[test]
+    fn reconfiguration_waits_for_lease_expiry() {
+        let cfg = RmConfig::default();
+        let mut net = Net::new(3, cfg);
+        net.tick_all(ms(0));
+        net.crashed.insert(NodeId(2));
+        // Just after the failure timeout the node is suspected but its lease
+        // may not have expired: no view change yet.
+        for t in (0..=170).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        assert!(net.nodes[0].suspects().contains(NodeId(2)));
+        assert_eq!(net.nodes[0].view().epoch, Epoch(0), "must wait for lease expiry");
+        // After suspicion + lease duration the view changes.
+        for t in (180..300).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        assert_eq!(net.nodes[0].view().epoch, Epoch(1));
+    }
+
+    #[test]
+    fn minority_partition_loses_lease_majority_keeps_it() {
+        let mut net = Net::new(5, RmConfig::default());
+        for t in (0..100).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        // Cut nodes 3 and 4 off (they still tick but traffic is dropped).
+        net.crashed.insert(NodeId(3));
+        net.crashed.insert(NodeId(4));
+        for t in (100..400).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        // The majority reconfigured to {0,1,2}.
+        assert_eq!(net.nodes[0].view().members.len(), 3);
+        assert!(net.nodes[0].lease_valid(ms(400)));
+        // The minority nodes (still on the old view, hearing nobody) have
+        // expired leases and must not serve.
+        assert!(!net.nodes[4].lease_valid(ms(400)));
+    }
+
+    #[test]
+    fn sequential_failures_reconfigure_repeatedly() {
+        let mut net = Net::new(5, RmConfig::default());
+        net.tick_all(ms(0));
+        net.crashed.insert(NodeId(4));
+        for t in (0..400).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        assert_eq!(net.nodes[0].view().epoch, Epoch(1));
+        net.crashed.insert(NodeId(3));
+        for t in (400..800).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        assert_eq!(net.nodes[0].view().epoch, Epoch(2));
+        assert_eq!(net.nodes[0].view().members.len(), 3);
+    }
+
+    #[test]
+    fn join_as_shadow_then_promote() {
+        let cfg = RmConfig::default();
+        let view = MembershipView::initial(3);
+        let mut net = Net::new(4, cfg);
+        // Node 3 starts outside the group: give everyone the 3-node view.
+        for n in net.nodes.iter_mut() {
+            *n = RmNode::new(n.node_id(), view, cfg, SimTime::ZERO);
+        }
+        net.tick_all(ms(0));
+        net.nodes[0].request_join(NodeId(3), false);
+        for t in (0..200).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        assert!(net.nodes[0].view().shadows.contains(NodeId(3)));
+        assert_eq!(net.nodes[0].view().epoch, Epoch(1));
+        // Promote after catch-up.
+        net.nodes[0].request_join(NodeId(3), true);
+        for t in (200..400).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        assert!(net.nodes[0].view().members.contains(NodeId(3)));
+        assert!(net.nodes[0].view().shadows.is_empty());
+        assert_eq!(net.nodes[0].view().epoch, Epoch(2));
+        // The joiner learned the views too.
+        assert_eq!(net.nodes[3].view().epoch, Epoch(2));
+    }
+
+    #[test]
+    fn no_reconfiguration_from_a_minority() {
+        // With 3 of 5 nodes crashed, the 2 survivors cannot form a quorum
+        // and must not install any new view.
+        let mut net = Net::new(5, RmConfig::default());
+        net.tick_all(ms(0));
+        for dead in [2u32, 3, 4] {
+            net.crashed.insert(NodeId(dead));
+        }
+        for t in (0..1000).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        assert_eq!(net.nodes[0].view().epoch, Epoch(0), "minority must not reconfigure");
+        assert!(!net.nodes[0].lease_valid(ms(1000)), "survivors lose their leases");
+    }
+}

@@ -1,0 +1,699 @@
+//! Bounded exhaustive exploration of Hermes clusters.
+//!
+//! Enumerates every interleaving of message deliveries, a bounded number of
+//! message drops and duplications, timer expirations and (optionally) one
+//! crash-with-reconfiguration, over a cluster of real
+//! [`hermes_core::HermesNode`] state machines executing a fixed client
+//! script. At every reached state the cross-replica safety invariant is
+//! checked (equal timestamps imply equal values — the paper's "unique
+//! global order of writes per key"); at every terminal state the run is
+//! driven to quiescence and checked for convergence, completion and
+//! per-key linearizability (compositionality lets us check keys
+//! independently).
+
+use crate::checker::{check_linearizable, HistoryOp, OpKind, Outcome};
+use hermes_common::{
+    ClientId, ClientOp, Effect, Key, MembershipView, NodeId, OpId, Reply, RmwOp,
+};
+#[cfg(test)]
+use hermes_common::Value;
+use hermes_core::{HermesNode, Msg, ProtocolConfig};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// One scripted client operation.
+#[derive(Clone, Debug)]
+pub struct ScriptOp {
+    /// Replica the operation is submitted to.
+    pub node: usize,
+    /// Target key.
+    pub key: Key,
+    /// The operation.
+    pub op: ClientOp,
+}
+
+/// Exploration bounds.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Client script (issued in order, at any point of the interleaving).
+    pub script: Vec<ScriptOp>,
+    /// Protocol configuration under test.
+    pub protocol: ProtocolConfig,
+    /// Maximum messages the adversary may drop.
+    pub max_drops: usize,
+    /// Maximum messages the adversary may duplicate.
+    pub max_dups: usize,
+    /// Maximum spurious/real timer firings the adversary may schedule.
+    pub max_timer_fires: usize,
+    /// Crash this node (with an atomic membership update) at any point,
+    /// at most once.
+    pub crash: Option<NodeId>,
+    /// State-count safety valve.
+    pub max_states: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            nodes: 3,
+            script: Vec::new(),
+            protocol: ProtocolConfig::default(),
+            max_drops: 0,
+            max_dups: 0,
+            max_timer_fires: 2,
+            crash: None,
+            max_states: 1_000_000,
+        }
+    }
+}
+
+/// Results of an exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Terminal states checked for convergence + linearizability.
+    pub terminals: usize,
+    /// Invariant violations found (empty = verification passed).
+    pub violations: Vec<String>,
+    /// Whether the state cap truncated the search.
+    pub truncated: bool,
+}
+
+impl ExploreReport {
+    /// Whether the bounded verification passed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty() && !self.truncated
+    }
+}
+
+#[derive(Clone)]
+struct State {
+    nodes: Vec<HermesNode>,
+    inflight: Vec<(NodeId, NodeId, Msg)>,
+    timers: BTreeSet<(u32, Key)>,
+    next_script: usize,
+    drops_left: usize,
+    dups_left: usize,
+    timer_fires_left: usize,
+    crashed: bool,
+    clock: u64,
+    invokes: Vec<Option<u64>>,
+    replies: Vec<Option<(u64, Reply)>>,
+}
+
+/// The bounded model checker.
+#[derive(Debug)]
+pub struct Explorer {
+    cfg: ExploreConfig,
+}
+
+impl Explorer {
+    /// Creates an explorer for the given configuration.
+    pub fn new(cfg: ExploreConfig) -> Self {
+        Explorer { cfg }
+    }
+
+    /// Runs the exhaustive search.
+    pub fn run(&self) -> ExploreReport {
+        let view = MembershipView::initial(self.cfg.nodes);
+        let initial = State {
+            nodes: (0..self.cfg.nodes)
+                .map(|i| HermesNode::new(NodeId(i as u32), view, self.cfg.protocol))
+                .collect(),
+            inflight: Vec::new(),
+            timers: BTreeSet::new(),
+            next_script: 0,
+            drops_left: self.cfg.max_drops,
+            dups_left: self.cfg.max_dups,
+            timer_fires_left: self.cfg.max_timer_fires,
+            crashed: false,
+            clock: 0,
+            invokes: vec![None; self.cfg.script.len()],
+            replies: vec![None; self.cfg.script.len()],
+        };
+
+        let mut report = ExploreReport {
+            states: 0,
+            terminals: 0,
+            violations: Vec::new(),
+            truncated: false,
+        };
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut stack = vec![initial];
+
+        while let Some(state) = stack.pop() {
+            if report.states >= self.cfg.max_states {
+                report.truncated = true;
+                break;
+            }
+            if !report.violations.is_empty() {
+                break; // first counterexample is enough
+            }
+            let fp = fingerprint(&state);
+            if !visited.insert(fp) {
+                continue;
+            }
+            report.states += 1;
+
+            if let Some(v) = safety_violation(&state) {
+                report.violations.push(v);
+                break;
+            }
+
+            let mut successors = Vec::new();
+
+            // Issue the next scripted operation.
+            if state.next_script < self.cfg.script.len() {
+                let idx = state.next_script;
+                let s = &self.cfg.script[idx];
+                if !(state.crashed && Some(NodeId(s.node as u32)) == self.cfg.crash) {
+                    let mut next = state.clone();
+                    next.next_script += 1;
+                    next.clock += 1;
+                    next.invokes[idx] = Some(next.clock);
+                    let op_id = OpId::new(ClientId(idx as u64), 1);
+                    let mut fx = Vec::new();
+                    next.nodes[s.node].on_client_op(op_id, s.key, s.op.clone(), &mut fx);
+                    apply_effects(&mut next, s.node, fx, &self.cfg.script);
+                    successors.push(next);
+                } else {
+                    // Target node crashed: skip the op (never invoked).
+                    let mut next = state.clone();
+                    next.next_script += 1;
+                    successors.push(next);
+                }
+            }
+
+            // Deliver / drop / duplicate each in-flight message. Identical
+            // envelopes produce identical successors: branch only on the
+            // first occurrence of each distinct (from, to, msg).
+            let mut seen_env: HashSet<String> = HashSet::new();
+            for i in 0..state.inflight.len() {
+                let (from, to, ref m) = state.inflight[i];
+                if !seen_env.insert(format!("{from}>{to}:{m:?}")) {
+                    continue;
+                }
+                // Deliver.
+                let mut next = state.clone();
+                let (from, to, msg) = next.inflight.remove(i);
+                if !next.crashed || Some(to) != self.cfg.crash {
+                    next.clock += 1;
+                    let mut fx = Vec::new();
+                    next.nodes[to.index()].on_message(from, msg, &mut fx);
+                    apply_effects(&mut next, to.index(), fx, &self.cfg.script);
+                }
+                successors.push(next);
+
+                // Drop.
+                if state.drops_left > 0 {
+                    let mut next = state.clone();
+                    next.inflight.remove(i);
+                    next.drops_left -= 1;
+                    successors.push(next);
+                }
+                // Duplicate.
+                if state.dups_left > 0 {
+                    let mut next = state.clone();
+                    let dup = next.inflight[i].clone();
+                    next.inflight.push(dup);
+                    next.dups_left -= 1;
+                    successors.push(next);
+                }
+            }
+
+            // Fire an armed timer.
+            if state.timer_fires_left > 0 {
+                for &(node, key) in &state.timers {
+                    if state.crashed && Some(NodeId(node)) == self.cfg.crash {
+                        continue;
+                    }
+                    let mut next = state.clone();
+                    next.timer_fires_left -= 1;
+                    next.clock += 1;
+                    let mut fx = Vec::new();
+                    next.nodes[node as usize].on_mlt_timeout(key, &mut fx);
+                    apply_effects(&mut next, node as usize, fx, &self.cfg.script);
+                    successors.push(next);
+                }
+            }
+
+            // Crash + atomic reconfiguration.
+            if let Some(victim) = self.cfg.crash {
+                if !state.crashed {
+                    let mut next = state.clone();
+                    next.crashed = true;
+                    next.clock += 1;
+                    next.inflight.retain(|(f, t, _)| *f != victim && *t != victim);
+                    let new_view = view.without_node(victim);
+                    for i in 0..self.cfg.nodes {
+                        if i == victim.index() {
+                            continue;
+                        }
+                        let mut fx = Vec::new();
+                        next.nodes[i].on_membership_update(new_view, &mut fx);
+                        apply_effects(&mut next, i, fx, &self.cfg.script);
+                    }
+                    successors.push(next);
+                }
+            }
+
+            if successors.is_empty() || (state.next_script == self.cfg.script.len()
+                && state.inflight.is_empty())
+            {
+                // Terminal-ish: check convergence + linearizability after
+                // driving the system quiescent.
+                report.terminals += 1;
+                if let Some(v) = self.check_terminal(&state) {
+                    report.violations.push(v);
+                    break;
+                }
+            }
+
+            stack.extend(successors);
+        }
+        report
+    }
+
+    /// Drives a terminal state to quiescence (deliver everything, fire all
+    /// timers, repeat), then checks completion, convergence and per-key
+    /// linearizability.
+    fn check_terminal(&self, state: &State) -> Option<String> {
+        let mut s = state.clone();
+        for _ in 0..32 {
+            let mut progressed = false;
+            while !s.inflight.is_empty() {
+                let (from, to, msg) = s.inflight.remove(0);
+                if s.crashed && Some(to) == self.cfg.crash {
+                    continue;
+                }
+                s.clock += 1;
+                let mut fx = Vec::new();
+                s.nodes[to.index()].on_message(from, msg, &mut fx);
+                apply_effects(&mut s, to.index(), fx, &self.cfg.script);
+                progressed = true;
+            }
+            let timers: Vec<(u32, Key)> = s.timers.iter().copied().collect();
+            for (node, key) in timers {
+                if s.crashed && Some(NodeId(node)) == self.cfg.crash {
+                    continue;
+                }
+                s.clock += 1;
+                let mut fx = Vec::new();
+                s.nodes[node as usize].on_mlt_timeout(key, &mut fx);
+                apply_effects(&mut s, node as usize, fx, &self.cfg.script);
+                if !s.inflight.is_empty() {
+                    progressed = true;
+                }
+            }
+            if !progressed && s.inflight.is_empty() {
+                break;
+            }
+        }
+        if let Some(v) = safety_violation(&s) {
+            return Some(format!("post-quiescence: {v}"));
+        }
+
+        // Completion: every op issued at a surviving node must have a reply.
+        for (idx, script) in self.cfg.script.iter().enumerate() {
+            let issued = s.invokes[idx].is_some();
+            let node_dead = s.crashed && Some(NodeId(script.node as u32)) == self.cfg.crash;
+            if issued && !node_dead && s.replies[idx].is_none() {
+                return Some(format!(
+                    "liveness: op {idx} ({script:?}) never completed at quiescence"
+                ));
+            }
+        }
+
+        // Convergence: operational nodes agree per key.
+        let keys: BTreeSet<Key> = self.cfg.script.iter().map(|s| s.key).collect();
+        let live: Vec<&HermesNode> = s.nodes.iter().filter(|n| n.is_operational()).collect();
+        for &key in &keys {
+            // Keys can stay lazily Invalid only when requests are absent;
+            // after quiescence driving with timer fires, a key touched by
+            // the script with a waiting request must be Valid, and values
+            // must agree among Valid holders.
+            let valid_states: Vec<_> = live
+                .iter()
+                .filter(|n| n.key_state(key) == hermes_core::KeyState::Valid)
+                .map(|n| (n.key_ts(key), n.key_value(key)))
+                .collect();
+            for w in valid_states.windows(2) {
+                if w[0] != w[1] {
+                    return Some(format!("divergence on {key}: {:?} vs {:?}", w[0], w[1]));
+                }
+            }
+        }
+
+        // Linearizability, per key (compositional).
+        for &key in &keys {
+            let history = build_history(&self.cfg.script, &s, key);
+            if !check_linearizable(&history) {
+                return Some(format!(
+                    "linearizability violation on {key}: history {history:?}"
+                ));
+            }
+        }
+        None
+    }
+}
+
+fn apply_effects(state: &mut State, at: usize, fx: Vec<Effect<Msg>>, script: &[ScriptOp]) {
+    let me = NodeId(at as u32);
+    let view = state.nodes[at].view();
+    for e in fx {
+        match e {
+            Effect::Send { to, msg } => state.inflight.push((me, to, msg)),
+            Effect::Broadcast { msg } => {
+                for to in view.broadcast_set(me) {
+                    state.inflight.push((me, to, msg.clone()));
+                }
+            }
+            Effect::Reply { op, reply } => {
+                let idx = op.client.0 as usize;
+                if idx < script.len() && state.replies[idx].is_none() {
+                    state.clock += 1;
+                    state.replies[idx] = Some((state.clock, reply));
+                }
+            }
+            Effect::ArmTimer { key } => {
+                state.timers.insert((at as u32, key));
+            }
+            Effect::DisarmTimer { key } => {
+                state.timers.remove(&(at as u32, key));
+            }
+        }
+    }
+}
+
+/// The cross-state safety invariant: two replicas holding the same
+/// timestamp for a key must hold the same value (unique global write order,
+/// paper §3.1).
+fn safety_violation(state: &State) -> Option<String> {
+    for (i, a) in state.nodes.iter().enumerate() {
+        for b in state.nodes.iter().skip(i + 1) {
+            for (key, ea) in a.entries() {
+                let ts_b = b.key_ts(*key);
+                if ts_b == ea.ts && ea.ts != hermes_core::Ts::ZERO {
+                    let vb = b.key_value(*key);
+                    if vb != ea.value {
+                        return Some(format!(
+                            "divergent values for {key} at ts {:?}: {:?} vs {:?}",
+                            ea.ts, ea.value, vb
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn build_history(script: &[ScriptOp], state: &State, key: Key) -> Vec<HistoryOp> {
+    let mut out = Vec::new();
+    for (idx, s) in script.iter().enumerate() {
+        if s.key != key {
+            continue;
+        }
+        let Some(invoke) = state.invokes[idx] else {
+            continue; // never issued (crashed target)
+        };
+        let reply = state.replies[idx].clone();
+        let (response, outcome, observed) = match &reply {
+            Some((t, r)) => match r {
+                // An RmwAborted reply is advisory: the explorer fires
+                // spurious timers, so a replayer may have committed the RMW
+                // the coordinator aborted (§3.6 guarantees at-most-one
+                // concurrent RMW commits, not abort finality).
+                Reply::RmwAborted => (*t, Outcome::Indeterminate, None),
+                Reply::NotOperational => (*t, Outcome::Indeterminate, None),
+                other => (*t, Outcome::Completed, Some(other.clone())),
+            },
+            None => (u64::MAX, Outcome::Indeterminate, None),
+        };
+        let kind = match (&s.op, observed) {
+            (ClientOp::Read, Some(Reply::ReadOk(v))) => OpKind::Read {
+                returned: v.to_u64(),
+            },
+            (ClientOp::Read, _) => OpKind::Read { returned: None },
+            (ClientOp::Write(v), _) => OpKind::Write {
+                value: v.to_u64().unwrap_or(0),
+            },
+            (ClientOp::Rmw(RmwOp::FetchAdd { delta }), Some(Reply::RmwOk { prior })) => {
+                OpKind::FetchAdd {
+                    delta: *delta,
+                    prior: prior.to_u64(),
+                }
+            }
+            (ClientOp::Rmw(RmwOp::FetchAdd { delta }), _) => OpKind::FetchAdd {
+                delta: *delta,
+                prior: None,
+            },
+            (ClientOp::Rmw(RmwOp::CompareAndSwap { expect, new }), observed) => match observed {
+                Some(Reply::CasFailed { current }) => OpKind::CasFailed {
+                    expect: expect.to_u64().unwrap_or(0),
+                    current: current.to_u64(),
+                },
+                _ => OpKind::CasOk {
+                    expect: expect.to_u64().unwrap_or(0),
+                    new: new.to_u64().unwrap_or(0),
+                },
+            },
+        };
+        // Unissued/incomplete reads impose no constraints; skip them.
+        if outcome != Outcome::Completed && matches!(kind, OpKind::Read { .. }) {
+            continue;
+        }
+        out.push(HistoryOp {
+            invoke,
+            response,
+            kind,
+            outcome,
+        });
+    }
+    out
+}
+
+fn fingerprint(state: &State) -> u64 {
+    let mut h = DefaultHasher::new();
+    for node in &state.nodes {
+        // Hash only protocol-relevant state: per-key entries, the view and
+        // operational flag — NOT the node's statistics counters, which grow
+        // monotonically and would make every state unique.
+        node.is_operational().hash(&mut h);
+        format!("{:?}", node.view()).hash(&mut h);
+        for (key, entry) in node.entries() {
+            format!("{key:?}={entry:?}").hash(&mut h);
+        }
+    }
+    let mut msgs: Vec<String> = state
+        .inflight
+        .iter()
+        .map(|(f, t, m)| format!("{f}>{t}:{m:?}"))
+        .collect();
+    msgs.sort();
+    msgs.hash(&mut h);
+    state.timers.hash(&mut h);
+    state.next_script.hash(&mut h);
+    state.drops_left.hash(&mut h);
+    state.dups_left.hash(&mut h);
+    state.timer_fires_left.hash(&mut h);
+    state.crashed.hash(&mut h);
+    // History equivalence: what matters for the future and for the
+    // linearizability verdict is (a) which ops were issued and answered and
+    // with what results, and (b) the real-time precedence relation between
+    // ops — not the absolute logical-clock stamps. Hashing the precedence
+    // matrix instead of raw clocks collapses interleavings that differ only
+    // in irrelevant timing, keeping the search tractable.
+    for (i, r) in state.replies.iter().enumerate() {
+        i.hash(&mut h);
+        state.invokes[i].is_some().hash(&mut h);
+        match r {
+            Some((_, reply)) => format!("{reply:?}").hash(&mut h),
+            None => "pending".hash(&mut h),
+        }
+    }
+    for (i, r) in state.replies.iter().enumerate() {
+        if let Some((rt, _)) = r {
+            for (j, inv) in state.invokes.iter().enumerate() {
+                if let Some(it) = inv {
+                    ((i, j), rt < it).hash(&mut h);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Debug builds explore ~20x slower; exhaustiveness at full bounds is
+    /// exercised by release runs (`cargo test --release -p hermes-model`).
+    fn budget(release_states: usize) -> usize {
+        if cfg!(debug_assertions) {
+            60_000
+        } else {
+            release_states
+        }
+    }
+
+    fn check(report: &ExploreReport) {
+        assert!(
+            report.violations.is_empty(),
+            "violations: {:?}",
+            report.violations
+        );
+        if cfg!(debug_assertions) {
+            // Truncation acceptable under the reduced debug budget.
+        } else {
+            assert!(!report.truncated, "state cap hit in release mode");
+        }
+    }
+
+    fn w(node: usize, key: u64, value: u64) -> ScriptOp {
+        ScriptOp {
+            node,
+            key: Key(key),
+            op: ClientOp::Write(Value::from_u64(value)),
+        }
+    }
+
+    fn r(node: usize, key: u64) -> ScriptOp {
+        ScriptOp {
+            node,
+            key: Key(key),
+            op: ClientOp::Read,
+        }
+    }
+
+    fn rmw(node: usize, key: u64, delta: u64) -> ScriptOp {
+        ScriptOp {
+            node,
+            key: Key(key),
+            op: ClientOp::Rmw(RmwOp::FetchAdd { delta }),
+        }
+    }
+
+    #[test]
+    fn single_write_all_interleavings() {
+        let report = Explorer::new(ExploreConfig {
+            nodes: 3,
+            script: vec![w(0, 1, 7), r(1, 1), r(2, 1)],
+            max_states: budget(1_000_000),
+            ..Default::default()
+        })
+        .run();
+        check(&report);
+        assert!(report.states > 10);
+        assert!(report.terminals > 0);
+    }
+
+    #[test]
+    fn concurrent_writes_two_nodes() {
+        let report = Explorer::new(ExploreConfig {
+            nodes: 3,
+            script: vec![w(0, 1, 1), w(2, 1, 3), r(1, 1)],
+            max_states: budget(1_000_000),
+            ..Default::default()
+        })
+        .run();
+        check(&report);
+    }
+
+    #[test]
+    fn write_with_message_drops_and_duplicates() {
+        let report = Explorer::new(ExploreConfig {
+            nodes: 3,
+            script: vec![w(0, 1, 5), r(1, 1)],
+            max_drops: 1,
+            max_dups: 1,
+            max_timer_fires: 3,
+            max_states: budget(1_000_000),
+            ..Default::default()
+        })
+        .run();
+        check(&report);
+    }
+
+    #[test]
+    fn crash_of_coordinator_with_replay() {
+        let report = Explorer::new(ExploreConfig {
+            nodes: 3,
+            script: vec![w(2, 1, 9), r(0, 1), r(1, 1)],
+            crash: Some(NodeId(2)),
+            max_timer_fires: 3,
+            max_states: budget(1_000_000),
+            ..Default::default()
+        })
+        .run();
+        check(&report);
+    }
+
+    #[test]
+    fn rmw_and_write_race() {
+        let report = Explorer::new(ExploreConfig {
+            nodes: 3,
+            script: vec![rmw(1, 1, 10), w(2, 1, 6), r(0, 1)],
+            max_timer_fires: 1,
+            max_states: budget(1_000_000),
+            ..Default::default()
+        })
+        .run();
+        check(&report);
+    }
+
+    #[test]
+    fn o3_configuration_is_also_safe() {
+        let report = Explorer::new(ExploreConfig {
+            nodes: 3,
+            script: vec![w(0, 1, 1), w(1, 1, 2), r(2, 1)],
+            protocol: ProtocolConfig {
+                broadcast_acks: true,
+                ..ProtocolConfig::default()
+            },
+            max_timer_fires: 1,
+            max_states: budget(3_000_000),
+            ..Default::default()
+        })
+        .run();
+        check(&report);
+    }
+
+    #[test]
+    fn two_keys_are_independent() {
+        let report = Explorer::new(ExploreConfig {
+            nodes: 2,
+            script: vec![w(0, 1, 1), w(1, 2, 2), r(0, 2), r(1, 1)],
+            max_states: budget(1_000_000),
+            ..Default::default()
+        })
+        .run();
+        check(&report);
+    }
+
+    #[test]
+    fn detects_planted_bug() {
+        // Sanity-check the checker itself: a script whose history we corrupt
+        // must be flagged. We simulate by checking a bogus history directly.
+        let history = vec![
+            HistoryOp {
+                invoke: 0,
+                response: 1,
+                kind: OpKind::Write { value: 1 },
+                outcome: Outcome::Completed,
+            },
+            HistoryOp {
+                invoke: 2,
+                response: 3,
+                kind: OpKind::Read { returned: Some(9) },
+                outcome: Outcome::Completed,
+            },
+        ];
+        assert!(!check_linearizable(&history));
+    }
+}

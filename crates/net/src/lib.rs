@@ -1,0 +1,37 @@
+//! Network substrates for the Hermes reproduction.
+//!
+//! The paper runs over RDMA UD (unreliable datagrams): messages may be
+//! dropped, duplicated and reordered, and the protocol is explicitly designed
+//! to tolerate all three (paper §3.4). This crate provides two stand-ins that
+//! preserve exactly that service model (see DESIGN.md §1):
+//!
+//! * [`SimNet`] — a deterministic *policy object* for discrete-event
+//!   simulations: given a send, it decides delivery times (latency + jitter +
+//!   per-NIC bandwidth serialization), drops, duplicates and partitions, all
+//!   from a seeded RNG so that runs reproduce exactly.
+//! * [`InProcNet`] — a real multi-threaded transport over crossbeam channels
+//!   for in-process clusters (used by examples and integration tests), with
+//!   optional probabilistic fault injection.
+//!
+//! # Examples
+//!
+//! ```
+//! use hermes_common::NodeId;
+//! use hermes_net::{DeliveryOutcome, SimNet, SimNetConfig};
+//! use hermes_sim::SimTime;
+//!
+//! let mut net = SimNet::new(5, SimNetConfig::default(), 42);
+//! match net.plan_delivery(NodeId(0), NodeId(1), 64, SimTime::ZERO) {
+//!     DeliveryOutcome::Deliver(at) => assert!(at > SimTime::ZERO),
+//!     other => panic!("lossless default config must deliver: {other:?}"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod inproc;
+mod simnet;
+
+pub use inproc::{InProcEndpoint, InProcNet, NetFaults};
+pub use simnet::{DeliveryOutcome, SimNet, SimNetConfig};

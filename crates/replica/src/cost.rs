@@ -1,0 +1,96 @@
+/// CPU cost model of one replica node (see DESIGN.md §1).
+///
+/// The paper's testbed is 5–7 machines with 20-core Xeons running a
+/// MICA-class KVS over RDMA; its throughput and latency curves are queueing
+/// phenomena produced by per-request CPU work, per-message CPU work and the
+/// NIC. The simulator reproduces those curves by charging each work item the
+/// costs below against a pool of worker "servers" per node. The defaults are
+/// calibrated so that the 5-node read-only aggregate matches the paper's
+/// ~985 MReq/s (uniform) anchor point; all other numbers *emerge*.
+///
+/// Skew (Figure 5b) raises read-only throughput to ~4183 MReq/s purely from
+/// hardware cache locality on hot keys — a CPU effect orthogonal to the
+/// protocol — modelled here by a cheaper read cost for the hottest keys.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// CPU time to serve a local read (request decode + KVS lookup + reply).
+    pub read_ns: u64,
+    /// CPU time to execute an update at its coordinator (KVS write +
+    /// protocol bookkeeping), excluding per-message costs.
+    pub update_ns: u64,
+    /// CPU time to process one incoming protocol message.
+    pub msg_recv_ns: u64,
+    /// CPU time to emit one protocol message (already amortized over Wings
+    /// opportunistic batching and doorbell batching, paper §4.2).
+    pub msg_send_ns: u64,
+    /// CPU time to handle a timer expiry.
+    pub timer_ns: u64,
+    /// CPU time per payload byte touched when sending or receiving a
+    /// message (memcpy/PCIe analog; makes large objects CPU-costly, the
+    /// effect that narrows Hermes' Figure-8 advantage at 1 KiB).
+    pub per_byte_ns: f64,
+    /// Read cost for cache-resident hot keys (skewed workloads only).
+    pub hot_read_ns: u64,
+    /// Number of hottest ranks treated as cache-resident.
+    pub hot_ranks: u64,
+}
+
+impl CostModel {
+    /// Calibrated for the paper's uniform workloads: 5 nodes × 20 workers
+    /// at ~100 ns/read ≈ 1 GReq/s aggregate read-only, matching §6.1.
+    pub fn uniform() -> Self {
+        CostModel {
+            read_ns: 100,
+            update_ns: 120,
+            msg_recv_ns: 70,
+            msg_send_ns: 60,
+            per_byte_ns: 0.15,
+            timer_ns: 50,
+            hot_read_ns: 100, // no cache effect modelled under uniform access
+            hot_ranks: 0,
+        }
+    }
+
+    /// Calibrated for the paper's zipf-0.99 workloads: hot keys hit in
+    /// cache, lifting read-only throughput ~4.2× (Figure 5b's 4183 vs 985
+    /// MReq/s anchor).
+    pub fn skewed() -> Self {
+        CostModel {
+            hot_read_ns: 12,
+            hot_ranks: 131_072,
+            ..CostModel::uniform()
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::uniform()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_anchor_point() {
+        // 5 nodes * 20 workers / 100ns = 1e9 reads/s — the calibration
+        // target for the paper's 985 MReq/s read-only point.
+        let c = CostModel::uniform();
+        let aggregate = 5.0 * 20.0 / (c.read_ns as f64 * 1e-9);
+        assert!((aggregate - 1.0e9).abs() / 1.0e9 < 0.05);
+        assert_eq!(c.hot_ranks, 0, "no cache modelling under uniform");
+    }
+
+    #[test]
+    fn skewed_speedup_is_about_4x() {
+        let c = CostModel::skewed();
+        // With ~80% of zipf-0.99 accesses hitting the hot set, the average
+        // read cost is ~0.8*12 + 0.2*100 ≈ 29.6ns → ~3.4–4.5x speedup.
+        let hot_share = 0.8;
+        let avg = hot_share * c.hot_read_ns as f64 + (1.0 - hot_share) * c.read_ns as f64;
+        let speedup = c.read_ns as f64 / avg;
+        assert!(speedup > 3.0 && speedup < 5.0, "speedup {speedup}");
+    }
+}

@@ -1,0 +1,27 @@
+//! # hermes-replica — cluster runtimes
+//!
+//! Binds protocol state machines (Hermes and the baselines) to the
+//! substrates: networks, stores, membership and workloads. Two runtimes are
+//! provided (DESIGN.md §3.3):
+//!
+//! * [`run_sim`] — a deterministic discrete-event cluster: N nodes × W
+//!   worker servers with a calibrated [`CostModel`], closed-loop client
+//!   sessions, the `hermes-net` fault-injecting network, optional reliable
+//!   membership and crash injection, producing throughput/latency
+//!   [`RunReport`]s. Every figure of the paper's evaluation is regenerated
+//!   through this entry point.
+//! * [`ThreadCluster`] — a real multi-threaded Hermes deployment in one
+//!   process: replica threads exchanging Wings-framed datagrams over
+//!   crossbeam channels, with per-node seqlock KVS mirrors serving
+//!   lock-free local reads (the HermesKV architecture of paper §4).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cost;
+mod simrun;
+mod threaded;
+
+pub use cost::CostModel;
+pub use simrun::{run_sim, RunReport, SimConfig};
+pub use threaded::ThreadCluster;

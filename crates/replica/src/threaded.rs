@@ -1,0 +1,437 @@
+//! A real multi-threaded Hermes cluster: one OS thread per replica, Wings
+//! framing over the in-process datagram network, and a seqlock KVS mirror
+//! per node for lock-free local reads (the HermesKV architecture of paper
+//! §4 at in-process scale).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hermes_common::{
+    ClientId, ClientOp, Effect, Key, MembershipView, NodeId, OpId, Reply, RmwOp, Value,
+};
+use hermes_core::{HermesNode, KeyState, ProtocolConfig};
+use hermes_net::{InProcEndpoint, InProcNet, NetFaults};
+use hermes_store::{SlotMeta, SlotState, Store, StoreConfig};
+use hermes_wings::{codec, decode_frame, Batcher};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+enum Command {
+    Op {
+        op: OpId,
+        key: Key,
+        cop: ClientOp,
+        reply: Sender<Reply>,
+    },
+    InstallView(MembershipView),
+    Shutdown,
+}
+
+/// Handle to a running threaded Hermes cluster.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_common::{Key, Reply, Value};
+/// use hermes_core::ProtocolConfig;
+/// use hermes_replica::ThreadCluster;
+///
+/// let cluster = ThreadCluster::start(3, ProtocolConfig::default());
+/// let reply = cluster.write(0, Key(1), Value::from_u64(42));
+/// assert_eq!(reply, Reply::WriteOk);
+/// assert_eq!(cluster.read(2, Key(1)), Reply::ReadOk(Value::from_u64(42)));
+/// cluster.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct ThreadCluster {
+    handles: Vec<JoinHandle<()>>,
+    commands: Vec<Sender<Command>>,
+    stores: Vec<Arc<Store>>,
+    next_seq: AtomicU64,
+    running: Arc<AtomicBool>,
+}
+
+impl ThreadCluster {
+    /// Starts `n` replica threads with a fault-free network.
+    pub fn start(n: usize, cfg: ProtocolConfig) -> Self {
+        Self::start_with_faults(n, cfg, NetFaults::default(), 0)
+    }
+
+    /// Starts `n` replica threads with probabilistic network faults.
+    ///
+    /// Hermes absorbs loss and duplication via its message-loss timeouts
+    /// (paper §3.4); the cluster keeps making progress, just slower.
+    pub fn start_with_faults(n: usize, cfg: ProtocolConfig, faults: NetFaults, seed: u64) -> Self {
+        let endpoints = InProcNet::with_faults(n, faults, seed).into_endpoints();
+        let running = Arc::new(AtomicBool::new(true));
+        let view = MembershipView::initial(n);
+        let stores: Vec<Arc<Store>> = (0..n)
+            .map(|_| Arc::new(Store::new(StoreConfig::default())))
+            .collect();
+        let mut commands = Vec::new();
+        let mut handles = Vec::new();
+        for (i, ep) in endpoints.into_iter().enumerate() {
+            let (tx, rx) = unbounded();
+            commands.push(tx);
+            let store = Arc::clone(&stores[i]);
+            let running = Arc::clone(&running);
+            let node = HermesNode::new(NodeId(i as u32), view, cfg);
+            handles.push(std::thread::spawn(move || {
+                replica_main(node, ep, store, rx, running);
+            }));
+        }
+        ThreadCluster {
+            handles,
+            commands,
+            stores,
+            next_seq: AtomicU64::new(0),
+            running,
+        }
+    }
+
+    fn submit(&self, node: usize, key: Key, cop: ClientOp) -> Reply {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let op = OpId::new(ClientId(node as u64), seq);
+        let (tx, rx) = unbounded();
+        self.commands[node]
+            .send(Command::Op {
+                op,
+                key,
+                cop,
+                reply: tx,
+            })
+            .expect("replica thread alive");
+        rx.recv_timeout(Duration::from_secs(10))
+            .unwrap_or(Reply::NotOperational)
+    }
+
+    /// Linearizable write through replica `node`.
+    pub fn write(&self, node: usize, key: Key, value: Value) -> Reply {
+        self.submit(node, key, ClientOp::Write(value))
+    }
+
+    /// Linearizable read through replica `node`.
+    pub fn read(&self, node: usize, key: Key) -> Reply {
+        self.submit(node, key, ClientOp::Read)
+    }
+
+    /// Read-modify-write through replica `node`.
+    pub fn rmw(&self, node: usize, key: Key, rmw: RmwOp) -> Reply {
+        self.submit(node, key, ClientOp::Rmw(rmw))
+    }
+
+    /// Lock-free local read straight from `node`'s seqlock KVS mirror,
+    /// bypassing the protocol thread — the CRCW fast path of paper §4.1.
+    ///
+    /// Returns `None` when the key is invalidated (a protocol read would
+    /// stall) — fall back to [`ThreadCluster::read`] in that case.
+    pub fn read_local(&self, node: usize, key: Key) -> Option<Value> {
+        let mut buf = Vec::new();
+        match self.stores[node].get(key, &mut buf) {
+            None => Some(Value::EMPTY),
+            Some(meta) if meta.state == SlotState::Valid => Some(Value::from(buf)),
+            Some(_) => None,
+        }
+    }
+
+    /// Installs a membership view on every replica (driving reconfiguration
+    /// scenarios from tests).
+    pub fn install_view(&self, view: MembershipView) {
+        for tx in &self.commands {
+            let _ = tx.send(Command::InstallView(view));
+        }
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Whether the cluster has no replicas (never true for a started one).
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Stops all replica threads and waits for them.
+    pub fn shutdown(mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        for tx in &self.commands {
+            let _ = tx.send(Command::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ThreadCluster {
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        for tx in &self.commands {
+            let _ = tx.send(Command::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The replica event loop: drain the network, drain client commands, expire
+/// timers, run the protocol state machine, mirror committed state into the
+/// seqlock store, and ship effects through the Wings batcher.
+fn replica_main(
+    mut node: HermesNode,
+    ep: InProcEndpoint,
+    store: Arc<Store>,
+    commands: Receiver<Command>,
+    running: Arc<AtomicBool>,
+) {
+    const MLT: Duration = Duration::from_millis(25);
+    let mut batcher = Batcher::new(1400, 32);
+    let mut fx = Vec::new();
+    let mut timers: HashMap<Key, Instant> = HashMap::new();
+    let mut clients: HashMap<OpId, Sender<Reply>> = HashMap::new();
+    let me = node.node_id();
+
+    while running.load(Ordering::Relaxed) {
+        let mut worked = false;
+
+        // Network ingress (bounded batch per iteration).
+        for _ in 0..64 {
+            let Some((from, frame)) = ep.try_recv() else {
+                break;
+            };
+            worked = true;
+            let Ok(msgs) = decode_frame(&frame) else {
+                continue;
+            };
+            for raw in msgs {
+                if let Ok(msg) = codec::decode(&raw) {
+                    let key = msg.key();
+                    node.on_message(from, msg, &mut fx);
+                    drain_effects(&mut node, &mut fx, &store, &mut batcher, &mut timers, &mut clients, key);
+                }
+            }
+        }
+
+        // Client commands.
+        for _ in 0..64 {
+            let Ok(cmd) = commands.try_recv() else {
+                break;
+            };
+            worked = true;
+            match cmd {
+                Command::Op {
+                    op,
+                    key,
+                    cop,
+                    reply,
+                } => {
+                    clients.insert(op, reply);
+                    node.on_client_op(op, key, cop, &mut fx);
+                    drain_effects(&mut node, &mut fx, &store, &mut batcher, &mut timers, &mut clients, key);
+                }
+                Command::InstallView(view) => {
+                    node.on_membership_update(view, &mut fx);
+                    // Membership effects may touch many keys; use Key(0) as
+                    // the mirror hint and rely on per-key mirroring below.
+                    drain_effects(&mut node, &mut fx, &store, &mut batcher, &mut timers, &mut clients, Key(0));
+                }
+                Command::Shutdown => return,
+            }
+        }
+
+        // Timer expiry.
+        let now = Instant::now();
+        let expired: Vec<Key> = timers
+            .iter()
+            .filter(|(_, &t)| now.duration_since(t) >= MLT)
+            .map(|(&k, _)| k)
+            .collect();
+        for key in expired {
+            worked = true;
+            timers.insert(key, now);
+            node.on_mlt_timeout(key, &mut fx);
+            drain_effects(&mut node, &mut fx, &store, &mut batcher, &mut timers, &mut clients, key);
+        }
+
+        // Flush outstanding frames (opportunistic batching: never hold).
+        for (to, frame) in batcher.flush_all() {
+            ep.send(to, frame);
+        }
+
+        if !worked {
+            // Idle: block briefly on the network to avoid spinning.
+            if let Some((from, frame)) = ep.recv_timeout(Duration::from_millis(1)) {
+                if let Ok(msgs) = decode_frame(&frame) {
+                    for raw in msgs {
+                        if let Ok(msg) = codec::decode(&raw) {
+                            let key = msg.key();
+                            node.on_message(from, msg, &mut fx);
+                            drain_effects(&mut node, &mut fx, &store, &mut batcher, &mut timers, &mut clients, key);
+                        }
+                    }
+                }
+                for (to, frame) in batcher.flush_all() {
+                    ep.send(to, frame);
+                }
+            }
+        }
+    }
+    let _ = me;
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drain_effects(
+    node: &mut HermesNode,
+    fx: &mut Vec<Effect<hermes_core::Msg>>,
+    store: &Arc<Store>,
+    batcher: &mut Batcher,
+    timers: &mut HashMap<Key, Instant>,
+    clients: &mut HashMap<OpId, Sender<Reply>>,
+    touched: Key,
+) {
+    let peers: Vec<NodeId> = node
+        .view()
+        .broadcast_set(node.node_id())
+        .iter()
+        .collect();
+    for e in fx.drain(..) {
+        match e {
+            Effect::Send { to, msg } => {
+                let encoded = codec::encode(&msg);
+                batcher.push(to, &encoded);
+            }
+            Effect::Broadcast { msg } => {
+                let encoded = codec::encode(&msg);
+                for &to in &peers {
+                    batcher.push(to, &encoded);
+                }
+            }
+            Effect::Reply { op, reply } => {
+                if let Some(tx) = clients.remove(&op) {
+                    let _ = tx.send(reply);
+                }
+            }
+            Effect::ArmTimer { key } => {
+                timers.insert(key, Instant::now());
+            }
+            Effect::DisarmTimer { key } => {
+                timers.remove(&key);
+            }
+        }
+    }
+    // Mirror the touched key's protocol state into the seqlock KVS so other
+    // threads can serve lock-free local reads (paper §4.1).
+    let state = node.key_state(touched);
+    let ts = node.key_ts(touched);
+    let meta = if state == KeyState::Valid {
+        SlotMeta::valid(ts.version, ts.cid)
+    } else {
+        SlotMeta::invalid(ts.version, ts.cid)
+    };
+    store.put(touched, meta, node.key_value(touched).as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_across_threads() {
+        let cluster = ThreadCluster::start(3, ProtocolConfig::default());
+        assert_eq!(cluster.len(), 3);
+        assert_eq!(cluster.write(0, Key(1), Value::from_u64(7)), Reply::WriteOk);
+        for node in 0..3 {
+            assert_eq!(
+                cluster.read(node, Key(1)),
+                Reply::ReadOk(Value::from_u64(7)),
+                "node {node}"
+            );
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn lock_free_local_reads_see_committed_values() {
+        let cluster = ThreadCluster::start(3, ProtocolConfig::default());
+        cluster.write(1, Key(5), Value::from_u64(9));
+        // The protocol read guarantees commitment; afterwards the seqlock
+        // mirror on the coordinator serves the value lock-free.
+        assert_eq!(cluster.read(1, Key(5)), Reply::ReadOk(Value::from_u64(9)));
+        assert_eq!(cluster.read_local(1, Key(5)), Some(Value::from_u64(9)));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_writers_from_all_nodes() {
+        let cluster = Arc::new(ThreadCluster::start(3, ProtocolConfig::default()));
+        let mut joins = Vec::new();
+        for node in 0..3usize {
+            let c = Arc::clone(&cluster);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let r = c.write(node, Key(i % 8), Value::from_u64(node as u64 * 1000 + i));
+                    assert_eq!(r, Reply::WriteOk);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        // All replicas converge per key.
+        for k in 0..8u64 {
+            let v0 = cluster.read(0, Key(k));
+            let v1 = cluster.read(1, Key(k));
+            let v2 = cluster.read(2, Key(k));
+            assert_eq!(v0, v1, "k{k}");
+            assert_eq!(v1, v2, "k{k}");
+        }
+        match Arc::try_unwrap(cluster) {
+            Ok(c) => c.shutdown(),
+            Err(_) => panic!("cluster still shared"),
+        }
+    }
+
+    #[test]
+    fn rmw_cas_over_threads() {
+        let cluster = ThreadCluster::start(3, ProtocolConfig::default());
+        cluster.write(0, Key(1), Value::from_u64(0));
+        let r = cluster.rmw(
+            1,
+            Key(1),
+            RmwOp::CompareAndSwap {
+                expect: Value::from_u64(0),
+                new: Value::from_u64(1),
+            },
+        );
+        assert!(matches!(r, Reply::RmwOk { .. }), "got {r:?}");
+        assert_eq!(cluster.read(2, Key(1)), Reply::ReadOk(Value::from_u64(1)));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn progress_under_lossy_network() {
+        // 20% loss + 10% duplication: mlt retransmissions and replays keep
+        // the cluster live (paper §3.4).
+        let cluster = ThreadCluster::start_with_faults(
+            3,
+            ProtocolConfig::default(),
+            NetFaults {
+                drop_prob: 0.2,
+                duplicate_prob: 0.1,
+            },
+            42,
+        );
+        for i in 0..10u64 {
+            let r = cluster.write((i % 3) as usize, Key(i), Value::from_u64(i));
+            assert_eq!(r, Reply::WriteOk, "write {i} failed under loss");
+        }
+        for i in 0..10u64 {
+            let r = cluster.read(((i + 1) % 3) as usize, Key(i));
+            assert_eq!(r, Reply::ReadOk(Value::from_u64(i)), "read {i} under loss");
+        }
+        cluster.shutdown();
+    }
+}

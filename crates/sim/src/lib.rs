@@ -1,0 +1,39 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! The Hermes paper evaluates the protocol on a 7-machine RDMA cluster. This
+//! workspace reproduces the evaluation on a *simulated* cluster, so the
+//! simulation substrate itself must be built from scratch (see DESIGN.md §1).
+//! This crate provides the three pieces everything else stands on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time;
+//! * [`Scheduler`] — a cancellable future-event list (the heart of any
+//!   discrete-event simulator);
+//! * [`rng`] — seedable, version-stable pseudo-randomness (SplitMix64 and
+//!   xoshiro256\*\*), so every experiment is reproducible bit-for-bit;
+//! * [`stats`] — log-bucketed latency histograms and throughput timelines
+//!   used to regenerate the paper's latency/throughput figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use hermes_sim::{Scheduler, SimDuration};
+//!
+//! let mut sched: Scheduler<&'static str> = Scheduler::new();
+//! sched.schedule(SimDuration::micros(3), "b");
+//! sched.schedule(SimDuration::micros(1), "a");
+//! let (t, _, ev) = sched.pop().unwrap();
+//! assert_eq!(ev, "a");
+//! assert_eq!(t.as_nanos(), 1_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod rng;
+pub mod stats;
+
+mod scheduler;
+mod time;
+
+pub use scheduler::{EventId, Scheduler};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,301 @@
+use crate::{SimDuration, SimTime};
+use core::fmt;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle to a scheduled event, usable for cancellation.
+///
+/// Ids are unique within one [`Scheduler`] and never reused.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+/// The future-event list of a discrete-event simulation.
+///
+/// Events carry an arbitrary payload `E` and fire in timestamp order; ties
+/// break by insertion order, which keeps runs deterministic. Cancellation is
+/// lazy: cancelled ids are skipped when popped, so `cancel` is O(1).
+///
+/// # Examples
+///
+/// ```
+/// use hermes_sim::{Scheduler, SimDuration};
+///
+/// let mut sched = Scheduler::new();
+/// let a = sched.schedule(SimDuration::micros(1), "timeout");
+/// sched.schedule(SimDuration::micros(2), "deliver");
+/// sched.cancel(a);
+/// let (_, _, ev) = sched.pop().unwrap();
+/// assert_eq!(ev, "deliver");
+/// assert!(sched.pop().is_none());
+/// ```
+pub struct Scheduler<E> {
+    now: SimTime,
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<EventId>,
+    next_id: u64,
+    live: usize,
+}
+
+struct Entry<E> {
+    at: SimTime,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Primary: time. Secondary: insertion id, for deterministic ties.
+        (self.at, self.id).cmp(&(other.at, other.id))
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+            live: 0,
+        }
+    }
+
+    /// The current virtual time (the timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimDuration, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time: the past cannot be
+    /// rescheduled in a discrete-event simulation.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule an event in the past (now {:?}, requested {:?})",
+            self.now,
+            at
+        );
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Reverse(Entry { at, id, payload }));
+        self.live += 1;
+        id
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancelling an id that already fired (or was already cancelled) is a
+    /// no-op; this makes timer management in protocol drivers forgiving.
+    pub fn cancel(&mut self, id: EventId) {
+        if id.0 < self.next_id && self.cancelled.insert(id) {
+            self.live = self.live.saturating_sub(1);
+        }
+    }
+
+    /// Pops the next event, advancing virtual time to its timestamp.
+    ///
+    /// Returns `None` when no live events remain.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            self.live -= 1;
+            debug_assert!(entry.at >= self.now);
+            self.now = entry.at;
+            return Some((entry.at, entry.id, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event, if any, without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let id = entry.id;
+                self.heap.pop();
+                self.cancelled.remove(&id);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of live (not cancelled, not yet fired) events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no live events remain.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("live_events", &self.live)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule(SimDuration::micros(5), 5);
+        s.schedule(SimDuration::micros(1), 1);
+        s.schedule(SimDuration::micros(3), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.schedule(SimDuration::micros(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_advances_now() {
+        let mut s = Scheduler::new();
+        s.schedule(SimDuration::micros(2), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        let (t, _, _) = s.pop().unwrap();
+        assert_eq!(t, SimTime::from_nanos(2_000));
+        assert_eq!(s.now(), t);
+    }
+
+    #[test]
+    fn relative_scheduling_is_from_current_time() {
+        let mut s = Scheduler::new();
+        s.schedule(SimDuration::micros(10), "first");
+        s.pop().unwrap();
+        s.schedule(SimDuration::micros(5), "second");
+        let (t, _, _) = s.pop().unwrap();
+        assert_eq!(t, SimTime::from_nanos(15_000));
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut s = Scheduler::new();
+        let a = s.schedule(SimDuration::micros(1), "a");
+        s.schedule(SimDuration::micros(2), "b");
+        assert_eq!(s.len(), 2);
+        s.cancel(a);
+        assert_eq!(s.len(), 1);
+        let (_, _, e) = s.pop().unwrap();
+        assert_eq!(e, "b");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn cancelling_fired_or_unknown_ids_is_noop() {
+        let mut s = Scheduler::new();
+        let a = s.schedule(SimDuration::micros(1), ());
+        s.pop().unwrap();
+        s.cancel(a); // already fired
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        // Double-cancel.
+        let b = s.schedule(SimDuration::micros(1), ());
+        s.cancel(b);
+        s.cancel(b);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut s = Scheduler::new();
+        let a = s.schedule(SimDuration::micros(1), 1);
+        s.schedule(SimDuration::micros(4), 2);
+        s.cancel(a);
+        assert_eq!(s.peek_time(), Some(SimTime::from_nanos(4_000)));
+        let (_, _, e) = s.pop().unwrap();
+        assert_eq!(e, 2);
+        assert_eq!(s.peek_time(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule(SimDuration::micros(5), ());
+        s.pop().unwrap();
+        s.schedule_at(SimTime::from_nanos(1), ());
+    }
+
+    #[test]
+    fn zero_delay_events_fire_at_now() {
+        let mut s = Scheduler::new();
+        s.schedule(SimDuration::micros(1), "first");
+        s.pop().unwrap();
+        s.schedule(SimDuration::ZERO, "immediate");
+        let (t, _, e) = s.pop().unwrap();
+        assert_eq!(e, "immediate");
+        assert_eq!(t, SimTime::from_nanos(1_000));
+    }
+
+    #[test]
+    fn heavy_interleaving_stays_consistent() {
+        let mut s = Scheduler::new();
+        let mut ids = Vec::new();
+        for i in 0..1000u64 {
+            ids.push(s.schedule(SimDuration::nanos(i % 97), i));
+        }
+        // Cancel every third event.
+        for (i, id) in ids.iter().enumerate() {
+            if i % 3 == 0 {
+                s.cancel(*id);
+            }
+        }
+        let mut seen = 0;
+        let mut last = SimTime::ZERO;
+        while let Some((t, _, payload)) = s.pop() {
+            assert!(t >= last);
+            last = t;
+            assert!(payload % 3 != 0, "cancelled event fired");
+            seen += 1;
+        }
+        assert_eq!(seen, 1000 - 334); // 334 multiples of 3 in 0..1000
+    }
+}

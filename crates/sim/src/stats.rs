@@ -1,0 +1,439 @@
+//! Measurement containers for the evaluation harness.
+//!
+//! The paper reports median and 99th-percentile latencies (Figure 6) and
+//! throughput over time across a failure (Figure 9). This module provides the
+//! two containers those plots need:
+//!
+//! * [`Histogram`] — a log-bucketed latency histogram (HdrHistogram-style:
+//!   constant relative error, constant-time record) with percentile queries;
+//! * [`Timeline`] — fixed-width time bins counting completions, yielding a
+//!   throughput-over-time series.
+//!
+//! # Examples
+//!
+//! ```
+//! use hermes_sim::stats::Histogram;
+//!
+//! let mut h = Histogram::new();
+//! for v in 1..=1000u64 {
+//!     h.record(v);
+//! }
+//! assert_eq!(h.count(), 1000);
+//! let p50 = h.percentile(50.0);
+//! assert!((450..=560).contains(&p50), "p50 was {p50}");
+//! ```
+
+use crate::{SimDuration, SimTime};
+
+/// Number of linear sub-buckets per power-of-two bucket.
+///
+/// 32 sub-buckets bound the relative quantization error at ~3%, comfortably
+/// below the run-to-run noise of any throughput experiment.
+const SUB_BUCKETS: u64 = 32;
+const SUB_BUCKET_BITS: u32 = 5; // log2(SUB_BUCKETS)
+
+/// A log-bucketed histogram of `u64` samples (typically latencies in ns).
+///
+/// Values are grouped into buckets whose width grows with magnitude, so the
+/// histogram covers the full `u64` range in a few KiB with bounded relative
+/// error. Recording is O(1); percentile queries are O(buckets).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        // 64 powers of two, SUB_BUCKETS each; the first power collapses to
+        // exact values 0..SUB_BUCKETS.
+        Histogram {
+            counts: vec![0; (64 - SUB_BUCKET_BITS as usize + 1) * SUB_BUCKETS as usize],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn index_of(value: u64) -> usize {
+        if value < SUB_BUCKETS {
+            return value as usize;
+        }
+        // Highest set bit determines the power-of-two bucket; the next
+        // SUB_BUCKET_BITS bits select the linear sub-bucket within it.
+        let msb = 63 - value.leading_zeros();
+        let bucket = (msb - SUB_BUCKET_BITS + 1) as usize;
+        let sub = ((value >> (msb - SUB_BUCKET_BITS)) - SUB_BUCKETS) as usize;
+        SUB_BUCKETS as usize + (bucket - 1) * SUB_BUCKETS as usize + sub
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::index_of(value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a [`SimDuration`] sample in nanoseconds.
+    #[inline]
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Total number of recorded samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at the given percentile (0–100), with the histogram's
+    /// bucket-granularity error. Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::value_of(idx).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    #[inline]
+    fn value_of(index: usize) -> u64 {
+        let index = index as u64;
+        if index < SUB_BUCKETS {
+            return index;
+        }
+        let bucket = (index - SUB_BUCKETS) / SUB_BUCKETS + 1;
+        let sub = (index - SUB_BUCKETS) % SUB_BUCKETS;
+        // Midpoint of the bucket range for low bias.
+        let base = (SUB_BUCKETS + sub) << (bucket - 1);
+        let width = 1u64 << (bucket - 1);
+        base + width / 2
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += *src;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Convenience summary (min/mean/p50/p99/max/count).
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            min_ns: self.min(),
+            mean_ns: self.mean(),
+            p50_ns: self.percentile(50.0),
+            p99_ns: self.percentile(99.0),
+            max_ns: self.max(),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A compact latency summary extracted from a [`Histogram`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Minimum, nanoseconds.
+    pub min_ns: u64,
+    /// Mean, nanoseconds.
+    pub mean_ns: f64,
+    /// Median, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// Maximum, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Median in microseconds (the unit the paper plots).
+    pub fn p50_us(&self) -> f64 {
+        self.p50_ns as f64 / 1e3
+    }
+
+    /// 99th percentile in microseconds.
+    pub fn p99_us(&self) -> f64 {
+        self.p99_ns as f64 / 1e3
+    }
+}
+
+/// Completion counts in fixed-width virtual-time bins.
+///
+/// Used for Figure 9: throughput over wall-clock time across an injected node
+/// failure.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_sim::stats::Timeline;
+/// use hermes_sim::{SimDuration, SimTime};
+///
+/// let mut tl = Timeline::new(SimDuration::millis(10));
+/// tl.record(SimTime::from_nanos(5_000_000));   // bin 0
+/// tl.record(SimTime::from_nanos(15_000_000));  // bin 1
+/// tl.record(SimTime::from_nanos(16_000_000));  // bin 1
+/// let series = tl.series();
+/// assert_eq!(series[0].1, 1);
+/// assert_eq!(series[1].1, 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    bin: SimDuration,
+    bins: Vec<u64>,
+}
+
+impl Timeline {
+    /// Creates a timeline with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero.
+    pub fn new(bin: SimDuration) -> Self {
+        assert!(!bin.is_zero(), "timeline bin width must be non-zero");
+        Timeline { bin, bins: Vec::new() }
+    }
+
+    /// Records one completion at virtual time `at`.
+    pub fn record(&mut self, at: SimTime) {
+        let idx = (at.as_nanos() / self.bin.as_nanos()) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0);
+        }
+        self.bins[idx] += 1;
+    }
+
+    /// The bin width.
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin
+    }
+
+    /// Returns `(bin_start_time, completions_in_bin)` for every bin.
+    pub fn series(&self) -> Vec<(SimTime, u64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (SimTime::from_nanos(i as u64 * self.bin.as_nanos()), c))
+            .collect()
+    }
+
+    /// Returns the throughput series in operations per second.
+    pub fn ops_per_sec(&self) -> Vec<(f64, f64)> {
+        let bin_secs = self.bin.as_secs_f64();
+        self.series()
+            .into_iter()
+            .map(|(t, c)| (t.as_secs_f64(), c as f64 / bin_secs))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(50.0), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS - 1);
+        // With 32 exact buckets the 50th percentile is the 16th value.
+        assert_eq!(h.percentile(50.0), 15);
+    }
+
+    #[test]
+    fn percentiles_have_bounded_relative_error() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (p, expected) in [(50.0, 50_000.0), (90.0, 90_000.0), (99.0, 99_000.0)] {
+            let got = h.percentile(p) as f64;
+            let rel = (got - expected).abs() / expected;
+            assert!(rel < 0.05, "p{p}: got {got}, expected {expected}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.percentile(100.0) >= u64::MAX / 2);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 20.0);
+    }
+
+    #[test]
+    fn merge_combines_populations() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=500u64 {
+            a.record(v);
+        }
+        for v in 501..=1000u64 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 1000);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 1000);
+        let p50 = a.percentile(50.0) as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.06, "p50 {p50}");
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(42);
+        let before = a.summary();
+        a.merge(&Histogram::new());
+        assert_eq!(a.summary(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_out_of_range_panics() {
+        Histogram::new().percentile(101.0);
+    }
+
+    #[test]
+    fn summary_units() {
+        let mut h = Histogram::new();
+        h.record(2_000); // 2 us
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert!((s.p50_us() - 2.0).abs() / 2.0 < 0.05);
+        assert!((s.p99_us() - 2.0).abs() / 2.0 < 0.05);
+    }
+
+    #[test]
+    fn timeline_bins_and_series() {
+        let mut tl = Timeline::new(SimDuration::millis(1));
+        for i in 0..10u64 {
+            tl.record(SimTime::from_nanos(i * 500_000)); // every 0.5 ms
+        }
+        let series = tl.series();
+        assert_eq!(series.len(), 5);
+        assert!(series.iter().all(|&(_, c)| c == 2));
+        let ops = tl.ops_per_sec();
+        assert!((ops[0].1 - 2_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_extends_to_latest_bin() {
+        let mut tl = Timeline::new(SimDuration::millis(10));
+        tl.record(SimTime::from_nanos(95_000_000)); // bin 9
+        assert_eq!(tl.series().len(), 10);
+        assert_eq!(tl.series()[9].1, 1);
+        assert_eq!(tl.series()[0].1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn timeline_zero_bin_panics() {
+        let _ = Timeline::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn index_value_roundtrip_monotonicity() {
+        // value_of(index_of(v)) must stay within one bucket width of v, and
+        // index_of must be monotonically non-decreasing in v.
+        let mut samples: Vec<u64> = Vec::new();
+        for shift in 0..60 {
+            for off in [0u64, 1, 3] {
+                samples.push((1u64 << shift) + off);
+            }
+        }
+        samples.sort_unstable();
+        let mut last_idx = 0;
+        for v in samples {
+            let idx = Histogram::index_of(v);
+            assert!(idx >= last_idx, "index not monotonic at {v}");
+            last_idx = idx;
+            let back = Histogram::value_of(idx);
+            let rel = (back as f64 - v as f64).abs() / v as f64;
+            assert!(rel < 0.06, "roundtrip error at {v}: back {back}");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # hermes-store — seqlock-based CRCW in-memory KVS
+//!
+//! The paper's HermesKV builds on ccKVS (a MICA derivative) modified for
+//! concurrent-read-concurrent-write (CRCW) access using **seqlocks**, which
+//! allow lock-free reads (paper §4.1). This crate reproduces that substrate:
+//!
+//! * [`SeqLock`] — a sequence lock for `Copy` data: readers never write
+//!   shared state and retry on torn snapshots; writers are mutually excluded
+//!   by an odd/even sequence counter;
+//! * [`Store`] — a sharded hash index of seqlock-guarded slots holding
+//!   `(protocol metadata, value)` pairs, supporting lock-free reads
+//!   concurrent with writes, as the Hermes threaded runtime requires for its
+//!   local reads.
+//!
+//! The implementation avoids `unsafe`: slot payloads are stored as arrays of
+//! relaxed atomics bracketed by the sequence counter's acquire/release
+//! pairs, which is the data-race-free formulation of a seqlock.
+//!
+//! # Examples
+//!
+//! ```
+//! use hermes_common::Key;
+//! use hermes_store::{SlotMeta, Store, StoreConfig};
+//!
+//! let store = Store::new(StoreConfig::default());
+//! store.put(Key(1), SlotMeta::valid(3, 0), b"hello");
+//! let mut buf = Vec::new();
+//! let meta = store.get(Key(1), &mut buf).unwrap();
+//! assert_eq!(&buf, b"hello");
+//! assert_eq!(meta.version, 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod seqlock;
+mod store;
+
+pub use seqlock::SeqLock;
+pub use store::{SlotMeta, SlotState, Store, StoreConfig, StoreStats};

@@ -1,0 +1,486 @@
+use hermes_common::Key;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Protocol state of a slot, as stored in the KVS (the per-key metadata of
+/// paper Figure 3, §4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SlotState {
+    /// Latest committed value; local reads may be served.
+    Valid = 0,
+    /// An update is in flight; local reads must stall or be forwarded.
+    Invalid = 1,
+}
+
+/// Metadata stored alongside each value: the Hermes per-key logical
+/// timestamp and state, packed to fit the seqlock'd hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotMeta {
+    /// Key version (Lamport clock high part).
+    pub version: u64,
+    /// Coordinator id (Lamport clock low part).
+    pub cid: u32,
+    /// Valid/Invalid visibility state.
+    pub state: SlotState,
+}
+
+impl SlotMeta {
+    /// Metadata for a committed (Valid) version.
+    pub fn valid(version: u64, cid: u32) -> Self {
+        SlotMeta {
+            version,
+            cid,
+            state: SlotState::Valid,
+        }
+    }
+
+    /// Metadata for an in-flight (Invalid) version.
+    pub fn invalid(version: u64, cid: u32) -> Self {
+        SlotMeta {
+            version,
+            cid,
+            state: SlotState::Invalid,
+        }
+    }
+
+    fn pack(self) -> (u64, u64) {
+        let w1 = (self.cid as u64) << 8 | self.state as u64;
+        (self.version, w1)
+    }
+
+    fn unpack(w0: u64, w1: u64) -> Self {
+        SlotMeta {
+            version: w0,
+            cid: (w1 >> 8) as u32,
+            state: if w1 & 0xFF == 0 {
+                SlotState::Valid
+            } else {
+                SlotState::Invalid
+            },
+        }
+    }
+}
+
+/// One key's storage cell: a sequence-locked `(meta, value)` pair.
+///
+/// Readers are lock-free (retry loop over relaxed atomic words bracketed by
+/// the acquire/release sequence protocol, exactly the crossbeam `SeqLock`
+/// memory-ordering recipe); writers serialize on a per-slot mutex.
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    writer: Mutex<()>,
+    meta0: AtomicU64,
+    meta1: AtomicU64,
+    len: AtomicU64,
+    words: Box<[AtomicU64]>,
+}
+
+impl Slot {
+    fn new(capacity_words: usize) -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            writer: Mutex::new(()),
+            meta0: AtomicU64::new(0),
+            meta1: AtomicU64::new(0),
+            len: AtomicU64::new(0),
+            words: (0..capacity_words).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn write(&self, meta: SlotMeta, value: &[u8]) {
+        assert!(
+            value.len() <= self.words.len() * 8,
+            "value of {} bytes exceeds slot capacity of {} bytes",
+            value.len(),
+            self.words.len() * 8
+        );
+        let _guard = self.writer.lock();
+        // Odd sequence: readers will retry. Acquire keeps the data stores
+        // from being reordered before this increment.
+        self.seq.fetch_add(1, Ordering::Acquire);
+        let (w0, w1) = meta.pack();
+        self.meta0.store(w0, Ordering::Relaxed);
+        self.meta1.store(w1, Ordering::Relaxed);
+        self.len.store(value.len() as u64, Ordering::Relaxed);
+        for (i, chunk) in value.chunks(8).enumerate() {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.words[i].store(u64::from_le_bytes(word), Ordering::Relaxed);
+        }
+        // Even sequence: publish. Release keeps the data stores above it.
+        self.seq.fetch_add(1, Ordering::Release);
+    }
+
+    /// Updates only the metadata, leaving the value bytes in place.
+    fn write_meta(&self, meta: SlotMeta) {
+        let _guard = self.writer.lock();
+        self.seq.fetch_add(1, Ordering::Acquire);
+        let (w0, w1) = meta.pack();
+        self.meta0.store(w0, Ordering::Relaxed);
+        self.meta1.store(w1, Ordering::Relaxed);
+        self.seq.fetch_add(1, Ordering::Release);
+    }
+
+    /// Lock-free consistent snapshot; returns the number of retries.
+    fn read(&self, buf: &mut Vec<u8>) -> (SlotMeta, u64) {
+        let mut retries = 0;
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 0 {
+                let w0 = self.meta0.load(Ordering::Relaxed);
+                let w1 = self.meta1.load(Ordering::Relaxed);
+                let len = self.len.load(Ordering::Relaxed) as usize;
+                buf.clear();
+                if len <= self.words.len() * 8 {
+                    let n_words = len.div_ceil(8);
+                    for i in 0..n_words {
+                        let word = self.words[i].load(Ordering::Relaxed).to_le_bytes();
+                        let take = (len - i * 8).min(8);
+                        buf.extend_from_slice(&word[..take]);
+                    }
+                    // The fence orders the relaxed data loads before the
+                    // validation load of the sequence.
+                    fence(Ordering::Acquire);
+                    let s2 = self.seq.load(Ordering::Relaxed);
+                    if s1 == s2 {
+                        return (SlotMeta::unpack(w0, w1), retries);
+                    }
+                }
+            }
+            retries += 1;
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Configuration of a [`Store`].
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Number of index shards (power of two recommended).
+    pub shards: usize,
+    /// Maximum value size in bytes per slot (the paper evaluates up to
+    /// 1 KiB objects, Figure 8).
+    pub value_capacity: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            shards: 64,
+            value_capacity: 1024,
+        }
+    }
+}
+
+/// Aggregate operation counters (approximate, relaxed atomics).
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Completed reads.
+    pub gets: AtomicU64,
+    /// Completed writes (full value or metadata-only).
+    pub puts: AtomicU64,
+    /// Seqlock read retries (contention indicator).
+    pub read_retries: AtomicU64,
+}
+
+/// A sharded CRCW key-value store with lock-free reads (the ccKVS/MICA
+/// substrate of paper §4.1).
+///
+/// All methods take `&self`: the store is meant to be shared across worker
+/// threads via `Arc`.
+#[derive(Debug)]
+pub struct Store {
+    shards: Vec<RwLock<HashMap<Key, Arc<Slot>>>>,
+    capacity_words: usize,
+    stats: StoreStats,
+}
+
+impl Store {
+    /// Creates an empty store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` is zero.
+    pub fn new(config: StoreConfig) -> Self {
+        assert!(config.shards > 0, "store must have at least one shard");
+        Store {
+            shards: (0..config.shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            capacity_words: config.value_capacity.div_ceil(8),
+            stats: StoreStats::default(),
+        }
+    }
+
+    fn slot(&self, key: Key) -> Option<Arc<Slot>> {
+        let shard = &self.shards[key.shard(self.shards.len())];
+        shard.read().get(&key).cloned()
+    }
+
+    fn slot_or_insert(&self, key: Key) -> Arc<Slot> {
+        let shard = &self.shards[key.shard(self.shards.len())];
+        if let Some(slot) = shard.read().get(&key) {
+            return Arc::clone(slot);
+        }
+        let mut write = shard.write();
+        Arc::clone(
+            write
+                .entry(key)
+                .or_insert_with(|| Arc::new(Slot::new(self.capacity_words))),
+        )
+    }
+
+    /// Writes `value` with `meta` for `key`, creating the slot if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` exceeds the configured value capacity.
+    pub fn put(&self, key: Key, meta: SlotMeta, value: &[u8]) {
+        self.slot_or_insert(key).write(meta, value);
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Updates only the metadata of `key` (e.g. Invalid → Valid on a VAL
+    /// message), creating an empty slot if needed.
+    pub fn put_meta(&self, key: Key, meta: SlotMeta) {
+        self.slot_or_insert(key).write_meta(meta);
+        self.stats.puts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads `key`'s value into `buf` and returns its metadata, or `None`
+    /// if the key has never been written.
+    ///
+    /// Lock-free with respect to concurrent writers: retries until it
+    /// obtains a consistent snapshot.
+    pub fn get(&self, key: Key, buf: &mut Vec<u8>) -> Option<SlotMeta> {
+        let slot = self.slot(key)?;
+        let (meta, retries) = slot.read(buf);
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        if retries > 0 {
+            self.stats.read_retries.fetch_add(retries, Ordering::Relaxed);
+        }
+        Some(meta)
+    }
+
+    /// Number of materialized keys.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Visits every key with a consistent snapshot of its `(meta, value)`.
+    ///
+    /// Used for shadow-replica chunk reads during recovery (paper §3.4):
+    /// the iteration is not atomic across keys, which is fine because the
+    /// joining replica re-checks timestamps per key.
+    pub fn for_each(&self, mut f: impl FnMut(Key, SlotMeta, &[u8])) {
+        let mut buf = Vec::new();
+        for shard in &self.shards {
+            let keys: Vec<(Key, Arc<Slot>)> =
+                shard.read().iter().map(|(k, s)| (*k, Arc::clone(s))).collect();
+            for (key, slot) in keys {
+                let (meta, _) = slot.read(&mut buf);
+                f(key, meta, &buf);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn get_of_missing_key_is_none() {
+        let store = Store::new(StoreConfig::default());
+        let mut buf = Vec::new();
+        assert!(store.get(Key(1), &mut buf).is_none());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn put_then_get_roundtrip() {
+        let store = Store::new(StoreConfig::default());
+        store.put(Key(1), SlotMeta::valid(5, 2), b"payload");
+        let mut buf = Vec::new();
+        let meta = store.get(Key(1), &mut buf).unwrap();
+        assert_eq!(meta, SlotMeta::valid(5, 2));
+        assert_eq!(&buf, b"payload");
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_replaces_value_and_meta() {
+        let store = Store::new(StoreConfig::default());
+        store.put(Key(1), SlotMeta::invalid(1, 0), b"short");
+        store.put(Key(1), SlotMeta::valid(2, 1), b"a-longer-value");
+        let mut buf = Vec::new();
+        let meta = store.get(Key(1), &mut buf).unwrap();
+        assert_eq!(meta, SlotMeta::valid(2, 1));
+        assert_eq!(&buf, b"a-longer-value");
+        // Shrinking works too (stale tail bytes must not leak).
+        store.put(Key(1), SlotMeta::valid(3, 1), b"x");
+        let meta = store.get(Key(1), &mut buf).unwrap();
+        assert_eq!(meta.version, 3);
+        assert_eq!(&buf, b"x");
+    }
+
+    #[test]
+    fn put_meta_keeps_value() {
+        let store = Store::new(StoreConfig::default());
+        store.put(Key(9), SlotMeta::invalid(4, 3), b"kept");
+        store.put_meta(Key(9), SlotMeta::valid(4, 3));
+        let mut buf = Vec::new();
+        let meta = store.get(Key(9), &mut buf).unwrap();
+        assert_eq!(meta.state, SlotState::Valid);
+        assert_eq!(&buf, b"kept");
+    }
+
+    #[test]
+    fn empty_values_are_representable() {
+        let store = Store::new(StoreConfig::default());
+        store.put(Key(2), SlotMeta::valid(1, 0), b"");
+        let mut buf = vec![1, 2, 3];
+        let meta = store.get(Key(2), &mut buf).unwrap();
+        assert_eq!(meta.version, 1);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn values_up_to_capacity_roundtrip() {
+        let store = Store::new(StoreConfig {
+            shards: 4,
+            value_capacity: 1024,
+        });
+        for len in [1usize, 7, 8, 9, 63, 64, 65, 1023, 1024] {
+            let value: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            store.put(Key(len as u64), SlotMeta::valid(1, 0), &value);
+            let mut buf = Vec::new();
+            store.get(Key(len as u64), &mut buf).unwrap();
+            assert_eq!(buf, value, "roundtrip failed for len {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds slot capacity")]
+    fn oversized_value_panics() {
+        let store = Store::new(StoreConfig {
+            shards: 1,
+            value_capacity: 16,
+        });
+        store.put(Key(1), SlotMeta::valid(1, 0), &[0u8; 17]);
+    }
+
+    #[test]
+    fn meta_pack_unpack_roundtrip() {
+        for meta in [
+            SlotMeta::valid(0, 0),
+            SlotMeta::invalid(u64::MAX, u32::MAX),
+            SlotMeta::valid(123456789, 42),
+        ] {
+            let (w0, w1) = meta.pack();
+            assert_eq!(SlotMeta::unpack(w0, w1), meta);
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_no_torn_values() {
+        // Writers alternate between two self-consistent payloads; readers
+        // must never observe a mix.
+        let store = Arc::new(Store::new(StoreConfig {
+            shards: 4,
+            value_capacity: 256,
+        }));
+        let all_a = vec![0xAAu8; 128];
+        let all_b = vec![0xBBu8; 64];
+        store.put(Key(0), SlotMeta::valid(0, 0), &all_a);
+        let stop = Arc::new(AtomicU64::new(0));
+
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut buf = Vec::new();
+                    let mut reads = 0u64;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        store.get(Key(0), &mut buf).unwrap();
+                        let ok = (buf.len() == 128 && buf.iter().all(|&b| b == 0xAA))
+                            || (buf.len() == 64 && buf.iter().all(|&b| b == 0xBB));
+                        assert!(ok, "torn value: len {} {:02x?}", buf.len(), &buf[..4]);
+                        reads += 1;
+                    }
+                    reads
+                })
+            })
+            .collect();
+
+        let writer = {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                for i in 0..30_000u64 {
+                    if i % 2 == 0 {
+                        store.put(Key(0), SlotMeta::valid(i, 0), &[0xBB; 64]);
+                    } else {
+                        store.put(Key(0), SlotMeta::valid(i, 0), &[0xAA; 128]);
+                    }
+                }
+            })
+        };
+        writer.join().unwrap();
+        stop.store(1, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_distinct_key_writers_scale() {
+        let store = Arc::new(Store::new(StoreConfig::default()));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        store.put(Key(t * 10_000 + i % 100), SlotMeta::valid(i, t as u32), &i.to_le_bytes());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 800);
+        assert_eq!(store.stats().puts.load(Ordering::Relaxed), 40_000);
+    }
+
+    #[test]
+    fn for_each_visits_every_key_once() {
+        let store = Store::new(StoreConfig {
+            shards: 8,
+            value_capacity: 64,
+        });
+        for i in 0..100u64 {
+            store.put(Key(i), SlotMeta::valid(i, 0), &i.to_le_bytes());
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        store.for_each(|k, meta, value| {
+            assert_eq!(meta.version, k.0);
+            assert_eq!(value, k.0.to_le_bytes());
+            assert!(seen.insert(k), "key visited twice: {k}");
+        });
+        assert_eq!(seen.len(), 100);
+    }
+}

@@ -1,0 +1,98 @@
+//! Model-based property testing: the seqlock store must behave exactly like
+//! a reference `BTreeMap` under arbitrary operation sequences.
+
+use hermes_common::Key;
+use hermes_store::{SlotMeta, SlotState, Store, StoreConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put { key: u8, version: u64, len: u8 },
+    PutMeta { key: u8, version: u64 },
+    Get { key: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<u8>(), 1u64..1000, any::<u8>()).prop_map(|(key, version, len)| Op::Put {
+            key: key % 16,
+            version,
+            len
+        }),
+        1 => (any::<u8>(), 1u64..1000).prop_map(|(key, version)| Op::PutMeta {
+            key: key % 16,
+            version
+        }),
+        4 => any::<u8>().prop_map(|key| Op::Get { key: key % 16 }),
+    ]
+}
+
+fn payload(version: u64, len: u8) -> Vec<u8> {
+    (0..len).map(|i| (version as u8).wrapping_add(i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn store_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let store = Store::new(StoreConfig { shards: 4, value_capacity: 256 });
+        let mut reference: BTreeMap<u8, (SlotMeta, Vec<u8>)> = BTreeMap::new();
+        let mut buf = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Put { key, version, len } => {
+                    let value = payload(version, len);
+                    let meta = SlotMeta::valid(version, (key as u32) % 7);
+                    store.put(Key(key as u64), meta, &value);
+                    reference.insert(key, (meta, value));
+                }
+                Op::PutMeta { key, version } => {
+                    let meta = SlotMeta {
+                        version,
+                        cid: 3,
+                        state: SlotState::Invalid,
+                    };
+                    store.put_meta(Key(key as u64), meta);
+                    let entry = reference.entry(key).or_insert((meta, Vec::new()));
+                    entry.0 = meta;
+                }
+                Op::Get { key } => {
+                    let got = store.get(Key(key as u64), &mut buf);
+                    match reference.get(&key) {
+                        None => prop_assert!(got.is_none(), "phantom key {key}"),
+                        Some((meta, value)) => {
+                            prop_assert_eq!(got, Some(*meta), "meta mismatch for {}", key);
+                            prop_assert_eq!(&buf, value, "value mismatch for {}", key);
+                        }
+                    }
+                }
+            }
+        }
+        // Final sweep: every reference entry is present and correct.
+        prop_assert_eq!(store.len(), reference.len());
+        for (key, (meta, value)) in &reference {
+            let got = store.get(Key(*key as u64), &mut buf);
+            prop_assert_eq!(got, Some(*meta));
+            prop_assert_eq!(&buf, value);
+        }
+    }
+
+    #[test]
+    fn for_each_agrees_with_gets(puts in proptest::collection::vec((any::<u8>(), 0u8..64), 1..60)) {
+        let store = Store::new(StoreConfig { shards: 8, value_capacity: 64 });
+        let mut reference: BTreeMap<u8, Vec<u8>> = BTreeMap::new();
+        for (i, (key, len)) in puts.iter().enumerate() {
+            let value = payload(i as u64, *len);
+            store.put(Key(*key as u64), SlotMeta::valid(i as u64 + 1, 0), &value);
+            reference.insert(*key, value);
+        }
+        let mut seen = BTreeMap::new();
+        store.for_each(|k, _, v| {
+            seen.insert(k.0 as u8, v.to_vec());
+        });
+        prop_assert_eq!(seen, reference);
+    }
+}

@@ -1,0 +1,228 @@
+//! Wire format for Hermes protocol messages.
+//!
+//! Mirrors the message layouts of paper Figure 3: every message carries its
+//! type, the sender's epoch, the key and the logical timestamp; INVs
+//! additionally carry the update kind and the value (early value
+//! propagation). All integers are little-endian. The encoded size equals
+//! [`hermes_core::Msg::wire_size`], which the simulator's bandwidth model
+//! also uses — the unit tests pin the two together.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use hermes_common::{Epoch, Key, Value};
+use hermes_core::{Msg, Ts, UpdateKind};
+
+const TAG_INV: u8 = 1;
+const TAG_ACK: u8 = 2;
+const TAG_VAL: u8 = 3;
+
+const KIND_WRITE: u8 = 0;
+const KIND_RMW: u8 = 1;
+
+/// Errors produced when decoding a malformed message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the fixed header was complete.
+    Truncated,
+    /// Unknown message tag byte.
+    BadTag(u8),
+    /// Unknown update-kind byte in an INV.
+    BadKind(u8),
+    /// The declared value length exceeds the remaining bytes.
+    BadValueLength,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "message truncated"),
+            DecodeError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            DecodeError::BadKind(k) => write!(f, "unknown update kind {k}"),
+            DecodeError::BadValueLength => write!(f, "declared value length out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes `msg` into `out` (appending).
+pub fn encode_into(msg: &Msg, out: &mut BytesMut) {
+    match msg {
+        Msg::Inv {
+            key,
+            ts,
+            value,
+            kind,
+            epoch,
+        } => {
+            out.put_u8(TAG_INV);
+            put_header(out, *epoch, *key, *ts);
+            out.put_u8(match kind {
+                UpdateKind::Write => KIND_WRITE,
+                UpdateKind::Rmw => KIND_RMW,
+            });
+            out.put_u32_le(value.len() as u32);
+            out.put_slice(value.as_bytes());
+        }
+        Msg::Ack { key, ts, epoch } => {
+            out.put_u8(TAG_ACK);
+            put_header(out, *epoch, *key, *ts);
+        }
+        Msg::Val { key, ts, epoch } => {
+            out.put_u8(TAG_VAL);
+            put_header(out, *epoch, *key, *ts);
+        }
+    }
+}
+
+fn put_header(out: &mut BytesMut, epoch: Epoch, key: Key, ts: Ts) {
+    out.put_u64_le(epoch.0);
+    out.put_u64_le(key.0);
+    out.put_u64_le(ts.version);
+    out.put_u32_le(ts.cid);
+}
+
+/// Encodes `msg` into a fresh buffer.
+pub fn encode(msg: &Msg) -> Bytes {
+    let mut out = BytesMut::with_capacity(msg.wire_size());
+    encode_into(msg, &mut out);
+    debug_assert_eq!(out.len(), msg.wire_size(), "codec must match wire_size");
+    out.freeze()
+}
+
+/// Decodes one message from `buf`.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the buffer is truncated or contains invalid
+/// tag/kind/length fields.
+pub fn decode(buf: &[u8]) -> Result<Msg, DecodeError> {
+    const HEADER: usize = 1 + 8 + 8 + 8 + 4;
+    if buf.len() < HEADER {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf[0];
+    let epoch = Epoch(u64::from_le_bytes(buf[1..9].try_into().expect("sized")));
+    let key = Key(u64::from_le_bytes(buf[9..17].try_into().expect("sized")));
+    let ts = Ts::new(
+        u64::from_le_bytes(buf[17..25].try_into().expect("sized")),
+        u32::from_le_bytes(buf[25..29].try_into().expect("sized")),
+    );
+    match tag {
+        TAG_ACK => Ok(Msg::Ack { key, ts, epoch }),
+        TAG_VAL => Ok(Msg::Val { key, ts, epoch }),
+        TAG_INV => {
+            if buf.len() < HEADER + 5 {
+                return Err(DecodeError::Truncated);
+            }
+            let kind = match buf[HEADER] {
+                KIND_WRITE => UpdateKind::Write,
+                KIND_RMW => UpdateKind::Rmw,
+                other => return Err(DecodeError::BadKind(other)),
+            };
+            let vlen =
+                u32::from_le_bytes(buf[HEADER + 1..HEADER + 5].try_into().expect("sized")) as usize;
+            let start = HEADER + 5;
+            if buf.len() < start + vlen {
+                return Err(DecodeError::BadValueLength);
+            }
+            let value = Value::from(buf[start..start + vlen].to_vec());
+            Ok(Msg::Inv {
+                key,
+                ts,
+                value,
+                kind,
+                epoch,
+            })
+        }
+        other => Err(DecodeError::BadTag(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Msg> {
+        vec![
+            Msg::Inv {
+                key: Key(7),
+                ts: Ts::new(3, 1),
+                value: Value::filled(0xAB, 32),
+                kind: UpdateKind::Write,
+                epoch: Epoch(2),
+            },
+            Msg::Inv {
+                key: Key(u64::MAX),
+                ts: Ts::new(u64::MAX, u32::MAX),
+                value: Value::EMPTY,
+                kind: UpdateKind::Rmw,
+                epoch: Epoch(u64::MAX),
+            },
+            Msg::Ack {
+                key: Key(0),
+                ts: Ts::ZERO,
+                epoch: Epoch(0),
+            },
+            Msg::Val {
+                key: Key(123),
+                ts: Ts::new(9, 4),
+                epoch: Epoch(1),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        for msg in samples() {
+            let encoded = encode(&msg);
+            let decoded = decode(&encoded).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn encoded_size_matches_wire_size() {
+        for msg in samples() {
+            assert_eq!(encode(&msg).len(), msg.wire_size(), "msg: {msg:?}");
+        }
+        // And scales with value size.
+        let big = Msg::Inv {
+            key: Key(1),
+            ts: Ts::new(1, 1),
+            value: Value::filled(1, 1024),
+            kind: UpdateKind::Write,
+            epoch: Epoch(1),
+        };
+        assert_eq!(encode(&big).len(), big.wire_size());
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let full = encode(&samples()[0]);
+        for cut in [0, 1, 10, 28, 30] {
+            assert!(
+                decode(&full[..cut.min(full.len())]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_and_kind_error() {
+        let mut buf = encode(&samples()[2]).to_vec();
+        buf[0] = 99;
+        assert_eq!(decode(&buf), Err(DecodeError::BadTag(99)));
+
+        let mut inv = encode(&samples()[0]).to_vec();
+        inv[29] = 7; // kind byte
+        assert_eq!(decode(&inv), Err(DecodeError::BadKind(7)));
+    }
+
+    #[test]
+    fn value_length_is_validated() {
+        let mut inv = encode(&samples()[0]).to_vec();
+        // Declare a value longer than the buffer.
+        inv[30..34].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode(&inv), Err(DecodeError::BadValueLength));
+    }
+}

@@ -1,0 +1,46 @@
+//! # hermes-wings — the messaging layer (paper §4.2)
+//!
+//! The paper builds *Wings*, an RPC library over RDMA UD sends, providing:
+//! opportunistic batching of messages into network packets, application-level
+//! credit-based flow control, a software broadcast primitive, and a compact
+//! wire format. This crate reproduces those mechanisms over the byte-oriented
+//! transports of `hermes-net` (the substitution table is in DESIGN.md §1):
+//!
+//! * [`codec`] — the wire format for Hermes protocol messages, matching the
+//!   message layouts of paper Figure 3 byte-for-byte with
+//!   [`hermes_core::Msg::wire_size`];
+//! * [`Batcher`] — opportunistic batching: messages to the same receiver
+//!   that are ready at the same poll are packed into one frame, amortizing
+//!   header overhead; the batcher never waits to fill a batch;
+//! * [`CreditFlow`] — credit-based flow control with implicit credits
+//!   (responses) and explicit, batched credit-update messages;
+//! * broadcast is a series of unicasts sharing one payload
+//!   (`bytes::Bytes` clones), mirroring Wings' linked-list of work requests
+//!   pointing at a single buffer.
+//!
+//! # Examples
+//!
+//! ```
+//! use hermes_common::NodeId;
+//! use hermes_wings::Batcher;
+//!
+//! let mut batcher = Batcher::new(1500, 16);
+//! batcher.push(NodeId(1), b"msg-a");
+//! batcher.push(NodeId(1), b"msg-b");
+//! batcher.push(NodeId(2), b"msg-c");
+//! let frames = batcher.flush_all();
+//! assert_eq!(frames.len(), 2, "one frame per receiver");
+//! let (_, frame) = &frames[0];
+//! assert_eq!(hermes_wings::decode_frame(frame).unwrap().len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod codec;
+
+mod batch;
+mod credits;
+
+pub use batch::{decode_frame, BatchStats, Batcher, FrameError};
+pub use credits::{CreditConfig, CreditFlow};

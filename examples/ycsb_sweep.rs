@@ -1,0 +1,64 @@
+//! A YCSB-style protocol shoot-out on the simulated cluster.
+//!
+//! Sweeps write ratios under uniform and zipfian (0.99) access — the
+//! workloads of the paper's §6.1–6.2 — across Hermes, rCRAQ, rZAB, and the
+//! extra baselines (CR, ABD) this repo implements, printing a compact
+//! throughput/latency comparison. A miniature, self-contained version of
+//! the Figure 5 benches.
+//!
+//! Run with: `cargo run --release --example ycsb_sweep`
+
+use hermes::baselines::{AbdNode, CrNode, CraqNode, ZabNode};
+use hermes::prelude::*;
+
+fn run(cfg: &SimConfig, name: &str, report: RunReport) {
+    println!(
+        "  {name:<8} {:>8.1} MReq/s   p50 {:>7.1}us   p99 {:>8.1}us   msgs {:>9}",
+        report.throughput_mreqs,
+        report.all.p50_us(),
+        report.all.p99_us(),
+        report.messages_sent
+    );
+    let _ = cfg;
+}
+
+fn main() {
+    for (label, zipf) in [("uniform", None), ("zipfian 0.99", Some(0.99))] {
+        println!();
+        println!("=== {label} access, 5 replicas, 32B values ===");
+        for write_pct in [5u32, 20] {
+            let cfg = SimConfig {
+                nodes: 5,
+                workers_per_node: 8,
+                sessions_per_node: 64,
+                workload: WorkloadConfig {
+                    keys: 50_000,
+                    write_ratio: write_pct as f64 / 100.0,
+                    zipf_theta: zipf,
+                    ..WorkloadConfig::default()
+                },
+                cost: if zipf.is_some() {
+                    CostModel::skewed()
+                } else {
+                    CostModel::uniform()
+                },
+                warmup_ops: 10_000,
+                measured_ops: 60_000,
+                seed: 11,
+                ..SimConfig::default()
+            };
+            println!("-- {write_pct}% writes --");
+            run(&cfg, "Hermes", run_sim(&cfg, |id, n| {
+                HermesNode::new(id, MembershipView::initial(n), ProtocolConfig::default())
+            }));
+            run(&cfg, "rCRAQ", run_sim(&cfg, |id, n| CraqNode::new(id, n)));
+            run(&cfg, "rZAB", run_sim(&cfg, |id, n| ZabNode::new(id, n)));
+            run(&cfg, "CR", run_sim(&cfg, |id, n| CrNode::new(id, n)));
+            run(&cfg, "ABD", run_sim(&cfg, |id, n| AbdNode::new(id, n)));
+        }
+    }
+    println!();
+    println!("expected shape (paper §6): Hermes leads everywhere; CRAQ trails");
+    println!("it; ZAB collapses with writes; CR pays remote reads; ABD pays");
+    println!("two round-trips for everything.");
+}

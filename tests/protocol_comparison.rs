@@ -1,0 +1,137 @@
+//! Cross-crate integration: all protocols under the shared simulated
+//! runtime, checking the qualitative performance relationships the paper's
+//! evaluation rests on (§6) at miniature scale.
+
+use hermes::baselines::{AbdNode, CrNode, CraqNode, LockstepNode, ZabNode};
+use hermes::prelude::*;
+
+fn base_cfg(write_ratio: f64) -> SimConfig {
+    SimConfig {
+        nodes: 5,
+        workers_per_node: 4,
+        sessions_per_node: 24,
+        workload: WorkloadConfig {
+            keys: 5_000,
+            write_ratio,
+            ..WorkloadConfig::default()
+        },
+        warmup_ops: 4_000,
+        measured_ops: 20_000,
+        seed: 5,
+        ..SimConfig::default()
+    }
+}
+
+fn hermes(cfg: &SimConfig) -> RunReport {
+    run_sim(cfg, |id, n| {
+        HermesNode::new(id, MembershipView::initial(n), ProtocolConfig::default())
+    })
+}
+
+#[test]
+fn all_protocols_complete_the_same_workload() {
+    let cfg = base_cfg(0.1);
+    let reports = [
+        ("hermes", hermes(&cfg)),
+        ("craq", run_sim(&cfg, |id, n| CraqNode::new(id, n))),
+        ("zab", run_sim(&cfg, |id, n| ZabNode::new(id, n))),
+        ("cr", run_sim(&cfg, |id, n| CrNode::new(id, n))),
+        ("abd", run_sim(&cfg, |id, n| AbdNode::new(id, n))),
+        ("lockstep", run_sim(&cfg, |id, n| LockstepNode::new(id, n))),
+    ];
+    for (name, r) in &reports {
+        assert_eq!(r.ops_completed, 20_000, "{name} did not complete");
+        assert!(r.throughput_mreqs > 0.0, "{name} throughput zero");
+    }
+}
+
+#[test]
+fn hermes_dominates_baselines_at_20_percent_writes() {
+    let cfg = base_cfg(0.2);
+    let h = hermes(&cfg);
+    let c = run_sim(&cfg, |id, n| CraqNode::new(id, n));
+    let z = run_sim(&cfg, |id, n| ZabNode::new(id, n));
+    assert!(
+        h.throughput_mreqs >= c.throughput_mreqs * 0.95,
+        "hermes {:.2} vs craq {:.2}",
+        h.throughput_mreqs,
+        c.throughput_mreqs
+    );
+    assert!(
+        h.throughput_mreqs > z.throughput_mreqs,
+        "hermes {:.2} vs zab {:.2}",
+        h.throughput_mreqs,
+        z.throughput_mreqs
+    );
+}
+
+#[test]
+fn hermes_write_latency_is_one_rtt_craq_is_chain_length() {
+    let cfg = base_cfg(0.1);
+    let h = hermes(&cfg);
+    let c = run_sim(&cfg, |id, n| CraqNode::new(id, n));
+    // CRAQ writes traverse the 5-node chain (and forwards to the head);
+    // Hermes writes are one round trip from any coordinator.
+    assert!(
+        c.writes.p50_ns as f64 > h.writes.p50_ns as f64 * 1.5,
+        "craq write median {}us vs hermes {}us",
+        c.writes.p50_us(),
+        h.writes.p50_us()
+    );
+}
+
+#[test]
+fn abd_reads_pay_round_trips_hermes_reads_do_not() {
+    let cfg = base_cfg(0.05);
+    let h = hermes(&cfg);
+    let a = run_sim(&cfg, |id, n| AbdNode::new(id, n));
+    assert!(
+        a.reads.p50_ns as f64 > h.reads.p50_ns as f64 * 3.0,
+        "abd read median {}us vs hermes {}us — quorum reads must cost RTTs",
+        a.reads.p50_us(),
+        h.reads.p50_us()
+    );
+}
+
+#[test]
+fn craq_tail_becomes_hotspot_under_skew() {
+    // Paper §6.2/§6.3.2: under skew, CRAQ reads conflict with in-flight
+    // writes and divert to the tail (extra remote messages), while Hermes
+    // reads stay local but stall on conflicts: its read *tail* latency
+    // approaches its write median (Figure 6c).
+    let mut cfg = base_cfg(0.2);
+    cfg.workload.zipf_theta = Some(0.99);
+    let h = hermes(&cfg);
+    let c = run_sim(&cfg, |id, n| CraqNode::new(id, n));
+    let mut uni = base_cfg(0.2);
+    uni.workload.write_ratio = 0.2;
+    let c_uniform = run_sim(&uni, |id, n| CraqNode::new(id, n));
+
+    // CRAQ's per-op message count grows under skew (tail version queries).
+    let c_msgs_per_op = c.messages_sent as f64 / c.ops_completed as f64;
+    let c_uni_msgs_per_op = c_uniform.messages_sent as f64 / c_uniform.ops_completed as f64;
+    assert!(
+        c_msgs_per_op > c_uni_msgs_per_op * 1.05,
+        "skew must add tail queries: {c_msgs_per_op:.3} vs uniform {c_uni_msgs_per_op:.3}"
+    );
+    // Hermes sends no extra read messages under skew; its read tail instead
+    // reflects conflict stalls, approaching its own write median.
+    assert!(
+        h.reads.p99_ns * 4 > h.writes.p50_ns,
+        "hermes skewed read tail ({}us) should approach its write median ({}us)",
+        h.reads.p99_us(),
+        h.writes.p50_us()
+    );
+    let _ = c; // throughput comparison at high skew documented in EXPERIMENTS.md
+}
+
+#[test]
+fn deterministic_reports_across_protocols() {
+    let cfg = base_cfg(0.1);
+    for _ in 0..2 {
+        let a = run_sim(&cfg, |id, n| ZabNode::new(id, n));
+        let b = run_sim(&cfg, |id, n| ZabNode::new(id, n));
+        assert_eq!(a.messages_sent, b.messages_sent);
+        assert_eq!(a.all.p99_ns, b.all.p99_ns);
+    }
+}

@@ -1,0 +1,129 @@
+//! Cross-crate integration: the real threaded Hermes deployment
+//! (core + wings + net + store + replica) under concurrency and faults.
+
+use hermes::net::NetFaults;
+use hermes::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn five_replicas_converge_under_concurrent_load() {
+    let cluster = Arc::new(ThreadCluster::start(5, ProtocolConfig::default()));
+    let mut handles = Vec::new();
+    for worker in 0..5usize {
+        let c = Arc::clone(&cluster);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..40u64 {
+                let key = Key(i % 10);
+                let r = c.write(worker, key, Value::from_u64(worker as u64 * 10_000 + i));
+                assert_eq!(r, Reply::WriteOk);
+                // Interleave reads through a different replica.
+                let r = c.read((worker + 1) % 5, key);
+                assert!(matches!(r, Reply::ReadOk(_)));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+    // Convergence: after quiescing, all replicas agree on every key.
+    for key in 0..10u64 {
+        let mut answers = std::collections::BTreeSet::new();
+        for node in 0..5 {
+            match cluster.read(node, Key(key)) {
+                Reply::ReadOk(v) => {
+                    answers.insert(v.to_u64());
+                }
+                other => panic!("read failed at node {node}: {other:?}"),
+            }
+        }
+        assert_eq!(answers.len(), 1, "replicas disagree on k{key}: {answers:?}");
+    }
+}
+
+#[test]
+fn counter_rmws_are_atomic_across_replicas() {
+    let cluster = Arc::new(ThreadCluster::start(3, ProtocolConfig::default()));
+    assert_eq!(
+        cluster.write(0, Key(0), Value::from_u64(0)),
+        Reply::WriteOk
+    );
+    let mut handles = Vec::new();
+    let per_thread = 25u64;
+    for worker in 0..3usize {
+        let c = Arc::clone(&cluster);
+        handles.push(std::thread::spawn(move || {
+            let mut committed = 0u64;
+            for _ in 0..per_thread {
+                // Retry aborted RMWs: conflicts abort, retries eventually
+                // commit (paper §3.6: progress in the absence of faults).
+                loop {
+                    match c.rmw(worker, Key(0), RmwOp::FetchAdd { delta: 1 }) {
+                        Reply::RmwOk { .. } => {
+                            committed += 1;
+                            break;
+                        }
+                        Reply::RmwAborted => continue,
+                        other => panic!("unexpected rmw reply: {other:?}"),
+                    }
+                }
+            }
+            committed
+        }));
+    }
+    let total: u64 = handles.into_iter().map(|h| h.join().expect("worker")).sum();
+    assert_eq!(total, 3 * per_thread);
+    let Reply::ReadOk(v) = cluster.read(1, Key(0)) else {
+        panic!("final read failed")
+    };
+    assert_eq!(
+        v.to_u64(),
+        Some(total),
+        "every committed fetch-add must be counted exactly once"
+    );
+}
+
+#[test]
+fn lossy_network_still_linearizes() {
+    let cluster = ThreadCluster::start_with_faults(
+        3,
+        ProtocolConfig::default(),
+        NetFaults {
+            drop_prob: 0.15,
+            duplicate_prob: 0.1,
+        },
+        99,
+    );
+    // Writes followed by reads through different replicas: reads must always
+    // observe the committed value despite loss/duplication.
+    for i in 0..15u64 {
+        assert_eq!(
+            cluster.write((i % 3) as usize, Key(i), Value::from_u64(i * 7)),
+            Reply::WriteOk
+        );
+        let r = cluster.read(((i + 2) % 3) as usize, Key(i));
+        assert_eq!(r, Reply::ReadOk(Value::from_u64(i * 7)), "key {i}");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn o3_configuration_works_threaded() {
+    let cfg = ProtocolConfig {
+        broadcast_acks: true,
+        ..ProtocolConfig::default()
+    };
+    let cluster = ThreadCluster::start(3, cfg);
+    for i in 0..10u64 {
+        assert_eq!(
+            cluster.write((i % 3) as usize, Key(i), Value::from_u64(i)),
+            Reply::WriteOk
+        );
+    }
+    for i in 0..10u64 {
+        assert_eq!(
+            cluster.read(((i + 1) % 3) as usize, Key(i)),
+            Reply::ReadOk(Value::from_u64(i))
+        );
+    }
+    cluster.shutdown();
+}
