@@ -1,5 +1,5 @@
 use hermes_common::{
-    Capabilities, ClientOp, Effect, Key, NodeId, OpId, Reply, ReplicaProtocol, Value,
+    Capabilities, ClientOp, Effect, Key, NodeId, OpId, ReplicaProtocol, Reply, Value,
 };
 use std::collections::BTreeMap;
 

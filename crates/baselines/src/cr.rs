@@ -1,5 +1,5 @@
 use hermes_common::{
-    Capabilities, ClientOp, Effect, Key, NodeId, OpId, Reply, ReplicaProtocol, Value,
+    Capabilities, ClientOp, Effect, Key, NodeId, OpId, ReplicaProtocol, Reply, Value,
 };
 use std::collections::BTreeMap;
 
@@ -150,7 +150,10 @@ impl CrNode {
             });
             return;
         }
-        self.pending.entry(key).or_default().insert(ver, value.clone());
+        self.pending
+            .entry(key)
+            .or_default()
+            .insert(ver, value.clone());
         fx.push(Effect::Send {
             to: NodeId(1),
             msg: CrMsg::WriteDown {
@@ -253,7 +256,10 @@ impl ReplicaProtocol for CrNode {
                         },
                     });
                 } else {
-                    self.pending.entry(key).or_default().insert(ver, value.clone());
+                    self.pending
+                        .entry(key)
+                        .or_default()
+                        .insert(ver, value.clone());
                     fx.push(Effect::Send {
                         to: NodeId(self.me.0 + 1),
                         msg: CrMsg::WriteDown {

@@ -1,5 +1,5 @@
 use hermes_common::{
-    Capabilities, ClientOp, Effect, Key, NodeId, OpId, Reply, ReplicaProtocol, Value,
+    Capabilities, ClientOp, Effect, Key, NodeId, OpId, ReplicaProtocol, Reply, Value,
 };
 use std::collections::BTreeMap;
 
@@ -143,7 +143,9 @@ impl CraqNode {
 
     /// The committed (clean) value of `key` at this replica.
     pub fn clean_value(&self, key: Key) -> Value {
-        self.keys.get(&key).map_or(Value::EMPTY, |e| e.clean.clone())
+        self.keys
+            .get(&key)
+            .map_or(Value::EMPTY, |e| e.clean.clone())
     }
 
     /// Whether `key` has uncommitted (dirty) versions at this replica.

@@ -42,7 +42,7 @@ pub(crate) mod testnet {
     //! Generic deterministic message router for baseline unit tests.
 
     use hermes_common::{
-        ClientId, ClientOp, Effect, Key, NodeId, OpId, Reply, ReplicaProtocol, Value,
+        ClientId, ClientOp, Effect, Key, NodeId, OpId, ReplicaProtocol, Reply, Value,
     };
     use std::collections::VecDeque;
 

@@ -1,7 +1,10 @@
 use hermes_common::{
-    Capabilities, ClientOp, Effect, Key, NodeId, OpId, Reply, ReplicaProtocol, Value,
+    Capabilities, ClientOp, Effect, Key, NodeId, OpId, ReplicaProtocol, Reply, Value,
 };
 use std::collections::{BTreeMap, VecDeque};
+
+/// Per-round batches of client updates, keyed by the sending replica.
+type RoundBatches = BTreeMap<NodeId, Vec<(OpId, Key, Value)>>;
 
 /// Lock-step total-order broadcast messages (the "Derecho-like" baseline of
 /// paper §6.5).
@@ -41,7 +44,7 @@ pub struct LockstepNode {
     proposed_current: bool,
     pending: VecDeque<(OpId, Key, Value)>,
     /// Batches received per round, per sender.
-    rounds: BTreeMap<u64, BTreeMap<NodeId, Vec<(OpId, Key, Value)>>>,
+    rounds: BTreeMap<u64, RoundBatches>,
     /// Stability votes received per round (own vote included once sent).
     stable: BTreeMap<u64, hermes_common::NodeSet>,
     /// Whether this node announced stability for the current round.
@@ -131,10 +134,7 @@ impl LockstepNode {
             // Phase 2: announce stability once, then wait for everyone's.
             if !self.announced_stable {
                 self.announced_stable = true;
-                self.stable
-                    .entry(round)
-                    .or_default()
-                    .insert(self.me);
+                self.stable.entry(round).or_default().insert(self.me);
                 fx.push(Effect::Broadcast {
                     msg: LockstepMsg::Stable { round },
                 });

@@ -1,5 +1,5 @@
 use hermes_common::{
-    Capabilities, ClientId, ClientOp, Effect, Key, NodeId, OpId, Reply, ReplicaProtocol, Value,
+    Capabilities, ClientId, ClientOp, Effect, Key, NodeId, OpId, ReplicaProtocol, Reply, Value,
 };
 use std::collections::{BTreeMap, VecDeque};
 
@@ -192,7 +192,9 @@ impl ZabNode {
         if advanced {
             let upto = self.committed;
             self.commit_watermark = self.commit_watermark.max(upto);
-            fx.push(Effect::Broadcast { msg: ZabMsg::Commit { upto } });
+            fx.push(Effect::Broadcast {
+                msg: ZabMsg::Commit { upto },
+            });
             self.apply_ready(fx);
         }
     }
@@ -213,10 +215,7 @@ impl ZabNode {
                     op: entry.op,
                     reply: Reply::WriteOk,
                 });
-                let pending = self
-                    .session_pending
-                    .entry(entry.op.client)
-                    .or_insert(0);
+                let pending = self.session_pending.entry(entry.op.client).or_insert(0);
                 *pending = pending.saturating_sub(1);
                 if *pending == 0 {
                     self.release_reads(entry.op.client, fx);

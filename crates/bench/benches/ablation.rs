@@ -5,7 +5,9 @@
 //! Not a paper figure — the paper evaluates HermesKV with O1 only (§5.1) —
 //! but quantifies the trade-offs the text argues qualitatively.
 
-use hermes_bench::{header, run_abd, run_cr, run_craq, run_hermes_with, run_lockstep, run_zab, scaled_ops};
+use hermes_bench::{
+    header, run_abd, run_cr, run_craq, run_hermes_with, run_lockstep, run_zab, scaled_ops,
+};
 use hermes_core::ProtocolConfig;
 use hermes_replica::SimConfig;
 use hermes_workload::WorkloadConfig;

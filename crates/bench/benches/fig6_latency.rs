@@ -56,7 +56,11 @@ fn fig6bc(zipf: Option<f64>, label: &str) {
     );
     println!(
         "{:>7} | {:>25} {:>25} | {:>25} {:>25}",
-        "write%", "Hermes R p50/p99 (us)", "Hermes W p50/p99 (us)", "rCRAQ R p50/p99 (us)", "rCRAQ W p50/p99 (us)"
+        "write%",
+        "Hermes R p50/p99 (us)",
+        "Hermes W p50/p99 (us)",
+        "rCRAQ R p50/p99 (us)",
+        "rCRAQ W p50/p99 (us)"
     );
     for ratio in [1u32, 5, 20, 50, 75, 100] {
         let mut cfg = paper_cluster(5, ratio as f64 / 100.0, zipf);

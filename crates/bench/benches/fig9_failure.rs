@@ -72,7 +72,7 @@ fn main() {
                 post_n += 1;
             }
             // Print a compact trace every 30 ms.
-            if (t_ms as u64) % 30 == 0 {
+            if (t_ms as u64).is_multiple_of(30) {
                 let bar = "#".repeat(((mreqs * 0.5) as usize).min(60));
                 println!("{:>8.0} | {:>12.1} | {bar}", t_ms, mreqs);
             }

@@ -76,9 +76,9 @@ fn bench_kernel_write_path(c: &mut Criterion) {
                     }
                 }
                 if let Some(val) = val {
-                    for f in 1..5usize {
+                    for follower in nodes.iter_mut().skip(1) {
                         let mut vfx = Vec::new();
-                        nodes[f].on_message(NodeId(0), val.clone(), &mut vfx);
+                        follower.on_message(NodeId(0), val.clone(), &mut vfx);
                     }
                 }
                 black_box(nodes)

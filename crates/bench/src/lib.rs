@@ -57,7 +57,7 @@ pub fn paper_cluster(nodes: usize, write_ratio: f64, zipf: Option<f64>) -> SimCo
         workers_per_node: 20,
         sessions_per_node,
         workload: WorkloadConfig {
-            keys: ((1_000_000 as f64 * scale()) as u64).max(10_000),
+            keys: ((1_000_000_f64 * scale()) as u64).max(10_000),
             write_ratio,
             zipf_theta: zipf,
             value_size: 32,
@@ -91,27 +91,27 @@ pub fn run_hermes_with(cfg: &SimConfig, pcfg: ProtocolConfig) -> RunReport {
 
 /// Runs the rZAB baseline on `cfg`.
 pub fn run_zab(cfg: &SimConfig) -> RunReport {
-    run_sim(cfg, |id, n| hermes_baselines::ZabNode::new(id, n))
+    run_sim(cfg, hermes_baselines::ZabNode::new)
 }
 
 /// Runs the rCRAQ baseline on `cfg`.
 pub fn run_craq(cfg: &SimConfig) -> RunReport {
-    run_sim(cfg, |id, n| hermes_baselines::CraqNode::new(id, n))
+    run_sim(cfg, hermes_baselines::CraqNode::new)
 }
 
 /// Runs the CR baseline on `cfg`.
 pub fn run_cr(cfg: &SimConfig) -> RunReport {
-    run_sim(cfg, |id, n| hermes_baselines::CrNode::new(id, n))
+    run_sim(cfg, hermes_baselines::CrNode::new)
 }
 
 /// Runs the ABD baseline on `cfg`.
 pub fn run_abd(cfg: &SimConfig) -> RunReport {
-    run_sim(cfg, |id, n| hermes_baselines::AbdNode::new(id, n))
+    run_sim(cfg, hermes_baselines::AbdNode::new)
 }
 
 /// Runs the lock-step SMR (Derecho-like) baseline on `cfg`.
 pub fn run_lockstep(cfg: &SimConfig) -> RunReport {
-    run_sim(cfg, |id, n| hermes_baselines::LockstepNode::new(id, n))
+    run_sim(cfg, hermes_baselines::LockstepNode::new)
 }
 
 /// Pretty-prints a bench section header.
@@ -119,7 +119,10 @@ pub fn header(title: &str, paper_note: &str) {
     println!();
     println!("=== {title} ===");
     println!("    paper: {paper_note}");
-    println!("    (HERMES_SCALE={}, shapes matter, absolutes don't)", scale());
+    println!(
+        "    (HERMES_SCALE={}, shapes matter, absolutes don't)",
+        scale()
+    );
 }
 
 /// Formats throughput in MReq/s.

@@ -34,7 +34,10 @@ impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::RmwAborted { key } => {
-                write!(f, "read-modify-write on {key} aborted by a concurrent update")
+                write!(
+                    f,
+                    "read-modify-write on {key} aborted by a concurrent update"
+                )
             }
             ClientError::NotOperational { node } => {
                 write!(f, "replica {node} is not operational")

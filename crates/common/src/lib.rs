@@ -35,5 +35,5 @@ mod value;
 pub use error::{ClientError, ProtocolFault};
 pub use ids::{ClientId, Epoch, Key, NodeId, OpId};
 pub use nodeset::NodeSet;
-pub use protocol::{Capabilities, ClientOp, Effect, MembershipView, Reply, ReplicaProtocol, RmwOp};
+pub use protocol::{Capabilities, ClientOp, Effect, MembershipView, ReplicaProtocol, Reply, RmwOp};
 pub use value::Value;

@@ -339,8 +339,14 @@ mod tests {
     fn reply_ok_classification() {
         assert!(Reply::ReadOk(Value::EMPTY).is_ok());
         assert!(Reply::WriteOk.is_ok());
-        assert!(Reply::RmwOk { prior: Value::EMPTY }.is_ok());
-        assert!(Reply::CasFailed { current: Value::EMPTY }.is_ok());
+        assert!(Reply::RmwOk {
+            prior: Value::EMPTY
+        }
+        .is_ok());
+        assert!(Reply::CasFailed {
+            current: Value::EMPTY
+        }
+        .is_ok());
         assert!(!Reply::RmwAborted.is_ok());
         assert!(!Reply::NotOperational.is_ok());
         assert!(!Reply::Unsupported.is_ok());

@@ -89,12 +89,7 @@ impl fmt::Debug for Value {
         if self.0.len() <= 16 {
             write!(f, "Value({:02x?})", self.0.as_ref())
         } else {
-            write!(
-                f,
-                "Value({} bytes, {:02x?}..)",
-                self.0.len(),
-                &self.0[..8]
-            )
+            write!(f, "Value({} bytes, {:02x?}..)", self.0.len(), &self.0[..8])
         }
     }
 }

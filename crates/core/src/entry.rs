@@ -159,7 +159,12 @@ mod tests {
     fn apply_moves_timestamp_and_resets_o3_tracker() {
         let mut e = KeyEntry::new(NodeId(0));
         e.o3_acks.insert(NodeId(1));
-        e.apply(Ts::new(2, 1), Value::from_u64(5), UpdateKind::Write, NodeId(1));
+        e.apply(
+            Ts::new(2, 1),
+            Value::from_u64(5),
+            UpdateKind::Write,
+            NodeId(1),
+        );
         assert_eq!(e.ts, Ts::new(2, 1));
         assert_eq!(e.value, Value::from_u64(5));
         assert_eq!(e.driver, NodeId(1));

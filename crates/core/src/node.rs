@@ -1,8 +1,8 @@
 use crate::entry::{KeyEntry, KeyState, Pending};
 use crate::{Msg, ProtocolConfig, ProtocolStats, Ts, UpdateKind};
 use hermes_common::{
-    Capabilities, ClientOp, Effect, Key, MembershipView, NodeId, NodeSet, OpId, Reply,
-    ReplicaProtocol, Value,
+    Capabilities, ClientOp, Effect, Key, MembershipView, NodeId, NodeSet, OpId, ReplicaProtocol,
+    Reply, Value,
 };
 use std::collections::BTreeMap;
 
@@ -116,7 +116,9 @@ impl HermesNode {
     /// This is *not* a linearizable read — use [`HermesNode::local_read`] or
     /// a client operation for that.
     pub fn key_value(&self, key: Key) -> Value {
-        self.keys.get(&key).map_or(Value::EMPTY, |e| e.value.clone())
+        self.keys
+            .get(&key)
+            .map_or(Value::EMPTY, |e| e.value.clone())
     }
 
     /// Serves a read locally iff the key is `Valid` (the paper's read rule);
@@ -225,7 +227,10 @@ impl HermesNode {
         let write_incr = self.cfg.write_version_increment();
         let rmw_incr = self.cfg.rmw_version_increment();
         let me = self.me;
-        let e = self.keys.get_mut(&key).expect("issue_update on missing entry");
+        let e = self
+            .keys
+            .get_mut(&key)
+            .expect("issue_update on missing entry");
         debug_assert!(e.state == KeyState::Valid && e.pending.is_none());
 
         let (ts, value, kind, client) = match cop {
@@ -366,7 +371,10 @@ impl HermesNode {
                 epoch,
             };
             self.stats.invs_sent += 1;
-            fx.push(Effect::Send { to: from, msg: reply });
+            fx.push(Effect::Send {
+                to: from,
+                msg: reply,
+            });
             return;
         }
 

@@ -18,9 +18,15 @@ fn lost_inv_is_retransmitted_until_acked() {
     let mut c = Cluster::new(3, ProtocolConfig::default());
     let w = c.write(0, K, v(1));
     // Lose the INV to node 2.
-    assert_eq!(c.drop_matching(|e| e.to.0 == 2 && e.msg.kind_name() == "INV"), 1);
+    assert_eq!(
+        c.drop_matching(|e| e.to.0 == 2 && e.msg.kind_name() == "INV"),
+        1
+    );
     c.deliver_all();
-    assert!(c.reply_of(w).is_none(), "cannot commit without node 2's ACK");
+    assert!(
+        c.reply_of(w).is_none(),
+        "cannot commit without node 2's ACK"
+    );
 
     // mlt fires at the coordinator: retransmit only to the straggler.
     c.fire_timer(0, K);
@@ -35,7 +41,10 @@ fn lost_ack_is_recovered_by_retransmission() {
     let mut c = Cluster::new(3, ProtocolConfig::default());
     let w = c.write(0, K, v(2));
     c.deliver_matching(|e| e.msg.kind_name() == "INV");
-    assert_eq!(c.drop_matching(|e| e.from.0 == 1 && e.msg.kind_name() == "ACK"), 1);
+    assert_eq!(
+        c.drop_matching(|e| e.from.0 == 1 && e.msg.kind_name() == "ACK"),
+        1
+    );
     c.deliver_all();
     assert!(c.reply_of(w).is_none());
     c.fire_timer(0, K);
@@ -112,7 +121,10 @@ fn coordinator_crash_before_any_inv_leaves_no_trace() {
     c.crash(0);
     c.reconfigure(c.node(1).view().without_node(NodeId(0)));
     c.deliver_all();
-    assert!(c.reply_of(w).is_none(), "client never hears back (crashed node)");
+    assert!(
+        c.reply_of(w).is_none(),
+        "client never hears back (crashed node)"
+    );
     let r = c.read(1, K);
     c.assert_reply(r, Reply::ReadOk(Value::EMPTY));
     assert_eq!(c.node(1).key_ts(K), Ts::ZERO);
@@ -225,7 +237,11 @@ fn replay_of_replay_after_second_failure() {
     c.deliver_all();
     c.assert_reply(r2, Reply::ReadOk(v(11)));
     assert_eq!(c.node(2).key_state(K), KeyState::Valid);
-    assert_eq!(c.node(2).key_ts(K).cid, 0, "original timestamp preserved twice");
+    assert_eq!(
+        c.node(2).key_ts(K).cid,
+        0,
+        "original timestamp preserved twice"
+    );
 }
 
 #[test]
@@ -317,7 +333,9 @@ fn convergence_under_random_loss_with_retransmission() {
             // Deterministic pseudo-random drops keyed by (seed, i).
             let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i);
             c.drop_matching(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 33) % 10 < 3
             });
             c.deliver_all();

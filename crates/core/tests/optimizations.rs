@@ -135,7 +135,11 @@ fn o3_sends_no_vals_at_all() {
     c.assert_reply(w, Reply::WriteOk);
     c.quiesce();
     for i in 0..5 {
-        assert_eq!(c.node(i).stats().vals_sent, 0, "node {i} sent a VAL under O3");
+        assert_eq!(
+            c.node(i).stats().vals_sent,
+            0,
+            "node {i} sent a VAL under O3"
+        );
         assert_eq!(c.node(i).key_state(K), KeyState::Valid);
         assert_eq!(c.node(i).key_value(K), v(9));
     }

@@ -115,6 +115,7 @@ fn stale_rmw_inv_gets_nacked_with_local_state() {
     // is still in flight.
     let rmw = c.rmw(0, K, fetch_add(1)); // ts (1, c0)
     let wr = c.write(1, K, v(5)); // ts (2, c1)
+
     // Node 2 applies the write first...
     c.deliver_matching(|e| e.from.0 == 1 && e.to.0 == 2 && e.msg.kind_name() == "INV");
     assert_eq!(c.node(2).key_ts(K), Ts::new(2, 1));
@@ -139,7 +140,12 @@ fn rmw_chain_applies_sequentially() {
     for node in 0..5 {
         let op = c.rmw(node, K, fetch_add(1));
         c.deliver_all();
-        c.assert_reply(op, Reply::RmwOk { prior: v(node as u64) });
+        c.assert_reply(
+            op,
+            Reply::RmwOk {
+                prior: v(node as u64),
+            },
+        );
     }
     c.assert_converged(K);
     assert_eq!(c.node(0).key_value(K), v(5));

@@ -2,6 +2,10 @@
 //! machines in tests: routes effects, tracks timers, records replies, and
 //! allows precise control over message delivery, loss and crashes.
 
+// Each integration-test binary compiles this module separately and uses a
+// different subset of the harness, so unused-method warnings here are noise.
+#![allow(dead_code)]
+
 use hermes_common::{
     ClientId, ClientOp, Effect, Key, MembershipView, NodeId, OpId, Reply, RmwOp, Value,
 };
@@ -247,7 +251,12 @@ impl Cluster {
                 "{}: {key} not Valid at quiescence",
                 n.node_id()
             );
-            assert_eq!(n.key_ts(key), ts0, "{}: ts divergence on {key}", n.node_id());
+            assert_eq!(
+                n.key_ts(key),
+                ts0,
+                "{}: ts divergence on {key}",
+                n.node_id()
+            );
             assert_eq!(
                 n.key_value(key),
                 v0,

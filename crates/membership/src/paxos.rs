@@ -12,7 +12,10 @@ pub struct Ballot {
 impl Ballot {
     /// First ballot a proposer may use.
     pub fn initial(node: NodeId) -> Self {
-        Ballot { round: 1, node: node.0 }
+        Ballot {
+            round: 1,
+            node: node.0,
+        }
     }
 
     /// The next higher ballot for the same proposer.
@@ -142,12 +145,7 @@ pub struct Paxos {
 impl Paxos {
     /// Starts a proposer for `instance` with initial proposal `value` among
     /// `acceptors` (quorum = majority of acceptors).
-    pub fn new(
-        instance: u64,
-        ballot: Ballot,
-        value: MembershipView,
-        acceptors: NodeSet,
-    ) -> Self {
+    pub fn new(instance: u64, ballot: Ballot, value: MembershipView, acceptors: NodeSet) -> Self {
         Paxos {
             instance,
             ballot,
@@ -202,7 +200,7 @@ impl Paxos {
         }
         self.promises.insert(from);
         if let Some((b, v)) = accepted {
-            if self.best_accepted.map_or(true, |(bb, _)| b > bb) {
+            if self.best_accepted.is_none_or(|(bb, _)| b > bb) {
                 self.best_accepted = Some((b, v));
             }
         }
@@ -221,8 +219,7 @@ impl Paxos {
     /// Processes an `Accepted`; returns the decided view once a quorum of
     /// accepts is in (exactly once).
     pub fn on_accepted(&mut self, from: NodeId, ballot: Ballot) -> Option<MembershipView> {
-        if ballot != self.ballot || !self.phase2 || self.decided || !self.acceptors.contains(from)
-        {
+        if ballot != self.ballot || !self.phase2 || self.decided || !self.acceptors.contains(from) {
             return None;
         }
         self.accepts.insert(from);
@@ -280,9 +277,12 @@ mod tests {
         };
         // Two promises reach quorum; the Accept goes out exactly once.
         let mut accept = None;
-        for i in 0..2 {
-            let reply = acceptors[i].on_prepare(instance, ballot);
-            let PaxosMsg::Promise { ballot, accepted, .. } = reply else {
+        for (i, acceptor) in acceptors.iter_mut().enumerate().take(2) {
+            let reply = acceptor.on_prepare(instance, ballot);
+            let PaxosMsg::Promise {
+                ballot, accepted, ..
+            } = reply
+            else {
                 panic!("expected promise")
             };
             if let Some(msg) = proposer.on_promise(NodeId(i as u32), ballot, accepted) {
@@ -290,14 +290,19 @@ mod tests {
                 accept = Some(msg);
             }
         }
-        let Some(PaxosMsg::Accept { instance, ballot, view: proposal }) = accept else {
+        let Some(PaxosMsg::Accept {
+            instance,
+            ballot,
+            view: proposal,
+        }) = accept
+        else {
             panic!("no accept after quorum")
         };
         assert_eq!(proposal, v);
         // Two accepteds decide.
         let mut decided = None;
-        for i in 0..2 {
-            let PaxosMsg::Accepted { ballot, .. } = acceptors[i].on_accept(instance, ballot, proposal)
+        for (i, acceptor) in acceptors.iter_mut().enumerate().take(2) {
+            let PaxosMsg::Accepted { ballot, .. } = acceptor.on_accept(instance, ballot, proposal)
             else {
                 panic!("expected accepted")
             };
@@ -357,12 +362,20 @@ mod tests {
         let mut accs = [AcceptorState::default(); 3];
 
         let mut p0 = Paxos::new(1, Ballot { round: 1, node: 0 }, a, acceptors);
-        let PaxosMsg::Prepare { ballot: b0, .. } = p0.prepare() else { panic!() };
+        let PaxosMsg::Prepare { ballot: b0, .. } = p0.prepare() else {
+            panic!()
+        };
         for i in [0usize, 1] {
-            let PaxosMsg::Promise { accepted, .. } = accs[i].on_prepare(1, b0) else { panic!() };
-            if let Some(PaxosMsg::Accept { view, .. }) = p0.on_promise(NodeId(i as u32), b0, accepted) {
+            let PaxosMsg::Promise { accepted, .. } = accs[i].on_prepare(1, b0) else {
+                panic!()
+            };
+            if let Some(PaxosMsg::Accept { view, .. }) =
+                p0.on_promise(NodeId(i as u32), b0, accepted)
+            {
                 for j in [0usize, 1] {
-                    let PaxosMsg::Accepted { .. } = accs[j].on_accept(1, b0, view) else { panic!() };
+                    let PaxosMsg::Accepted { .. } = accs[j].on_accept(1, b0, view) else {
+                        panic!()
+                    };
                     p0.on_accepted(NodeId(j as u32), b0);
                 }
             }
@@ -371,14 +384,22 @@ mod tests {
         assert_eq!(p0.proposal(), a);
 
         let mut p2 = Paxos::new(1, Ballot { round: 2, node: 2 }, b, acceptors);
-        let PaxosMsg::Prepare { ballot: b2, .. } = p2.prepare() else { panic!() };
+        let PaxosMsg::Prepare { ballot: b2, .. } = p2.prepare() else {
+            panic!()
+        };
         let mut decided2 = None;
         for i in [1usize, 2] {
-            let PaxosMsg::Promise { accepted, .. } = accs[i].on_prepare(1, b2) else { panic!() };
-            if let Some(PaxosMsg::Accept { view, .. }) = p2.on_promise(NodeId(i as u32), b2, accepted) {
+            let PaxosMsg::Promise { accepted, .. } = accs[i].on_prepare(1, b2) else {
+                panic!()
+            };
+            if let Some(PaxosMsg::Accept { view, .. }) =
+                p2.on_promise(NodeId(i as u32), b2, accepted)
+            {
                 assert_eq!(view, a, "agreement: must adopt the decided value");
                 for j in [1usize, 2] {
-                    let PaxosMsg::Accepted { .. } = accs[j].on_accept(1, b2, view) else { panic!() };
+                    let PaxosMsg::Accepted { .. } = accs[j].on_accept(1, b2, view) else {
+                        panic!()
+                    };
                     if let Some(d) = p2.on_accepted(NodeId(j as u32), b2) {
                         decided2 = Some(d);
                     }
@@ -397,7 +418,9 @@ mod tests {
         p.restart_above(floor);
         assert!(p.ballot() > floor);
         // Old-ballot promises are ignored after restart.
-        assert!(p.on_promise(NodeId(1), Ballot::initial(NodeId(0)), None).is_none());
+        assert!(p
+            .on_promise(NodeId(1), Ballot::initial(NodeId(0)), None)
+            .is_none());
         assert!(!p.is_decided());
     }
 

@@ -307,7 +307,9 @@ impl RmNode {
                     }
                     return;
                 }
-                let reply = self.acceptor_for(instance).on_accept(instance, ballot, view);
+                let reply = self
+                    .acceptor_for(instance)
+                    .on_accept(instance, ballot, view);
                 self.route_paxos(from, reply, fx);
             }
             PaxosMsg::Promise {
@@ -330,7 +332,9 @@ impl RmNode {
                         view,
                     } = accept
                     {
-                        let reply = self.acceptor_for(instance).on_accept(instance, ballot, view);
+                        let reply = self
+                            .acceptor_for(instance)
+                            .on_accept(instance, ballot, view);
                         self.handle_paxos_reply_to_self(reply, fx);
                     }
                 }
@@ -495,7 +499,12 @@ mod tests {
         }
         let live: Vec<&RmNode> = net.nodes[..4].iter().collect();
         for n in live {
-            assert_eq!(n.view().epoch, Epoch(1), "{} did not reconfigure", n.node_id());
+            assert_eq!(
+                n.view().epoch,
+                Epoch(1),
+                "{} did not reconfigure",
+                n.node_id()
+            );
             assert!(!n.view().members.contains(NodeId(4)));
             assert_eq!(n.view().members.len(), 4);
         }
@@ -515,7 +524,11 @@ mod tests {
             net.tick_all(ms(t));
         }
         assert!(net.nodes[0].suspects().contains(NodeId(2)));
-        assert_eq!(net.nodes[0].view().epoch, Epoch(0), "must wait for lease expiry");
+        assert_eq!(
+            net.nodes[0].view().epoch,
+            Epoch(0),
+            "must wait for lease expiry"
+        );
         // After suspicion + lease duration the view changes.
         for t in (180..300).step_by(10) {
             net.tick_all(ms(t));
@@ -600,7 +613,14 @@ mod tests {
         for t in (0..1000).step_by(10) {
             net.tick_all(ms(t));
         }
-        assert_eq!(net.nodes[0].view().epoch, Epoch(0), "minority must not reconfigure");
-        assert!(!net.nodes[0].lease_valid(ms(1000)), "survivors lose their leases");
+        assert_eq!(
+            net.nodes[0].view().epoch,
+            Epoch(0),
+            "minority must not reconfigure"
+        );
+        assert!(
+            !net.nodes[0].lease_valid(ms(1000)),
+            "survivors lose their leases"
+        );
     }
 }

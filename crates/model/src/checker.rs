@@ -262,7 +262,11 @@ mod tests {
 
     #[test]
     fn read_of_initial_state() {
-        assert!(check_linearizable(&[op(0, 1, OpKind::Read { returned: None })]));
+        assert!(check_linearizable(&[op(
+            0,
+            1,
+            OpKind::Read { returned: None }
+        )]));
         assert!(!check_linearizable(&[op(
             0,
             1,
@@ -314,7 +318,13 @@ mod tests {
             assert!(check_linearizable(&[
                 op(0, 10, OpKind::Write { value: 1 }),
                 op(0, 10, OpKind::Write { value: 2 }),
-                op(11, 12, OpKind::Read { returned: final_read }),
+                op(
+                    11,
+                    12,
+                    OpKind::Read {
+                        returned: final_read
+                    }
+                ),
             ]));
         }
         assert!(!check_linearizable(&[
@@ -328,13 +338,27 @@ mod tests {
     fn fetch_add_chains_must_be_consistent() {
         assert!(check_linearizable(&[
             op(0, 1, OpKind::Write { value: 10 }),
-            op(2, 3, OpKind::FetchAdd { delta: 5, prior: Some(10) }),
+            op(
+                2,
+                3,
+                OpKind::FetchAdd {
+                    delta: 5,
+                    prior: Some(10)
+                }
+            ),
             op(4, 5, OpKind::Read { returned: Some(15) }),
         ]));
         // A fetch-add reporting a prior nobody wrote is invalid.
         assert!(!check_linearizable(&[
             op(0, 1, OpKind::Write { value: 10 }),
-            op(2, 3, OpKind::FetchAdd { delta: 5, prior: Some(11) }),
+            op(
+                2,
+                3,
+                OpKind::FetchAdd {
+                    delta: 5,
+                    prior: Some(11)
+                }
+            ),
         ]));
     }
 
@@ -348,11 +372,25 @@ mod tests {
         // Failed CAS must observe a non-matching current value.
         assert!(check_linearizable(&[
             op(0, 1, OpKind::Write { value: 7 }),
-            op(2, 3, OpKind::CasFailed { expect: 0, current: Some(7) }),
+            op(
+                2,
+                3,
+                OpKind::CasFailed {
+                    expect: 0,
+                    current: Some(7)
+                }
+            ),
         ]));
         assert!(!check_linearizable(&[
             op(0, 1, OpKind::Write { value: 0 }),
-            op(2, 3, OpKind::CasFailed { expect: 0, current: Some(0) }),
+            op(
+                2,
+                3,
+                OpKind::CasFailed {
+                    expect: 0,
+                    current: Some(0)
+                }
+            ),
         ]));
     }
 
@@ -370,7 +408,14 @@ mod tests {
     fn aborted_ops_must_not_take_effect() {
         // The aborted fetch-add's effect must be invisible: a read of 6
         // (5+1) proves it took effect — not linearizable.
-        let mut aborted = op(2, 3, OpKind::FetchAdd { delta: 1, prior: Some(5) });
+        let mut aborted = op(
+            2,
+            3,
+            OpKind::FetchAdd {
+                delta: 1,
+                prior: Some(5),
+            },
+        );
         aborted.outcome = Outcome::Aborted;
         assert!(!check_linearizable(&[
             op(0, 1, OpKind::Write { value: 5 }),
@@ -417,10 +462,15 @@ mod tests {
         let mut history = Vec::new();
         history.push(op(0, 1, OpKind::Write { value: 0 }));
         let mut t = 2;
-        let mut val = 0;
-        for _ in 0..20 {
-            history.push(op(t, t + 1, OpKind::FetchAdd { delta: 1, prior: Some(val) }));
-            val += 1;
+        for val in 0..20 {
+            history.push(op(
+                t,
+                t + 1,
+                OpKind::FetchAdd {
+                    delta: 1,
+                    prior: Some(val),
+                },
+            ));
             t += 2;
         }
         history.push(op(t, t + 1, OpKind::Read { returned: Some(20) }));

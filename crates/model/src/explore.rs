@@ -12,11 +12,9 @@
 //! independently).
 
 use crate::checker::{check_linearizable, HistoryOp, OpKind, Outcome};
-use hermes_common::{
-    ClientId, ClientOp, Effect, Key, MembershipView, NodeId, OpId, Reply, RmwOp,
-};
 #[cfg(test)]
 use hermes_common::Value;
+use hermes_common::{ClientId, ClientOp, Effect, Key, MembershipView, NodeId, OpId, Reply, RmwOp};
 use hermes_core::{HermesNode, Msg, ProtocolConfig};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeSet, HashSet};
@@ -247,7 +245,8 @@ impl Explorer {
                     let mut next = state.clone();
                     next.crashed = true;
                     next.clock += 1;
-                    next.inflight.retain(|(f, t, _)| *f != victim && *t != victim);
+                    next.inflight
+                        .retain(|(f, t, _)| *f != victim && *t != victim);
                     let new_view = view.without_node(victim);
                     for i in 0..self.cfg.nodes {
                         if i == victim.index() {
@@ -261,8 +260,8 @@ impl Explorer {
                 }
             }
 
-            if successors.is_empty() || (state.next_script == self.cfg.script.len()
-                && state.inflight.is_empty())
+            if successors.is_empty()
+                || (state.next_script == self.cfg.script.len() && state.inflight.is_empty())
             {
                 // Terminal-ish: check convergence + linearizability after
                 // driving the system quiescent.

@@ -1,5 +1,5 @@
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use hermes_common::NodeId;
 use hermes_sim::rng::Rng;
 use parking_lot::Mutex;
@@ -25,6 +25,9 @@ struct Shared {
     /// Per-node kill switch: a "crashed" endpoint stops delivering.
     crashed: Vec<AtomicBool>,
 }
+
+/// A datagram in flight: originating node plus payload.
+type Datagram = (NodeId, Bytes);
 
 /// A real in-process datagram network over crossbeam channels.
 ///
@@ -64,10 +67,9 @@ impl InProcNet {
             faults: Mutex::new((faults, Rng::seeded(seed))),
             crashed: (0..n).map(|_| AtomicBool::new(false)).collect(),
         });
-        let channels: Vec<(Sender<(NodeId, Bytes)>, Receiver<(NodeId, Bytes)>)> =
+        let channels: Vec<(Sender<Datagram>, Receiver<Datagram>)> =
             (0..n).map(|_| unbounded()).collect();
-        let senders: Vec<Sender<(NodeId, Bytes)>> =
-            channels.iter().map(|(s, _)| s.clone()).collect();
+        let senders: Vec<Sender<Datagram>> = channels.iter().map(|(s, _)| s.clone()).collect();
         let endpoints = channels
             .into_iter()
             .enumerate()
@@ -90,8 +92,8 @@ impl InProcNet {
 /// One node's attachment to an [`InProcNet`].
 pub struct InProcEndpoint {
     me: NodeId,
-    senders: Vec<Sender<(NodeId, Bytes)>>,
-    rx: Receiver<(NodeId, Bytes)>,
+    senders: Vec<Sender<Datagram>>,
+    rx: Receiver<Datagram>,
     shared: Arc<Shared>,
 }
 
@@ -155,10 +157,7 @@ impl InProcEndpoint {
             while self.rx.try_recv().is_ok() {}
             return None;
         }
-        match self.rx.try_recv() {
-            Ok(msg) => Some(msg),
-            Err(TryRecvError::Empty | TryRecvError::Disconnected) => None,
-        }
+        self.rx.try_recv().ok()
     }
 
     /// Reconfigures fault injection for the whole network.

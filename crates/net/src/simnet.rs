@@ -156,7 +156,8 @@ impl SimNet {
 
         if self.rng.gen_bool(self.cfg.duplicate_prob) {
             let extra = SimDuration::from_secs_f64(
-                self.rng.gen_exp(self.cfg.base_latency.as_secs_f64().max(1e-9)),
+                self.rng
+                    .gen_exp(self.cfg.base_latency.as_secs_f64().max(1e-9)),
             );
             DeliveryOutcome::DeliverDup(arrival, arrival + extra)
         } else {

@@ -1,6 +1,6 @@
 use crate::CostModel;
 use hermes_common::{
-    ClientId, ClientOp, Effect, Key, MembershipView, NodeId, OpId, Reply, ReplicaProtocol,
+    ClientId, ClientOp, Effect, Key, MembershipView, NodeId, OpId, ReplicaProtocol, Reply,
 };
 use hermes_membership::{RmConfig, RmEffect, RmMsg, RmNode};
 use hermes_net::{DeliveryOutcome, SimNet, SimNetConfig};
@@ -274,7 +274,10 @@ impl<'a, P: ReplicaProtocol> Sim<'a, P> {
         for (to, msg) in sends {
             self.messages_sent += 1;
             let bytes = P::msg_wire_size(&msg);
-            match self.net.plan_delivery(NodeId(node), NodeId(to), bytes, done) {
+            match self
+                .net
+                .plan_delivery(NodeId(node), NodeId(to), bytes, done)
+            {
                 DeliveryOutcome::Deliver(at) => {
                     self.sched.schedule_at(
                         at.max(done),
@@ -543,10 +546,7 @@ impl<'a, P: ReplicaProtocol> Sim<'a, P> {
             reads: self.read_hist.summary(),
             writes: self.write_hist.summary(),
             all: all.summary(),
-            timeline: self
-                .timeline
-                .map(|tl| tl.ops_per_sec())
-                .unwrap_or_default(),
+            timeline: self.timeline.map(|tl| tl.ops_per_sec()).unwrap_or_default(),
             messages_sent: self.messages_sent,
             rmw_aborts: self.rmw_aborts,
             not_operational: self.not_operational,
@@ -639,8 +639,8 @@ mod tests {
     #[test]
     fn baselines_run_under_same_harness() {
         let cfg = small_cfg();
-        let zab = run_sim(&cfg, |id, n| ZabNode::new(id, n));
-        let craq = run_sim(&cfg, |id, n| CraqNode::new(id, n));
+        let zab = run_sim(&cfg, ZabNode::new);
+        let craq = run_sim(&cfg, CraqNode::new);
         assert_eq!(zab.ops_completed, 10_000);
         assert_eq!(craq.ops_completed, 10_000);
         assert!(zab.throughput_mreqs > 0.0);
@@ -653,7 +653,7 @@ mod tests {
         cfg.workload.write_ratio = 0.2;
         cfg.measured_ops = 8_000;
         let h = hermes(&cfg);
-        let z = run_sim(&cfg, |id, n| ZabNode::new(id, n));
+        let z = run_sim(&cfg, ZabNode::new);
         assert!(
             h.throughput_mreqs > z.throughput_mreqs,
             "hermes {} vs zab {}",
@@ -692,6 +692,9 @@ mod tests {
             .map(|(_, v)| v)
             .sum::<f64>();
         assert!(early > 0.0, "no throughput before crash");
-        assert!(late > 0.0, "throughput did not recover after reconfiguration");
+        assert!(
+            late > 0.0,
+            "throughput did not recover after reconfiguration"
+        );
     }
 }

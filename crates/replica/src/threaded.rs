@@ -210,7 +210,15 @@ fn replica_main(
                 if let Ok(msg) = codec::decode(&raw) {
                     let key = msg.key();
                     node.on_message(from, msg, &mut fx);
-                    drain_effects(&mut node, &mut fx, &store, &mut batcher, &mut timers, &mut clients, key);
+                    drain_effects(
+                        &mut node,
+                        &mut fx,
+                        &store,
+                        &mut batcher,
+                        &mut timers,
+                        &mut clients,
+                        key,
+                    );
                 }
             }
         }
@@ -230,13 +238,29 @@ fn replica_main(
                 } => {
                     clients.insert(op, reply);
                     node.on_client_op(op, key, cop, &mut fx);
-                    drain_effects(&mut node, &mut fx, &store, &mut batcher, &mut timers, &mut clients, key);
+                    drain_effects(
+                        &mut node,
+                        &mut fx,
+                        &store,
+                        &mut batcher,
+                        &mut timers,
+                        &mut clients,
+                        key,
+                    );
                 }
                 Command::InstallView(view) => {
                     node.on_membership_update(view, &mut fx);
                     // Membership effects may touch many keys; use Key(0) as
                     // the mirror hint and rely on per-key mirroring below.
-                    drain_effects(&mut node, &mut fx, &store, &mut batcher, &mut timers, &mut clients, Key(0));
+                    drain_effects(
+                        &mut node,
+                        &mut fx,
+                        &store,
+                        &mut batcher,
+                        &mut timers,
+                        &mut clients,
+                        Key(0),
+                    );
                 }
                 Command::Shutdown => return,
             }
@@ -253,7 +277,15 @@ fn replica_main(
             worked = true;
             timers.insert(key, now);
             node.on_mlt_timeout(key, &mut fx);
-            drain_effects(&mut node, &mut fx, &store, &mut batcher, &mut timers, &mut clients, key);
+            drain_effects(
+                &mut node,
+                &mut fx,
+                &store,
+                &mut batcher,
+                &mut timers,
+                &mut clients,
+                key,
+            );
         }
 
         // Flush outstanding frames (opportunistic batching: never hold).
@@ -269,7 +301,15 @@ fn replica_main(
                         if let Ok(msg) = codec::decode(&raw) {
                             let key = msg.key();
                             node.on_message(from, msg, &mut fx);
-                            drain_effects(&mut node, &mut fx, &store, &mut batcher, &mut timers, &mut clients, key);
+                            drain_effects(
+                                &mut node,
+                                &mut fx,
+                                &store,
+                                &mut batcher,
+                                &mut timers,
+                                &mut clients,
+                                key,
+                            );
                         }
                     }
                 }
@@ -292,11 +332,7 @@ fn drain_effects(
     clients: &mut HashMap<OpId, Sender<Reply>>,
     touched: Key,
 ) {
-    let peers: Vec<NodeId> = node
-        .view()
-        .broadcast_set(node.node_id())
-        .iter()
-        .collect();
+    let peers: Vec<NodeId> = node.view().broadcast_set(node.node_id()).iter().collect();
     for e in fx.drain(..) {
         match e {
             Effect::Send { to, msg } => {

@@ -76,17 +76,17 @@ impl Xoshiro256StarStar {
     /// Panics if the state is all zeroes, which is the one invalid state of
     /// the xoshiro family (the generator would emit only zeroes).
     pub fn from_state(s: [u64; 4]) -> Self {
-        assert!(s.iter().any(|&w| w != 0), "xoshiro state must not be all zero");
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro state must not be all zero"
+        );
         Xoshiro256StarStar { s }
     }
 
     /// Returns the next 64 pseudo-random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -210,7 +210,11 @@ mod tests {
         let got: Vec<u64> = (0..3).map(|_| sm.next_u64()).collect();
         assert_eq!(
             got,
-            vec![0xE220_A839_7B1D_CDAF, 0x6E78_9E6A_A1B9_65F4, 0x06C4_5D18_8009_454F]
+            vec![
+                0xE220_A839_7B1D_CDAF,
+                0x6E78_9E6A_A1B9_65F4,
+                0x06C4_5D18_8009_454F
+            ]
         );
     }
 
@@ -258,7 +262,10 @@ mod tests {
             assert!(v < 10);
             seen[v as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all buckets should be hit: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all buckets should be hit: {seen:?}"
+        );
     }
 
     #[test]

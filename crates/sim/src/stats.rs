@@ -249,7 +249,10 @@ impl Timeline {
     /// Panics if `bin` is zero.
     pub fn new(bin: SimDuration) -> Self {
         assert!(!bin.is_zero(), "timeline bin width must be non-zero");
-        Timeline { bin, bins: Vec::new() }
+        Timeline {
+            bin,
+            bins: Vec::new(),
+        }
     }
 
     /// Records one completion at virtual time `at`.
@@ -320,7 +323,10 @@ mod tests {
         for (p, expected) in [(50.0, 50_000.0), (90.0, 90_000.0), (99.0, 99_000.0)] {
             let got = h.percentile(p) as f64;
             let rel = (got - expected).abs() / expected;
-            assert!(rel < 0.05, "p{p}: got {got}, expected {expected}, rel {rel}");
+            assert!(
+                rel < 0.05,
+                "p{p}: got {got}, expected {expected}, rel {rel}"
+            );
         }
     }
 

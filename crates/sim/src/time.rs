@@ -178,11 +178,11 @@ impl fmt::Debug for SimDuration {
         let ns = self.0;
         if ns == 0 {
             write!(f, "0ns")
-        } else if ns % 1_000_000_000 == 0 {
+        } else if ns.is_multiple_of(1_000_000_000) {
             write!(f, "{}s", ns / 1_000_000_000)
-        } else if ns % 1_000_000 == 0 {
+        } else if ns.is_multiple_of(1_000_000) {
             write!(f, "{}ms", ns / 1_000_000)
-        } else if ns % 1_000 == 0 {
+        } else if ns.is_multiple_of(1_000) {
             write!(f, "{}us", ns / 1_000)
         } else {
             write!(f, "{ns}ns")
@@ -291,10 +291,7 @@ mod tests {
         assert_eq!(format!("{:?}", SimDuration::micros(3)), "3us");
         assert_eq!(format!("{:?}", SimDuration::millis(150)), "150ms");
         assert_eq!(format!("{:?}", SimDuration::secs(2)), "2s");
-        assert_eq!(
-            format!("{:?}", SimTime::from_nanos(2_000)),
-            "t+2us"
-        );
+        assert_eq!(format!("{:?}", SimTime::from_nanos(2_000)), "t+2us");
     }
 
     #[test]

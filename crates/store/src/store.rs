@@ -208,7 +208,9 @@ impl Store {
     pub fn new(config: StoreConfig) -> Self {
         assert!(config.shards > 0, "store must have at least one shard");
         Store {
-            shards: (0..config.shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..config.shards)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
             capacity_words: config.value_capacity.div_ceil(8),
             stats: StoreStats::default(),
         }
@@ -259,7 +261,9 @@ impl Store {
         let (meta, retries) = slot.read(buf);
         self.stats.gets.fetch_add(1, Ordering::Relaxed);
         if retries > 0 {
-            self.stats.read_retries.fetch_add(retries, Ordering::Relaxed);
+            self.stats
+                .read_retries
+                .fetch_add(retries, Ordering::Relaxed);
         }
         Some(meta)
     }
@@ -287,8 +291,11 @@ impl Store {
     pub fn for_each(&self, mut f: impl FnMut(Key, SlotMeta, &[u8])) {
         let mut buf = Vec::new();
         for shard in &self.shards {
-            let keys: Vec<(Key, Arc<Slot>)> =
-                shard.read().iter().map(|(k, s)| (*k, Arc::clone(s))).collect();
+            let keys: Vec<(Key, Arc<Slot>)> = shard
+                .read()
+                .iter()
+                .map(|(k, s)| (*k, Arc::clone(s)))
+                .collect();
             for (key, slot) in keys {
                 let (meta, _) = slot.read(&mut buf);
                 f(key, meta, &buf);
@@ -429,12 +436,13 @@ mod tests {
 
         let writer = {
             let store = Arc::clone(&store);
+            let all_a = all_a.clone();
             thread::spawn(move || {
                 for i in 0..30_000u64 {
                     if i % 2 == 0 {
-                        store.put(Key(0), SlotMeta::valid(i, 0), &[0xBB; 64]);
+                        store.put(Key(0), SlotMeta::valid(i, 0), &all_b);
                     } else {
-                        store.put(Key(0), SlotMeta::valid(i, 0), &[0xAA; 128]);
+                        store.put(Key(0), SlotMeta::valid(i, 0), &all_a);
                     }
                 }
             })
@@ -454,7 +462,11 @@ mod tests {
                 let store = Arc::clone(&store);
                 thread::spawn(move || {
                     for i in 0..5_000u64 {
-                        store.put(Key(t * 10_000 + i % 100), SlotMeta::valid(i, t as u32), &i.to_le_bytes());
+                        store.put(
+                            Key(t * 10_000 + i % 100),
+                            SlotMeta::valid(i, t as u32),
+                            &i.to_le_bytes(),
+                        );
                     }
                 })
             })

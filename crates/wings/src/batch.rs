@@ -183,7 +183,10 @@ mod tests {
         assert_eq!(frames.len(), 2);
         assert_eq!(frames[0].0, NodeId(1));
         let msgs = decode_frame(&frames[0].1).unwrap();
-        assert_eq!(msgs, vec![Bytes::from_static(b"a1"), Bytes::from_static(b"a2")]);
+        assert_eq!(
+            msgs,
+            vec![Bytes::from_static(b"a1"), Bytes::from_static(b"a2")]
+        );
         let msgs = decode_frame(&frames[1].1).unwrap();
         assert_eq!(msgs, vec![Bytes::from_static(b"b1")]);
     }
@@ -276,7 +279,10 @@ mod tests {
     fn malformed_frames_error() {
         assert_eq!(decode_frame(&[]), Err(FrameError::Truncated));
         assert_eq!(decode_frame(&[2, 0]), Err(FrameError::Truncated));
-        assert_eq!(decode_frame(&[1, 0, 5, 0, 0, 0, 1]), Err(FrameError::Truncated));
+        assert_eq!(
+            decode_frame(&[1, 0, 5, 0, 0, 0, 1]),
+            Err(FrameError::Truncated)
+        );
     }
 
     #[test]

@@ -21,7 +21,11 @@ fn msg_strategy() -> impl Strategy<Value = Msg> {
                 key: Key(key),
                 ts: Ts::new(version, cid),
                 value: Value::from(value),
-                kind: if rmw { UpdateKind::Rmw } else { UpdateKind::Write },
+                kind: if rmw {
+                    UpdateKind::Rmw
+                } else {
+                    UpdateKind::Write
+                },
                 epoch: Epoch(epoch),
             }),
         (any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>()).prop_map(

@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --release --example fault_tolerance`
 
-use hermes::prelude::*;
 use hermes::membership::RmConfig;
+use hermes::prelude::*;
 use hermes::sim::SimDuration;
 
 fn main() {
@@ -45,7 +45,7 @@ fn main() {
     for (t_s, ops_s) in &report.timeline {
         let t_ms = t_s * 1e3;
         let mreqs = ops_s / 1e6;
-        if (t_ms as u64) % 20 != 0 {
+        if !(t_ms as u64).is_multiple_of(20) {
             continue;
         }
         let bar = "#".repeat(((mreqs * 0.4) as usize).min(70));

@@ -115,7 +115,10 @@ fn main() {
 
     t.deliver(|(_, to, m)| to.0 == 2 && m.kind_name() == "ACK");
     t.print_state("node 2 gathers all ACKs: write(A=3) COMMITS, Valid");
-    assert!(t.replies.iter().any(|(o, r)| *o == w3 && *r == Reply::WriteOk));
+    assert!(t
+        .replies
+        .iter()
+        .any(|(o, r)| *o == w3 && *r == Reply::WriteOk));
 
     t.deliver(|(f, to, m)| f.0 == 2 && to.0 == 1 && m.kind_name() == "VAL");
     t.print_state("node 1 receives VAL: Valid, stalled read returns 3");
@@ -126,7 +129,10 @@ fn main() {
 
     t.deliver(|(_, to, m)| to.0 == 0 && m.kind_name() == "ACK");
     t.print_state("node 0's own ACKs arrive: write commits, but -> Invalid");
-    assert!(t.replies.iter().any(|(o, r)| *o == w1 && *r == Reply::WriteOk));
+    assert!(t
+        .replies
+        .iter()
+        .any(|(o, r)| *o == w1 && *r == Reply::WriteOk));
 
     // Failure: VAL from node 2 to node 0 is lost; node 2 crashes.
     t.inflight

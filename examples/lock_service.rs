@@ -60,8 +60,7 @@ fn main() {
     // One critical-section counter per lock, updated only while holding the
     // lock. If mutual exclusion were broken, the final counter would not
     // match the number of successful acquisitions.
-    let counters: Arc<Vec<AtomicU64>> =
-        Arc::new((0..N_LOCKS).map(|_| AtomicU64::new(0)).collect());
+    let counters: Arc<Vec<AtomicU64>> = Arc::new((0..N_LOCKS).map(|_| AtomicU64::new(0)).collect());
     let acquisitions: Arc<Vec<AtomicU64>> =
         Arc::new((0..N_LOCKS).map(|_| AtomicU64::new(0)).collect());
 
@@ -110,8 +109,7 @@ fn main() {
         assert_eq!(v.to_u64(), Some(FREE), "lock {lock} leaked");
     }
     println!("all locks released. done.");
-    match Arc::try_unwrap(cluster) {
-        Ok(c) => c.shutdown(),
-        Err(_) => {}
+    if let Ok(c) = Arc::try_unwrap(cluster) {
+        c.shutdown()
     }
 }

@@ -42,7 +42,10 @@ fn main() {
     cluster.write(0, Key(100), Value::from_u64(0));
     for node in 0..5 {
         let reply = cluster.rmw(node, Key(100), RmwOp::FetchAdd { delta: 1 });
-        assert!(matches!(reply, Reply::RmwOk { .. }), "rmw failed: {reply:?}");
+        assert!(
+            matches!(reply, Reply::RmwOk { .. }),
+            "rmw failed: {reply:?}"
+        );
     }
     let Reply::ReadOk(counter) = cluster.read(2, Key(100)) else {
         panic!("counter read failed")

@@ -48,13 +48,17 @@ fn main() {
                 ..SimConfig::default()
             };
             println!("-- {write_pct}% writes --");
-            run(&cfg, "Hermes", run_sim(&cfg, |id, n| {
-                HermesNode::new(id, MembershipView::initial(n), ProtocolConfig::default())
-            }));
-            run(&cfg, "rCRAQ", run_sim(&cfg, |id, n| CraqNode::new(id, n)));
-            run(&cfg, "rZAB", run_sim(&cfg, |id, n| ZabNode::new(id, n)));
-            run(&cfg, "CR", run_sim(&cfg, |id, n| CrNode::new(id, n)));
-            run(&cfg, "ABD", run_sim(&cfg, |id, n| AbdNode::new(id, n)));
+            run(
+                &cfg,
+                "Hermes",
+                run_sim(&cfg, |id, n| {
+                    HermesNode::new(id, MembershipView::initial(n), ProtocolConfig::default())
+                }),
+            );
+            run(&cfg, "rCRAQ", run_sim(&cfg, CraqNode::new));
+            run(&cfg, "rZAB", run_sim(&cfg, ZabNode::new));
+            run(&cfg, "CR", run_sim(&cfg, CrNode::new));
+            run(&cfg, "ABD", run_sim(&cfg, AbdNode::new));
         }
     }
     println!();

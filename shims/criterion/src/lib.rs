@@ -1,0 +1,166 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate (the workspace builds without network access — see DESIGN.md §0).
+//!
+//! Implements the API subset used by `crates/bench/benches/micro.rs`:
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Instead of criterion's statistical pipeline it
+//! runs a short calibration pass, then measures a fixed wall-clock budget and
+//! prints mean ns/op — enough to compare substrate costs across commits,
+//! not a rigorous confidence interval.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::time::{Duration, Instant};
+
+/// Per-measurement time budget.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Hint for how costly batched inputs are to set up; accepted and ignored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Routine input is small; large batches.
+    SmallInput,
+    /// Routine input is large; small batches.
+    LargeInput,
+    /// One input per routine call.
+    PerIteration,
+}
+
+/// The benchmark driver handed to each `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// A driver whose name filter comes from the command line (the first
+    /// non-flag argument, as passed by `cargo bench -- <filter>`).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "benches");
+        Criterion { filter }
+    }
+
+    /// Runs (or skips, if filtered out) one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher::default();
+        f(&mut b);
+        match b.report {
+            Some((iters, elapsed)) => {
+                let ns = elapsed.as_nanos() as f64 / iters as f64;
+                println!("{name:<40} {ns:>12.1} ns/op   ({iters} iters)");
+            }
+            None => println!("{name:<40} {:>12} (no measurement)", "-"),
+        }
+        self
+    }
+}
+
+/// Measures a single benchmark routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine` in a loop.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: how many iterations fit in ~1ms?
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || n >= 1 << 24 {
+                let per_ms = n.max(1);
+                let target = (MEASURE_BUDGET.as_millis() as u64).max(1) * per_ms
+                    / elapsed.as_millis().max(1) as u64;
+                n = target.clamp(1, 1 << 28);
+                break;
+            }
+            n *= 4;
+        }
+        let start = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(routine());
+        }
+        self.report = Some((n, start.elapsed()));
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < MEASURE_BUDGET && iters < 1 << 20 {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.report = Some((iters.max(1), total));
+    }
+}
+
+/// Declares a benchmark group: a function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports() {
+        let mut b = Bencher::default();
+        b.iter(|| 1 + 1);
+        let (iters, _) = b.report.expect("measured");
+        assert!(iters >= 1);
+    }
+
+    #[test]
+    fn bench_function_filter() {
+        let mut c = Criterion {
+            filter: Some("nomatch-xyz".into()),
+        };
+        // Routine would hang the test if not filtered out; a cheap one is fine.
+        c.bench_function("other/name", |b| b.iter(|| ()));
+    }
+}

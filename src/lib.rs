@@ -60,8 +60,8 @@ pub use hermes_workload as workload;
 /// The types most programs need, in one import.
 pub mod prelude {
     pub use hermes_common::{
-        ClientOp, Effect, Epoch, Key, MembershipView, NodeId, NodeSet, OpId, Reply,
-        ReplicaProtocol, RmwOp, Value,
+        ClientOp, Effect, Epoch, Key, MembershipView, NodeId, NodeSet, OpId, ReplicaProtocol,
+        Reply, RmwOp, Value,
     };
     pub use hermes_core::{HermesNode, KeyState, Msg, ProtocolConfig, Ts, UpdateKind};
     pub use hermes_replica::{run_sim, CostModel, RunReport, SimConfig, ThreadCluster};

@@ -114,7 +114,8 @@ impl Fuzz {
 
     fn crash(&mut self, victim: NodeId) {
         self.crashed = Some(victim);
-        self.inflight.retain(|(f, t, _)| *f != victim && *t != victim);
+        self.inflight
+            .retain(|(f, t, _)| *f != victim && *t != victim);
         let view = self.nodes[0].view().without_node(victim);
         for i in 0..self.nodes.len() {
             if NodeId(i as u32) == victim {
@@ -165,7 +166,9 @@ impl Fuzz {
                 None => (u64::MAX, Outcome::Indeterminate, None),
             };
             let kind = match (cop, reply) {
-                (ClientOp::Read, Some(Reply::ReadOk(v))) => OpKind::Read { returned: v.to_u64() },
+                (ClientOp::Read, Some(Reply::ReadOk(v))) => OpKind::Read {
+                    returned: v.to_u64(),
+                },
                 (ClientOp::Read, _) => continue, // incomplete read: no constraint
                 (ClientOp::Write(v), _) => OpKind::Write {
                     value: v.to_u64().expect("fuzz writes u64 values"),

@@ -1,0 +1,73 @@
+//! Workspace-wiring smoke test: everything a new user touches first must be
+//! reachable through `hermes::prelude::*` alone — the facade re-exports, the
+//! threaded runtime, and a full write/read round-trip on a live 3-node
+//! cluster.
+
+use hermes::prelude::*;
+
+#[test]
+fn prelude_round_trip_three_nodes() {
+    let cluster = ThreadCluster::start(3, ProtocolConfig::default());
+
+    // Write through replica 0...
+    assert_eq!(
+        cluster.write(0, Key(7), Value::from_u64(41)),
+        Reply::WriteOk
+    );
+    // ...and read it back, linearizably, at every replica.
+    for node in 0..3 {
+        assert_eq!(
+            cluster.read(node, Key(7)),
+            Reply::ReadOk(Value::from_u64(41)),
+            "stale read at replica {node}"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn prelude_exposes_the_sans_io_core() {
+    // The sans-io state machine is usable from the prelude types alone.
+    let mut node = HermesNode::new(
+        NodeId(0),
+        MembershipView::initial(1),
+        ProtocolConfig::default(),
+    );
+    let mut fx: Vec<Effect<Msg>> = Vec::new();
+    node.on_client_op(
+        OpId::default(),
+        Key(1),
+        ClientOp::Write(Value::from_u64(9)),
+        &mut fx,
+    );
+    assert!(fx.iter().any(|e| matches!(
+        e,
+        Effect::Reply {
+            reply: Reply::WriteOk,
+            ..
+        }
+    )));
+    assert_eq!(node.local_read(Key(1)), Some(Value::from_u64(9)));
+}
+
+#[test]
+fn prelude_exposes_sim_runtime_and_workloads() {
+    // The simulated runtime and workload config are one import away too.
+    let cfg = SimConfig {
+        nodes: 3,
+        workload: WorkloadConfig {
+            keys: 1_000,
+            write_ratio: 0.2,
+            ..WorkloadConfig::default()
+        },
+        cost: CostModel::default(),
+        warmup_ops: 200,
+        measured_ops: 2_000,
+        ..SimConfig::default()
+    };
+    let report: RunReport = run_sim(&cfg, |id, n| {
+        HermesNode::new(id, MembershipView::initial(n), ProtocolConfig::default())
+    });
+    assert_eq!(report.ops_completed, 2_000);
+    assert!(report.throughput_mreqs > 0.0);
+}

@@ -33,11 +33,11 @@ fn all_protocols_complete_the_same_workload() {
     let cfg = base_cfg(0.1);
     let reports = [
         ("hermes", hermes(&cfg)),
-        ("craq", run_sim(&cfg, |id, n| CraqNode::new(id, n))),
-        ("zab", run_sim(&cfg, |id, n| ZabNode::new(id, n))),
-        ("cr", run_sim(&cfg, |id, n| CrNode::new(id, n))),
-        ("abd", run_sim(&cfg, |id, n| AbdNode::new(id, n))),
-        ("lockstep", run_sim(&cfg, |id, n| LockstepNode::new(id, n))),
+        ("craq", run_sim(&cfg, CraqNode::new)),
+        ("zab", run_sim(&cfg, ZabNode::new)),
+        ("cr", run_sim(&cfg, CrNode::new)),
+        ("abd", run_sim(&cfg, AbdNode::new)),
+        ("lockstep", run_sim(&cfg, LockstepNode::new)),
     ];
     for (name, r) in &reports {
         assert_eq!(r.ops_completed, 20_000, "{name} did not complete");
@@ -49,8 +49,8 @@ fn all_protocols_complete_the_same_workload() {
 fn hermes_dominates_baselines_at_20_percent_writes() {
     let cfg = base_cfg(0.2);
     let h = hermes(&cfg);
-    let c = run_sim(&cfg, |id, n| CraqNode::new(id, n));
-    let z = run_sim(&cfg, |id, n| ZabNode::new(id, n));
+    let c = run_sim(&cfg, CraqNode::new);
+    let z = run_sim(&cfg, ZabNode::new);
     assert!(
         h.throughput_mreqs >= c.throughput_mreqs * 0.95,
         "hermes {:.2} vs craq {:.2}",
@@ -69,7 +69,7 @@ fn hermes_dominates_baselines_at_20_percent_writes() {
 fn hermes_write_latency_is_one_rtt_craq_is_chain_length() {
     let cfg = base_cfg(0.1);
     let h = hermes(&cfg);
-    let c = run_sim(&cfg, |id, n| CraqNode::new(id, n));
+    let c = run_sim(&cfg, CraqNode::new);
     // CRAQ writes traverse the 5-node chain (and forwards to the head);
     // Hermes writes are one round trip from any coordinator.
     assert!(
@@ -84,7 +84,7 @@ fn hermes_write_latency_is_one_rtt_craq_is_chain_length() {
 fn abd_reads_pay_round_trips_hermes_reads_do_not() {
     let cfg = base_cfg(0.05);
     let h = hermes(&cfg);
-    let a = run_sim(&cfg, |id, n| AbdNode::new(id, n));
+    let a = run_sim(&cfg, AbdNode::new);
     assert!(
         a.reads.p50_ns as f64 > h.reads.p50_ns as f64 * 3.0,
         "abd read median {}us vs hermes {}us — quorum reads must cost RTTs",
@@ -102,10 +102,10 @@ fn craq_tail_becomes_hotspot_under_skew() {
     let mut cfg = base_cfg(0.2);
     cfg.workload.zipf_theta = Some(0.99);
     let h = hermes(&cfg);
-    let c = run_sim(&cfg, |id, n| CraqNode::new(id, n));
+    let c = run_sim(&cfg, CraqNode::new);
     let mut uni = base_cfg(0.2);
     uni.workload.write_ratio = 0.2;
-    let c_uniform = run_sim(&uni, |id, n| CraqNode::new(id, n));
+    let c_uniform = run_sim(&uni, CraqNode::new);
 
     // CRAQ's per-op message count grows under skew (tail version queries).
     let c_msgs_per_op = c.messages_sent as f64 / c.ops_completed as f64;
@@ -129,8 +129,8 @@ fn craq_tail_becomes_hotspot_under_skew() {
 fn deterministic_reports_across_protocols() {
     let cfg = base_cfg(0.1);
     for _ in 0..2 {
-        let a = run_sim(&cfg, |id, n| ZabNode::new(id, n));
-        let b = run_sim(&cfg, |id, n| ZabNode::new(id, n));
+        let a = run_sim(&cfg, ZabNode::new);
+        let b = run_sim(&cfg, ZabNode::new);
         assert_eq!(a.messages_sent, b.messages_sent);
         assert_eq!(a.all.p99_ns, b.all.p99_ns);
     }

@@ -43,10 +43,7 @@ fn five_replicas_converge_under_concurrent_load() {
 #[test]
 fn counter_rmws_are_atomic_across_replicas() {
     let cluster = Arc::new(ThreadCluster::start(3, ProtocolConfig::default()));
-    assert_eq!(
-        cluster.write(0, Key(0), Value::from_u64(0)),
-        Reply::WriteOk
-    );
+    assert_eq!(cluster.write(0, Key(0), Value::from_u64(0)), Reply::WriteOk);
     let mut handles = Vec::new();
     let per_thread = 25u64;
     for worker in 0..3usize {
