@@ -1,0 +1,97 @@
+//! Throughput scaling of the real-threads sharded runtime: ops/s at
+//! W ∈ {1, 2, 4} worker shards per node.
+//!
+//! The paper's headline scalability claim is inter-key concurrency: Hermes
+//! has no serialization point, so throughput grows with worker threads
+//! (§2.3, §5.1.1, Figure 7 measures it to 36 workers on the testbed). This
+//! bench drives the *real* threaded runtime — pipelined client sessions
+//! against `ThreadCluster` — rather than the simulator, so it measures this
+//! host's actual thread scaling, not the calibrated model. Absolute numbers
+//! are host-dependent; the shape to look for is ops/s not collapsing (and
+//! usually growing) as W rises.
+//!
+//! Run: `cargo bench --bench threaded_scaling` (add `-- --smoke` for the
+//! CI-sized run; `HERMES_SCALE` scales the op count as elsewhere).
+
+use hermes_bench::{header, scaled_ops};
+use hermes_replica::{ClusterConfig, ThreadCluster};
+use hermes_workload::{run_closed_loop, ClosedLoopConfig, Workload, WorkloadConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+const NODES: usize = 3;
+const SESSIONS: usize = 6;
+const DEPTH: usize = 16;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let total_ops: u64 = if smoke { 1_800 } else { scaled_ops(60_000) };
+    let per_session = (total_ops / SESSIONS as u64).max(1);
+
+    header(
+        "threaded_scaling: real-threads ops/s vs workers per node [3 nodes]",
+        "inter-key concurrency: no serialization point, so throughput scales \
+         with workers (paper §5.1.1)",
+    );
+    println!(
+        "{:>8} | {:>10} {:>10} {:>12} | completion",
+        "workers", "ops", "elapsed", "ops/s"
+    );
+
+    for &workers in &[1usize, 2, 4] {
+        let cluster = Arc::new(ThreadCluster::launch(ClusterConfig {
+            nodes: NODES,
+            workers_per_node: workers,
+            ..ClusterConfig::default()
+        }));
+        let start = Instant::now();
+        let joins: Vec<_> = (0..SESSIONS)
+            .map(|s| {
+                let cluster = Arc::clone(&cluster);
+                std::thread::spawn(move || {
+                    let mut session = cluster.session(s % NODES);
+                    let mut wl = Workload::new(
+                        WorkloadConfig {
+                            keys: 4096,
+                            write_ratio: 0.2,
+                            value_size: 32,
+                            ..WorkloadConfig::default()
+                        },
+                        0xC0FFEE + s as u64,
+                    );
+                    run_closed_loop(
+                        &mut session,
+                        &mut wl,
+                        &ClosedLoopConfig {
+                            ops: per_session,
+                            depth: DEPTH,
+                        },
+                    )
+                })
+            })
+            .collect();
+        let mut completed = 0u64;
+        let mut ok = 0u64;
+        for j in joins {
+            let report = j.join().expect("session thread");
+            completed += report.completed;
+            ok += report.ok;
+        }
+        let elapsed = start.elapsed();
+        let rate = completed as f64 / elapsed.as_secs_f64();
+        println!(
+            "{workers:>8} | {completed:>10} {:>9.2?} {rate:>12.0} | {ok} ok / {} submitted",
+            elapsed,
+            per_session * SESSIONS as u64,
+        );
+        assert_eq!(
+            completed,
+            per_session * SESSIONS as u64,
+            "every submitted op must complete at W={workers}"
+        );
+        match Arc::try_unwrap(cluster) {
+            Ok(c) => c.shutdown(),
+            Err(_) => unreachable!("all session threads joined"),
+        }
+    }
+}

@@ -30,10 +30,12 @@ mod error;
 mod ids;
 mod nodeset;
 pub mod protocol;
+pub mod shard;
 mod value;
 
 pub use error::{ClientError, ProtocolFault};
 pub use ids::{ClientId, Epoch, Key, NodeId, OpId};
 pub use nodeset::NodeSet;
 pub use protocol::{Capabilities, ClientOp, Effect, MembershipView, ReplicaProtocol, Reply, RmwOp};
+pub use shard::{ShardRouter, ShardSpec};
 pub use value::Value;

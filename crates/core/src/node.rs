@@ -121,6 +121,21 @@ impl HermesNode {
             .map_or(Value::EMPTY, |e| e.value.clone())
     }
 
+    /// One coherent `(state, timestamp, value)` view of `key`, for runtimes
+    /// that mirror protocol state into an external store (the seqlock KVS of
+    /// paper §4.1). Untouched keys read as `(Valid, Ts::ZERO, None)`.
+    ///
+    /// Unlike calling [`HermesNode::key_state`], [`HermesNode::key_ts`] and
+    /// [`HermesNode::key_value`] separately, this does one map lookup and
+    /// borrows the value instead of cloning it — the sharded threaded
+    /// runtime mirrors on every effect drain, so this is on its hot path.
+    pub fn key_mirror(&self, key: Key) -> (KeyState, Ts, Option<&Value>) {
+        match self.keys.get(&key) {
+            None => (KeyState::Valid, Ts::ZERO, None),
+            Some(e) => (e.state, e.ts, Some(&e.value)),
+        }
+    }
+
     /// Serves a read locally iff the key is `Valid` (the paper's read rule);
     /// returns `None` when the read would stall or the replica is not
     /// serving.

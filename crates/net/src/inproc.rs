@@ -74,10 +74,12 @@ impl InProcNet {
             .into_iter()
             .enumerate()
             .map(|(i, (_, rx))| InProcEndpoint {
-                me: NodeId(i as u32),
-                senders: senders.clone(),
+                tx: InProcSender {
+                    me: NodeId(i as u32),
+                    senders: senders.clone(),
+                    shared: Arc::clone(&shared),
+                },
                 rx,
-                shared: Arc::clone(&shared),
             })
             .collect();
         InProcNet { endpoints }
@@ -89,16 +91,21 @@ impl InProcNet {
     }
 }
 
-/// One node's attachment to an [`InProcNet`].
-pub struct InProcEndpoint {
+/// The transmit half of a node's network attachment.
+///
+/// Cloneable and shareable: on a multi-worker replica every worker thread
+/// holds a clone and sends its Wings frames directly — the shared sender
+/// *is* the node's merged egress — while one thread keeps the receive half
+/// ([`InProcEndpoint`]) and demuxes ingress.
+#[derive(Clone)]
+pub struct InProcSender {
     me: NodeId,
     senders: Vec<Sender<Datagram>>,
-    rx: Receiver<Datagram>,
     shared: Arc<Shared>,
 }
 
-impl InProcEndpoint {
-    /// This endpoint's node id.
+impl InProcSender {
+    /// This sender's node id.
     pub fn node_id(&self) -> NodeId {
         self.me
     }
@@ -142,24 +149,6 @@ impl InProcEndpoint {
         }
     }
 
-    /// Receives the next datagram, blocking up to `timeout`.
-    pub fn recv_timeout(&self, timeout: Duration) -> Option<(NodeId, Bytes)> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(msg) if !self.is_crashed(self.me) => Some(msg),
-            _ => None,
-        }
-    }
-
-    /// Non-blocking receive.
-    pub fn try_recv(&self) -> Option<(NodeId, Bytes)> {
-        if self.is_crashed(self.me) {
-            // Drain without delivering: a crashed node is silent.
-            while self.rx.try_recv().is_ok() {}
-            return None;
-        }
-        self.rx.try_recv().ok()
-    }
-
     /// Reconfigures fault injection for the whole network.
     pub fn set_faults(&self, faults: NetFaults) {
         self.shared.faults.lock().0 = faults;
@@ -177,11 +166,85 @@ impl InProcEndpoint {
     }
 }
 
+impl std::fmt::Debug for InProcSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InProcSender")
+            .field("me", &self.me)
+            .field("cluster_size", &self.senders.len())
+            .finish()
+    }
+}
+
+/// One node's attachment to an [`InProcNet`]: the receive half plus an
+/// embedded [`InProcSender`].
+pub struct InProcEndpoint {
+    tx: InProcSender,
+    rx: Receiver<Datagram>,
+}
+
+impl InProcEndpoint {
+    /// This endpoint's node id.
+    pub fn node_id(&self) -> NodeId {
+        self.tx.me
+    }
+
+    /// Number of nodes on the network.
+    pub fn cluster_size(&self) -> usize {
+        self.tx.cluster_size()
+    }
+
+    /// A cloneable transmit handle for this node (hand one to each worker
+    /// thread of a multi-worker replica).
+    pub fn sender(&self) -> InProcSender {
+        self.tx.clone()
+    }
+
+    /// Sends a datagram to `to`. Never blocks; silently drops if the
+    /// destination is out of range, crashed, or the fault injector says so.
+    pub fn send(&self, to: NodeId, payload: Bytes) {
+        self.tx.send(to, payload);
+    }
+
+    /// Sends `payload` to every node except self (software broadcast — the
+    /// Wings model of a series of unicasts, paper §4.2).
+    pub fn broadcast(&self, payload: &Bytes) {
+        self.tx.broadcast(payload);
+    }
+
+    /// Receives the next datagram, blocking up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<(NodeId, Bytes)> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(msg) if !self.tx.is_crashed(self.tx.me) => Some(msg),
+            _ => None,
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<(NodeId, Bytes)> {
+        if self.tx.is_crashed(self.tx.me) {
+            // Drain without delivering: a crashed node is silent.
+            while self.rx.try_recv().is_ok() {}
+            return None;
+        }
+        self.rx.try_recv().ok()
+    }
+
+    /// Reconfigures fault injection for the whole network.
+    pub fn set_faults(&self, faults: NetFaults) {
+        self.tx.set_faults(faults);
+    }
+
+    /// Crash-stops `node` network-wide (both directions go silent).
+    pub fn crash(&self, node: NodeId) {
+        self.tx.crash(node);
+    }
+}
+
 impl std::fmt::Debug for InProcEndpoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("InProcEndpoint")
-            .field("me", &self.me)
-            .field("cluster_size", &self.senders.len())
+            .field("me", &self.tx.me)
+            .field("cluster_size", &self.tx.cluster_size())
             .finish()
     }
 }
@@ -293,6 +356,36 @@ mod tests {
         // Unrelated traffic still flows.
         eps[0].send(NodeId(2), Bytes::from_static(b"alive"));
         assert!(eps[2].recv_timeout(Duration::from_secs(1)).is_some());
+    }
+
+    #[test]
+    fn cloned_senders_share_one_node_identity() {
+        let mut eps = InProcNet::new(2).into_endpoints();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        // Two "worker threads" of node 0 egress through clones concurrently.
+        let workers: Vec<_> = (0..2)
+            .map(|w| {
+                let tx = a.sender();
+                thread::spawn(move || {
+                    assert_eq!(tx.node_id(), NodeId(0));
+                    for _ in 0..50 {
+                        tx.send(NodeId(1), Bytes::from(vec![w as u8]));
+                    }
+                })
+            })
+            .collect();
+        for h in workers {
+            h.join().unwrap();
+        }
+        let mut got = 0;
+        while b.recv_timeout(Duration::from_secs(1)).is_some() {
+            got += 1;
+            if got == 100 {
+                break;
+            }
+        }
+        assert_eq!(got, 100);
     }
 
     #[test]

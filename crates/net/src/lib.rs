@@ -33,5 +33,5 @@
 mod inproc;
 mod simnet;
 
-pub use inproc::{InProcEndpoint, InProcNet, NetFaults};
+pub use inproc::{InProcEndpoint, InProcNet, InProcSender, NetFaults};
 pub use simnet::{DeliveryOutcome, SimNet, SimNetConfig};

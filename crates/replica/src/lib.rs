@@ -11,17 +11,25 @@
 //!   [`RunReport`]s. Every figure of the paper's evaluation is regenerated
 //!   through this entry point.
 //! * [`ThreadCluster`] — a real multi-threaded Hermes deployment in one
-//!   process: replica threads exchanging Wings-framed datagrams over
-//!   crossbeam channels, with per-node seqlock KVS mirrors serving
-//!   lock-free local reads (the HermesKV architecture of paper §4).
+//!   process: N replicas × W worker threads, each worker owning one key
+//!   shard with its own protocol engine ([`ShardedEngine`]), Wings-framed
+//!   datagrams over crossbeam channels, per-node seqlock KVS mirrors
+//!   serving lock-free local reads (the HermesKV architecture of paper §4),
+//!   and pipelined [`ClientSession`]s with many operations in flight.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod cost;
+mod session;
+mod sharded;
 mod simrun;
 mod threaded;
+mod timers;
 
 pub use cost::CostModel;
+pub use session::{ClientSession, Ticket};
+pub use sharded::ShardedEngine;
 pub use simrun::{run_sim, RunReport, SimConfig};
-pub use threaded::ThreadCluster;
+pub use threaded::{ClusterConfig, ThreadCluster};
+pub use timers::DeadlineQueue;

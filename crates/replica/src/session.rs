@@ -1,0 +1,240 @@
+//! Pipelined client sessions against a [`ThreadCluster`].
+//!
+//! The paper's clients keep several requests outstanding per session (§5.2)
+//! — with one-RTT inter-key-concurrent writes, pipelining is what turns
+//! Hermes' low latency into high throughput. A [`ClientSession`] reproduces
+//! that model against the threaded runtime: [`ClientSession::submit`]
+//! returns a [`Ticket`] immediately, many operations ride in flight at
+//! once, and completions are collected out of order with
+//! [`ClientSession::poll`] / [`ClientSession::wait`] /
+//! [`ClientSession::wait_any`].
+//!
+//! [`ThreadCluster`]: crate::ThreadCluster
+
+use crate::threaded::{Command, Completion};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hermes_common::{ClientId, ClientOp, Key, OpId, Reply, RmwOp, ShardRouter, Value};
+use hermes_workload::PipelinedKv;
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Give up on an individual operation after this long (matches the blocking
+/// cluster API: an unreachable replica reads as [`Reply::NotOperational`]).
+const WAIT_LIMIT: Duration = Duration::from_secs(10);
+
+/// Names one in-flight operation of a [`ClientSession`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Ticket {
+    op: OpId,
+}
+
+impl Ticket {
+    /// The operation this ticket completes to (ties histories recorded at
+    /// the client to checker op ids).
+    pub fn op(&self) -> OpId {
+        self.op
+    }
+}
+
+/// One client's pipelined connection to one replica of a
+/// [`ThreadCluster`](crate::ThreadCluster).
+///
+/// Sessions are `Send` — move each one to its own client thread. Operations
+/// are routed directly to the worker lane owning their key, so two
+/// in-flight operations on different shards proceed fully in parallel.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_common::{Key, Reply, Value};
+/// use hermes_core::ProtocolConfig;
+/// use hermes_replica::ThreadCluster;
+///
+/// let cluster = ThreadCluster::start(3, ProtocolConfig::default());
+/// let mut session = cluster.session(0);
+/// // Pipeline two writes to different shards, then collect both.
+/// let a = session.write(Key(1), Value::from_u64(10));
+/// let b = session.write(Key(2), Value::from_u64(20));
+/// assert_eq!(session.wait(a), Reply::WriteOk);
+/// assert_eq!(session.wait(b), Reply::WriteOk);
+/// cluster.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct ClientSession {
+    client: ClientId,
+    next_seq: u64,
+    router: ShardRouter,
+    lanes: Vec<Sender<Command>>,
+    completions_tx: Sender<Completion>,
+    completions_rx: Receiver<Completion>,
+    /// Completions received but not yet handed to the caller.
+    ready: HashMap<OpId, Reply>,
+    /// Operations already reported to the caller as [`Reply::NotOperational`]
+    /// by a timed-out [`ClientSession::wait`]; their late completions are
+    /// dropped so no operation is ever observed twice.
+    abandoned: HashSet<OpId>,
+    /// Submitted operations whose completion has not arrived yet.
+    in_flight: usize,
+}
+
+impl ClientSession {
+    pub(crate) fn new(client: ClientId, router: ShardRouter, lanes: Vec<Sender<Command>>) -> Self {
+        let (completions_tx, completions_rx) = unbounded();
+        ClientSession {
+            client,
+            next_seq: 0,
+            router,
+            lanes,
+            completions_tx,
+            completions_rx,
+            ready: HashMap::new(),
+            abandoned: HashSet::new(),
+            in_flight: 0,
+        }
+    }
+
+    /// The session's globally unique client id.
+    pub fn client_id(&self) -> ClientId {
+        self.client
+    }
+
+    /// Operations submitted but not yet collected by the caller.
+    pub fn outstanding(&self) -> usize {
+        self.in_flight + self.ready.len()
+    }
+
+    /// Starts an operation and returns immediately; the reply is collected
+    /// later via [`ClientSession::poll`], [`ClientSession::wait`] or
+    /// [`ClientSession::wait_any`].
+    pub fn submit(&mut self, key: Key, cop: ClientOp) -> Ticket {
+        let op = OpId::new(self.client, self.next_seq);
+        self.next_seq += 1;
+        let lane = self.router.lane_for_op(key, &cop);
+        let cmd = Command::Op {
+            op,
+            key,
+            cop,
+            reply: self.completions_tx.clone(),
+        };
+        if self.lanes[lane].send(cmd).is_ok() {
+            self.in_flight += 1;
+        } else {
+            // Cluster shut down: complete immediately, like the blocking API.
+            self.ready.insert(op, Reply::NotOperational);
+        }
+        Ticket { op }
+    }
+
+    /// Pipelined write.
+    pub fn write(&mut self, key: Key, value: Value) -> Ticket {
+        self.submit(key, ClientOp::Write(value))
+    }
+
+    /// Pipelined read.
+    pub fn read(&mut self, key: Key) -> Ticket {
+        self.submit(key, ClientOp::Read)
+    }
+
+    /// Pipelined read-modify-write.
+    pub fn rmw(&mut self, key: Key, rmw: RmwOp) -> Ticket {
+        self.submit(key, ClientOp::Rmw(rmw))
+    }
+
+    /// Moves arrived completions into `ready`; with a timeout, blocks until
+    /// at least one arrives or the timeout elapses. Returns whether any
+    /// completion was collected.
+    fn pump(&mut self, block_for: Option<Duration>) -> bool {
+        let mut got = false;
+        while let Ok(completion) = self.completions_rx.try_recv() {
+            got |= self.accept(completion);
+        }
+        if got {
+            return true;
+        }
+        let Some(timeout) = block_for else {
+            return false;
+        };
+        match self.completions_rx.recv_timeout(timeout) {
+            Ok(completion) => self.accept(completion),
+            Err(_) => false,
+        }
+    }
+
+    /// Books one completion; late completions of abandoned (timed-out) ops
+    /// are dropped. Returns whether the completion became visible.
+    fn accept(&mut self, (op, reply): (OpId, Reply)) -> bool {
+        self.in_flight -= 1;
+        if self.abandoned.remove(&op) {
+            return false;
+        }
+        self.ready.insert(op, reply);
+        true
+    }
+
+    /// Non-blocking completion check: the reply, if `ticket` has completed.
+    pub fn poll(&mut self, ticket: Ticket) -> Option<Reply> {
+        self.pump(None);
+        self.ready.remove(&ticket.op)
+    }
+
+    /// Blocks until `ticket` completes. An operation that does not complete
+    /// within the internal limit reads as [`Reply::NotOperational`] and is
+    /// abandoned: a completion arriving later is silently dropped, so no
+    /// operation is ever observed twice.
+    pub fn wait(&mut self, ticket: Ticket) -> Reply {
+        let deadline = Instant::now() + WAIT_LIMIT;
+        loop {
+            if let Some(reply) = self.ready.remove(&ticket.op) {
+                return reply;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                if ticket.op.seq < self.next_seq {
+                    self.abandoned.insert(ticket.op);
+                }
+                return Reply::NotOperational;
+            }
+            self.pump(Some(deadline - now));
+        }
+    }
+
+    /// Blocks until *any* outstanding operation completes and returns it
+    /// (completions arrive out of order under inter-key concurrency).
+    /// Returns `None` when nothing is outstanding or the wait limit passes.
+    pub fn wait_any(&mut self) -> Option<(Ticket, Reply)> {
+        let deadline = Instant::now() + WAIT_LIMIT;
+        loop {
+            if let Some(&op) = self.ready.keys().next() {
+                let reply = self.ready.remove(&op).expect("key just observed");
+                return Some((Ticket { op }, reply));
+            }
+            if self.in_flight == 0 {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            // Keep pumping: a dropped late completion of an abandoned op
+            // must not read as "service gone" while others are in flight.
+            self.pump(Some(deadline - now));
+        }
+    }
+}
+
+/// Lets [`hermes_workload::run_closed_loop`] drive sessions directly.
+impl PipelinedKv for ClientSession {
+    type Ticket = Ticket;
+
+    fn submit(&mut self, key: Key, cop: ClientOp) -> Ticket {
+        ClientSession::submit(self, key, cop)
+    }
+
+    fn wait_any(&mut self) -> Option<Reply> {
+        ClientSession::wait_any(self).map(|(_, reply)| reply)
+    }
+
+    fn in_flight(&self) -> usize {
+        self.outstanding()
+    }
+}

@@ -1,0 +1,232 @@
+//! A replica partitioned into per-key-shard protocol engines.
+//!
+//! Hermes has no cross-key ordering step (paper §2.3): every write
+//! coordinates independently per key, so a replica can run W protocol
+//! engines side by side, each owning the keys of one shard, and the
+//! composition behaves exactly like one engine — the property the paper's
+//! multi-worker evaluation (§5.1.1) rests on. [`ShardedEngine`] is that
+//! composition as a value: W [`HermesNode`] instances sharing one node id
+//! and one [`MembershipView`], with a [`ShardRouter`] dispatching every
+//! event to the owning shard.
+//!
+//! The threaded runtime ([`ThreadCluster`](crate::ThreadCluster)) splits a
+//! `ShardedEngine` into its shards with [`ShardedEngine::into_shards`] and
+//! gives each shard to its own worker thread; tests can instead drive the
+//! engine single-threaded through the `on_*` methods below and observe that
+//! sharding is transparent.
+
+use hermes_common::{ClientOp, Effect, Key, MembershipView, NodeId, OpId, ShardRouter, Value};
+use hermes_core::{HermesNode, Msg, ProtocolConfig};
+
+/// W independent per-shard [`HermesNode`]s presenting as one replica.
+#[derive(Clone, Debug)]
+pub struct ShardedEngine {
+    router: ShardRouter,
+    shards: Vec<HermesNode>,
+}
+
+impl ShardedEngine {
+    /// A replica `me` under `view` partitioned into `workers` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(me: NodeId, view: MembershipView, cfg: ProtocolConfig, workers: usize) -> Self {
+        let router = ShardRouter::for_protocol(&HermesNode::new(me, view, cfg), workers);
+        let shards: Vec<HermesNode> = (0..workers)
+            .map(|_| HermesNode::new(me, view, cfg))
+            .collect();
+        ShardedEngine { router, shards }
+    }
+
+    /// This replica's id.
+    pub fn node_id(&self) -> NodeId {
+        self.shards[0].node_id()
+    }
+
+    /// Number of shards (worker lanes).
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The routing table shared with runtimes and client sessions.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// The engine of one shard lane.
+    pub fn shard(&self, lane: usize) -> &HermesNode {
+        &self.shards[lane]
+    }
+
+    /// Dispatches a client operation to its owning lane; returns the lane.
+    pub fn on_client_op(
+        &mut self,
+        op: OpId,
+        key: Key,
+        cop: ClientOp,
+        fx: &mut Vec<Effect<Msg>>,
+    ) -> usize {
+        let lane = self.router.lane_for_op(key, &cop);
+        self.shards[lane].on_client_op(op, key, cop, fx);
+        lane
+    }
+
+    /// Dispatches a peer message to its owning lane; returns the lane.
+    pub fn on_message(&mut self, from: NodeId, msg: Msg, fx: &mut Vec<Effect<Msg>>) -> usize {
+        let lane = self.router.lane_for_msg(&self.shards[0], msg.key(), &msg);
+        self.shards[lane].on_message(from, msg, fx);
+        lane
+    }
+
+    /// Dispatches a message-loss timeout to its owning lane; returns the
+    /// lane.
+    pub fn on_mlt_timeout(&mut self, key: Key, fx: &mut Vec<Effect<Msg>>) -> usize {
+        let lane = self.router.lane_for_timer(key);
+        self.shards[lane].on_mlt_timeout(key, fx);
+        lane
+    }
+
+    /// Installs a membership view on every shard (the one shared view).
+    pub fn install_view(&mut self, view: MembershipView, fx: &mut Vec<Effect<Msg>>) {
+        for shard in &mut self.shards {
+            shard.on_membership_update(view, fx);
+        }
+    }
+
+    /// Serves a local read from the owning shard iff the key is `Valid`.
+    pub fn local_read(&self, key: Key) -> Option<Value> {
+        self.shards[self.router.spec().owner(key)].local_read(key)
+    }
+
+    /// Splits the engine into its routing table and per-lane shards, for a
+    /// runtime that gives each shard to its own worker thread.
+    pub fn into_shards(self) -> (ShardRouter, Vec<HermesNode>) {
+        (self.router, self.shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_common::Reply;
+
+    /// Collects the per-node effect buffers of a tiny sharded cluster and
+    /// pumps messages until quiescence, single-threaded.
+    fn pump(nodes: &mut [ShardedEngine], fx: &mut [Vec<Effect<Msg>>]) -> Vec<(OpId, Reply)> {
+        let n = nodes.len();
+        let mut replies = Vec::new();
+        loop {
+            let mut inflight: Vec<(usize, usize, Msg)> = Vec::new();
+            for (i, buf) in fx.iter_mut().enumerate() {
+                for e in buf.drain(..) {
+                    match e {
+                        Effect::Send { to, msg } => inflight.push((i, to.index(), msg)),
+                        Effect::Broadcast { msg } => {
+                            for to in 0..n {
+                                if to != i {
+                                    inflight.push((i, to, msg.clone()));
+                                }
+                            }
+                        }
+                        Effect::Reply { op, reply } => replies.push((op, reply)),
+                        Effect::ArmTimer { .. } | Effect::DisarmTimer { .. } => {}
+                    }
+                }
+            }
+            if inflight.is_empty() {
+                return replies;
+            }
+            for (from, to, msg) in inflight {
+                nodes[to].on_message(NodeId(from as u32), msg, &mut fx[to]);
+            }
+        }
+    }
+
+    fn cluster(n: usize, workers: usize) -> (Vec<ShardedEngine>, Vec<Vec<Effect<Msg>>>) {
+        let view = MembershipView::initial(n);
+        let cfg = ProtocolConfig::default();
+        let nodes = (0..n)
+            .map(|i| ShardedEngine::new(NodeId(i as u32), view, cfg, workers))
+            .collect();
+        let fx = (0..n).map(|_| Vec::new()).collect();
+        (nodes, fx)
+    }
+
+    #[test]
+    fn sharding_is_transparent_to_the_protocol() {
+        let (mut nodes, mut fx) = cluster(3, 4);
+        // Writes to many keys through different coordinators, then reads
+        // from every replica: same outcomes as an unsharded cluster.
+        for k in 0..16u64 {
+            let op = OpId::new(hermes_common::ClientId(9), k);
+            let coord = (k % 3) as usize;
+            nodes[coord].on_client_op(
+                op,
+                Key(k),
+                ClientOp::Write(Value::from_u64(k * 11)),
+                &mut fx[coord],
+            );
+            let replies = pump(&mut nodes, &mut fx);
+            assert!(
+                replies.contains(&(op, Reply::WriteOk)),
+                "write k{k} must commit: {replies:?}"
+            );
+        }
+        for k in 0..16u64 {
+            for node in &nodes {
+                assert_eq!(
+                    node.local_read(Key(k)),
+                    Some(Value::from_u64(k * 11)),
+                    "node {} key {k}",
+                    node.node_id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn events_land_on_the_owning_lane_only() {
+        let (mut nodes, mut fx) = cluster(3, 4);
+        let key = Key(7);
+        let owner = nodes[0].router().spec().owner(key);
+        let op = OpId::new(hermes_common::ClientId(1), 0);
+        let lane = nodes[0].on_client_op(op, key, ClientOp::Write(Value::from_u64(1)), &mut fx[0]);
+        assert_eq!(lane, owner);
+        pump(&mut nodes, &mut fx);
+        for node in &nodes {
+            for l in 0..node.workers() {
+                let touched = node.shard(l).keys_touched();
+                if l == owner {
+                    assert_eq!(touched, 1, "owner lane materializes the key");
+                } else {
+                    assert_eq!(touched, 0, "lane {l} must stay untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn view_installs_reach_every_shard() {
+        let (mut nodes, fx) = cluster(3, 2);
+        let next = MembershipView::initial(3).without_node(NodeId(2));
+        let mut buf = Vec::new();
+        nodes[0].install_view(next, &mut buf);
+        for lane in 0..2 {
+            assert_eq!(nodes[0].shard(lane).view().epoch, next.epoch);
+        }
+        // Other nodes still on the old epoch are unaffected by our install.
+        assert_ne!(nodes[1].shard(0).view().epoch, next.epoch);
+        let _ = fx;
+    }
+
+    #[test]
+    fn single_worker_engine_degenerates_to_one_node() {
+        let (mut nodes, mut fx) = cluster(3, 1);
+        let op = OpId::new(hermes_common::ClientId(1), 0);
+        let lane = nodes[1].on_client_op(op, Key(5), ClientOp::Read, &mut fx[1]);
+        assert_eq!(lane, 0);
+        let replies = pump(&mut nodes, &mut fx);
+        assert_eq!(replies, vec![(op, Reply::ReadOk(Value::EMPTY))]);
+    }
+}

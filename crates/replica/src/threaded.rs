@@ -1,14 +1,39 @@
-//! A real multi-threaded Hermes cluster: one OS thread per replica, Wings
+//! A real multi-threaded Hermes cluster: N replicas × W worker threads,
+//! each worker owning one key shard with its own protocol engine, Wings
 //! framing over the in-process datagram network, and a seqlock KVS mirror
-//! per node for lock-free local reads (the HermesKV architecture of paper
-//! §4 at in-process scale).
+//! per node for lock-free local reads — the HermesKV architecture of paper
+//! §4 at in-process scale, including the multi-worker inter-key concurrency
+//! the paper's evaluation measures (§2.3, §5.1.1).
+//!
+//! Per node:
+//!
+//! * worker 0 is the **pump**: it owns the node's network receive half,
+//!   decodes incoming Wings frames and demuxes each message to the worker
+//!   lane owning its key ([`ShardRouter`]); it is also the serialization
+//!   lane for protocols whose messages/updates must totally order
+//!   (irrelevant for Hermes, which has none);
+//! * every worker owns one [`HermesNode`] shard engine, its own
+//!   [`DeadlineQueue`] of message-loss timers and its own Wings [`Batcher`];
+//!   outgoing frames from all workers merge through the node's shared
+//!   [`InProcSender`] egress;
+//! * all workers mirror committed per-key state into one shared seqlock
+//!   [`Store`], which serves cross-thread lock-free local reads (§4.1).
+//!
+//! Clients talk to a node either through the blocking one-op helpers
+//! ([`ThreadCluster::write`] etc.) or through pipelined
+//! [`ClientSession`]s ([`ThreadCluster::session`]) with many operations in
+//! flight.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::session::ClientSession;
+use crate::sharded::ShardedEngine;
+use crate::timers::DeadlineQueue;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hermes_common::{
-    ClientId, ClientOp, Effect, Key, MembershipView, NodeId, OpId, Reply, RmwOp, Value,
+    ClientId, ClientOp, Effect, Key, MembershipView, NodeId, OpId, Reply, RmwOp, ShardRouter, Value,
 };
-use hermes_core::{HermesNode, KeyState, ProtocolConfig};
-use hermes_net::{InProcEndpoint, InProcNet, NetFaults};
+use hermes_core::{HermesNode, KeyState, Msg, ProtocolConfig};
+use hermes_net::{InProcEndpoint, InProcNet, InProcSender, NetFaults};
 use hermes_store::{SlotMeta, SlotState, Store, StoreConfig};
 use hermes_wings::{codec, decode_frame, Batcher};
 use std::collections::HashMap;
@@ -17,15 +42,64 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-enum Command {
+/// Message-loss timeout (paper §3.4): retransmission/replay cadence.
+const MLT: Duration = Duration::from_millis(25);
+/// Bounded batch of events drained per loop iteration, per source.
+const DRAIN_BATCH: usize = 64;
+/// The pump's idle block on the network. Client commands are not part of
+/// that blocking wait, so this also bounds how long a client op can sit
+/// queued at an idle node. (Non-pump lanes block on their command queue
+/// directly and sleep to their next timer deadline instead.)
+const IDLE_WAIT: Duration = Duration::from_millis(1);
+/// Client ids at or above this base name pipelined sessions; below it,
+/// the blocking per-node helpers (keeps `OpId`s globally unique).
+const SESSION_CLIENT_BASE: u64 = 1 << 32;
+
+/// An out-of-order completion: which operation finished, and how.
+pub(crate) type Completion = (OpId, Reply);
+
+/// Events delivered to one worker lane.
+pub(crate) enum Command {
+    /// A client operation routed to this lane.
     Op {
         op: OpId,
         key: Key,
         cop: ClientOp,
-        reply: Sender<Reply>,
+        reply: Sender<Completion>,
     },
+    /// A peer protocol message demuxed to this lane by the node's pump.
+    Deliver { from: NodeId, msg: Msg },
+    /// A reconfigured membership view (installed on every lane).
     InstallView(MembershipView),
+    /// Stop the worker thread.
     Shutdown,
+}
+
+/// Deployment shape of a [`ThreadCluster`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Number of replica nodes.
+    pub nodes: usize,
+    /// Worker threads (key shards) per node; ≥ 1.
+    pub workers_per_node: usize,
+    /// Protocol switches for every replica.
+    pub protocol: ProtocolConfig,
+    /// Network fault injection.
+    pub faults: NetFaults,
+    /// Seed for the fault injector.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 3,
+            workers_per_node: 2,
+            protocol: ProtocolConfig::default(),
+            faults: NetFaults::default(),
+            seed: 0,
+        }
+    }
 }
 
 /// Handle to a running threaded Hermes cluster.
@@ -46,64 +120,132 @@ enum Command {
 #[derive(Debug)]
 pub struct ThreadCluster {
     handles: Vec<JoinHandle<()>>,
-    commands: Vec<Sender<Command>>,
+    /// Per node, per worker lane: the lane's command queue.
+    lanes: Vec<Vec<Sender<Command>>>,
     stores: Vec<Arc<Store>>,
+    router: ShardRouter,
     next_seq: AtomicU64,
+    next_session: AtomicU64,
     running: Arc<AtomicBool>,
 }
 
 impl ThreadCluster {
-    /// Starts `n` replica threads with a fault-free network.
+    /// Starts `n` replicas with a fault-free network and the default worker
+    /// count per node (see [`ClusterConfig`]).
     pub fn start(n: usize, cfg: ProtocolConfig) -> Self {
-        Self::start_with_faults(n, cfg, NetFaults::default(), 0)
+        Self::launch(ClusterConfig {
+            nodes: n,
+            protocol: cfg,
+            ..ClusterConfig::default()
+        })
     }
 
-    /// Starts `n` replica threads with probabilistic network faults.
+    /// Starts `n` replicas with probabilistic network faults.
     ///
     /// Hermes absorbs loss and duplication via its message-loss timeouts
     /// (paper §3.4); the cluster keeps making progress, just slower.
     pub fn start_with_faults(n: usize, cfg: ProtocolConfig, faults: NetFaults, seed: u64) -> Self {
-        let endpoints = InProcNet::with_faults(n, faults, seed).into_endpoints();
+        Self::launch(ClusterConfig {
+            nodes: n,
+            protocol: cfg,
+            faults,
+            seed,
+            ..ClusterConfig::default()
+        })
+    }
+
+    /// Starts a cluster with an explicit deployment shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.nodes` or `cfg.workers_per_node` is zero.
+    pub fn launch(cfg: ClusterConfig) -> Self {
+        assert!(cfg.nodes > 0, "cluster needs at least one node");
+        let endpoints = InProcNet::with_faults(cfg.nodes, cfg.faults, cfg.seed).into_endpoints();
         let running = Arc::new(AtomicBool::new(true));
-        let view = MembershipView::initial(n);
-        let stores: Vec<Arc<Store>> = (0..n)
+        let view = MembershipView::initial(cfg.nodes);
+        let stores: Vec<Arc<Store>> = (0..cfg.nodes)
             .map(|_| Arc::new(Store::new(StoreConfig::default())))
             .collect();
-        let mut commands = Vec::new();
+        let mut lanes = Vec::with_capacity(cfg.nodes);
         let mut handles = Vec::new();
+        let mut router = None;
         for (i, ep) in endpoints.into_iter().enumerate() {
-            let (tx, rx) = unbounded();
-            commands.push(tx);
-            let store = Arc::clone(&stores[i]);
-            let running = Arc::clone(&running);
-            let node = HermesNode::new(NodeId(i as u32), view, cfg);
-            handles.push(std::thread::spawn(move || {
-                replica_main(node, ep, store, rx, running);
-            }));
+            let engine =
+                ShardedEngine::new(NodeId(i as u32), view, cfg.protocol, cfg.workers_per_node);
+            let (node_router, shards) = engine.into_shards();
+            router = Some(node_router);
+            let channels: Vec<(Sender<Command>, Receiver<Command>)> =
+                shards.iter().map(|_| unbounded()).collect();
+            let txs: Vec<Sender<Command>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+            let net_tx = ep.sender();
+            let mut endpoint = Some(ep);
+            for (lane, (node, (_, rx))) in shards.into_iter().zip(channels).enumerate() {
+                let worker = Worker::new(
+                    lane,
+                    node,
+                    node_router,
+                    Arc::clone(&stores[i]),
+                    net_tx.clone(),
+                );
+                let running = Arc::clone(&running);
+                if lane == 0 {
+                    let ep = endpoint.take().expect("pump lane runs once");
+                    let peer_lanes = txs.clone();
+                    handles.push(std::thread::spawn(move || {
+                        pump_main(worker, ep, rx, peer_lanes, running);
+                    }));
+                } else {
+                    handles.push(std::thread::spawn(move || {
+                        worker_main(worker, rx, running);
+                    }));
+                }
+            }
+            lanes.push(txs);
         }
         ThreadCluster {
             handles,
-            commands,
+            lanes,
             stores,
+            router: router.expect("at least one node"),
             next_seq: AtomicU64::new(0),
+            next_session: AtomicU64::new(0),
             running,
         }
+    }
+
+    /// Worker threads (key shards) per node.
+    pub fn workers_per_node(&self) -> usize {
+        self.router.spec().workers()
+    }
+
+    /// Opens a pipelined [`ClientSession`] against replica `node`.
+    ///
+    /// Each session gets a globally unique [`ClientId`]; sessions are
+    /// independent and can be moved to their own threads.
+    pub fn session(&self, node: usize) -> ClientSession {
+        let client =
+            ClientId(SESSION_CLIENT_BASE + self.next_session.fetch_add(1, Ordering::Relaxed));
+        ClientSession::new(client, self.router, self.lanes[node].clone())
     }
 
     fn submit(&self, node: usize, key: Key, cop: ClientOp) -> Reply {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let op = OpId::new(ClientId(node as u64), seq);
+        let lane = self.router.lane_for_op(key, &cop);
         let (tx, rx) = unbounded();
-        self.commands[node]
+        self.lanes[node][lane]
             .send(Command::Op {
                 op,
                 key,
                 cop,
                 reply: tx,
             })
-            .expect("replica thread alive");
-        rx.recv_timeout(Duration::from_secs(10))
-            .unwrap_or(Reply::NotOperational)
+            .expect("replica worker alive");
+        match rx.recv_timeout(Duration::from_secs(10)) {
+            Ok((_, reply)) => reply,
+            Err(_) => Reply::NotOperational,
+        }
     }
 
     /// Linearizable write through replica `node`.
@@ -122,7 +264,7 @@ impl ThreadCluster {
     }
 
     /// Lock-free local read straight from `node`'s seqlock KVS mirror,
-    /// bypassing the protocol thread — the CRCW fast path of paper §4.1.
+    /// bypassing the protocol workers — the CRCW fast path of paper §4.1.
     ///
     /// Returns `None` when the key is invalidated (a protocol read would
     /// stall) — fall back to [`ThreadCluster::read`] in that case.
@@ -135,249 +277,318 @@ impl ThreadCluster {
         }
     }
 
-    /// Installs a membership view on every replica (driving reconfiguration
-    /// scenarios from tests).
+    /// Installs a membership view on every worker lane of every replica
+    /// (driving reconfiguration scenarios from tests).
     pub fn install_view(&self, view: MembershipView) {
-        for tx in &self.commands {
-            let _ = tx.send(Command::InstallView(view));
+        for node in &self.lanes {
+            for tx in node {
+                let _ = tx.send(Command::InstallView(view));
+            }
         }
     }
 
     /// Number of replicas.
     pub fn len(&self) -> usize {
-        self.commands.len()
+        self.lanes.len()
     }
 
     /// Whether the cluster has no replicas (never true for a started one).
     pub fn is_empty(&self) -> bool {
-        self.commands.is_empty()
+        self.lanes.is_empty()
     }
 
-    /// Stops all replica threads and waits for them.
-    pub fn shutdown(mut self) {
+    fn stop(&mut self) {
         self.running.store(false, Ordering::SeqCst);
-        for tx in &self.commands {
-            let _ = tx.send(Command::Shutdown);
+        for node in &self.lanes {
+            for tx in node {
+                let _ = tx.send(Command::Shutdown);
+            }
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+    }
+
+    /// Stops all replica worker threads and waits for them.
+    pub fn shutdown(mut self) {
+        self.stop();
     }
 }
 
 impl Drop for ThreadCluster {
     fn drop(&mut self) {
-        self.running.store(false, Ordering::SeqCst);
-        for tx in &self.commands {
-            let _ = tx.send(Command::Shutdown);
+        self.stop();
+    }
+}
+
+/// One worker lane: a shard's protocol engine plus the runtime state that
+/// interprets its effects.
+struct Worker {
+    lane: usize,
+    node: HermesNode,
+    router: ShardRouter,
+    store: Arc<Store>,
+    net: InProcSender,
+    batcher: Batcher,
+    timers: DeadlineQueue,
+    clients: HashMap<OpId, Sender<Completion>>,
+    /// Cached broadcast set of the current view, refreshed only on
+    /// membership change (not rebuilt per effect drain).
+    peers: Vec<NodeId>,
+    fx: Vec<Effect<Msg>>,
+}
+
+impl Worker {
+    fn new(
+        lane: usize,
+        node: HermesNode,
+        router: ShardRouter,
+        store: Arc<Store>,
+        net: InProcSender,
+    ) -> Self {
+        let mut worker = Worker {
+            lane,
+            node,
+            router,
+            store,
+            net,
+            batcher: Batcher::new(1400, 32),
+            timers: DeadlineQueue::new(),
+            clients: HashMap::new(),
+            peers: Vec::new(),
+            fx: Vec::new(),
+        };
+        worker.refresh_peers();
+        worker
+    }
+
+    fn refresh_peers(&mut self) {
+        self.peers = self
+            .node
+            .view()
+            .broadcast_set(self.node.node_id())
+            .iter()
+            .collect();
+    }
+
+    /// Runs one command; returns `false` on shutdown.
+    fn handle_command(&mut self, cmd: Command) -> bool {
+        match cmd {
+            Command::Op {
+                op,
+                key,
+                cop,
+                reply,
+            } => {
+                self.clients.insert(op, reply);
+                self.node.on_client_op(op, key, cop, &mut self.fx);
+                self.drain_effects(Some(key));
+            }
+            Command::Deliver { from, msg } => self.handle_message(from, msg),
+            Command::InstallView(view) => {
+                self.node.on_membership_update(view, &mut self.fx);
+                self.refresh_peers();
+                // No single key was touched. Mirroring a placeholder key
+                // here would have non-owner lanes overwrite the owner's
+                // slot with empty state; affected keys re-mirror when their
+                // own events next fire on their owning lane.
+                self.drain_effects(None);
+            }
+            Command::Shutdown => return false,
         }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        true
+    }
+
+    /// Processes a peer message this lane owns.
+    fn handle_message(&mut self, from: NodeId, msg: Msg) {
+        let key = msg.key();
+        self.node.on_message(from, msg, &mut self.fx);
+        self.drain_effects(Some(key));
+    }
+
+    /// Fires every due message-loss timer; returns whether any fired.
+    fn expire_timers(&mut self) -> bool {
+        let now = Instant::now();
+        let mut worked = false;
+        while let Some(key) = self.timers.pop_due(now) {
+            worked = true;
+            // Re-arm first (retransmission cadence); effects may disarm.
+            self.timers.arm(key, now + MLT);
+            self.node.on_mlt_timeout(key, &mut self.fx);
+            self.drain_effects(Some(key));
+        }
+        worked
+    }
+
+    /// Emits every pending Wings frame into the node's shared egress.
+    fn flush(&mut self) {
+        let net = &self.net;
+        self.batcher.flush_into(|to, frame| net.send(to, frame));
+    }
+
+    /// Mirrors the touched key's state into the seqlock KVS so other
+    /// threads can serve lock-free local reads (paper §4.1), then
+    /// interprets the effects of the protocol transition. The mirror comes
+    /// *first*: once a client sees its `Effect::Reply`, a `read_local` on
+    /// this node must already observe the committed state. `touched` is
+    /// `None` for transitions with no single subject key (view installs),
+    /// which must not mirror: this lane may not own the state it would
+    /// write.
+    fn drain_effects(&mut self, touched: Option<Key>) {
+        if let Some(touched) = touched {
+            let (state, ts, value) = self.node.key_mirror(touched);
+            let meta = if state == KeyState::Valid {
+                SlotMeta::valid(ts.version, ts.cid)
+            } else {
+                SlotMeta::invalid(ts.version, ts.cid)
+            };
+            let bytes = value.map_or(&[][..], |v| v.as_bytes());
+            self.store.put(touched, meta, bytes);
+        }
+        let mut fx = std::mem::take(&mut self.fx);
+        for e in fx.drain(..) {
+            match e {
+                Effect::Send { to, msg } => {
+                    let encoded = codec::encode(&msg);
+                    if let Some((to, frame)) = self.batcher.push(to, &encoded) {
+                        self.net.send(to, frame);
+                    }
+                }
+                Effect::Broadcast { msg } => {
+                    let encoded = codec::encode(&msg);
+                    for &to in &self.peers {
+                        if let Some((to, frame)) = self.batcher.push(to, &encoded) {
+                            self.net.send(to, frame);
+                        }
+                    }
+                }
+                Effect::Reply { op, reply } => {
+                    if let Some(tx) = self.clients.remove(&op) {
+                        let _ = tx.send((op, reply));
+                    }
+                }
+                Effect::ArmTimer { key } => {
+                    self.timers.arm(key, Instant::now() + MLT);
+                }
+                Effect::DisarmTimer { key } => {
+                    self.timers.disarm(key);
+                }
+            }
+        }
+        self.fx = fx;
+    }
+}
+
+/// Decodes one Wings frame and routes each message to the lane owning its
+/// key: processed inline when this worker owns it, forwarded otherwise.
+/// One helper shared by the pump's hot loop and its idle branch.
+fn handle_frame(worker: &mut Worker, lanes: &[Sender<Command>], from: NodeId, frame: &Bytes) {
+    let Ok(msgs) = decode_frame(frame) else {
+        return;
+    };
+    for raw in msgs {
+        let Ok(msg) = codec::decode(&raw) else {
+            continue;
+        };
+        let lane = worker.router.lane_for_msg(&worker.node, msg.key(), &msg);
+        if lane == worker.lane {
+            worker.handle_message(from, msg);
+        } else {
+            let _ = lanes[lane].send(Command::Deliver { from, msg });
         }
     }
 }
 
-/// The replica event loop: drain the network, drain client commands, expire
-/// timers, run the protocol state machine, mirror committed state into the
-/// seqlock store, and ship effects through the Wings batcher.
-fn replica_main(
-    mut node: HermesNode,
+/// Lane 0 of every node: network ingress demux plus a full worker lane
+/// (and the serialization lane, for protocols that need one).
+fn pump_main(
+    mut worker: Worker,
     ep: InProcEndpoint,
-    store: Arc<Store>,
     commands: Receiver<Command>,
+    lanes: Vec<Sender<Command>>,
     running: Arc<AtomicBool>,
 ) {
-    const MLT: Duration = Duration::from_millis(25);
-    let mut batcher = Batcher::new(1400, 32);
-    let mut fx = Vec::new();
-    let mut timers: HashMap<Key, Instant> = HashMap::new();
-    let mut clients: HashMap<OpId, Sender<Reply>> = HashMap::new();
-    let me = node.node_id();
-
     while running.load(Ordering::Relaxed) {
         let mut worked = false;
 
         // Network ingress (bounded batch per iteration).
-        for _ in 0..64 {
+        for _ in 0..DRAIN_BATCH {
             let Some((from, frame)) = ep.try_recv() else {
                 break;
             };
             worked = true;
-            let Ok(msgs) = decode_frame(&frame) else {
-                continue;
-            };
-            for raw in msgs {
-                if let Ok(msg) = codec::decode(&raw) {
-                    let key = msg.key();
-                    node.on_message(from, msg, &mut fx);
-                    drain_effects(
-                        &mut node,
-                        &mut fx,
-                        &store,
-                        &mut batcher,
-                        &mut timers,
-                        &mut clients,
-                        key,
-                    );
-                }
-            }
+            handle_frame(&mut worker, &lanes, from, &frame);
         }
 
-        // Client commands.
-        for _ in 0..64 {
+        // Client operations and control commands.
+        for _ in 0..DRAIN_BATCH {
             let Ok(cmd) = commands.try_recv() else {
                 break;
             };
             worked = true;
-            match cmd {
-                Command::Op {
-                    op,
-                    key,
-                    cop,
-                    reply,
-                } => {
-                    clients.insert(op, reply);
-                    node.on_client_op(op, key, cop, &mut fx);
-                    drain_effects(
-                        &mut node,
-                        &mut fx,
-                        &store,
-                        &mut batcher,
-                        &mut timers,
-                        &mut clients,
-                        key,
-                    );
-                }
-                Command::InstallView(view) => {
-                    node.on_membership_update(view, &mut fx);
-                    // Membership effects may touch many keys; use Key(0) as
-                    // the mirror hint and rely on per-key mirroring below.
-                    drain_effects(
-                        &mut node,
-                        &mut fx,
-                        &store,
-                        &mut batcher,
-                        &mut timers,
-                        &mut clients,
-                        Key(0),
-                    );
-                }
-                Command::Shutdown => return,
+            if !worker.handle_command(cmd) {
+                return;
             }
         }
 
-        // Timer expiry.
-        let now = Instant::now();
-        let expired: Vec<Key> = timers
-            .iter()
-            .filter(|(_, &t)| now.duration_since(t) >= MLT)
-            .map(|(&k, _)| k)
-            .collect();
-        for key in expired {
-            worked = true;
-            timers.insert(key, now);
-            node.on_mlt_timeout(key, &mut fx);
-            drain_effects(
-                &mut node,
-                &mut fx,
-                &store,
-                &mut batcher,
-                &mut timers,
-                &mut clients,
-                key,
-            );
-        }
+        worked |= worker.expire_timers();
 
         // Flush outstanding frames (opportunistic batching: never hold).
-        for (to, frame) in batcher.flush_all() {
-            ep.send(to, frame);
-        }
+        worker.flush();
 
         if !worked {
             // Idle: block briefly on the network to avoid spinning.
-            if let Some((from, frame)) = ep.recv_timeout(Duration::from_millis(1)) {
-                if let Ok(msgs) = decode_frame(&frame) {
-                    for raw in msgs {
-                        if let Ok(msg) = codec::decode(&raw) {
-                            let key = msg.key();
-                            node.on_message(from, msg, &mut fx);
-                            drain_effects(
-                                &mut node,
-                                &mut fx,
-                                &store,
-                                &mut batcher,
-                                &mut timers,
-                                &mut clients,
-                                key,
-                            );
-                        }
-                    }
-                }
-                for (to, frame) in batcher.flush_all() {
-                    ep.send(to, frame);
-                }
+            if let Some((from, frame)) = ep.recv_timeout(IDLE_WAIT) {
+                handle_frame(&mut worker, &lanes, from, &frame);
+                worker.flush();
             }
         }
     }
-    let _ = me;
 }
 
-#[allow(clippy::too_many_arguments)]
-fn drain_effects(
-    node: &mut HermesNode,
-    fx: &mut Vec<Effect<hermes_core::Msg>>,
-    store: &Arc<Store>,
-    batcher: &mut Batcher,
-    timers: &mut HashMap<Key, Instant>,
-    clients: &mut HashMap<OpId, Sender<Reply>>,
-    touched: Key,
-) {
-    let peers: Vec<NodeId> = node.view().broadcast_set(node.node_id()).iter().collect();
-    for e in fx.drain(..) {
-        match e {
-            Effect::Send { to, msg } => {
-                let encoded = codec::encode(&msg);
-                batcher.push(to, &encoded);
-            }
-            Effect::Broadcast { msg } => {
-                let encoded = codec::encode(&msg);
-                for &to in &peers {
-                    batcher.push(to, &encoded);
+/// Lanes 1..W: fully event-driven off the lane's command queue (ingress
+/// arrives as [`Command::Deliver`] from the pump). Idle sleeps run to the
+/// next armed deadline (capped at [`MLT`] so the shutdown flag stays
+/// responsive) — an idle lane with no timers wakes 40×/s, not 1000×/s.
+fn worker_main(mut worker: Worker, commands: Receiver<Command>, running: Arc<AtomicBool>) {
+    while running.load(Ordering::Relaxed) {
+        let wait = worker
+            .timers
+            .next_deadline()
+            .map(|at| at.saturating_duration_since(Instant::now()).min(MLT))
+            .unwrap_or(MLT);
+        match commands.recv_timeout(wait) {
+            Ok(cmd) => {
+                if !worker.handle_command(cmd) {
+                    return;
+                }
+                for _ in 0..DRAIN_BATCH {
+                    let Ok(cmd) = commands.try_recv() else {
+                        break;
+                    };
+                    if !worker.handle_command(cmd) {
+                        return;
+                    }
                 }
             }
-            Effect::Reply { op, reply } => {
-                if let Some(tx) = clients.remove(&op) {
-                    let _ = tx.send(reply);
-                }
-            }
-            Effect::ArmTimer { key } => {
-                timers.insert(key, Instant::now());
-            }
-            Effect::DisarmTimer { key } => {
-                timers.remove(&key);
-            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
         }
+        worker.expire_timers();
+        worker.flush();
     }
-    // Mirror the touched key's protocol state into the seqlock KVS so other
-    // threads can serve lock-free local reads (paper §4.1).
-    let state = node.key_state(touched);
-    let ts = node.key_ts(touched);
-    let meta = if state == KeyState::Valid {
-        SlotMeta::valid(ts.version, ts.cid)
-    } else {
-        SlotMeta::invalid(ts.version, ts.cid)
-    };
-    store.put(touched, meta, node.key_value(touched).as_bytes());
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hermes_common::ClientOp;
 
     #[test]
     fn write_read_across_threads() {
         let cluster = ThreadCluster::start(3, ProtocolConfig::default());
         assert_eq!(cluster.len(), 3);
+        assert!(cluster.workers_per_node() >= 2, "sharded by default");
         assert_eq!(cluster.write(0, Key(1), Value::from_u64(7)), Reply::WriteOk);
         for node in 0..3 {
             assert_eq!(
@@ -467,6 +678,153 @@ mod tests {
         for i in 0..10u64 {
             let r = cluster.read(((i + 1) % 3) as usize, Key(i));
             assert_eq!(r, Reply::ReadOk(Value::from_u64(i)), "read {i} under loss");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn four_workers_per_node_converge() {
+        let cluster = ThreadCluster::launch(ClusterConfig {
+            nodes: 3,
+            workers_per_node: 4,
+            ..ClusterConfig::default()
+        });
+        assert_eq!(cluster.workers_per_node(), 4);
+        for i in 0..32u64 {
+            assert_eq!(
+                cluster.write((i % 3) as usize, Key(i), Value::from_u64(i * 3)),
+                Reply::WriteOk
+            );
+        }
+        for i in 0..32u64 {
+            assert_eq!(
+                cluster.read(((i + 1) % 3) as usize, Key(i)),
+                Reply::ReadOk(Value::from_u64(i * 3)),
+                "key {i}"
+            );
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn pipelined_session_completes_out_of_order_submissions() {
+        let cluster = ThreadCluster::start(3, ProtocolConfig::default());
+        let mut session = cluster.session(0);
+        // 16 writes in flight at once across many shards, then collect all.
+        let tickets: Vec<_> = (0..16u64)
+            .map(|i| session.write(Key(i), Value::from_u64(100 + i)))
+            .collect();
+        assert!(session.outstanding() > 0);
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(session.wait(t), Reply::WriteOk, "write {i}");
+        }
+        assert_eq!(session.outstanding(), 0);
+        // Reads through another session on another node observe the writes.
+        let mut reader = cluster.session(2);
+        let tickets: Vec<_> = (0..16u64).map(|i| reader.read(Key(i))).collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(
+                reader.wait(t),
+                Reply::ReadOk(Value::from_u64(100 + i as u64)),
+                "read {i}"
+            );
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn session_poll_and_wait_any_surface_completions() {
+        let cluster = ThreadCluster::start(3, ProtocolConfig::default());
+        let mut session = cluster.session(1);
+        let t = session.write(Key(9), Value::from_u64(1));
+        // Poll until complete (non-blocking each time).
+        let reply = loop {
+            if let Some(r) = session.poll(t) {
+                break r;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(reply, Reply::WriteOk);
+        // wait_any returns each outstanding completion exactly once.
+        let a = session.read(Key(9));
+        let b = session.read(Key(9));
+        let mut seen = Vec::new();
+        while let Some((ticket, reply)) = session.wait_any() {
+            assert_eq!(reply, Reply::ReadOk(Value::from_u64(1)));
+            seen.push(ticket.op());
+        }
+        let mut expect = vec![a.op(), b.op()];
+        expect.sort();
+        seen.sort();
+        assert_eq!(seen, expect);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn install_view_does_not_clobber_local_read_mirrors() {
+        // Regression: InstallView used to mirror Key(0) from *every* lane;
+        // a non-owner lane would overwrite the owner's committed slot with
+        // empty Valid state, breaking the read_local fast path.
+        let cluster = ThreadCluster::launch(ClusterConfig {
+            nodes: 3,
+            workers_per_node: 4,
+            ..ClusterConfig::default()
+        });
+        for i in 0..50u64 {
+            assert_eq!(
+                cluster.write(0, Key(0), Value::from_u64(i + 1)),
+                Reply::WriteOk
+            );
+            cluster.install_view(MembershipView::initial(3));
+            // Settle: the protocol read proves commitment, then the mirror
+            // must still hold the committed value.
+            assert_eq!(
+                cluster.read(0, Key(0)),
+                Reply::ReadOk(Value::from_u64(i + 1))
+            );
+            assert_eq!(
+                cluster.read_local(0, Key(0)),
+                Some(Value::from_u64(i + 1)),
+                "iteration {i}: view install clobbered the seqlock mirror"
+            );
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn sessions_have_unique_client_ids() {
+        let cluster = ThreadCluster::start(3, ProtocolConfig::default());
+        let a = cluster.session(0);
+        let b = cluster.session(0);
+        let c = cluster.session(2);
+        assert_ne!(a.client_id(), b.client_id());
+        assert_ne!(b.client_id(), c.client_id());
+        // Session ids never collide with the blocking API's per-node ids.
+        assert!(a.client_id().0 >= SESSION_CLIENT_BASE);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn serialization_lane_routing_is_honored_for_reads_and_updates() {
+        // Hermes serializes nothing: ops route to the owner shard.
+        let cluster = ThreadCluster::launch(ClusterConfig {
+            nodes: 3,
+            workers_per_node: 4,
+            ..ClusterConfig::default()
+        });
+        let spec = cluster.router.spec();
+        for raw in 0..16u64 {
+            let key = Key(raw);
+            assert_eq!(
+                cluster.router.lane_for_op(key, &ClientOp::Read),
+                spec.owner(key)
+            );
+            assert_eq!(
+                cluster
+                    .router
+                    .lane_for_op(key, &ClientOp::Write(Value::EMPTY)),
+                spec.owner(key)
+            );
         }
         cluster.shutdown();
     }

@@ -1,0 +1,188 @@
+//! Linearizability of the real-threads sharded runtime, checked by the
+//! Wing & Gong checker from `hermes-model`.
+//!
+//! Until now the checker only ever saw simulated or model-checked
+//! histories; here we record invocation/response histories from concurrent
+//! *pipelined* [`ClientSession`]s against a live `ThreadCluster` (3 nodes ×
+//! 2 worker shards) and hand every per-key history to
+//! [`check_linearizable`]. Timestamps come from one global atomic counter,
+//! so real-time precedence across client threads is captured exactly.
+
+use hermes_common::{ClientOp, Key, Reply, RmwOp, Value};
+use hermes_model::{check_linearizable, HistoryOp, OpKind, Outcome};
+use hermes_replica::{ClusterConfig, ThreadCluster};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Global monotonic clock for invocation/response stamps.
+static CLOCK: AtomicU64 = AtomicU64::new(0);
+
+fn tick() -> u64 {
+    CLOCK.fetch_add(1, Ordering::SeqCst)
+}
+
+/// One operation as observed by the client that issued it.
+struct Observed {
+    key: Key,
+    invoke: u64,
+    response: u64,
+    kind: OpKind,
+    outcome: Outcome,
+}
+
+/// Turns a reply into the checker's vocabulary. `Value::to_u64` maps the
+/// empty (never-written) value to `None`, the checker's initial state.
+fn observe(cop: &ClientOp, reply: Reply) -> (OpKind, Outcome) {
+    match (cop, reply) {
+        (ClientOp::Read, Reply::ReadOk(v)) => (
+            OpKind::Read {
+                returned: v.to_u64(),
+            },
+            Outcome::Completed,
+        ),
+        (ClientOp::Write(v), Reply::WriteOk) => (
+            OpKind::Write {
+                value: v.to_u64().expect("test writes u64 payloads"),
+            },
+            Outcome::Completed,
+        ),
+        (ClientOp::Rmw(RmwOp::FetchAdd { delta }), Reply::RmwOk { prior }) => (
+            OpKind::FetchAdd {
+                delta: *delta,
+                prior: prior.to_u64(),
+            },
+            Outcome::Completed,
+        ),
+        // An aborted RMW may still be replayed to completion by another
+        // replica (paper §3.6), so it must be modelled as indeterminate.
+        (ClientOp::Rmw(RmwOp::FetchAdd { delta }), Reply::RmwAborted) => (
+            OpKind::FetchAdd {
+                delta: *delta,
+                prior: None,
+            },
+            Outcome::Indeterminate,
+        ),
+        // Timeouts/shutdown: unknown effect.
+        (ClientOp::Write(v), _) => (
+            OpKind::Write {
+                value: v.to_u64().expect("test writes u64 payloads"),
+            },
+            Outcome::Indeterminate,
+        ),
+        (ClientOp::Read, _) => (OpKind::Read { returned: None }, Outcome::Indeterminate),
+        (ClientOp::Rmw(RmwOp::FetchAdd { delta }), _) => (
+            OpKind::FetchAdd {
+                delta: *delta,
+                prior: None,
+            },
+            Outcome::Indeterminate,
+        ),
+        (ClientOp::Rmw(_), _) => unreachable!("test issues only fetch-add RMWs"),
+    }
+}
+
+#[test]
+fn concurrent_pipelined_sessions_are_linearizable() {
+    const KEYS: u64 = 6;
+    const SESSIONS: usize = 6;
+    const OPS_PER_SESSION: u64 = 30;
+    const DEPTH: usize = 4;
+
+    let cluster = Arc::new(ThreadCluster::launch(ClusterConfig {
+        nodes: 3,
+        workers_per_node: 2,
+        ..ClusterConfig::default()
+    }));
+    assert!(
+        cluster.workers_per_node() >= 2,
+        "the point is exercising the sharded multi-worker path"
+    );
+    // The key set must span distinct shards so sessions really run on
+    // different workers concurrently.
+    let shards: std::collections::BTreeSet<usize> = (0..KEYS).map(|k| Key(k).shard(2)).collect();
+    assert!(shards.len() >= 2, "keys must cover ≥ 2 shards: {shards:?}");
+
+    let mut joins = Vec::new();
+    for sid in 0..SESSIONS {
+        let cluster = Arc::clone(&cluster);
+        joins.push(std::thread::spawn(move || {
+            let mut session = cluster.session(sid % 3);
+            let mut observed: Vec<Observed> = Vec::new();
+            // (ticket, key, op, invoke-stamp) for ops still in flight.
+            let mut pending: Vec<(hermes_replica::Ticket, Key, ClientOp, u64)> = Vec::new();
+            let mut issued = 0u64;
+            while issued < OPS_PER_SESSION || !pending.is_empty() {
+                // Fill the pipeline.
+                while issued < OPS_PER_SESSION && pending.len() < DEPTH {
+                    let key = Key((issued + sid as u64) % KEYS);
+                    let cop = match issued % 3 {
+                        0 => ClientOp::Write(Value::from_u64(1 + sid as u64 * 10_000 + issued)),
+                        1 => ClientOp::Read,
+                        _ => ClientOp::Rmw(RmwOp::FetchAdd { delta: 1 }),
+                    };
+                    let invoke = tick();
+                    let ticket = session.submit(key, cop.clone());
+                    pending.push((ticket, key, cop, invoke));
+                    issued += 1;
+                }
+                // Collect one completion (out of order across keys).
+                let Some((done, reply)) = session.wait_any() else {
+                    panic!("session {sid}: cluster unreachable with ops in flight");
+                };
+                let response = tick();
+                let at = pending
+                    .iter()
+                    .position(|(t, _, _, _)| *t == done)
+                    .expect("completion matches a pending ticket");
+                let (_, key, cop, invoke) = pending.swap_remove(at);
+                let (kind, outcome) = observe(&cop, reply);
+                observed.push(Observed {
+                    key,
+                    invoke,
+                    response,
+                    kind,
+                    outcome,
+                });
+            }
+            observed
+        }));
+    }
+
+    let mut all: Vec<Observed> = Vec::new();
+    for j in joins {
+        all.extend(j.join().expect("session thread"));
+    }
+    assert_eq!(
+        all.len(),
+        SESSIONS as u64 as usize * OPS_PER_SESSION as usize
+    );
+
+    // Hermes registers are independent per key: check each key's history.
+    for k in 0..KEYS {
+        let history: Vec<HistoryOp> = all
+            .iter()
+            .filter(|o| o.key == Key(k))
+            .map(|o| HistoryOp {
+                invoke: o.invoke,
+                response: o.response,
+                kind: o.kind.clone(),
+                outcome: o.outcome,
+            })
+            .collect();
+        assert!(
+            history.len() <= 63,
+            "key {k}: {} ops exceed the bitmask checker",
+            history.len()
+        );
+        assert!(
+            check_linearizable(&history),
+            "key {k}: history of {} ops is not linearizable",
+            history.len()
+        );
+    }
+
+    match Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => panic!("cluster still shared"),
+    }
+}

@@ -110,15 +110,24 @@ impl Batcher {
     /// Emits every non-empty per-peer buffer (end of a poll cycle).
     pub fn flush_all(&mut self) -> Vec<(NodeId, Bytes)> {
         let mut out: Vec<(NodeId, Bytes)> = Vec::new();
-        for (&to, (buf, count)) in self.buffers.iter_mut() {
-            if *count > 0 {
-                out.push((to, Self::seal(buf, count)));
-            }
-        }
+        self.flush_into(|to, frame| out.push((to, frame)));
         // Deterministic emission order.
         out.sort_by_key(|(to, _)| *to);
-        self.stats.frames += out.len() as u64;
         out
+    }
+
+    /// Emits every non-empty per-peer buffer into `emit` without allocating
+    /// an output vector (the worker-loop hot path of the threaded runtime).
+    ///
+    /// Per-peer FIFO order is preserved; the order *across* peers is
+    /// unspecified — use [`Batcher::flush_all`] where determinism matters.
+    pub fn flush_into(&mut self, mut emit: impl FnMut(NodeId, Bytes)) {
+        for (&to, (buf, count)) in self.buffers.iter_mut() {
+            if *count > 0 {
+                self.stats.frames += 1;
+                emit(to, Self::seal(buf, count));
+            }
+        }
     }
 
     /// Batching counters (messages, frames, payload bytes).
@@ -189,6 +198,29 @@ mod tests {
         );
         let msgs = decode_frame(&frames[1].1).unwrap();
         assert_eq!(msgs, vec![Bytes::from_static(b"b1")]);
+    }
+
+    #[test]
+    fn flush_into_emits_same_frames_as_flush_all() {
+        let mut b = Batcher::new(1500, 16);
+        b.push(NodeId(2), b"to-2");
+        b.push(NodeId(0), b"to-0");
+        b.push(NodeId(2), b"to-2-again");
+        let mut frames = Vec::new();
+        b.flush_into(|to, frame| frames.push((to, frame)));
+        frames.sort_by_key(|(to, _)| *to);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(
+            decode_frame(&frames[1].1).unwrap(),
+            vec![
+                Bytes::from_static(b"to-2"),
+                Bytes::from_static(b"to-2-again")
+            ]
+        );
+        assert_eq!(b.stats().frames, 2);
+        assert_eq!(b.pending(), 0);
+        // A second flush emits nothing.
+        b.flush_into(|_, _| panic!("no frames expected"));
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Closed-loop driving of a pipelined KV service.
+//!
+//! The paper's throughput experiments run closed-loop clients with several
+//! requests in flight per session (§5.2: "each worker keeps a number of
+//! outstanding requests"); pipelining is what lets a single session saturate
+//! a replica whose writes take a full round trip. [`run_closed_loop`]
+//! reproduces that loop over any [`PipelinedKv`] — the threaded cluster's
+//! client sessions implement it, and tests can implement it with mocks.
+
+use crate::Workload;
+use hermes_common::{ClientOp, Key, Reply};
+
+/// A KV endpoint accepting many operations in flight.
+///
+/// `submit` must not block on operation completion; `wait_any` blocks until
+/// *some* submitted operation completes (not necessarily the oldest — an
+/// inter-key-concurrent service completes operations out of order).
+pub trait PipelinedKv {
+    /// Handle naming one in-flight operation.
+    type Ticket;
+
+    /// Starts an operation; returns immediately.
+    fn submit(&mut self, key: Key, cop: ClientOp) -> Self::Ticket;
+
+    /// Blocks until any in-flight operation completes; `None` signals the
+    /// service is unreachable (shutdown or timeout) and the loop should
+    /// stop.
+    fn wait_any(&mut self) -> Option<Reply>;
+
+    /// Number of submitted-but-uncompleted operations.
+    fn in_flight(&self) -> usize;
+}
+
+/// Parameters of one closed-loop run.
+#[derive(Clone, Copy, Debug)]
+pub struct ClosedLoopConfig {
+    /// Total operations to submit.
+    pub ops: u64,
+    /// Target number of operations in flight (the pipeline depth).
+    pub depth: usize,
+}
+
+impl Default for ClosedLoopConfig {
+    fn default() -> Self {
+        ClosedLoopConfig {
+            ops: 1000,
+            depth: 8,
+        }
+    }
+}
+
+/// Counters from a closed-loop run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClosedLoopReport {
+    /// Operations submitted.
+    pub submitted: u64,
+    /// Operations that completed with any reply.
+    pub completed: u64,
+    /// Completions that took effect ([`Reply::is_ok`]).
+    pub ok: u64,
+    /// RMWs that aborted under conflict (retryable, paper §3.6).
+    pub aborted: u64,
+}
+
+/// Runs `cfg.ops` operations from `wl` through `kv`, keeping `cfg.depth` in
+/// flight: every completion immediately funds the next submission, the
+/// classic closed loop. Returns early (with `completed < submitted`) only
+/// if [`PipelinedKv::wait_any`] reports the service gone.
+pub fn run_closed_loop<S: PipelinedKv>(
+    kv: &mut S,
+    wl: &mut Workload,
+    cfg: &ClosedLoopConfig,
+) -> ClosedLoopReport {
+    let depth = cfg.depth.max(1) as u64;
+    let mut report = ClosedLoopReport::default();
+    while report.submitted < cfg.ops && report.submitted < depth {
+        let op = wl.next_op();
+        kv.submit(op.key, op.op);
+        report.submitted += 1;
+    }
+    while report.completed < report.submitted {
+        let Some(reply) = kv.wait_any() else {
+            break;
+        };
+        report.completed += 1;
+        if reply.is_ok() {
+            report.ok += 1;
+        } else if reply == Reply::RmwAborted {
+            report.aborted += 1;
+        }
+        if report.submitted < cfg.ops {
+            let op = wl.next_op();
+            kv.submit(op.key, op.op);
+            report.submitted += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadConfig;
+    use std::collections::VecDeque;
+
+    /// A mock service completing every op instantly, tracking the maximum
+    /// observed pipeline depth.
+    struct InstantKv {
+        queue: VecDeque<Reply>,
+        max_in_flight: usize,
+    }
+
+    impl PipelinedKv for InstantKv {
+        type Ticket = ();
+
+        fn submit(&mut self, _key: Key, cop: ClientOp) {
+            self.queue.push_back(match cop {
+                ClientOp::Read => Reply::ReadOk(hermes_common::Value::EMPTY),
+                ClientOp::Write(_) => Reply::WriteOk,
+                ClientOp::Rmw(_) => Reply::RmwAborted,
+            });
+            self.max_in_flight = self.max_in_flight.max(self.queue.len());
+        }
+
+        fn wait_any(&mut self) -> Option<Reply> {
+            self.queue.pop_front()
+        }
+
+        fn in_flight(&self) -> usize {
+            self.queue.len()
+        }
+    }
+
+    fn workload(write_ratio: f64, rmw_fraction: f64) -> Workload {
+        Workload::new(
+            WorkloadConfig {
+                keys: 64,
+                write_ratio,
+                rmw_fraction,
+                ..WorkloadConfig::default()
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn completes_every_op_and_respects_depth() {
+        let mut kv = InstantKv {
+            queue: VecDeque::new(),
+            max_in_flight: 0,
+        };
+        let report = run_closed_loop(
+            &mut kv,
+            &mut workload(0.5, 0.0),
+            &ClosedLoopConfig { ops: 500, depth: 8 },
+        );
+        assert_eq!(report.submitted, 500);
+        assert_eq!(report.completed, 500);
+        assert_eq!(report.ok, 500);
+        assert_eq!(report.aborted, 0);
+        assert!(kv.max_in_flight <= 8, "depth {}", kv.max_in_flight);
+        assert_eq!(kv.in_flight(), 0, "pipeline drained");
+    }
+
+    #[test]
+    fn counts_aborts_separately() {
+        let mut kv = InstantKv {
+            queue: VecDeque::new(),
+            max_in_flight: 0,
+        };
+        let report = run_closed_loop(
+            &mut kv,
+            &mut workload(1.0, 1.0), // all RMWs → all abort in the mock
+            &ClosedLoopConfig { ops: 100, depth: 4 },
+        );
+        assert_eq!(report.completed, 100);
+        assert_eq!(report.ok, 0);
+        assert_eq!(report.aborted, 100);
+    }
+
+    #[test]
+    fn short_runs_never_overfill_the_pipeline() {
+        let mut kv = InstantKv {
+            queue: VecDeque::new(),
+            max_in_flight: 0,
+        };
+        let report = run_closed_loop(
+            &mut kv,
+            &mut workload(0.0, 0.0),
+            &ClosedLoopConfig { ops: 3, depth: 64 },
+        );
+        assert_eq!(report.submitted, 3);
+        assert_eq!(report.completed, 3);
+        assert!(kv.max_in_flight <= 3);
+    }
+
+    /// A service that dies after `alive` completions.
+    struct DyingKv {
+        alive: usize,
+        pending: usize,
+    }
+
+    impl PipelinedKv for DyingKv {
+        type Ticket = ();
+
+        fn submit(&mut self, _key: Key, _cop: ClientOp) {
+            self.pending += 1;
+        }
+
+        fn wait_any(&mut self) -> Option<Reply> {
+            if self.alive == 0 {
+                return None;
+            }
+            self.alive -= 1;
+            self.pending -= 1;
+            Some(Reply::WriteOk)
+        }
+
+        fn in_flight(&self) -> usize {
+            self.pending
+        }
+    }
+
+    #[test]
+    fn service_loss_ends_the_loop_without_hanging() {
+        let mut kv = DyingKv {
+            alive: 10,
+            pending: 0,
+        };
+        let report = run_closed_loop(
+            &mut kv,
+            &mut workload(1.0, 0.0),
+            &ClosedLoopConfig {
+                ops: 1000,
+                depth: 4,
+            },
+        );
+        assert_eq!(report.completed, 10);
+        assert!(report.submitted < 1000, "loop must stop early");
+    }
+}

@@ -9,7 +9,10 @@
 //!   algorithm), validated against the analytic distribution;
 //! * [`KeyChooser`] — uniform or zipfian key selection;
 //! * [`Workload`] — a full request stream: key choice, read/write/RMW mix,
-//!   and value payloads of configurable size.
+//!   and value payloads of configurable size;
+//! * [`run_closed_loop`] — a closed-loop multi-request driver over any
+//!   [`PipelinedKv`] service (the paper's outstanding-requests-per-session
+//!   client model, §5.2).
 //!
 //! # Examples
 //!
@@ -28,6 +31,10 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+mod driver;
+
+pub use driver::{run_closed_loop, ClosedLoopConfig, ClosedLoopReport, PipelinedKv};
 
 use hermes_common::{ClientOp, Key, RmwOp, Value};
 use hermes_sim::rng::Rng;

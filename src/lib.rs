@@ -61,9 +61,14 @@ pub use hermes_workload as workload;
 pub mod prelude {
     pub use hermes_common::{
         ClientOp, Effect, Epoch, Key, MembershipView, NodeId, NodeSet, OpId, ReplicaProtocol,
-        Reply, RmwOp, Value,
+        Reply, RmwOp, ShardRouter, ShardSpec, Value,
     };
     pub use hermes_core::{HermesNode, KeyState, Msg, ProtocolConfig, Ts, UpdateKind};
-    pub use hermes_replica::{run_sim, CostModel, RunReport, SimConfig, ThreadCluster};
-    pub use hermes_workload::{Workload, WorkloadConfig};
+    pub use hermes_replica::{
+        run_sim, ClientSession, ClusterConfig, CostModel, RunReport, ShardedEngine, SimConfig,
+        ThreadCluster, Ticket,
+    };
+    pub use hermes_workload::{
+        run_closed_loop, ClosedLoopConfig, ClosedLoopReport, PipelinedKv, Workload, WorkloadConfig,
+    };
 }
