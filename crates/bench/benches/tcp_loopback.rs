@@ -1,0 +1,104 @@
+//! Transport cost, measured not guessed: the identical threaded cluster
+//! (3 nodes × 2 workers, pipelined closed-loop sessions) over the
+//! in-process channel transport vs. loopback TCP sockets.
+//!
+//! The paper's testbed pushes replication over RDMA where a send costs
+//! ~½ µs; our TCP stand-in pays syscalls, copies and the loopback stack on
+//! every frame (DESIGN.md §1, §4). This bench quantifies exactly that gap
+//! so transport overhead is a number, not a hand-wave. Expect in-proc to
+//! win by a wide margin in ops/s; the interesting outputs are the ratio
+//! and the absolute TCP throughput (what a real multi-process deployment
+//! of this code would serve on one box).
+//!
+//! Run: `cargo bench --bench tcp_loopback` (add `-- --smoke` for the
+//! CI-sized run; `HERMES_SCALE` scales the op count as elsewhere).
+
+use hermes_bench::{header, scaled_ops};
+use hermes_net::TcpNet;
+use hermes_replica::{ClusterConfig, ThreadCluster};
+use hermes_workload::{run_closed_loop, ClosedLoopConfig, Workload, WorkloadConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+const NODES: usize = 3;
+const WORKERS: usize = 2;
+const SESSIONS: usize = 6;
+const DEPTH: usize = 16;
+
+fn drive(cluster: ThreadCluster, per_session: u64) -> (u64, f64) {
+    let cluster = Arc::new(cluster);
+    let start = Instant::now();
+    let joins: Vec<_> = (0..SESSIONS)
+        .map(|s| {
+            let cluster = Arc::clone(&cluster);
+            std::thread::spawn(move || {
+                let mut session = cluster.session(s % NODES);
+                let mut wl = Workload::new(
+                    WorkloadConfig {
+                        keys: 4096,
+                        write_ratio: 0.2,
+                        value_size: 32,
+                        ..WorkloadConfig::default()
+                    },
+                    0xFEED + s as u64,
+                );
+                run_closed_loop(
+                    &mut session,
+                    &mut wl,
+                    &ClosedLoopConfig {
+                        ops: per_session,
+                        depth: DEPTH,
+                    },
+                )
+            })
+        })
+        .collect();
+    let mut completed = 0u64;
+    for j in joins {
+        completed += j.join().expect("session thread").completed;
+    }
+    let rate = completed as f64 / start.elapsed().as_secs_f64();
+    match Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => unreachable!("all session threads joined"),
+    }
+    (completed, rate)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let total_ops: u64 = if smoke { 1_800 } else { scaled_ops(60_000) };
+    let per_session = (total_ops / SESSIONS as u64).max(1);
+    let cfg = ClusterConfig {
+        nodes: NODES,
+        workers_per_node: WORKERS,
+        ..ClusterConfig::default()
+    };
+
+    header(
+        "tcp_loopback: ops/s, in-process channels vs loopback TCP sockets [3 nodes x 2 workers]",
+        "same runtime, pluggable transport: the delta is the socket stack \
+         standing in for the paper's RDMA NICs (DESIGN.md §4)",
+    );
+    println!(
+        "{:>10} | {:>10} {:>12} | completion",
+        "transport", "ops", "ops/s"
+    );
+
+    let (completed, inproc_rate) = drive(ThreadCluster::launch(cfg), per_session);
+    assert_eq!(completed, per_session * SESSIONS as u64, "in-proc run");
+    println!(
+        "{:>10} | {completed:>10} {inproc_rate:>12.0} | all ok",
+        "in-proc"
+    );
+
+    let net = TcpNet::loopback(NODES).expect("bind loopback listeners");
+    let (completed, tcp_rate) = drive(ThreadCluster::launch_over(net, cfg), per_session);
+    assert_eq!(completed, per_session * SESSIONS as u64, "tcp run");
+    println!("{:>10} | {completed:>10} {tcp_rate:>12.0} | all ok", "tcp");
+
+    println!(
+        "\ntransport cost: in-proc/tcp = {:.2}x",
+        inproc_rate / tcp_rate
+    );
+}

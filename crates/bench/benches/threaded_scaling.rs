@@ -1,5 +1,5 @@
 //! Throughput scaling of the real-threads sharded runtime: ops/s at
-//! W ∈ {1, 2, 4} worker shards per node.
+//! W ∈ {1, 2, 4, 8} worker shards per node.
 //!
 //! The paper's headline scalability claim is inter-key concurrency: Hermes
 //! has no serialization point, so throughput grows with worker threads
@@ -38,7 +38,7 @@ fn main() {
         "workers", "ops", "elapsed", "ops/s"
     );
 
-    for &workers in &[1usize, 2, 4] {
+    for &workers in &[1usize, 2, 4, 8] {
         let cluster = Arc::new(ThreadCluster::launch(ClusterConfig {
             nodes: NODES,
             workers_per_node: workers,

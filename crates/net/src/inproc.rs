@@ -1,11 +1,16 @@
+use crate::transport::{Endpoint, IngressGuard, IngressSink, NetEvent, NetSender, Transport};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hermes_common::NodeId;
 use hermes_sim::rng::Rng;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// How often the in-process delivery thread rechecks its stop flag while
+/// its queue is idle.
+const FORWARD_POLL: Duration = Duration::from_millis(25);
 
 /// Probabilistic fault injection applied to an [`InProcNet`].
 ///
@@ -91,6 +96,14 @@ impl InProcNet {
     }
 }
 
+impl Transport for InProcNet {
+    type Endpoint = InProcEndpoint;
+
+    fn into_endpoints(self) -> Vec<InProcEndpoint> {
+        self.endpoints
+    }
+}
+
 /// The transmit half of a node's network attachment.
 ///
 /// Cloneable and shareable: on a multi-worker replica every worker thread
@@ -166,6 +179,16 @@ impl InProcSender {
     }
 }
 
+impl NetSender for InProcSender {
+    fn node_id(&self) -> NodeId {
+        self.me
+    }
+
+    fn send(&self, to: NodeId, payload: Bytes) {
+        InProcSender::send(self, to, payload);
+    }
+}
+
 impl std::fmt::Debug for InProcSender {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("InProcSender")
@@ -237,6 +260,44 @@ impl InProcEndpoint {
     /// Crash-stops `node` network-wide (both directions go silent).
     pub fn crash(&self, node: NodeId) {
         self.tx.crash(node);
+    }
+}
+
+impl Endpoint for InProcEndpoint {
+    type Sender = InProcSender;
+
+    fn node_id(&self) -> NodeId {
+        self.tx.me
+    }
+
+    fn sender(&self) -> InProcSender {
+        self.tx.clone()
+    }
+
+    /// Spawns one delivery thread that moves datagrams from the endpoint's
+    /// channel into `sink` as [`NetEvent::Frame`]s. In-process links never
+    /// drop, so no peer up/down events are ever emitted.
+    fn start(self, sink: IngressSink) -> IngressGuard {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !thread_stop.load(Ordering::Relaxed) {
+                match self.rx.recv_timeout(FORWARD_POLL) {
+                    Ok((from, payload)) => {
+                        // A crashed node is silent: drain without delivering.
+                        if self.tx.is_crashed(self.tx.me) {
+                            continue;
+                        }
+                        if !sink(NetEvent::Frame(from, payload)) {
+                            return;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+        });
+        IngressGuard::new(stop, vec![handle])
     }
 }
 

@@ -12,6 +12,15 @@
 //! * [`InProcNet`] — a real multi-threaded transport over crossbeam channels
 //!   for in-process clusters (used by examples and integration tests), with
 //!   optional probabilistic fault injection.
+//! * [`TcpNet`] / [`TcpEndpoint`] — length-prefixed Wings frames over real
+//!   `std::net` TCP sockets, with per-peer writer threads, per-connection
+//!   reader threads and automatic reconnect-with-backoff: the transport
+//!   that runs a replica group as separate OS processes (DESIGN.md §4).
+//!
+//! The in-process and TCP transports implement the pluggable
+//! [`Transport`]/[`Endpoint`] trait pair, so cluster runtimes are written
+//! once and deployed over either. Ingress is push-based ([`NetEvent`]s into
+//! an [`IngressSink`]), which is what gives runtimes event-driven wakeup.
 //!
 //! # Examples
 //!
@@ -32,6 +41,13 @@
 
 mod inproc;
 mod simnet;
+mod tcp;
+mod transport;
 
 pub use inproc::{InProcEndpoint, InProcNet, InProcSender, NetFaults};
 pub use simnet::{DeliveryOutcome, SimNet, SimNetConfig};
+pub use tcp::{
+    read_frame_from, reap_finished, write_frame_to, FrameRead, TcpConfig, TcpEndpoint, TcpNet,
+    TcpSender, TcpStats,
+};
+pub use transport::{Endpoint, IngressGuard, IngressSink, NetEvent, NetSender, Transport};

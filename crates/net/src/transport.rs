@@ -1,0 +1,126 @@
+//! The pluggable transport abstraction behind every cluster runtime.
+//!
+//! The paper's Hermes runs over RDMA unreliable datagrams; this workspace
+//! runs the same protocol over whichever substrate fits the deployment:
+//! crossbeam channels inside one process ([`InProcNet`]) or length-prefixed
+//! frames over real TCP sockets ([`TcpNet`]) for multi-process clusters.
+//! Both implement the same two-trait contract so runtimes are written once:
+//!
+//! * [`Transport`] — a factory producing one [`Endpoint`] per node;
+//! * [`Endpoint`] — one node's attachment: a cloneable transmit half
+//!   ([`NetSender`]) plus a *push-based* receive half. Instead of being
+//!   polled, an endpoint is [`Endpoint::start`]ed with an [`IngressSink`]
+//!   and delivers every [`NetEvent`] into it from its own threads. Runtimes
+//!   point the sink at the same queue that carries client commands, which
+//!   is what makes worker wakeup event-driven: one blocking `recv` covers
+//!   network ingress *and* client ingress, with no idle-poll floor.
+//!
+//! The service model every transport must preserve is the paper's (§3.4):
+//! datagrams may be dropped, duplicated and reordered — Hermes' message-loss
+//! timeouts absorb all three, and they also absorb a TCP connection dying
+//! and being re-dialed (frames buffered in the dead socket are simply
+//! "dropped datagrams").
+//!
+//! [`InProcNet`]: crate::InProcNet
+//! [`TcpNet`]: crate::TcpNet
+
+use bytes::Bytes;
+use hermes_common::NodeId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One event surfaced by a transport's ingress path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetEvent {
+    /// A datagram (one Wings frame) arrived from a peer.
+    Frame(NodeId, Bytes),
+    /// The connection carrying a peer's traffic died (TCP reader saw
+    /// EOF/error). Purely informational: the protocol needs no action —
+    /// message-loss timeouts already cover the lost frames — but runtimes
+    /// count these so operators and tests can observe fault paths.
+    PeerDown(NodeId),
+    /// A peer's connection was (re-)established toward this node.
+    PeerUp(NodeId),
+}
+
+/// Consumes ingress events; returns `false` when the receiver is gone and
+/// delivery threads should stop.
+///
+/// Shared across however many reader threads a transport runs, so it must
+/// be callable concurrently.
+pub type IngressSink = Arc<dyn Fn(NetEvent) -> bool + Send + Sync>;
+
+/// The transmit half of a node's network attachment.
+///
+/// Cloneable and shareable: on a multi-worker replica every worker thread
+/// holds a clone and sends its Wings frames directly — the shared sender
+/// *is* the node's merged egress. Sends never block and may silently drop
+/// (unreachable peer, injected fault, dead connection): datagram semantics.
+pub trait NetSender: Clone + Send + 'static {
+    /// The node this sender transmits as.
+    fn node_id(&self) -> NodeId;
+
+    /// Sends one datagram to `to`. Never blocks; silently drops on any
+    /// failure (the protocol's loss timeouts recover).
+    fn send(&self, to: NodeId, payload: Bytes);
+}
+
+/// One node's attachment to a [`Transport`].
+pub trait Endpoint: Send + std::fmt::Debug + 'static {
+    /// The transmit half this endpoint hands to worker threads.
+    type Sender: NetSender;
+
+    /// This endpoint's node id.
+    fn node_id(&self) -> NodeId;
+
+    /// A cloneable transmit handle for this node.
+    fn sender(&self) -> Self::Sender;
+
+    /// Consumes the endpoint and starts delivering ingress into `sink`
+    /// from transport-owned threads. Delivery runs until the returned
+    /// [`IngressGuard`] is stopped or the sink reports the receiver gone.
+    fn start(self, sink: IngressSink) -> IngressGuard;
+}
+
+/// A network: one [`Endpoint`] per node, however they are wired.
+pub trait Transport {
+    /// The per-node endpoint type.
+    type Endpoint: Endpoint;
+
+    /// Extracts the endpoints, one per node, to hand to node runtimes.
+    fn into_endpoints(self) -> Vec<Self::Endpoint>;
+}
+
+/// Owns the delivery threads spawned by [`Endpoint::start`]; stopping it
+/// signals them and joins them.
+#[derive(Debug)]
+pub struct IngressGuard {
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl IngressGuard {
+    /// Builds a guard over `handles`, all of which watch `stop`.
+    pub fn new(stop: Arc<AtomicBool>, handles: Vec<JoinHandle<()>>) -> Self {
+        IngressGuard { stop, handles }
+    }
+
+    /// Signals every delivery thread to stop and joins them.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for IngressGuard {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}

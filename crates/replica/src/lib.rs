@@ -13,14 +13,23 @@
 //! * [`ThreadCluster`] — a real multi-threaded Hermes deployment in one
 //!   process: N replicas × W worker threads, each worker owning one key
 //!   shard with its own protocol engine ([`ShardedEngine`]), Wings-framed
-//!   datagrams over crossbeam channels, per-node seqlock KVS mirrors
-//!   serving lock-free local reads (the HermesKV architecture of paper §4),
-//!   and pipelined [`ClientSession`]s with many operations in flight.
+//!   datagrams over any pluggable transport (crossbeam channels or loopback
+//!   TCP), per-node seqlock KVS mirrors serving lock-free local reads (the
+//!   HermesKV architecture of paper §4), and pipelined [`ClientSession`]s
+//!   with many operations in flight.
+//!
+//! A third deployment shape runs each replica as its own OS process:
+//! [`NodeRuntime`] serves one node over the TCP transport plus a
+//! client-facing RPC port, and [`RemoteChannel`] connects a
+//! [`ClientSession`] to it across the network (the `hermesd` daemon of
+//! `examples/hermesd.rs`, DESIGN.md §4).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod cost;
+mod node;
+mod remote;
 mod session;
 mod sharded;
 mod simrun;
@@ -28,7 +37,9 @@ mod threaded;
 mod timers;
 
 pub use cost::CostModel;
-pub use session::{ClientSession, Ticket};
+pub use node::{NodeOptions, NodeRuntime};
+pub use remote::RemoteChannel;
+pub use session::{ClientSession, LaneChannel, SessionChannel, Ticket};
 pub use sharded::ShardedEngine;
 pub use simrun::{run_sim, RunReport, SimConfig};
 pub use threaded::{ClusterConfig, ThreadCluster};

@@ -1,0 +1,461 @@
+//! One replica as its own OS process: the `hermesd` runtime.
+//!
+//! [`NodeRuntime::serve`] binds this node's replication listener (TCP,
+//! [`TcpEndpoint`]), spawns the same sharded worker threads as
+//! [`ThreadCluster`](crate::ThreadCluster) — the runtime code is shared,
+//! only the transport differs — and additionally serves a **client port**:
+//! a TCP listener speaking the `hermes_wings::client` RPC format, where
+//! each connection is one pipelined session. Per client connection:
+//!
+//! * a reader thread decodes request frames and submits each operation to
+//!   the worker lane owning its key — the same unified command queue that
+//!   carries replication traffic, so an idle replica wakes the moment a
+//!   request lands;
+//! * a writer thread encodes completions (out of order, tagged with the
+//!   request's sequence number) back onto the socket.
+//!
+//! The multi-process deployment story — and the loopback harness proving a
+//! 3-process cluster linearizable — lives in `examples/hermesd.rs` and
+//! `examples/tcp_cluster.rs` (DESIGN.md §4).
+
+use crate::threaded::{spawn_node, Command, Completion};
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
+use hermes_common::{ClientId, MembershipView, NodeId, OpId, ShardRouter};
+use hermes_core::ProtocolConfig;
+use hermes_net::{
+    read_frame_from, reap_finished, write_frame_to, FrameRead, TcpConfig, TcpEndpoint,
+};
+use hermes_store::{Store, StoreConfig};
+use hermes_wings::client as rpc;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Remote connections' protocol-level client ids live above this base so
+/// they can never collide with in-process session ids.
+const REMOTE_CLIENT_BASE: u64 = 1 << 33;
+
+/// Accept/read poll granularity of the client-port service.
+const CLIENT_POLL: Duration = Duration::from_millis(25);
+
+/// Request frames larger than this kill the client connection.
+const MAX_CLIENT_FRAME: usize = 16 << 20;
+
+/// Deployment parameters of one `hermesd` replica process.
+#[derive(Clone, Debug)]
+pub struct NodeOptions {
+    /// This node's id — an index into `peers`.
+    pub node: NodeId,
+    /// Replication listen addresses of every replica, indexed by node id
+    /// (this node binds `peers[node]`).
+    pub peers: Vec<SocketAddr>,
+    /// Client-port listen address (use port 0 for ephemeral).
+    pub client_addr: SocketAddr,
+    /// Worker threads (key shards) on this node; ≥ 1.
+    pub workers: usize,
+    /// Protocol switches.
+    pub protocol: ProtocolConfig,
+    /// TCP transport tuning.
+    pub tcp: TcpConfig,
+    /// Exit after this long (`None`: run until told to stop). Consumed by
+    /// the `hermesd` example's main loop, not by [`NodeRuntime`] itself.
+    pub run_for: Option<Duration>,
+}
+
+impl NodeOptions {
+    /// Parses daemon command-line arguments (everything after the program
+    /// name): `--node <id> --peers <addr,addr,...> --client <addr>
+    /// [--workers <n>] [--duration <secs>]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending flag.
+    pub fn parse(args: &[String]) -> Result<NodeOptions, String> {
+        let mut node: Option<u32> = None;
+        let mut peers: Option<Vec<SocketAddr>> = None;
+        let mut client_addr: Option<SocketAddr> = None;
+        let mut workers = 2usize;
+        let mut run_for = None;
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--node" => {
+                    node = Some(
+                        value("--node")?
+                            .parse()
+                            .map_err(|e| format!("--node: {e}"))?,
+                    );
+                }
+                "--peers" => {
+                    peers = Some(
+                        value("--peers")?
+                            .split(',')
+                            .map(|a| a.trim().parse().map_err(|e| format!("--peers '{a}': {e}")))
+                            .collect::<Result<_, _>>()?,
+                    );
+                }
+                "--client" => {
+                    client_addr = Some(
+                        value("--client")?
+                            .parse()
+                            .map_err(|e| format!("--client: {e}"))?,
+                    );
+                }
+                "--workers" => {
+                    workers = value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?;
+                }
+                "--duration" => {
+                    let secs: f64 = value("--duration")?
+                        .parse()
+                        .map_err(|e| format!("--duration: {e}"))?;
+                    run_for = Some(Duration::from_secs_f64(secs));
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        let node = NodeId(node.ok_or("--node is required")?);
+        let peers = peers.ok_or("--peers is required")?;
+        if node.index() >= peers.len() {
+            return Err(format!(
+                "--node {} out of range for {} peers",
+                node.0,
+                peers.len()
+            ));
+        }
+        if workers == 0 {
+            return Err("--workers must be ≥ 1".into());
+        }
+        Ok(NodeOptions {
+            node,
+            peers,
+            client_addr: client_addr.ok_or("--client is required")?,
+            workers,
+            protocol: ProtocolConfig::default(),
+            tcp: TcpConfig::default(),
+            run_for,
+        })
+    }
+}
+
+/// A running single-node replica: worker threads over the TCP transport
+/// plus the client-port RPC service.
+#[derive(Debug)]
+pub struct NodeRuntime {
+    node: NodeId,
+    client_addr: SocketAddr,
+    lanes: Vec<Sender<Command>>,
+    router: ShardRouter,
+    store: Arc<Store>,
+    running: Arc<AtomicBool>,
+    /// Raised first on shutdown: stops the client acceptor and its
+    /// per-connection threads (who read it as their frame-read stop flag).
+    client_stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+    ingress: Option<hermes_net::IngressGuard>,
+    acceptor: Option<JoinHandle<()>>,
+    peer_downs: Arc<AtomicU64>,
+}
+
+impl NodeRuntime {
+    /// Binds the replication and client listeners and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either listener cannot be bound.
+    pub fn serve(opts: NodeOptions) -> std::io::Result<NodeRuntime> {
+        let ep = TcpEndpoint::bind(opts.node, &opts.peers, opts.tcp)?;
+        let client_listener = TcpListener::bind(opts.client_addr)?;
+        client_listener.set_nonblocking(true)?;
+        let client_addr = client_listener.local_addr()?;
+        let store = Arc::new(Store::new(StoreConfig::default()));
+        let running = Arc::new(AtomicBool::new(true));
+        let view = MembershipView::initial(opts.peers.len());
+        let node = spawn_node(
+            ep,
+            view,
+            opts.protocol,
+            opts.workers,
+            Arc::clone(&store),
+            Arc::clone(&running),
+        );
+        let client_stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let lanes = node.lanes.clone();
+            let router = node.router;
+            let stop = Arc::clone(&client_stop);
+            std::thread::spawn(move || {
+                client_acceptor_main(client_listener, lanes, router, stop);
+            })
+        };
+        Ok(NodeRuntime {
+            node: opts.node,
+            client_addr,
+            lanes: node.lanes,
+            router: node.router,
+            store,
+            running,
+            client_stop,
+            handles: node.handles,
+            ingress: Some(node.guard),
+            acceptor: Some(acceptor),
+            peer_downs: node.peer_downs,
+        })
+    }
+
+    /// This replica's node id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The client-port address actually bound (resolves `:0`).
+    pub fn client_addr(&self) -> SocketAddr {
+        self.client_addr
+    }
+
+    /// Worker lanes on this node.
+    pub fn workers(&self) -> usize {
+        self.router.spec().workers()
+    }
+
+    /// Peer connections this node's transport readers observed dying.
+    pub fn peer_disconnects(&self) -> u64 {
+        self.peer_downs.load(Ordering::Relaxed)
+    }
+
+    /// Lock-free local read from this node's seqlock mirror (paper §4.1);
+    /// `None` when the key is invalidated mid-write.
+    pub fn read_local(&self, key: hermes_common::Key) -> Option<hermes_common::Value> {
+        let mut buf = Vec::new();
+        match self.store.get(key, &mut buf) {
+            None => Some(hermes_common::Value::EMPTY),
+            Some(meta) if meta.state == hermes_store::SlotState::Valid => {
+                Some(hermes_common::Value::from(buf))
+            }
+            Some(_) => None,
+        }
+    }
+
+    fn stop(&mut self) {
+        self.client_stop.store(true, Ordering::SeqCst);
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for tx in &self.lanes {
+            let _ = tx.send(Command::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(g) = self.ingress.take() {
+            g.stop();
+        }
+    }
+
+    /// Stops the client service, the worker threads and the transport.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+}
+
+impl Drop for NodeRuntime {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Accepts client connections and hands each to a reader/writer thread
+/// pair; joins them all before exiting so shutdown is clean.
+fn client_acceptor_main(
+    listener: TcpListener,
+    lanes: Vec<Sender<Command>>,
+    router: ShardRouter,
+    stop: Arc<AtomicBool>,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_client = REMOTE_CLIENT_BASE;
+    while !stop.load(Ordering::Relaxed) {
+        reap_finished(&mut conns);
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let client = ClientId(next_client);
+                next_client += 1;
+                let lanes = lanes.clone();
+                let stop = Arc::clone(&stop);
+                conns.push(std::thread::spawn(move || {
+                    serve_client_conn(stream, client, lanes, router, stop);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(CLIENT_POLL),
+        }
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+}
+
+/// One client connection: requests in on this thread, completions out on a
+/// companion writer thread (completions are out of order — inter-key
+/// concurrency — so the writer matches them to requests by sequence
+/// number).
+fn serve_client_conn(
+    stream: TcpStream,
+    client: ClientId,
+    lanes: Vec<Sender<Command>>,
+    router: ShardRouter,
+    stop: Arc<AtomicBool>,
+) {
+    if stream.set_nodelay(true).is_err() || stream.set_read_timeout(Some(CLIENT_POLL)).is_err() {
+        return;
+    }
+    let Ok(mut write_half) = stream.try_clone() else {
+        return;
+    };
+    let (completions_tx, completions_rx) = unbounded::<Completion>();
+    let in_flight = Arc::new(AtomicU64::new(0));
+    let reader_done = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let in_flight = Arc::clone(&in_flight);
+        let reader_done = Arc::clone(&reader_done);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            loop {
+                match completions_rx.recv_timeout(CLIENT_POLL) {
+                    Ok((op, reply)) => {
+                        in_flight.fetch_sub(1, Ordering::Relaxed);
+                        let payload = rpc::encode_reply_bytes(op.seq, &reply);
+                        if write_frame_to(&mut write_half, &payload).is_err() {
+                            return;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        // Linger until every submitted op has answered.
+                        if reader_done.load(Ordering::Relaxed)
+                            && in_flight.load(Ordering::Relaxed) == 0
+                        {
+                            return;
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+        })
+    };
+
+    let mut read_half = stream;
+    while let FrameRead::Frame(payload) = read_frame_from(&mut read_half, MAX_CLIENT_FRAME, &stop) {
+        let Ok((seq, key, cop)) = rpc::decode_request(&payload) else {
+            break; // Protocol error: drop the connection.
+        };
+        let op = OpId::new(client, seq);
+        let lane = router.lane_for_op(key, &cop);
+        in_flight.fetch_add(1, Ordering::Relaxed);
+        let cmd = Command::Op {
+            op,
+            key,
+            cop,
+            reply: completions_tx.clone(),
+        };
+        if lanes[lane].send(cmd).is_err() {
+            // Replica shutting down: answer directly.
+            let _ = completions_tx.send((op, hermes_common::Reply::NotOperational));
+        }
+    }
+    reader_done.store(true, Ordering::SeqCst);
+    drop(completions_tx);
+    let _ = writer.join();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_full_flag_set() {
+        let opts = NodeOptions::parse(&s(&[
+            "--node",
+            "1",
+            "--peers",
+            "127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003",
+            "--client",
+            "127.0.0.1:8001",
+            "--workers",
+            "4",
+            "--duration",
+            "2.5",
+        ]))
+        .unwrap();
+        assert_eq!(opts.node, NodeId(1));
+        assert_eq!(opts.peers.len(), 3);
+        assert_eq!(opts.peers[2], "127.0.0.1:7003".parse().unwrap());
+        assert_eq!(opts.client_addr, "127.0.0.1:8001".parse().unwrap());
+        assert_eq!(opts.workers, 4);
+        assert_eq!(opts.run_for, Some(Duration::from_secs_f64(2.5)));
+    }
+
+    #[test]
+    fn defaults_and_required_flags() {
+        let opts = NodeOptions::parse(&s(&[
+            "--node",
+            "0",
+            "--peers",
+            "127.0.0.1:7001",
+            "--client",
+            "127.0.0.1:0",
+        ]))
+        .unwrap();
+        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.run_for, None);
+
+        assert!(
+            NodeOptions::parse(&s(&["--peers", "127.0.0.1:1", "--client", "127.0.0.1:0"]))
+                .unwrap_err()
+                .contains("--node")
+        );
+        assert!(NodeOptions::parse(&s(&["--node", "0"]))
+            .unwrap_err()
+            .contains("--peers"));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(NodeOptions::parse(&s(&["--node", "x"])).is_err());
+        assert!(NodeOptions::parse(&s(&[
+            "--node",
+            "3",
+            "--peers",
+            "127.0.0.1:1,127.0.0.1:2",
+            "--client",
+            "127.0.0.1:0"
+        ]))
+        .unwrap_err()
+        .contains("out of range"));
+        assert!(NodeOptions::parse(&s(&["--frobnicate"]))
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(NodeOptions::parse(&s(&["--node"]))
+            .unwrap_err()
+            .contains("requires a value"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Remote client sessions: a [`ClientSession`] over a real TCP connection
+//! to a `hermesd` replica daemon's client port.
+//!
+//! [`RemoteChannel`] implements [`SessionChannel`], so the whole pipelined
+//! session machinery (tickets, out-of-order completion, credit-based
+//! backpressure) works unchanged across processes: requests are
+//! length-prefix framed `hermes_wings::client` payloads, and a dedicated
+//! reader thread turns response frames back into completions.
+//!
+//! [`ClientSession`]: crate::ClientSession
+
+use crate::session::{ClientSession, SessionChannel};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hermes_common::{ClientId, ClientOp, Key, OpId, Reply};
+use hermes_net::{read_frame_from, write_frame_to, FrameRead};
+use hermes_wings::client as rpc;
+use hermes_wings::CreditConfig;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Read-poll granularity of the response reader thread.
+const READ_POLL: Duration = Duration::from_millis(25);
+/// Response frames larger than this kill the connection.
+const MAX_FRAME: usize = 16 << 20;
+
+/// Client ids handed to remote sessions are process-local; they only name
+/// tickets and history entries at the client side (the daemon assigns its
+/// own per-connection id for protocol-level uniqueness).
+static NEXT_REMOTE_CLIENT: AtomicU64 = AtomicU64::new(0);
+
+/// A TCP connection to one replica daemon's client port.
+#[derive(Debug)]
+pub struct RemoteChannel {
+    client: ClientId,
+    stream: TcpStream,
+    completions: Receiver<(u64, Reply)>,
+    stop: Arc<AtomicBool>,
+    reader: Option<JoinHandle<()>>,
+    alive: bool,
+}
+
+impl RemoteChannel {
+    /// Connects to a daemon's client port.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection cannot be established or configured.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let client = ClientId(NEXT_REMOTE_CLIENT.fetch_add(1, Ordering::Relaxed));
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut read_half = stream.try_clone()?;
+        read_half.set_read_timeout(Some(READ_POLL))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader_stop = Arc::clone(&stop);
+        let (tx, completions): (Sender<(u64, Reply)>, _) = unbounded();
+        let reader = std::thread::spawn(move || loop {
+            match read_frame_from(&mut read_half, MAX_FRAME, &reader_stop) {
+                FrameRead::Frame(payload) => {
+                    let Ok((seq, reply)) = rpc::decode_reply(&payload) else {
+                        return; // Protocol error: stop delivering.
+                    };
+                    if tx.send((seq, reply)).is_err() {
+                        return;
+                    }
+                }
+                FrameRead::Closed | FrameRead::Stopped => return,
+            }
+        });
+        Ok(RemoteChannel {
+            client,
+            stream,
+            completions,
+            stop,
+            reader: Some(reader),
+            alive: true,
+        })
+    }
+
+    /// [`RemoteChannel::connect`] with retries until `deadline_in` elapses
+    /// — covers the window where a just-spawned daemon has not bound its
+    /// client port yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connection error once the deadline passes.
+    pub fn connect_within(addr: SocketAddr, deadline_in: Duration) -> std::io::Result<Self> {
+        let deadline = Instant::now() + deadline_in;
+        loop {
+            match Self::connect(addr) {
+                Ok(chan) => return Ok(chan),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Opens a pipelined session over this channel with the default credit
+    /// budget.
+    pub fn into_session(self) -> ClientSession<RemoteChannel> {
+        ClientSession::new(self, CreditConfig::default())
+    }
+}
+
+impl SessionChannel for RemoteChannel {
+    fn client_id(&self) -> ClientId {
+        self.client
+    }
+
+    fn submit(&mut self, seq: u64, key: Key, cop: ClientOp) -> bool {
+        if !self.alive {
+            return false;
+        }
+        let payload = rpc::encode_request_bytes(seq, key, &cop);
+        if write_frame_to(&mut self.stream, &payload).is_err() {
+            self.alive = false;
+            return false;
+        }
+        true
+    }
+
+    fn try_recv(&mut self) -> Option<(OpId, Reply)> {
+        let (seq, reply) = self.completions.try_recv().ok()?;
+        Some((OpId::new(self.client, seq), reply))
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<(OpId, Reply)> {
+        let (seq, reply) = self.completions.recv_timeout(timeout).ok()?;
+        Some((OpId::new(self.client, seq), reply))
+    }
+}
+
+impl Drop for RemoteChannel {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}

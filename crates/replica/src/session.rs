@@ -1,19 +1,34 @@
-//! Pipelined client sessions against a [`ThreadCluster`].
+//! Pipelined client sessions, generic over how they reach a replica.
 //!
 //! The paper's clients keep several requests outstanding per session (§5.2)
 //! — with one-RTT inter-key-concurrent writes, pipelining is what turns
 //! Hermes' low latency into high throughput. A [`ClientSession`] reproduces
-//! that model against the threaded runtime: [`ClientSession::submit`]
-//! returns a [`Ticket`] immediately, many operations ride in flight at
-//! once, and completions are collected out of order with
-//! [`ClientSession::poll`] / [`ClientSession::wait`] /
+//! that model: [`ClientSession::submit`] returns a [`Ticket`] immediately,
+//! many operations ride in flight at once, and completions are collected
+//! out of order with [`ClientSession::poll`] / [`ClientSession::wait`] /
 //! [`ClientSession::wait_any`].
 //!
+//! The session is generic over a [`SessionChannel`] — the wire between the
+//! session and its replica:
+//!
+//! * [`LaneChannel`] — in-process: operations go straight to the worker
+//!   lane owning their key ([`ThreadCluster::session`]);
+//! * [`RemoteChannel`](crate::RemoteChannel) — a real TCP connection to a
+//!   `hermesd` replica daemon's client port.
+//!
+//! Pipelining is bounded end-to-end by Wings credit-based flow control
+//! (paper §4.2, [`CreditFlow`]): each submission spends a credit, each
+//! completion returns one, and a session out of credits holds its next
+//! submission until a completion arrives — so a client cannot grow a
+//! replica's queues without bound under overload.
+//!
 //! [`ThreadCluster`]: crate::ThreadCluster
+//! [`ThreadCluster::session`]: crate::ThreadCluster::session
 
 use crate::threaded::{Command, Completion};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use hermes_common::{ClientId, ClientOp, Key, OpId, Reply, RmwOp, ShardRouter, Value};
+use hermes_common::{ClientId, ClientOp, Key, NodeId, OpId, Reply, RmwOp, ShardRouter, Value};
+use hermes_wings::{CreditConfig, CreditFlow};
 use hermes_workload::PipelinedKv;
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
@@ -21,6 +36,13 @@ use std::time::{Duration, Instant};
 /// Give up on an individual operation after this long (matches the blocking
 /// cluster API: an unreachable replica reads as [`Reply::NotOperational`]).
 const WAIT_LIMIT: Duration = Duration::from_secs(10);
+
+/// While stalled on flow control, re-check the credit budget at least this
+/// often (completions normally wake the stall much sooner).
+const STALL_POLL: Duration = Duration::from_millis(100);
+
+/// The session's single flow-control peer: its replica.
+const SERVER: NodeId = NodeId(0);
 
 /// Names one in-flight operation of a [`ClientSession`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -36,12 +58,81 @@ impl Ticket {
     }
 }
 
-/// One client's pipelined connection to one replica of a
-/// [`ThreadCluster`](crate::ThreadCluster).
+/// The wire between a [`ClientSession`] and its replica: submits
+/// operations, yields completions. Implementations must not block in
+/// [`SessionChannel::submit`] beyond the cost of handing the operation to
+/// the transport.
+pub trait SessionChannel {
+    /// The session id this channel submits as.
+    fn client_id(&self) -> ClientId;
+
+    /// Starts operation `seq` on the replica. Returns `false` when the
+    /// service is unreachable (the session completes the operation as
+    /// [`Reply::NotOperational`] without submitting).
+    fn submit(&mut self, seq: u64, key: Key, cop: ClientOp) -> bool;
+
+    /// Non-blocking completion poll.
+    fn try_recv(&mut self) -> Option<(OpId, Reply)>;
+
+    /// Blocks up to `timeout` for one completion.
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<(OpId, Reply)>;
+}
+
+/// In-process channel: operations go straight to the worker lane owning
+/// their key, completions come back over a crossbeam channel.
+#[derive(Debug)]
+pub struct LaneChannel {
+    client: ClientId,
+    router: ShardRouter,
+    lanes: Vec<Sender<Command>>,
+    completions_tx: Sender<Completion>,
+    completions_rx: Receiver<Completion>,
+}
+
+impl LaneChannel {
+    pub(crate) fn new(client: ClientId, router: ShardRouter, lanes: Vec<Sender<Command>>) -> Self {
+        let (completions_tx, completions_rx) = unbounded();
+        LaneChannel {
+            client,
+            router,
+            lanes,
+            completions_tx,
+            completions_rx,
+        }
+    }
+}
+
+impl SessionChannel for LaneChannel {
+    fn client_id(&self) -> ClientId {
+        self.client
+    }
+
+    fn submit(&mut self, seq: u64, key: Key, cop: ClientOp) -> bool {
+        let lane = self.router.lane_for_op(key, &cop);
+        let cmd = Command::Op {
+            op: OpId::new(self.client, seq),
+            key,
+            cop,
+            reply: self.completions_tx.clone(),
+        };
+        self.lanes[lane].send(cmd).is_ok()
+    }
+
+    fn try_recv(&mut self) -> Option<(OpId, Reply)> {
+        self.completions_rx.try_recv().ok()
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<(OpId, Reply)> {
+        self.completions_rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// One client's pipelined connection to one replica.
 ///
-/// Sessions are `Send` — move each one to its own client thread. Operations
-/// are routed directly to the worker lane owning their key, so two
-/// in-flight operations on different shards proceed fully in parallel.
+/// Sessions are `Send` — move each one to its own client thread. Over a
+/// [`LaneChannel`], operations are routed directly to the worker lane
+/// owning their key, so two in-flight operations on different shards
+/// proceed fully in parallel.
 ///
 /// # Examples
 ///
@@ -60,13 +151,12 @@ impl Ticket {
 /// cluster.shutdown();
 /// ```
 #[derive(Debug)]
-pub struct ClientSession {
-    client: ClientId,
+pub struct ClientSession<C: SessionChannel = LaneChannel> {
+    channel: C,
     next_seq: u64,
-    router: ShardRouter,
-    lanes: Vec<Sender<Command>>,
-    completions_tx: Sender<Completion>,
-    completions_rx: Receiver<Completion>,
+    /// End-to-end flow control: one credit per in-flight operation toward
+    /// the session's replica (paper §4.2).
+    flow: CreditFlow,
     /// Completions received but not yet handed to the caller.
     ready: HashMap<OpId, Reply>,
     /// Operations already reported to the caller as [`Reply::NotOperational`]
@@ -77,16 +167,14 @@ pub struct ClientSession {
     in_flight: usize,
 }
 
-impl ClientSession {
-    pub(crate) fn new(client: ClientId, router: ShardRouter, lanes: Vec<Sender<Command>>) -> Self {
-        let (completions_tx, completions_rx) = unbounded();
+impl<C: SessionChannel> ClientSession<C> {
+    /// Builds a session over `channel` with pipelining bounded by
+    /// `credits.credits_per_peer`.
+    pub fn new(channel: C, credits: CreditConfig) -> Self {
         ClientSession {
-            client,
+            channel,
             next_seq: 0,
-            router,
-            lanes,
-            completions_tx,
-            completions_rx,
+            flow: CreditFlow::new(1, credits),
             ready: HashMap::new(),
             abandoned: HashSet::new(),
             in_flight: 0,
@@ -95,7 +183,7 @@ impl ClientSession {
 
     /// The session's globally unique client id.
     pub fn client_id(&self) -> ClientId {
-        self.client
+        self.channel.client_id()
     }
 
     /// Operations submitted but not yet collected by the caller.
@@ -103,23 +191,44 @@ impl ClientSession {
         self.in_flight + self.ready.len()
     }
 
-    /// Starts an operation and returns immediately; the reply is collected
-    /// later via [`ClientSession::poll`], [`ClientSession::wait`] or
-    /// [`ClientSession::wait_any`].
+    /// Flow-control credits currently available (0 ⇒ the next submission
+    /// blocks until a completion returns a credit).
+    pub fn credits_available(&self) -> u32 {
+        self.flow.available(SERVER)
+    }
+
+    /// Times a submission stalled waiting for a credit — nonzero means the
+    /// session has been driven past its pipelining bound and backpressure
+    /// engaged.
+    pub fn credit_stalls(&self) -> u64 {
+        self.flow.stalls()
+    }
+
+    /// Starts an operation and returns; the reply is collected later via
+    /// [`ClientSession::poll`], [`ClientSession::wait`] or
+    /// [`ClientSession::wait_any`]. When the session is out of credits the
+    /// call first blocks until an earlier operation completes
+    /// (backpressure); an unreachable service eventually completes the
+    /// operation as [`Reply::NotOperational`].
     pub fn submit(&mut self, key: Key, cop: ClientOp) -> Ticket {
-        let op = OpId::new(self.client, self.next_seq);
+        let op = OpId::new(self.channel.client_id(), self.next_seq);
         self.next_seq += 1;
-        let lane = self.router.lane_for_op(key, &cop);
-        let cmd = Command::Op {
-            op,
-            key,
-            cop,
-            reply: self.completions_tx.clone(),
-        };
-        if self.lanes[lane].send(cmd).is_ok() {
+        let deadline = Instant::now() + WAIT_LIMIT;
+        while !self.flow.try_consume(SERVER) {
+            let now = Instant::now();
+            if now >= deadline {
+                // Out of credits and nothing completing: the service is
+                // effectively gone for this session.
+                self.ready.insert(op, Reply::NotOperational);
+                return Ticket { op };
+            }
+            self.pump(Some((deadline - now).min(STALL_POLL)));
+        }
+        if self.channel.submit(op.seq, key, cop) {
             self.in_flight += 1;
         } else {
-            // Cluster shut down: complete immediately, like the blocking API.
+            // Service gone: return the credit, complete immediately.
+            self.flow.on_implicit_credit(SERVER);
             self.ready.insert(op, Reply::NotOperational);
         }
         Ticket { op }
@@ -145,7 +254,7 @@ impl ClientSession {
     /// completion was collected.
     fn pump(&mut self, block_for: Option<Duration>) -> bool {
         let mut got = false;
-        while let Ok(completion) = self.completions_rx.try_recv() {
+        while let Some(completion) = self.channel.try_recv() {
             got |= self.accept(completion);
         }
         if got {
@@ -154,16 +263,18 @@ impl ClientSession {
         let Some(timeout) = block_for else {
             return false;
         };
-        match self.completions_rx.recv_timeout(timeout) {
-            Ok(completion) => self.accept(completion),
-            Err(_) => false,
+        match self.channel.recv_timeout(timeout) {
+            Some(completion) => self.accept(completion),
+            None => false,
         }
     }
 
-    /// Books one completion; late completions of abandoned (timed-out) ops
-    /// are dropped. Returns whether the completion became visible.
+    /// Books one completion, returning its flow-control credit; late
+    /// completions of abandoned (timed-out) ops are dropped. Returns
+    /// whether the completion became visible.
     fn accept(&mut self, (op, reply): (OpId, Reply)) -> bool {
-        self.in_flight -= 1;
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.flow.on_implicit_credit(SERVER);
         if self.abandoned.remove(&op) {
             return false;
         }
@@ -223,7 +334,7 @@ impl ClientSession {
 }
 
 /// Lets [`hermes_workload::run_closed_loop`] drive sessions directly.
-impl PipelinedKv for ClientSession {
+impl<C: SessionChannel> PipelinedKv for ClientSession<C> {
     type Ticket = Ticket;
 
     fn submit(&mut self, key: Key, cop: ClientOp) -> Ticket {

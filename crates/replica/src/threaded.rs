@@ -7,24 +7,34 @@
 //!
 //! Per node:
 //!
-//! * worker 0 is the **pump**: it owns the node's network receive half,
-//!   decodes incoming Wings frames and demuxes each message to the worker
-//!   lane owning its key ([`ShardRouter`]); it is also the serialization
-//!   lane for protocols whose messages/updates must totally order
-//!   (irrelevant for Hermes, which has none);
+//! * worker 0 is the **pump**: the transport's ingress threads push every
+//!   [`NetEvent`] into lane 0's command queue, and the pump decodes the
+//!   Wings frames and demuxes each message to the worker lane owning its
+//!   key ([`ShardRouter`]); it is also the serialization lane for protocols
+//!   whose messages/updates must totally order (irrelevant for Hermes,
+//!   which has none). Because network frames and client commands share that
+//!   *one* queue, the pump blocks on a single `recv` and wakes the moment
+//!   either arrives — there is no idle-poll latency floor;
 //! * every worker owns one [`HermesNode`] shard engine, its own
 //!   [`DeadlineQueue`] of message-loss timers and its own Wings [`Batcher`];
-//!   outgoing frames from all workers merge through the node's shared
-//!   [`InProcSender`] egress;
+//!   outgoing frames from all workers merge through clones of the node's
+//!   shared [`NetSender`] egress;
 //! * all workers mirror committed per-key state into one shared seqlock
 //!   [`Store`], which serves cross-thread lock-free local reads (§4.1).
+//!
+//! The runtime is generic over the [`Transport`]: crossbeam channels for
+//! in-process clusters ([`ThreadCluster::launch`]), loopback TCP sockets
+//! for the same shape over the real network stack
+//! ([`ThreadCluster::launch_over`] with a [`TcpNet`](hermes_net::TcpNet)),
+//! and one-node-per-process TCP deployments via
+//! [`NodeRuntime`](crate::NodeRuntime).
 //!
 //! Clients talk to a node either through the blocking one-op helpers
 //! ([`ThreadCluster::write`] etc.) or through pipelined
 //! [`ClientSession`]s ([`ThreadCluster::session`]) with many operations in
 //! flight.
 
-use crate::session::ClientSession;
+use crate::session::{ClientSession, LaneChannel};
 use crate::sharded::ShardedEngine;
 use crate::timers::DeadlineQueue;
 use bytes::Bytes;
@@ -33,9 +43,9 @@ use hermes_common::{
     ClientId, ClientOp, Effect, Key, MembershipView, NodeId, OpId, Reply, RmwOp, ShardRouter, Value,
 };
 use hermes_core::{HermesNode, KeyState, Msg, ProtocolConfig};
-use hermes_net::{InProcEndpoint, InProcNet, InProcSender, NetFaults};
+use hermes_net::{Endpoint, InProcNet, IngressGuard, NetEvent, NetFaults, NetSender, Transport};
 use hermes_store::{SlotMeta, SlotState, Store, StoreConfig};
-use hermes_wings::{codec, decode_frame, Batcher};
+use hermes_wings::{codec, decode_frame, Batcher, CreditConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -43,14 +53,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Message-loss timeout (paper §3.4): retransmission/replay cadence.
-const MLT: Duration = Duration::from_millis(25);
+pub(crate) const MLT: Duration = Duration::from_millis(25);
 /// Bounded batch of events drained per loop iteration, per source.
 const DRAIN_BATCH: usize = 64;
-/// The pump's idle block on the network. Client commands are not part of
-/// that blocking wait, so this also bounds how long a client op can sit
-/// queued at an idle node. (Non-pump lanes block on their command queue
-/// directly and sleep to their next timer deadline instead.)
-const IDLE_WAIT: Duration = Duration::from_millis(1);
 /// Client ids at or above this base name pipelined sessions; below it,
 /// the blocking per-node helpers (keeps `OpId`s globally unique).
 const SESSION_CLIENT_BASE: u64 = 1 << 32;
@@ -69,6 +74,10 @@ pub(crate) enum Command {
     },
     /// A peer protocol message demuxed to this lane by the node's pump.
     Deliver { from: NodeId, msg: Msg },
+    /// Raw transport ingress (lane 0 only): the transport's reader threads
+    /// push frames and connectivity events straight into the pump's command
+    /// queue — the unified wakeup path.
+    Net(NetEvent),
     /// A reconfigured membership view (installed on every lane).
     InstallView(MembershipView),
     /// Stop the worker thread.
@@ -120,9 +129,13 @@ impl Default for ClusterConfig {
 #[derive(Debug)]
 pub struct ThreadCluster {
     handles: Vec<JoinHandle<()>>,
+    /// Per node: the transport ingress threads feeding the node's pump.
+    guards: Vec<IngressGuard>,
     /// Per node, per worker lane: the lane's command queue.
     lanes: Vec<Vec<Sender<Command>>>,
     stores: Vec<Arc<Store>>,
+    /// Per node: peer connections observed dying by the node's readers.
+    peer_downs: Vec<Arc<AtomicU64>>,
     router: ShardRouter,
     next_seq: AtomicU64,
     next_session: AtomicU64,
@@ -154,14 +167,45 @@ impl ThreadCluster {
         })
     }
 
-    /// Starts a cluster with an explicit deployment shape.
+    /// Starts a cluster with an explicit deployment shape over the default
+    /// in-process transport.
     ///
     /// # Panics
     ///
     /// Panics if `cfg.nodes` or `cfg.workers_per_node` is zero.
     pub fn launch(cfg: ClusterConfig) -> Self {
         assert!(cfg.nodes > 0, "cluster needs at least one node");
-        let endpoints = InProcNet::with_faults(cfg.nodes, cfg.faults, cfg.seed).into_endpoints();
+        Self::launch_over(InProcNet::with_faults(cfg.nodes, cfg.faults, cfg.seed), cfg)
+    }
+
+    /// Starts a cluster over any [`Transport`] — in-process channels,
+    /// loopback TCP ([`TcpNet`](hermes_net::TcpNet)), or anything else
+    /// implementing the trait pair. `cfg.faults`/`cfg.seed` are properties
+    /// of the in-process transport and are ignored here; `cfg.nodes` must
+    /// match the transport's endpoint count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transport's endpoint count differs from `cfg.nodes`.
+    pub fn launch_over<T: Transport>(transport: T, cfg: ClusterConfig) -> Self {
+        Self::launch_endpoints(<T as Transport>::into_endpoints(transport), cfg)
+    }
+
+    /// Starts a cluster over pre-built endpoints (lets callers keep
+    /// transport handles — e.g. a [`TcpSender`](hermes_net::TcpSender) for
+    /// fault injection — before the runtime consumes the endpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints.len()` differs from `cfg.nodes`, or if
+    /// `cfg.workers_per_node` is zero.
+    pub fn launch_endpoints<E: Endpoint>(endpoints: Vec<E>, cfg: ClusterConfig) -> Self {
+        assert!(!endpoints.is_empty(), "cluster needs at least one node");
+        assert_eq!(
+            endpoints.len(),
+            cfg.nodes,
+            "transport endpoint count must match cfg.nodes"
+        );
         let running = Arc::new(AtomicBool::new(true));
         let view = MembershipView::initial(cfg.nodes);
         let stores: Vec<Arc<Store>> = (0..cfg.nodes)
@@ -169,44 +213,30 @@ impl ThreadCluster {
             .collect();
         let mut lanes = Vec::with_capacity(cfg.nodes);
         let mut handles = Vec::new();
+        let mut guards = Vec::new();
+        let mut peer_downs = Vec::new();
         let mut router = None;
         for (i, ep) in endpoints.into_iter().enumerate() {
-            let engine =
-                ShardedEngine::new(NodeId(i as u32), view, cfg.protocol, cfg.workers_per_node);
-            let (node_router, shards) = engine.into_shards();
-            router = Some(node_router);
-            let channels: Vec<(Sender<Command>, Receiver<Command>)> =
-                shards.iter().map(|_| unbounded()).collect();
-            let txs: Vec<Sender<Command>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
-            let net_tx = ep.sender();
-            let mut endpoint = Some(ep);
-            for (lane, (node, (_, rx))) in shards.into_iter().zip(channels).enumerate() {
-                let worker = Worker::new(
-                    lane,
-                    node,
-                    node_router,
-                    Arc::clone(&stores[i]),
-                    net_tx.clone(),
-                );
-                let running = Arc::clone(&running);
-                if lane == 0 {
-                    let ep = endpoint.take().expect("pump lane runs once");
-                    let peer_lanes = txs.clone();
-                    handles.push(std::thread::spawn(move || {
-                        pump_main(worker, ep, rx, peer_lanes, running);
-                    }));
-                } else {
-                    handles.push(std::thread::spawn(move || {
-                        worker_main(worker, rx, running);
-                    }));
-                }
-            }
-            lanes.push(txs);
+            let node = spawn_node(
+                ep,
+                view,
+                cfg.protocol,
+                cfg.workers_per_node,
+                Arc::clone(&stores[i]),
+                Arc::clone(&running),
+            );
+            router = Some(node.router);
+            lanes.push(node.lanes);
+            handles.extend(node.handles);
+            guards.push(node.guard);
+            peer_downs.push(node.peer_downs);
         }
         ThreadCluster {
             handles,
+            guards,
             lanes,
             stores,
+            peer_downs,
             router: router.expect("at least one node"),
             next_seq: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
@@ -222,11 +252,32 @@ impl ThreadCluster {
     /// Opens a pipelined [`ClientSession`] against replica `node`.
     ///
     /// Each session gets a globally unique [`ClientId`]; sessions are
-    /// independent and can be moved to their own threads.
+    /// independent and can be moved to their own threads. Pipelining is
+    /// bounded by the default Wings credit budget
+    /// ([`CreditConfig::default`]); [`ThreadCluster::session_with_credits`]
+    /// picks a different bound.
     pub fn session(&self, node: usize) -> ClientSession {
+        self.session_with_credits(node, CreditConfig::default())
+    }
+
+    /// Opens a pipelined session whose end-to-end pipelining is bounded by
+    /// an explicit Wings credit budget (`credits.credits_per_peer` ops in
+    /// flight; further submissions block until a completion returns a
+    /// credit).
+    pub fn session_with_credits(&self, node: usize, credits: CreditConfig) -> ClientSession {
         let client =
             ClientId(SESSION_CLIENT_BASE + self.next_session.fetch_add(1, Ordering::Relaxed));
-        ClientSession::new(client, self.router, self.lanes[node].clone())
+        ClientSession::new(
+            LaneChannel::new(client, self.router, self.lanes[node].clone()),
+            credits,
+        )
+    }
+
+    /// How many peer-connection drops replica `node`'s transport readers
+    /// have surfaced ([`NetEvent::PeerDown`]). Always zero on the
+    /// in-process transport; on TCP it counts real disconnects.
+    pub fn peer_disconnects(&self, node: usize) -> u64 {
+        self.peer_downs[node].load(Ordering::Relaxed)
     }
 
     fn submit(&self, node: usize, key: Key, cop: ClientOp) -> Reply {
@@ -307,6 +358,9 @@ impl ThreadCluster {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+        for g in self.guards.drain(..) {
+            g.stop();
+        }
     }
 
     /// Stops all replica worker threads and waits for them.
@@ -321,14 +375,71 @@ impl Drop for ThreadCluster {
     }
 }
 
+/// Everything [`spawn_node`] hands back: the lanes to feed, the threads to
+/// join, and the transport ingress guard to stop.
+pub(crate) struct NodeHandle {
+    pub(crate) lanes: Vec<Sender<Command>>,
+    pub(crate) router: ShardRouter,
+    pub(crate) handles: Vec<JoinHandle<()>>,
+    pub(crate) guard: IngressGuard,
+    pub(crate) peer_downs: Arc<AtomicU64>,
+}
+
+/// Spawns one replica node's worker threads over `ep` and points the
+/// transport's ingress at lane 0's command queue (the unified wakeup path).
+/// Shared by [`ThreadCluster`] (N nodes in one process) and
+/// [`NodeRuntime`](crate::NodeRuntime) (one node per process).
+pub(crate) fn spawn_node<E: Endpoint>(
+    ep: E,
+    view: MembershipView,
+    protocol: ProtocolConfig,
+    workers_per_node: usize,
+    store: Arc<Store>,
+    running: Arc<AtomicBool>,
+) -> NodeHandle {
+    let engine = ShardedEngine::new(ep.node_id(), view, protocol, workers_per_node);
+    let (router, shards) = engine.into_shards();
+    let channels: Vec<(Sender<Command>, Receiver<Command>)> =
+        shards.iter().map(|_| unbounded()).collect();
+    let txs: Vec<Sender<Command>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+    let net_tx = ep.sender();
+    let peer_downs = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for (lane, (node, (_, rx))) in shards.into_iter().zip(channels).enumerate() {
+        let worker = Worker::new(lane, node, router, Arc::clone(&store), net_tx.clone());
+        let running = Arc::clone(&running);
+        if lane == 0 {
+            let peer_lanes = txs.clone();
+            let peer_downs = Arc::clone(&peer_downs);
+            handles.push(std::thread::spawn(move || {
+                pump_main(worker, rx, peer_lanes, running, peer_downs);
+            }));
+        } else {
+            handles.push(std::thread::spawn(move || {
+                worker_main(worker, rx, running);
+            }));
+        }
+    }
+    // Started last: events arriving before the pump thread runs just queue.
+    let sink_tx = txs[0].clone();
+    let guard = ep.start(Arc::new(move |ev| sink_tx.send(Command::Net(ev)).is_ok()));
+    NodeHandle {
+        lanes: txs,
+        router,
+        handles,
+        guard,
+        peer_downs,
+    }
+}
+
 /// One worker lane: a shard's protocol engine plus the runtime state that
-/// interprets its effects.
-struct Worker {
+/// interprets its effects. Generic over the transport's transmit half.
+struct Worker<S: NetSender> {
     lane: usize,
     node: HermesNode,
     router: ShardRouter,
     store: Arc<Store>,
-    net: InProcSender,
+    net: S,
     batcher: Batcher,
     timers: DeadlineQueue,
     clients: HashMap<OpId, Sender<Completion>>,
@@ -338,14 +449,8 @@ struct Worker {
     fx: Vec<Effect<Msg>>,
 }
 
-impl Worker {
-    fn new(
-        lane: usize,
-        node: HermesNode,
-        router: ShardRouter,
-        store: Arc<Store>,
-        net: InProcSender,
-    ) -> Self {
+impl<S: NetSender> Worker<S> {
+    fn new(lane: usize, node: HermesNode, router: ShardRouter, store: Arc<Store>, net: S) -> Self {
         let mut worker = Worker {
             lane,
             node,
@@ -394,6 +499,9 @@ impl Worker {
                 // own events next fire on their owning lane.
                 self.drain_effects(None);
             }
+            // Net events reach only lane 0, which intercepts them in
+            // `pump_command` before delegating here.
+            Command::Net(_) => {}
             Command::Shutdown => return false,
         }
         true
@@ -481,8 +589,12 @@ impl Worker {
 
 /// Decodes one Wings frame and routes each message to the lane owning its
 /// key: processed inline when this worker owns it, forwarded otherwise.
-/// One helper shared by the pump's hot loop and its idle branch.
-fn handle_frame(worker: &mut Worker, lanes: &[Sender<Command>], from: NodeId, frame: &Bytes) {
+fn handle_frame<S: NetSender>(
+    worker: &mut Worker<S>,
+    lanes: &[Sender<Command>],
+    from: NodeId,
+    frame: &Bytes,
+) {
     let Ok(msgs) = decode_frame(frame) else {
         return;
     };
@@ -499,50 +611,73 @@ fn handle_frame(worker: &mut Worker, lanes: &[Sender<Command>], from: NodeId, fr
     }
 }
 
+/// Runs one pump event; returns `false` on shutdown.
+fn pump_command<S: NetSender>(
+    worker: &mut Worker<S>,
+    lanes: &[Sender<Command>],
+    peer_downs: &AtomicU64,
+    cmd: Command,
+) -> bool {
+    match cmd {
+        Command::Net(NetEvent::Frame(from, frame)) => {
+            handle_frame(worker, lanes, from, &frame);
+            true
+        }
+        Command::Net(NetEvent::PeerDown(_)) => {
+            // Surface the disconnect (tests/operators observe the count);
+            // the protocol itself needs nothing — message-loss timeouts
+            // already cover whatever the dead connection swallowed.
+            peer_downs.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        Command::Net(NetEvent::PeerUp(_)) => true,
+        other => worker.handle_command(other),
+    }
+}
+
 /// Lane 0 of every node: network ingress demux plus a full worker lane
 /// (and the serialization lane, for protocols that need one).
-fn pump_main(
-    mut worker: Worker,
-    ep: InProcEndpoint,
+///
+/// Fully event-driven: the transport's reader threads and the clients'
+/// submit paths push into the *same* command queue, so one blocking `recv`
+/// covers both and a lone client op at an idle node wakes the pump
+/// immediately (no idle-poll latency floor). Idle sleeps run to the next
+/// armed timer deadline, capped at [`MLT`] so the shutdown flag stays
+/// responsive.
+fn pump_main<S: NetSender>(
+    mut worker: Worker<S>,
     commands: Receiver<Command>,
     lanes: Vec<Sender<Command>>,
     running: Arc<AtomicBool>,
+    peer_downs: Arc<AtomicU64>,
 ) {
     while running.load(Ordering::Relaxed) {
-        let mut worked = false;
-
-        // Network ingress (bounded batch per iteration).
-        for _ in 0..DRAIN_BATCH {
-            let Some((from, frame)) = ep.try_recv() else {
-                break;
-            };
-            worked = true;
-            handle_frame(&mut worker, &lanes, from, &frame);
-        }
-
-        // Client operations and control commands.
-        for _ in 0..DRAIN_BATCH {
-            let Ok(cmd) = commands.try_recv() else {
-                break;
-            };
-            worked = true;
-            if !worker.handle_command(cmd) {
-                return;
+        let wait = worker
+            .timers
+            .next_deadline()
+            .map(|at| at.saturating_duration_since(Instant::now()).min(MLT))
+            .unwrap_or(MLT);
+        match commands.recv_timeout(wait) {
+            Ok(cmd) => {
+                if !pump_command(&mut worker, &lanes, &peer_downs, cmd) {
+                    return;
+                }
+                // Drain a bounded burst before timers/flush.
+                for _ in 0..DRAIN_BATCH {
+                    let Ok(cmd) = commands.try_recv() else {
+                        break;
+                    };
+                    if !pump_command(&mut worker, &lanes, &peer_downs, cmd) {
+                        return;
+                    }
+                }
             }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
         }
-
-        worked |= worker.expire_timers();
-
+        worker.expire_timers();
         // Flush outstanding frames (opportunistic batching: never hold).
         worker.flush();
-
-        if !worked {
-            // Idle: block briefly on the network to avoid spinning.
-            if let Some((from, frame)) = ep.recv_timeout(IDLE_WAIT) {
-                handle_frame(&mut worker, &lanes, from, &frame);
-                worker.flush();
-            }
-        }
     }
 }
 
@@ -550,7 +685,11 @@ fn pump_main(
 /// arrives as [`Command::Deliver`] from the pump). Idle sleeps run to the
 /// next armed deadline (capped at [`MLT`] so the shutdown flag stays
 /// responsive) — an idle lane with no timers wakes 40×/s, not 1000×/s.
-fn worker_main(mut worker: Worker, commands: Receiver<Command>, running: Arc<AtomicBool>) {
+fn worker_main<S: NetSender>(
+    mut worker: Worker<S>,
+    commands: Receiver<Command>,
+    running: Arc<AtomicBool>,
+) {
     while running.load(Ordering::Relaxed) {
         let wait = worker
             .timers

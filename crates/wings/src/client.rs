@@ -1,0 +1,309 @@
+//! Wire format for the client-facing RPC port of a replica daemon.
+//!
+//! The paper's clients talk to HermesKV over the network like any KVS
+//! clients (§2.1, §5.2); this module gives the reproduction's `hermesd`
+//! daemon the matching wire vocabulary: a request carries the session-local
+//! sequence number, the key and the [`ClientOp`]; a response carries the
+//! sequence number back with the [`Reply`]. Sessions pipeline by keeping
+//! many sequence numbers outstanding per connection; responses return out
+//! of order (inter-key concurrency), which is why every response echoes its
+//! request's sequence number.
+//!
+//! Requests and responses ride inside the same `u32` length-prefixed
+//! framing as replica-to-replica traffic (`hermes_net::write_frame_to`);
+//! this module encodes only the payloads. All integers little-endian.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use hermes_common::{ClientOp, Key, Reply, RmwOp, Value};
+
+const REQ_READ: u8 = 0;
+const REQ_WRITE: u8 = 1;
+const REQ_CAS: u8 = 2;
+const REQ_FETCH_ADD: u8 = 3;
+
+const RSP_READ_OK: u8 = 0;
+const RSP_WRITE_OK: u8 = 1;
+const RSP_RMW_OK: u8 = 2;
+const RSP_CAS_FAILED: u8 = 3;
+const RSP_RMW_ABORTED: u8 = 4;
+const RSP_NOT_OPERATIONAL: u8 = 5;
+const RSP_UNSUPPORTED: u8 = 6;
+
+/// Errors produced when decoding a malformed client request or response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientCodecError {
+    /// The buffer ended before the declared layout was complete.
+    Truncated,
+    /// Unknown request/response tag byte.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for ClientCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientCodecError::Truncated => write!(f, "client message truncated"),
+            ClientCodecError::BadTag(t) => write!(f, "unknown client message tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientCodecError {}
+
+/// Minimal cursor over a decode buffer.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ClientCodecError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or(ClientCodecError::Truncated)?;
+        let slice = &self.buf[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ClientCodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ClientCodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("sized")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ClientCodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+    }
+
+    fn value(&mut self) -> Result<Value, ClientCodecError> {
+        let len = self.u32()? as usize;
+        Ok(Value::from(self.take(len)?.to_vec()))
+    }
+}
+
+fn put_value(out: &mut BytesMut, v: &Value) {
+    out.put_u32_le(v.len() as u32);
+    out.put_slice(v.as_bytes());
+}
+
+/// Encodes one client request (appending to `out`).
+pub fn encode_request(out: &mut BytesMut, seq: u64, key: Key, cop: &ClientOp) {
+    out.put_u64_le(seq);
+    out.put_u64_le(key.0);
+    match cop {
+        ClientOp::Read => out.put_u8(REQ_READ),
+        ClientOp::Write(v) => {
+            out.put_u8(REQ_WRITE);
+            put_value(out, v);
+        }
+        ClientOp::Rmw(RmwOp::CompareAndSwap { expect, new }) => {
+            out.put_u8(REQ_CAS);
+            put_value(out, expect);
+            put_value(out, new);
+        }
+        ClientOp::Rmw(RmwOp::FetchAdd { delta }) => {
+            out.put_u8(REQ_FETCH_ADD);
+            out.put_u64_le(*delta);
+        }
+    }
+}
+
+/// Encodes one client request into a fresh buffer.
+pub fn encode_request_bytes(seq: u64, key: Key, cop: &ClientOp) -> Bytes {
+    let mut out = BytesMut::new();
+    encode_request(&mut out, seq, key, cop);
+    out.freeze()
+}
+
+/// Decodes one client request.
+///
+/// # Errors
+///
+/// Returns a [`ClientCodecError`] on truncation or an unknown tag.
+pub fn decode_request(buf: &[u8]) -> Result<(u64, Key, ClientOp), ClientCodecError> {
+    let mut c = Cursor::new(buf);
+    let seq = c.u64()?;
+    let key = Key(c.u64()?);
+    let tag = c.u8()?;
+    let cop = match tag {
+        REQ_READ => ClientOp::Read,
+        REQ_WRITE => ClientOp::Write(c.value()?),
+        REQ_CAS => ClientOp::Rmw(RmwOp::CompareAndSwap {
+            expect: c.value()?,
+            new: c.value()?,
+        }),
+        REQ_FETCH_ADD => ClientOp::Rmw(RmwOp::FetchAdd { delta: c.u64()? }),
+        other => return Err(ClientCodecError::BadTag(other)),
+    };
+    Ok((seq, key, cop))
+}
+
+/// Encodes one client response (appending to `out`).
+pub fn encode_reply(out: &mut BytesMut, seq: u64, reply: &Reply) {
+    out.put_u64_le(seq);
+    match reply {
+        Reply::ReadOk(v) => {
+            out.put_u8(RSP_READ_OK);
+            put_value(out, v);
+        }
+        Reply::WriteOk => out.put_u8(RSP_WRITE_OK),
+        Reply::RmwOk { prior } => {
+            out.put_u8(RSP_RMW_OK);
+            put_value(out, prior);
+        }
+        Reply::CasFailed { current } => {
+            out.put_u8(RSP_CAS_FAILED);
+            put_value(out, current);
+        }
+        Reply::RmwAborted => out.put_u8(RSP_RMW_ABORTED),
+        Reply::NotOperational => out.put_u8(RSP_NOT_OPERATIONAL),
+        Reply::Unsupported => out.put_u8(RSP_UNSUPPORTED),
+    }
+}
+
+/// Encodes one client response into a fresh buffer.
+pub fn encode_reply_bytes(seq: u64, reply: &Reply) -> Bytes {
+    let mut out = BytesMut::new();
+    encode_reply(&mut out, seq, reply);
+    out.freeze()
+}
+
+/// Decodes one client response.
+///
+/// # Errors
+///
+/// Returns a [`ClientCodecError`] on truncation or an unknown tag.
+pub fn decode_reply(buf: &[u8]) -> Result<(u64, Reply), ClientCodecError> {
+    let mut c = Cursor::new(buf);
+    let seq = c.u64()?;
+    let tag = c.u8()?;
+    let reply = match tag {
+        RSP_READ_OK => Reply::ReadOk(c.value()?),
+        RSP_WRITE_OK => Reply::WriteOk,
+        RSP_RMW_OK => Reply::RmwOk { prior: c.value()? },
+        RSP_CAS_FAILED => Reply::CasFailed {
+            current: c.value()?,
+        },
+        RSP_RMW_ABORTED => Reply::RmwAborted,
+        RSP_NOT_OPERATIONAL => Reply::NotOperational,
+        RSP_UNSUPPORTED => Reply::Unsupported,
+        other => return Err(ClientCodecError::BadTag(other)),
+    };
+    Ok((seq, reply))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request_samples() -> Vec<(u64, Key, ClientOp)> {
+        vec![
+            (0, Key(1), ClientOp::Read),
+            (7, Key(u64::MAX), ClientOp::Write(Value::filled(0xCD, 32))),
+            (8, Key(2), ClientOp::Write(Value::EMPTY)),
+            (
+                9,
+                Key(3),
+                ClientOp::Rmw(RmwOp::CompareAndSwap {
+                    expect: Value::EMPTY,
+                    new: Value::from_u64(5),
+                }),
+            ),
+            (
+                u64::MAX,
+                Key(4),
+                ClientOp::Rmw(RmwOp::FetchAdd { delta: 123 }),
+            ),
+        ]
+    }
+
+    fn reply_samples() -> Vec<(u64, Reply)> {
+        vec![
+            (0, Reply::ReadOk(Value::from_u64(9))),
+            (1, Reply::ReadOk(Value::EMPTY)),
+            (2, Reply::WriteOk),
+            (
+                3,
+                Reply::RmwOk {
+                    prior: Value::filled(1, 64),
+                },
+            ),
+            (
+                4,
+                Reply::CasFailed {
+                    current: Value::from_u64(1),
+                },
+            ),
+            (5, Reply::RmwAborted),
+            (6, Reply::NotOperational),
+            (7, Reply::Unsupported),
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for (seq, key, cop) in request_samples() {
+            let encoded = encode_request_bytes(seq, key, &cop);
+            assert_eq!(decode_request(&encoded).unwrap(), (seq, key, cop));
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        for (seq, reply) in reply_samples() {
+            let encoded = encode_reply_bytes(seq, &reply);
+            assert_eq!(decode_reply(&encoded).unwrap(), (seq, reply));
+        }
+    }
+
+    #[test]
+    fn truncation_errors_everywhere() {
+        for (seq, key, cop) in request_samples() {
+            let full = encode_request_bytes(seq, key, &cop);
+            for cut in 0..full.len() {
+                assert_eq!(
+                    decode_request(&full[..cut]),
+                    Err(ClientCodecError::Truncated),
+                    "request cut at {cut}"
+                );
+            }
+        }
+        for (seq, reply) in reply_samples() {
+            let full = encode_reply_bytes(seq, &reply);
+            for cut in 0..full.len() {
+                assert_eq!(
+                    decode_reply(&full[..cut]),
+                    Err(ClientCodecError::Truncated),
+                    "reply cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_tags_error() {
+        let mut req = encode_request_bytes(1, Key(1), &ClientOp::Read).to_vec();
+        req[16] = 99;
+        assert_eq!(decode_request(&req), Err(ClientCodecError::BadTag(99)));
+        let mut rsp = encode_reply_bytes(1, &Reply::WriteOk).to_vec();
+        rsp[8] = 77;
+        assert_eq!(decode_reply(&rsp), Err(ClientCodecError::BadTag(77)));
+    }
+
+    #[test]
+    fn declared_value_length_is_bounded_by_buffer() {
+        let mut req =
+            encode_request_bytes(1, Key(1), &ClientOp::Write(Value::from_u64(1))).to_vec();
+        // Inflate the declared value length past the buffer end.
+        req[17..21].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_request(&req), Err(ClientCodecError::Truncated));
+    }
+}

@@ -14,6 +14,8 @@
 //!   header overhead; the batcher never waits to fill a batch;
 //! * [`CreditFlow`] — credit-based flow control with implicit credits
 //!   (responses) and explicit, batched credit-update messages;
+//! * [`client`] — the request/response wire format of the client-facing
+//!   RPC port served by `hermesd` replica daemons;
 //! * broadcast is a series of unicasts sharing one payload
 //!   (`bytes::Bytes` clones), mirroring Wings' linked-list of work requests
 //!   pointing at a single buffer.
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod client;
 pub mod codec;
 
 mod batch;

@@ -12,9 +12,12 @@ use hermes_common::{ClientOp, Key, Reply};
 
 /// A KV endpoint accepting many operations in flight.
 ///
-/// `submit` must not block on operation completion; `wait_any` blocks until
-/// *some* submitted operation completes (not necessarily the oldest — an
-/// inter-key-concurrent service completes operations out of order).
+/// `submit` must not block waiting for the submitted operation's own
+/// completion (it may block briefly for flow-control backpressure — e.g. a
+/// credit-bounded session holding a submission until an *earlier* op
+/// completes); `wait_any` blocks until *some* submitted operation completes
+/// (not necessarily the oldest — an inter-key-concurrent service completes
+/// operations out of order).
 pub trait PipelinedKv {
     /// Handle naming one in-flight operation.
     type Ticket;

@@ -1,0 +1,185 @@
+//! Shared client-side harness: drive pipelined sessions while recording an
+//! invocation/response history, then hand it to the linearizability
+//! checker.
+//!
+//! Used by the TCP cluster integration test and the multi-process
+//! `examples/tcp_cluster.rs` harness — the acceptance gate of the transport
+//! subsystem is that a real concurrent-session history (in-process or
+//! across OS processes) passes `hermes-model`'s Wing & Gong checker.
+//!
+//! Timestamps come from one shared atomic counter, so real-time precedence
+//! across client threads is captured exactly (an operation that responded
+//! before another was invoked must be ordered before it).
+
+use hermes_common::{ClientOp, Key, Reply, RmwOp, Value};
+use hermes_model::{check_linearizable, HistoryOp, OpKind, Outcome};
+use hermes_replica::{ClientSession, SessionChannel, Ticket};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One operation as observed by the client that issued it.
+#[derive(Clone, Debug)]
+pub struct RecordedOp {
+    /// Key the operation targeted.
+    pub key: Key,
+    /// Global clock stamp when the operation was submitted.
+    pub invoke: u64,
+    /// Global clock stamp when its reply was observed.
+    pub response: u64,
+    /// Checker vocabulary for what the operation did.
+    pub kind: OpKind,
+    /// Whether the effect is certain or indeterminate (timeout/abort).
+    pub outcome: Outcome,
+}
+
+/// Turns a reply into the checker's vocabulary. `Value::to_u64` maps the
+/// empty (never-written) value to `None`, the checker's initial state.
+/// Harness workloads only issue u64-valued writes and fetch-add RMWs.
+pub fn observe(cop: &ClientOp, reply: Reply) -> (OpKind, Outcome) {
+    match (cop, reply) {
+        (ClientOp::Read, Reply::ReadOk(v)) => (
+            OpKind::Read {
+                returned: v.to_u64(),
+            },
+            Outcome::Completed,
+        ),
+        (ClientOp::Write(v), Reply::WriteOk) => (
+            OpKind::Write {
+                value: v.to_u64().expect("harness writes u64 payloads"),
+            },
+            Outcome::Completed,
+        ),
+        (ClientOp::Rmw(RmwOp::FetchAdd { delta }), Reply::RmwOk { prior }) => (
+            OpKind::FetchAdd {
+                delta: *delta,
+                prior: prior.to_u64(),
+            },
+            Outcome::Completed,
+        ),
+        // An aborted RMW may still be replayed to completion by another
+        // replica (paper §3.6), so it must be modelled as indeterminate.
+        (ClientOp::Rmw(RmwOp::FetchAdd { delta }), Reply::RmwAborted) => (
+            OpKind::FetchAdd {
+                delta: *delta,
+                prior: None,
+            },
+            Outcome::Indeterminate,
+        ),
+        // Timeouts/shutdown: unknown effect.
+        (ClientOp::Write(v), _) => (
+            OpKind::Write {
+                value: v.to_u64().expect("harness writes u64 payloads"),
+            },
+            Outcome::Indeterminate,
+        ),
+        (ClientOp::Read, _) => (OpKind::Read { returned: None }, Outcome::Indeterminate),
+        (ClientOp::Rmw(RmwOp::FetchAdd { delta }), _) => (
+            OpKind::FetchAdd {
+                delta: *delta,
+                prior: None,
+            },
+            Outcome::Indeterminate,
+        ),
+        (ClientOp::Rmw(_), _) => unreachable!("harness issues only fetch-add RMWs"),
+    }
+}
+
+/// Drives `ops` operations through `session` with up to `depth` in flight,
+/// cycling writes (unique values), reads and fetch-add RMWs over `keys`
+/// keys, and records every invocation/response against the shared `clock`.
+///
+/// `sid` salts keys and write values so concurrent sessions collide on
+/// keys (that is the point) but never write identical values.
+pub fn run_recorded_session<C: SessionChannel>(
+    session: &mut ClientSession<C>,
+    clock: &AtomicU64,
+    sid: u64,
+    keys: u64,
+    ops: u64,
+    depth: usize,
+) -> Vec<RecordedOp> {
+    let mut observed = Vec::with_capacity(ops as usize);
+    // (ticket, key, op, invoke-stamp) for operations still in flight.
+    let mut pending: Vec<(Ticket, Key, ClientOp, u64)> = Vec::new();
+    let mut issued = 0u64;
+    while issued < ops || !pending.is_empty() {
+        // Fill the pipeline.
+        while issued < ops && pending.len() < depth {
+            let key = Key((issued + sid) % keys);
+            let cop = match issued % 3 {
+                0 => ClientOp::Write(Value::from_u64(1 + sid * 1_000_000 + issued)),
+                1 => ClientOp::Read,
+                _ => ClientOp::Rmw(RmwOp::FetchAdd { delta: 1 }),
+            };
+            let invoke = clock.fetch_add(1, Ordering::SeqCst);
+            let ticket = session.submit(key, cop.clone());
+            pending.push((ticket, key, cop, invoke));
+            issued += 1;
+        }
+        // Collect one completion (out of order across keys).
+        let Some((done, reply)) = session.wait_any() else {
+            // Service gone: mark the remainder indeterminate and stop.
+            for (_, key, cop, invoke) in pending.drain(..) {
+                let response = clock.fetch_add(1, Ordering::SeqCst);
+                let (kind, outcome) = observe(&cop, Reply::NotOperational);
+                observed.push(RecordedOp {
+                    key,
+                    invoke,
+                    response,
+                    kind,
+                    outcome,
+                });
+            }
+            break;
+        };
+        let response = clock.fetch_add(1, Ordering::SeqCst);
+        let at = pending
+            .iter()
+            .position(|(t, _, _, _)| *t == done)
+            .expect("completion matches a pending ticket");
+        let (_, key, cop, invoke) = pending.swap_remove(at);
+        let (kind, outcome) = observe(&cop, reply);
+        observed.push(RecordedOp {
+            key,
+            invoke,
+            response,
+            kind,
+            outcome,
+        });
+    }
+    observed
+}
+
+/// Checks every per-key sub-history of `all` with the Wing & Gong checker
+/// (Hermes registers are independent per key).
+///
+/// # Errors
+///
+/// Names the first non-linearizable key, or a key whose history exceeds
+/// the checker's 63-op bound (size the workload down instead).
+pub fn check_linearizable_per_key(all: &[RecordedOp], keys: u64) -> Result<(), String> {
+    for k in 0..keys {
+        let history: Vec<HistoryOp> = all
+            .iter()
+            .filter(|o| o.key == Key(k))
+            .map(|o| HistoryOp {
+                invoke: o.invoke,
+                response: o.response,
+                kind: o.kind.clone(),
+                outcome: o.outcome,
+            })
+            .collect();
+        if history.len() > 63 {
+            return Err(format!(
+                "key {k}: {} ops exceed the bitmask checker's bound",
+                history.len()
+            ));
+        }
+        if !check_linearizable(&history) {
+            return Err(format!(
+                "key {k}: history of {} ops is not linearizable",
+                history.len()
+            ));
+        }
+    }
+    Ok(())
+}

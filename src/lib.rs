@@ -45,6 +45,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 pub use hermes_baselines as baselines;
 pub use hermes_common as common;
 pub use hermes_core as core;
@@ -65,8 +67,8 @@ pub mod prelude {
     };
     pub use hermes_core::{HermesNode, KeyState, Msg, ProtocolConfig, Ts, UpdateKind};
     pub use hermes_replica::{
-        run_sim, ClientSession, ClusterConfig, CostModel, RunReport, ShardedEngine, SimConfig,
-        ThreadCluster, Ticket,
+        run_sim, ClientSession, ClusterConfig, CostModel, NodeOptions, NodeRuntime, RemoteChannel,
+        RunReport, SessionChannel, ShardedEngine, SimConfig, ThreadCluster, Ticket,
     };
     pub use hermes_workload::{
         run_closed_loop, ClosedLoopConfig, ClosedLoopReport, PipelinedKv, Workload, WorkloadConfig,
