@@ -132,6 +132,19 @@ impl NodeSet {
             Some(NodeId(self.0.trailing_zeros()))
         }
     }
+
+    /// The raw 64-bit bitmap (bit *i* set ⇔ node *i* present). The wire
+    /// representation used by the membership control-plane codec.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a set from a raw bitmap produced by [`NodeSet::bits`].
+    #[inline]
+    pub const fn from_bits(bits: u64) -> NodeSet {
+        NodeSet(bits)
+    }
 }
 
 impl FromIterator<NodeId> for NodeSet {

@@ -1,0 +1,346 @@
+//! [`MembershipDriver`] — the reliable-membership agent on a real clock.
+//!
+//! [`RmNode`] is sans-io and keeps virtual time ([`SimTime`]); the
+//! simulator feeds it scheduler ticks. The threaded/TCP runtime instead
+//! hosts this driver on each replica's pump thread: it anchors virtual
+//! time to a wall-clock [`Instant`], translates transport events into the
+//! agent's vocabulary (control-frame payloads → [`RmNode::on_message`],
+//! TCP disconnects → [`RmNode::on_peer_down`]) and layers the **join state
+//! machine** on top — a restarted replica outside the group keeps asking
+//! to be admitted as a shadow, and once the runtime reports bulk catch-up
+//! complete ([`MembershipDriver::mark_synced`]) it asks for promotion to
+//! full member (paper §3.4, *Recovery*).
+//!
+//! The driver only *decides*; it performs no I/O. Every call fills a
+//! [`RmEffect`] buffer the runtime executes (encode with [`crate::wire`],
+//! ship as a Wings control frame, install agreed views into the shard
+//! engines).
+
+use crate::rm::{RmConfig, RmEffect, RmMsg, RmNode};
+use crate::wire;
+use hermes_common::{MembershipView, NodeId};
+use hermes_sim::SimTime;
+use std::time::Instant;
+
+/// Re-ask cadence of the join state machine, in heartbeat intervals.
+const JOIN_RETRY_HEARTBEATS: u64 = 4;
+
+/// A per-replica membership agent running on the wall clock.
+#[derive(Debug)]
+pub struct MembershipDriver {
+    rm: RmNode,
+    cfg: RmConfig,
+    start: Instant,
+    /// Whether this node started outside the group and must drive a join.
+    joining: bool,
+    /// Whether shadow bulk catch-up has completed (trivially true for
+    /// founding members).
+    synced: bool,
+    last_join: Option<SimTime>,
+}
+
+impl MembershipDriver {
+    /// An agent for a founding member of `view` (normal boot).
+    pub fn new(me: NodeId, view: MembershipView, cfg: RmConfig) -> Self {
+        let joining = !view.members.contains(me);
+        MembershipDriver {
+            rm: RmNode::new(me, view, cfg, SimTime::ZERO),
+            cfg,
+            start: Instant::now(),
+            joining,
+            synced: !joining,
+            last_join: None,
+        }
+    }
+
+    /// An agent for a (re)started node outside the group: `view` is the
+    /// node's best guess of the membership **without itself** (typically
+    /// [`MembershipView::initial`] minus `me`); the driver keeps requesting
+    /// admission, learns the real view from the members' replies, and asks
+    /// for promotion once [`MembershipDriver::mark_synced`] is called.
+    pub fn joiner(me: NodeId, view: MembershipView, cfg: RmConfig) -> Self {
+        debug_assert!(!view.ack_set().contains(me), "joiner starts outside");
+        MembershipDriver {
+            rm: RmNode::new(me, view, cfg, SimTime::ZERO),
+            cfg,
+            start: Instant::now(),
+            joining: true,
+            synced: false,
+            last_join: None,
+        }
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.rm.node_id()
+    }
+
+    /// The current membership view.
+    pub fn view(&self) -> MembershipView {
+        self.rm.view()
+    }
+
+    /// Virtual now: nanoseconds since the driver was created.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// Whether this node currently holds a valid lease (majority of the
+    /// current members heard within the lease duration). Serving client
+    /// requests requires both a valid lease and view membership.
+    pub fn lease_valid(&self) -> bool {
+        self.rm.lease_valid(self.now())
+    }
+
+    /// Whether this node may serve client requests right now: full member
+    /// of the current view, holding a valid lease (paper §3.4 — a minority
+    /// partition loses its lease and stops serving), *and* caught up. The
+    /// sync condition matters only for joiners: a blank-restarted node
+    /// that a race left listed as a member must never serve its empty
+    /// store, however the view reads.
+    pub fn serving(&self) -> bool {
+        let view = self.rm.view();
+        view.is_serving(self.rm.node_id()) && self.lease_valid() && self.synced
+    }
+
+    /// Members currently suspected by the local failure detector.
+    pub fn suspects(&self) -> hermes_common::NodeSet {
+        self.rm.suspects()
+    }
+
+    /// Whether the runtime should run shadow bulk catch-up now: this node
+    /// is a shadow of the current view and has not been marked synced.
+    pub fn needs_sync(&self) -> bool {
+        !self.synced && self.rm.view().shadows.contains(self.rm.node_id())
+    }
+
+    /// Reports that shadow bulk catch-up completed; the driver starts
+    /// requesting promotion to full member on its next ticks.
+    pub fn mark_synced(&mut self) {
+        self.synced = true;
+    }
+
+    /// Periodic driver: heartbeats, failure detection, reconfiguration
+    /// proposals, plus the join state machine. Call at least every
+    /// [`RmConfig::heartbeat_interval`].
+    pub fn tick(&mut self, fx: &mut Vec<RmEffect>) {
+        let now = self.now();
+        self.tick_at(now, fx);
+    }
+
+    /// [`MembershipDriver::tick`] at an explicit virtual time (tests).
+    pub fn tick_at(&mut self, now: SimTime, fx: &mut Vec<RmEffect>) {
+        self.rm.on_tick(now, fx);
+        if !self.joining {
+            return;
+        }
+        let me = self.rm.node_id();
+        let view = self.rm.view();
+        if view.members.contains(me) {
+            if self.synced {
+                // Admitted (and promoted): the join is complete.
+                self.joining = false;
+            }
+            // Else: a race listed us as a member while our store is still
+            // blank (restarted before the group noticed the crash). Stay
+            // in the join state machine, serve nothing, and wait for the
+            // members to remove us — our next admission request then runs
+            // the normal shadow path.
+            return;
+        }
+        let want = if !view.ack_set().contains(me) {
+            Some(false) // Outside the group: ask for shadow admission.
+        } else if self.synced {
+            Some(true) // Caught-up shadow: ask for promotion.
+        } else {
+            None // Shadow mid-catch-up: nothing to request yet.
+        };
+        let retry_after = self.cfg.heartbeat_interval * JOIN_RETRY_HEARTBEATS;
+        let due = self
+            .last_join
+            .is_none_or(|at| now.saturating_since(at) >= retry_after);
+        if let Some(promote) = want {
+            if due {
+                self.last_join = Some(now);
+                fx.push(RmEffect::Broadcast(RmMsg::Join { promote }));
+            }
+        }
+    }
+
+    /// Feeds one decoded control-frame payload from `from`.
+    ///
+    /// Returns `false` (and does nothing) if the payload does not decode as
+    /// a membership message.
+    pub fn on_control(&mut self, from: NodeId, payload: &[u8], fx: &mut Vec<RmEffect>) -> bool {
+        let Ok(msg) = wire::decode(payload) else {
+            return false;
+        };
+        let now = self.now();
+        self.rm.on_message(from, msg, now, fx);
+        true
+    }
+
+    /// Feeds a transport-level peer disconnect (accelerates suspicion; see
+    /// [`RmNode::on_peer_down`]).
+    pub fn on_peer_down(&mut self, peer: NodeId) {
+        let now = self.now();
+        self.rm.on_peer_down(peer, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_common::{Epoch, NodeSet};
+    use hermes_sim::SimDuration;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_nanos(n * 1_000_000)
+    }
+
+    fn joiner_view(n: usize, me: NodeId) -> MembershipView {
+        let v = MembershipView::initial(n);
+        MembershipView {
+            epoch: v.epoch,
+            members: v.members.without(me),
+            shadows: NodeSet::EMPTY,
+        }
+    }
+
+    #[test]
+    fn joiner_requests_shadow_admission_on_a_cadence() {
+        let cfg = RmConfig::default();
+        let me = NodeId(2);
+        let mut d = MembershipDriver::joiner(me, joiner_view(3, me), cfg);
+        let mut fx = Vec::new();
+        d.tick_at(ms(0), &mut fx);
+        assert!(
+            fx.contains(&RmEffect::Broadcast(RmMsg::Join { promote: false })),
+            "first tick asks to join: {fx:?}"
+        );
+        // Not re-asked before the retry window elapses.
+        fx.clear();
+        d.tick_at(ms(10), &mut fx);
+        assert!(!fx
+            .iter()
+            .any(|e| matches!(e, RmEffect::Broadcast(RmMsg::Join { .. }))));
+        // Re-asked after it.
+        fx.clear();
+        d.tick_at(
+            ms(10 + cfg.heartbeat_interval.as_nanos() / 1_000_000 * JOIN_RETRY_HEARTBEATS),
+            &mut fx,
+        );
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, RmEffect::Broadcast(RmMsg::Join { promote: false }))));
+    }
+
+    #[test]
+    fn shadow_requests_promotion_only_after_sync() {
+        let cfg = RmConfig::default();
+        let me = NodeId(2);
+        let mut d = MembershipDriver::joiner(me, joiner_view(3, me), cfg);
+        let mut fx = Vec::new();
+        // The group admits us as a shadow (learned via Decided).
+        let shadow_view = joiner_view(3, me).with_shadow(me);
+        d.on_control(
+            NodeId(0),
+            &wire::encode(&RmMsg::Decided(shadow_view)),
+            &mut fx,
+        );
+        assert_eq!(d.view().epoch, Epoch(1));
+        assert!(d.needs_sync(), "fresh shadow must bulk-sync");
+        fx.clear();
+        d.tick_at(ms(100), &mut fx);
+        assert!(
+            !fx.iter()
+                .any(|e| matches!(e, RmEffect::Broadcast(RmMsg::Join { .. }))),
+            "no requests while catch-up runs: {fx:?}"
+        );
+        // Catch-up completes: promotion requested.
+        d.mark_synced();
+        assert!(!d.needs_sync());
+        fx.clear();
+        d.tick_at(ms(200), &mut fx);
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, RmEffect::Broadcast(RmMsg::Join { promote: true }))));
+        // Promotion decided: the join state machine retires.
+        fx.clear();
+        d.on_control(
+            NodeId(0),
+            &wire::encode(&RmMsg::Decided(shadow_view.with_promoted(me))),
+            &mut fx,
+        );
+        assert!(fx.contains(&RmEffect::InstallView(shadow_view.with_promoted(me))));
+        fx.clear();
+        d.tick_at(ms(400), &mut fx);
+        assert!(!fx
+            .iter()
+            .any(|e| matches!(e, RmEffect::Broadcast(RmMsg::Join { .. }))));
+    }
+
+    #[test]
+    fn prematurely_admitted_blank_joiner_never_serves_and_rejoins_after_removal() {
+        // The blank-restart race: a Decided that still lists the joiner as
+        // a full member reaches it (e.g. disseminated for an unrelated
+        // change). The joiner's store is blank, so it must not serve, must
+        // keep its join machine alive, and must re-request admission once
+        // the members remove it.
+        let cfg = RmConfig::default();
+        let me = NodeId(2);
+        let mut d = MembershipDriver::joiner(me, joiner_view(3, me), cfg);
+        let mut fx = Vec::new();
+        let full = MembershipView {
+            epoch: Epoch(1),
+            members: NodeSet::first_n(3),
+            shadows: NodeSet::EMPTY,
+        };
+        d.on_control(NodeId(0), &wire::encode(&RmMsg::Decided(full)), &mut fx);
+        assert!(d.view().members.contains(me), "race: listed as member");
+        assert!(!d.serving(), "blank store must never serve");
+        fx.clear();
+        d.tick_at(ms(100), &mut fx);
+        assert!(
+            !fx.iter()
+                .any(|e| matches!(e, RmEffect::Broadcast(RmMsg::Join { .. }))),
+            "nothing to request while waiting for removal: {fx:?}"
+        );
+        // The members notice (the Join they already processed marked us)
+        // and remove us; we re-enter the normal admission path.
+        let removed = full.without_node(me);
+        fx.clear();
+        d.on_control(NodeId(0), &wire::encode(&RmMsg::Decided(removed)), &mut fx);
+        fx.clear();
+        d.tick_at(ms(300), &mut fx);
+        assert!(
+            fx.iter()
+                .any(|e| matches!(e, RmEffect::Broadcast(RmMsg::Join { promote: false }))),
+            "must ask for admission again after removal: {fx:?}"
+        );
+    }
+
+    #[test]
+    fn garbage_control_payloads_are_rejected() {
+        let me = NodeId(0);
+        let mut d = MembershipDriver::new(me, MembershipView::initial(3), RmConfig::default());
+        let mut fx = Vec::new();
+        assert!(!d.on_control(NodeId(1), b"\xffnot-a-message", &mut fx));
+        assert!(fx.is_empty());
+        let hb = RmMsg::Heartbeat {
+            epoch: hermes_common::Epoch(0),
+        };
+        assert!(d.on_control(NodeId(1), &wire::encode(&hb), &mut fx));
+    }
+
+    #[test]
+    fn member_driver_serves_and_joiner_does_not() {
+        let view = MembershipView::initial(3);
+        let d = MembershipDriver::new(NodeId(0), view, RmConfig::default());
+        assert!(d.serving(), "founding member serves from the start");
+        let me = NodeId(2);
+        let j = MembershipDriver::joiner(me, joiner_view(3, me), RmConfig::default());
+        assert!(!j.serving(), "joiner must not serve before promotion");
+        let _ = SimDuration::ZERO;
+    }
+}

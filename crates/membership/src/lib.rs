@@ -13,7 +13,13 @@
 //!   failure detector, majority-quorum leases, lease-expiry-gated
 //!   reconfiguration proposals, and view dissemination. Sans-io like every
 //!   protocol core in this workspace: it consumes ticks and messages and
-//!   emits [`RmEffect`]s.
+//!   emits [`RmEffect`]s;
+//! * [`MembershipDriver`] — the same agent anchored to the wall clock for
+//!   the threaded/TCP runtime, plus the join state machine a restarted
+//!   replica uses to re-enter the group (shadow admission → bulk catch-up
+//!   → promotion);
+//! * [`wire`] — the byte layout [`RmMsg`]s use when travelling as Wings
+//!   control frames over real transports.
 //!
 //! The safety chain mirrors the paper: a node serves requests only while its
 //! lease is valid; a lease is valid only while the node hears from a
@@ -36,8 +42,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod driver;
 mod paxos;
 mod rm;
+pub mod wire;
 
+pub use driver::MembershipDriver;
 pub use paxos::{AcceptorState, Ballot, Paxos, PaxosMsg};
 pub use rm::{RmConfig, RmEffect, RmMsg, RmNode};

@@ -1,5 +1,5 @@
 use crate::paxos::{AcceptorState, Ballot, Paxos, PaxosMsg};
-use hermes_common::{MembershipView, NodeId, NodeSet};
+use hermes_common::{Epoch, MembershipView, NodeId, NodeSet};
 use hermes_sim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -30,15 +30,46 @@ impl Default for RmConfig {
     }
 }
 
+impl RmConfig {
+    /// Timings for the *wall-clock* deployment ([`MembershipDriver`]): the
+    /// threaded runtime ticks the agent from its pump loop (≤ ~25 ms
+    /// cadence), so heartbeats land coarser than the simulator's and the
+    /// lease must tolerate a few missed wakeups without flapping.
+    ///
+    /// [`MembershipDriver`]: crate::MembershipDriver
+    pub fn wall_clock() -> Self {
+        RmConfig {
+            heartbeat_interval: SimDuration::millis(20),
+            failure_timeout: SimDuration::millis(250),
+            lease_duration: SimDuration::millis(120),
+        }
+    }
+}
+
 /// Messages exchanged by membership agents.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RmMsg {
-    /// Liveness beacon; also renews leases.
-    Heartbeat,
+    /// Liveness beacon; also renews leases. Carries the sender's view
+    /// epoch so a node that missed a `Decided` dissemination is noticed
+    /// and re-taught — without this, one lost message could leave a
+    /// member on a stale epoch forever.
+    Heartbeat {
+        /// Epoch of the sender's current view.
+        epoch: Epoch,
+    },
     /// A Paxos message deciding a view change.
     Paxos(PaxosMsg),
     /// Dissemination of a decided view (learners catch up from this).
     Decided(MembershipView),
+    /// A node outside the group asks to be admitted as a shadow
+    /// (`promote == false`), or a shadow that finished catch-up asks to
+    /// become a full member (`promote == true`). Members answer with
+    /// `Decided(current_view)` so a restarted node learns where the group
+    /// is, then drive the reconfiguration (paper §3.4, *Recovery*).
+    Join {
+        /// Whether the sender asks for promotion (it is already a shadow).
+        promote: bool,
+    },
 }
 
 /// Actions requested by an [`RmNode`].
@@ -80,7 +111,33 @@ pub struct RmNode {
     last_heartbeat: SimTime,
     /// Pending join request (node, as full member after catch-up?).
     pending_join: Option<(NodeId, bool)>,
+    /// Peers whose connection the transport reported dead
+    /// ([`RmNode::on_peer_down`]); suspected regardless of silence until
+    /// they are heard from again.
+    down_hints: NodeSet,
+    /// Current members that announced a blank restart (`Join` while still
+    /// in the view), as `node → (first seen, last refreshed)`. A genuinely
+    /// blank node re-sends `Join` on a cadence, so its mark stays fresh and
+    /// — once sustained past [`REJOIN_SUSTAIN_HEARTBEATS`] — drives
+    /// suspicion no matter how alive its control traffic looks (its data
+    /// plane is gone). A *stale* one-off `Join` from a node that has since
+    /// been readmitted and promoted is never refreshed and expires after
+    /// [`REJOIN_MARK_STALE_HEARTBEATS`], long before it could evict the
+    /// healthy member.
+    rejoining: BTreeMap<NodeId, (SimTime, SimTime)>,
 }
+
+/// Without a refreshing `Join` for this many heartbeat intervals, a
+/// blank-restart mark is dropped as a stale one-off. Joiners re-send every
+/// 4 intervals (`MembershipDriver`), so two misses mean the sender stopped
+/// asking.
+const REJOIN_MARK_STALE_HEARTBEATS: u64 = 8;
+
+/// A blank-restart mark must be continuously sustained (kept refreshed)
+/// this long before it drives suspicion — strictly longer than the stale
+/// window above, so a one-off burst of delayed `Join`s can never evict a
+/// healthy member.
+const REJOIN_SUSTAIN_HEARTBEATS: u64 = 12;
 
 impl RmNode {
     /// Creates an agent for `me` starting from `view` at time `now`.
@@ -101,6 +158,8 @@ impl RmNode {
             acceptor_instance: view.epoch.0 + 1,
             last_heartbeat: now,
             pending_join: None,
+            down_hints: NodeSet::EMPTY,
+            rejoining: BTreeMap::new(),
         }
     }
 
@@ -148,16 +207,34 @@ impl RmNode {
         // Heartbeat.
         if now.saturating_since(self.last_heartbeat) >= self.cfg.heartbeat_interval {
             self.last_heartbeat = now;
-            fx.push(RmEffect::Broadcast(RmMsg::Heartbeat));
+            fx.push(RmEffect::Broadcast(RmMsg::Heartbeat {
+                epoch: self.view.epoch,
+            }));
         }
 
-        // Failure detection over current members (not self).
+        // Expire blank-restart marks that stopped being refreshed (a
+        // stale one-off Join from a node that has since been readmitted).
+        let stale_after = self.cfg.heartbeat_interval * REJOIN_MARK_STALE_HEARTBEATS;
+        self.rejoining
+            .retain(|_, &mut (_, last)| now.saturating_since(last) <= stale_after);
+
+        // Failure detection over current members (not self): silence past
+        // the timeout, a transport-reported disconnect not yet followed by
+        // any message from the peer, or a sustained blank-restart mark.
+        let sustain = self.cfg.heartbeat_interval * REJOIN_SUSTAIN_HEARTBEATS;
         for n in self.view.members.iter().chain(self.view.shadows.iter()) {
             if n == self.me {
                 continue;
             }
             let heard = self.last_heard.get(&n).copied().unwrap_or(SimTime::ZERO);
-            if now.saturating_since(heard) > self.cfg.failure_timeout {
+            let blank_restart = self
+                .rejoining
+                .get(&n)
+                .is_some_and(|&(since, _)| now.saturating_since(since) >= sustain);
+            if now.saturating_since(heard) > self.cfg.failure_timeout
+                || self.down_hints.contains(n)
+                || blank_restart
+            {
                 self.suspected_at.entry(n).or_insert(now);
             } else {
                 self.suspected_at.remove(&n);
@@ -275,11 +352,78 @@ impl RmNode {
     /// Handles a message from `from`.
     pub fn on_message(&mut self, from: NodeId, msg: RmMsg, now: SimTime, fx: &mut Vec<RmEffect>) {
         self.last_heard.insert(from, now);
+        self.down_hints.remove(from);
         match msg {
-            RmMsg::Heartbeat => {}
+            RmMsg::Heartbeat { epoch } => {
+                // A stale-epoch peer missed a Decided dissemination (lost
+                // message / dead connection): re-teach it. Never teach a
+                // blank-restarted member though — it must stay ignorant of
+                // the current view until its removal is decided, else it
+                // would believe its join complete while its store is
+                // blank.
+                if epoch < self.view.epoch && !self.rejoining.contains_key(&from) {
+                    fx.push(RmEffect::Send(from, RmMsg::Decided(self.view)));
+                }
+            }
             RmMsg::Decided(view) => self.learn(view, fx),
             RmMsg::Paxos(p) => self.on_paxos(from, p, fx),
+            RmMsg::Join { promote } => self.on_join(from, promote, now, fx),
         }
+    }
+
+    /// Handles a join/promotion request from `from` (only members act on
+    /// these; everyone else lets the current members drive the change).
+    fn on_join(&mut self, from: NodeId, promote: bool, now: SimTime, fx: &mut Vec<RmEffect>) {
+        if !self.view.members.contains(self.me) {
+            return;
+        }
+        // A shadow-admission request from a *current full member* means the
+        // node crashed and restarted blank before the failure detector
+        // noticed (its boot view excludes itself, so it drops data-plane
+        // traffic while still owing ACKs — left in the view it would stall
+        // every write, and its own join/heartbeat traffic would keep the
+        // failure detector from ever removing it). Record (or refresh) its
+        // blank-restart mark — sustained refreshes drive its removal — and
+        // do NOT teach it the current view: taught, it would think its join
+        // completed and serve from a blank store. Once the shrunk view is
+        // decided, its next request is a normal outside-the-group
+        // admission (and it is taught then).
+        if !promote && self.view.members.contains(from) && from != self.me {
+            let since = self.rejoining.get(&from).map_or(now, |&(s, _)| s);
+            self.rejoining.insert(from, (since, now));
+            return;
+        }
+        // The requester may have restarted with a stale (or blank) idea of
+        // the group: teach it the current view.
+        fx.push(RmEffect::Send(from, RmMsg::Decided(self.view)));
+        let eligible = if promote {
+            self.view.shadows.contains(from)
+        } else {
+            !self.view.ack_set().contains(from)
+        };
+        if eligible {
+            self.pending_join = Some((from, promote));
+        }
+    }
+
+    /// Hints that the transport saw `peer`'s connection die (a TCP reader
+    /// observed EOF). The peer is suspected immediately instead of waiting
+    /// out the full silence window, and its last-heard time is backdated
+    /// so it stops counting toward this node's lease. If the peer is
+    /// actually alive (a transient disconnect), its next message clears
+    /// both — and the lease-expiry wait before any reconfiguration still
+    /// applies either way.
+    pub fn on_peer_down(&mut self, peer: NodeId, now: SimTime) {
+        if peer == self.me || !self.view.ack_set().contains(peer) {
+            return;
+        }
+        let backdated = SimTime::from_nanos(
+            now.as_nanos()
+                .saturating_sub(self.cfg.failure_timeout.as_nanos() + 1),
+        );
+        self.last_heard.insert(peer, backdated);
+        self.down_hints.insert(peer);
+        self.suspected_at.entry(peer).or_insert(now);
     }
 
     fn on_paxos(&mut self, from: NodeId, msg: PaxosMsg, fx: &mut Vec<RmEffect>) {
@@ -378,6 +522,8 @@ impl RmNode {
         }
         self.view = view;
         self.suspected_at.clear();
+        self.down_hints = self.down_hints.intersection(view.ack_set());
+        self.rejoining.retain(|n, _| view.members.contains(*n));
         self.proposer = None;
         self.acceptor = AcceptorState::default();
         self.acceptor_instance = view.epoch.0 + 1;
@@ -413,6 +559,9 @@ mod tests {
         queue: VecDeque<(NodeId, NodeId, RmMsg)>,
         installed: Vec<(NodeId, MembershipView)>,
         crashed: NodeSet,
+        /// Deterministic loss: drop every `drop_nth`-th delivery (0 = off).
+        drop_nth: u64,
+        delivered: u64,
     }
 
     impl Net {
@@ -425,6 +574,8 @@ mod tests {
                 queue: VecDeque::new(),
                 installed: Vec::new(),
                 crashed: NodeSet::EMPTY,
+                drop_nth: 0,
+                delivered: 0,
             }
         }
 
@@ -460,6 +611,14 @@ mod tests {
             while let Some((from, to, msg)) = self.queue.pop_front() {
                 if self.crashed.contains(from) || self.crashed.contains(to) {
                     continue;
+                }
+                self.delivered += 1;
+                // Scrambled, aperiodic ~1-in-`drop_nth` loss: a plain
+                // every-Nth pattern would align with the retry cadence and
+                // deterministically kill the same message forever.
+                let scrambled = self.delivered.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+                if self.drop_nth != 0 && scrambled.is_multiple_of(self.drop_nth) {
+                    continue; // Injected message loss.
                 }
                 let mut fx = Vec::new();
                 self.nodes[to.index()].on_message(from, msg, now, &mut fx);
@@ -599,6 +758,237 @@ mod tests {
         assert_eq!(net.nodes[0].view().epoch, Epoch(2));
         // The joiner learned the views too.
         assert_eq!(net.nodes[3].view().epoch, Epoch(2));
+    }
+
+    #[test]
+    fn peer_down_hint_accelerates_suspicion_but_heartbeats_clear_it() {
+        let cfg = RmConfig::default();
+        let mut net = Net::new(3, cfg);
+        for t in (0..50).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        // The transport reports node 2's connection died: suspected on the
+        // very next tick, long before the 150 ms silence timeout.
+        net.nodes[0].on_peer_down(NodeId(2), ms(50));
+        let mut fx = Vec::new();
+        net.nodes[0].on_tick(ms(60), &mut fx);
+        assert!(net.nodes[0].suspects().contains(NodeId(2)));
+        // No reconfiguration yet: the suspect's lease has not expired.
+        assert_eq!(net.nodes[0].view().epoch, Epoch(0));
+        // The disconnect was transient — node 2 is alive and heartbeats:
+        // suspicion clears and no view change ever happens.
+        let mut fx = Vec::new();
+        net.nodes[0].on_message(
+            NodeId(2),
+            RmMsg::Heartbeat { epoch: Epoch(0) },
+            ms(70),
+            &mut fx,
+        );
+        net.nodes[0].on_tick(ms(80), &mut fx);
+        assert!(!net.nodes[0].suspects().contains(NodeId(2)));
+        for t in (80..400).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        assert_eq!(net.nodes[0].view().epoch, Epoch(0), "no spurious removal");
+    }
+
+    #[test]
+    fn peer_down_hint_plus_real_silence_reconfigures_after_lease_expiry() {
+        let cfg = RmConfig::default();
+        let mut net = Net::new(3, cfg);
+        net.tick_all(ms(0));
+        net.crashed.insert(NodeId(2));
+        for n in 0..2 {
+            net.nodes[n].on_peer_down(NodeId(2), ms(10));
+        }
+        // Suspicion is immediate; removal still waits out the lease.
+        net.tick_all(ms(20));
+        assert!(net.nodes[0].suspects().contains(NodeId(2)));
+        assert_eq!(net.nodes[0].view().epoch, Epoch(0), "lease gate holds");
+        for t in (20..80).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        // 10 ms hint + 40 ms lease: reconfigured well before the 150 ms
+        // silence timeout alone would even suspect.
+        assert_eq!(net.nodes[0].view().epoch, Epoch(1));
+        assert!(!net.nodes[0].view().members.contains(NodeId(2)));
+    }
+
+    #[test]
+    fn view_change_completes_despite_message_loss() {
+        // Drop every 3rd delivery: heartbeats thin out but stay frequent
+        // enough to hold leases, and the proposer's stalled-ballot retries
+        // push the Paxos round through the lossy links.
+        let mut net = Net::new(5, RmConfig::default());
+        net.drop_nth = 3;
+        for t in (0..100).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        net.crashed.insert(NodeId(4));
+        for t in (100..1500).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        for n in &net.nodes[..4] {
+            assert_eq!(n.view().epoch, Epoch(1), "{} stuck", n.node_id());
+            assert!(!n.view().members.contains(NodeId(4)));
+        }
+    }
+
+    #[test]
+    fn join_message_drives_shadow_admission_then_promotion() {
+        // The over-the-wire join path (threaded runtime): the joiner sends
+        // RmMsg::Join rather than any member calling request_join.
+        let cfg = RmConfig::default();
+        let view = MembershipView::initial(3);
+        let mut net = Net::new(4, cfg);
+        for n in net.nodes.iter_mut() {
+            *n = RmNode::new(n.node_id(), view, cfg, SimTime::ZERO);
+        }
+        net.tick_all(ms(0));
+        // Node 3 asks to join; the member teaches it the current view.
+        let mut fx = Vec::new();
+        net.nodes[0].on_message(NodeId(3), RmMsg::Join { promote: false }, ms(10), &mut fx);
+        assert!(
+            fx.contains(&RmEffect::Send(NodeId(3), RmMsg::Decided(view))),
+            "member must teach the joiner the view: {fx:?}"
+        );
+        net.apply(0, fx);
+        for t in (10..200).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        assert!(net.nodes[0].view().shadows.contains(NodeId(3)));
+        assert_eq!(net.nodes[0].view().epoch, Epoch(1));
+        assert_eq!(net.nodes[3].view().epoch, Epoch(1), "joiner learned it");
+        // Caught up: the shadow asks for promotion (broadcast to every
+        // member in the real runtime — the designated proposer, the lowest
+        // live member, is the one whose pending request matters).
+        for member in 0..2usize {
+            let mut fx = Vec::new();
+            net.nodes[member].on_message(
+                NodeId(3),
+                RmMsg::Join { promote: true },
+                ms(210),
+                &mut fx,
+            );
+            net.apply(member, fx);
+        }
+        for t in (210..400).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        assert!(net.nodes[0].view().members.contains(NodeId(3)));
+        assert!(net.nodes[0].view().shadows.is_empty());
+        assert_eq!(net.nodes[0].view().epoch, Epoch(2));
+        assert_eq!(net.nodes[3].view().epoch, Epoch(2));
+    }
+
+    #[test]
+    fn blank_restart_of_a_current_member_is_removed_then_readmitted() {
+        // kill -9 + instant restart with --join, faster than the failure
+        // detector: the node is still a full member of the group's view
+        // when its admission requests arrive. It must first be removed
+        // (its data plane is blank, so leaving it in the view would stall
+        // every write while its control traffic keeps it "alive"), then
+        // admitted as a shadow and promoted like any joiner.
+        let cfg = RmConfig::default();
+        let mut net = Net::new(3, cfg);
+        for t in (0..50).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        // Node 2 restarts blank: boot view excludes itself, epoch 0.
+        let boot = MembershipView {
+            epoch: Epoch(0),
+            members: NodeSet::first_n(3).without(NodeId(2)),
+            shadows: NodeSet::EMPTY,
+        };
+        net.nodes[2] = RmNode::new(NodeId(2), boot, cfg, ms(50));
+        // Like the driver's join machine, it re-broadcasts its admission
+        // request on a cadence; sustained requests (not any single one)
+        // are what drive the removal.
+        let send_join = |net: &mut Net, t: u64, promote: bool| {
+            for member in 0..2usize {
+                let mut fx = Vec::new();
+                net.nodes[member].on_message(NodeId(2), RmMsg::Join { promote }, ms(t), &mut fx);
+                net.apply(member, fx);
+            }
+            net.deliver_all(ms(t));
+        };
+        // Removal first: blank-restart marks must be sustained past the
+        // filter window, then the old incarnation's lease must expire.
+        let mut t = 60;
+        while t < 400 && net.nodes[0].view().epoch == Epoch(0) {
+            send_join(&mut net, t, false);
+            for step in (t..t + 40).step_by(10) {
+                net.tick_all(ms(step));
+            }
+            t += 40;
+        }
+        assert_eq!(net.nodes[0].view().epoch, Epoch(1), "must remove first");
+        assert!(!net.nodes[0].view().members.contains(NodeId(2)));
+        // The restarted node was only re-taught the view *after* its
+        // removal (its stale heartbeats get answered once unmarked)...
+        for step in (t..t + 60).step_by(10) {
+            net.tick_all(ms(step));
+        }
+        assert_eq!(net.nodes[2].view().epoch, Epoch(1));
+        // ...and its next requests run the normal join path: shadow, then
+        // (after catch-up) promotion.
+        send_join(&mut net, t + 60, false);
+        for step in (t + 60..t + 200).step_by(10) {
+            net.tick_all(ms(step));
+        }
+        assert!(net.nodes[0].view().shadows.contains(NodeId(2)));
+        send_join(&mut net, t + 210, true);
+        for step in (t + 210..t + 350).step_by(10) {
+            net.tick_all(ms(step));
+        }
+        assert!(net.nodes[0].view().members.contains(NodeId(2)));
+        assert_eq!(net.nodes[2].view().epoch, net.nodes[0].view().epoch);
+    }
+
+    #[test]
+    fn stale_join_burst_from_a_healthy_member_never_evicts_it() {
+        // The joiner re-broadcasts Join on a cadence; a burst of copies
+        // can sit in a slow member's queue until after the admission +
+        // promotion rounds complete elsewhere. Processing them then must
+        // not evict the now-healthy member: an unrefreshed blank-restart
+        // mark expires well before it may drive suspicion.
+        let mut net = Net::new(3, RmConfig::default());
+        net.tick_all(ms(0));
+        for _ in 0..3 {
+            let mut fx = Vec::new();
+            net.nodes[0].on_message(NodeId(1), RmMsg::Join { promote: false }, ms(10), &mut fx);
+            net.apply(0, fx);
+        }
+        for t in (20..400).step_by(10) {
+            net.tick_all(ms(t));
+            assert!(
+                !net.nodes[0].suspects().contains(NodeId(1)),
+                "one-off stale joins must never suspect a healthy member (t={t})"
+            );
+        }
+        assert_eq!(
+            net.nodes[0].view().epoch,
+            Epoch(0),
+            "healthy member evicted"
+        );
+    }
+
+    #[test]
+    fn promotion_requests_from_non_shadows_are_ignored() {
+        // Promotion is only meaningful for a current shadow; a full member
+        // (or a stranger) asking for it must not trigger any view change.
+        // (A member's *admission* request is different: that signals a
+        // blank restart and drives removal-then-readmission — see
+        // `blank_restart_of_a_current_member_is_removed_then_readmitted`.)
+        let mut net = Net::new(3, RmConfig::default());
+        net.tick_all(ms(0));
+        let mut fx = Vec::new();
+        net.nodes[0].on_message(NodeId(1), RmMsg::Join { promote: true }, ms(20), &mut fx);
+        net.apply(0, fx);
+        for t in (30..400).step_by(10) {
+            net.tick_all(ms(t));
+        }
+        assert_eq!(net.nodes[0].view().epoch, Epoch(0), "no spurious change");
     }
 
     #[test]

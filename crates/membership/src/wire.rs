@@ -1,0 +1,320 @@
+//! Wire format for [`RmMsg`] — the membership control plane over real
+//! transports.
+//!
+//! The simulator delivers `RmMsg` values by ownership; the threaded/TCP
+//! runtime instead ships them as the payload of a Wings *control frame*
+//! (`hermes_wings::control`). This module is the byte layout: compact,
+//! little-endian, self-describing via one tag byte per variant. Views ride
+//! as `(epoch u64, members u64, shadows u64)` using [`NodeSet::bits`];
+//! ballots as `(round u64, node u32)`.
+
+use crate::paxos::{Ballot, PaxosMsg};
+use crate::rm::RmMsg;
+use hermes_common::{Epoch, MembershipView, NodeSet};
+
+const TAG_HEARTBEAT: u8 = 0;
+const TAG_PAXOS: u8 = 1;
+const TAG_DECIDED: u8 = 2;
+const TAG_JOIN: u8 = 3;
+
+const PX_PREPARE: u8 = 0;
+const PX_PROMISE: u8 = 1;
+const PX_ACCEPT: u8 = 2;
+const PX_ACCEPTED: u8 = 3;
+const PX_NACK: u8 = 4;
+
+/// Errors produced when decoding a malformed membership message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the declared layout was complete.
+    Truncated,
+    /// Unknown message or Paxos-phase tag byte.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "membership message truncated"),
+            WireError::BadTag(t) => write!(f, "unknown membership tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_view(out: &mut Vec<u8>, view: &MembershipView) {
+    put_u64(out, view.epoch.0);
+    put_u64(out, view.members.bits());
+    put_u64(out, view.shadows.bits());
+}
+
+fn put_ballot(out: &mut Vec<u8>, b: Ballot) {
+    put_u64(out, b.round);
+    put_u32(out, b.node);
+}
+
+/// Encodes one membership message into a fresh buffer.
+pub fn encode(msg: &RmMsg) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match msg {
+        RmMsg::Heartbeat { epoch } => {
+            out.push(TAG_HEARTBEAT);
+            put_u64(&mut out, epoch.0);
+        }
+        RmMsg::Decided(view) => {
+            out.push(TAG_DECIDED);
+            put_view(&mut out, view);
+        }
+        RmMsg::Join { promote } => {
+            out.push(TAG_JOIN);
+            out.push(u8::from(*promote));
+        }
+        RmMsg::Paxos(p) => {
+            out.push(TAG_PAXOS);
+            match p {
+                PaxosMsg::Prepare { instance, ballot } => {
+                    out.push(PX_PREPARE);
+                    put_u64(&mut out, *instance);
+                    put_ballot(&mut out, *ballot);
+                }
+                PaxosMsg::Promise {
+                    instance,
+                    ballot,
+                    accepted,
+                } => {
+                    out.push(PX_PROMISE);
+                    put_u64(&mut out, *instance);
+                    put_ballot(&mut out, *ballot);
+                    match accepted {
+                        None => out.push(0),
+                        Some((b, view)) => {
+                            out.push(1);
+                            put_ballot(&mut out, *b);
+                            put_view(&mut out, view);
+                        }
+                    }
+                }
+                PaxosMsg::Accept {
+                    instance,
+                    ballot,
+                    view,
+                } => {
+                    out.push(PX_ACCEPT);
+                    put_u64(&mut out, *instance);
+                    put_ballot(&mut out, *ballot);
+                    put_view(&mut out, view);
+                }
+                PaxosMsg::Accepted { instance, ballot } => {
+                    out.push(PX_ACCEPTED);
+                    put_u64(&mut out, *instance);
+                    put_ballot(&mut out, *ballot);
+                }
+                PaxosMsg::Nack { instance, promised } => {
+                    out.push(PX_NACK);
+                    put_u64(&mut out, *instance);
+                    put_ballot(&mut out, *promised);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Minimal cursor over a decode buffer.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or(WireError::Truncated)?;
+        let slice = &self.buf[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("sized")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+    }
+
+    fn view(&mut self) -> Result<MembershipView, WireError> {
+        Ok(MembershipView {
+            epoch: Epoch(self.u64()?),
+            members: NodeSet::from_bits(self.u64()?),
+            shadows: NodeSet::from_bits(self.u64()?),
+        })
+    }
+
+    fn ballot(&mut self) -> Result<Ballot, WireError> {
+        Ok(Ballot {
+            round: self.u64()?,
+            node: self.u32()?,
+        })
+    }
+}
+
+/// Decodes one membership message.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncation or an unknown tag.
+pub fn decode(buf: &[u8]) -> Result<RmMsg, WireError> {
+    let mut c = Cursor { buf, at: 0 };
+    let msg = match c.u8()? {
+        TAG_HEARTBEAT => RmMsg::Heartbeat {
+            epoch: Epoch(c.u64()?),
+        },
+        TAG_DECIDED => RmMsg::Decided(c.view()?),
+        TAG_JOIN => RmMsg::Join {
+            promote: c.u8()? != 0,
+        },
+        TAG_PAXOS => {
+            let phase = c.u8()?;
+            let instance = c.u64()?;
+            RmMsg::Paxos(match phase {
+                PX_PREPARE => PaxosMsg::Prepare {
+                    instance,
+                    ballot: c.ballot()?,
+                },
+                PX_PROMISE => {
+                    let ballot = c.ballot()?;
+                    let accepted = match c.u8()? {
+                        0 => None,
+                        _ => Some((c.ballot()?, c.view()?)),
+                    };
+                    PaxosMsg::Promise {
+                        instance,
+                        ballot,
+                        accepted,
+                    }
+                }
+                PX_ACCEPT => PaxosMsg::Accept {
+                    instance,
+                    ballot: c.ballot()?,
+                    view: c.view()?,
+                },
+                PX_ACCEPTED => PaxosMsg::Accepted {
+                    instance,
+                    ballot: c.ballot()?,
+                },
+                PX_NACK => PaxosMsg::Nack {
+                    instance,
+                    promised: c.ballot()?,
+                },
+                other => return Err(WireError::BadTag(other)),
+            })
+        }
+        other => return Err(WireError::BadTag(other)),
+    };
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_common::NodeId;
+
+    fn view(epoch: u64, members: &[u32], shadows: &[u32]) -> MembershipView {
+        MembershipView {
+            epoch: Epoch(epoch),
+            members: members.iter().map(|&n| NodeId(n)).collect(),
+            shadows: shadows.iter().map(|&n| NodeId(n)).collect(),
+        }
+    }
+
+    fn samples() -> Vec<RmMsg> {
+        let b = Ballot { round: 7, node: 2 };
+        let v = view(3, &[0, 1, 3], &[4]);
+        vec![
+            RmMsg::Heartbeat { epoch: Epoch(9) },
+            RmMsg::Decided(v),
+            RmMsg::Join { promote: false },
+            RmMsg::Join { promote: true },
+            RmMsg::Paxos(PaxosMsg::Prepare {
+                instance: 4,
+                ballot: b,
+            }),
+            RmMsg::Paxos(PaxosMsg::Promise {
+                instance: 4,
+                ballot: b,
+                accepted: None,
+            }),
+            RmMsg::Paxos(PaxosMsg::Promise {
+                instance: 4,
+                ballot: b.next(),
+                accepted: Some((b, v)),
+            }),
+            RmMsg::Paxos(PaxosMsg::Accept {
+                instance: u64::MAX,
+                ballot: b,
+                view: view(u64::MAX - 1, &[63], &[]),
+            }),
+            RmMsg::Paxos(PaxosMsg::Accepted {
+                instance: 4,
+                ballot: b,
+            }),
+            RmMsg::Paxos(PaxosMsg::Nack {
+                instance: 4,
+                promised: Ballot {
+                    round: u64::MAX,
+                    node: u32::MAX,
+                },
+            }),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        for msg in samples() {
+            let encoded = encode(&msg);
+            assert_eq!(decode(&encoded).unwrap(), msg, "msg {msg:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_errors_everywhere() {
+        for msg in samples() {
+            let full = encode(&msg);
+            for cut in 0..full.len() {
+                assert_eq!(
+                    decode(&full[..cut]),
+                    Err(WireError::Truncated),
+                    "{msg:?} cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_tags_error() {
+        assert_eq!(decode(&[9]), Err(WireError::BadTag(9)));
+        let mut px = encode(&RmMsg::Paxos(PaxosMsg::Accepted {
+            instance: 1,
+            ballot: Ballot::initial(NodeId(0)),
+        }));
+        px[1] = 77; // Paxos phase byte.
+        assert_eq!(decode(&px), Err(WireError::BadTag(77)));
+    }
+}

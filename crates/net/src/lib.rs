@@ -47,7 +47,7 @@ mod transport;
 pub use inproc::{InProcEndpoint, InProcNet, InProcSender, NetFaults};
 pub use simnet::{DeliveryOutcome, SimNet, SimNetConfig};
 pub use tcp::{
-    read_frame_from, reap_finished, write_frame_to, FrameRead, TcpConfig, TcpEndpoint, TcpNet,
-    TcpSender, TcpStats,
+    read_frame_deadline, read_frame_from, reap_finished, write_frame_to, FrameRead, TcpConfig,
+    TcpEndpoint, TcpNet, TcpSender, TcpStats,
 };
 pub use transport::{Endpoint, IngressGuard, IngressSink, NetEvent, NetSender, Transport};

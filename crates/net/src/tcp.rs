@@ -488,8 +488,30 @@ pub enum FrameRead {
 /// (the stream must have a read timeout configured). Frames longer than
 /// `max_bytes` read as [`FrameRead::Closed`] (protocol error).
 pub fn read_frame_from(s: &mut TcpStream, max_bytes: usize, stop: &AtomicBool) -> FrameRead {
+    read_frame_bounded(s, max_bytes, stop, None)
+}
+
+/// [`read_frame_from`] with an absolute deadline: once it passes, the read
+/// gives up and reports [`FrameRead::Closed`] even though the connection
+/// may still be alive. For one-shot RPC-style exchanges (e.g. the shutdown
+/// RPC's acknowledgement) where a wedged peer must not hang the caller.
+pub fn read_frame_deadline(
+    s: &mut TcpStream,
+    max_bytes: usize,
+    stop: &AtomicBool,
+    deadline: Instant,
+) -> FrameRead {
+    read_frame_bounded(s, max_bytes, stop, Some(deadline))
+}
+
+fn read_frame_bounded(
+    s: &mut TcpStream,
+    max_bytes: usize,
+    stop: &AtomicBool,
+    deadline: Option<Instant>,
+) -> FrameRead {
     let mut len_buf = [0u8; 4];
-    match read_exact_polled(s, &mut len_buf, stop, None) {
+    match read_exact_polled(s, &mut len_buf, stop, deadline) {
         ReadOutcome::Filled => {}
         ReadOutcome::Closed => return FrameRead::Closed,
         ReadOutcome::Stopped => return FrameRead::Stopped,
@@ -499,7 +521,7 @@ pub fn read_frame_from(s: &mut TcpStream, max_bytes: usize, stop: &AtomicBool) -
         return FrameRead::Closed;
     }
     let mut payload = vec![0u8; len];
-    match read_exact_polled(s, &mut payload, stop, None) {
+    match read_exact_polled(s, &mut payload, stop, deadline) {
         ReadOutcome::Filled => FrameRead::Frame(payload),
         ReadOutcome::Closed => FrameRead::Closed,
         ReadOutcome::Stopped => FrameRead::Stopped,

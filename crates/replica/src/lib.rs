@@ -23,11 +23,22 @@
 //! client-facing RPC port, and [`RemoteChannel`] connects a
 //! [`ClientSession`] to it across the network (the `hermesd` daemon of
 //! `examples/hermesd.rs`, DESIGN.md §4).
+//!
+//! Both the threaded and the per-process runtimes can additionally run the
+//! **live membership subsystem** (DESIGN.md §5): each node's pump lane
+//! hosts a wall-clock
+//! [`MembershipDriver`](hermes_membership::MembershipDriver) whose
+//! heartbeats and Paxos view agreement travel as Wings control frames over
+//! the same transport, so a replica group survives real process crashes —
+//! lease expiry drives a view change, survivors replay pending writes, and
+//! a restarted node rejoins as a shadow, bulk-syncs, and is promoted back
+//! to full member ([`MembershipStatus`], [`MembershipOptions`]).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod cost;
+mod membership;
 mod node;
 mod remote;
 mod session;
@@ -37,7 +48,8 @@ mod threaded;
 mod timers;
 
 pub use cost::CostModel;
-pub use node::{NodeOptions, NodeRuntime};
+pub use membership::{MembershipOptions, MembershipStatus};
+pub use node::{request_shutdown, NodeOptions, NodeRuntime, NodeStats};
 pub use remote::RemoteChannel;
 pub use session::{ClientSession, LaneChannel, SessionChannel, Ticket};
 pub use sharded::ShardedEngine;

@@ -18,12 +18,15 @@
 //! 3-process cluster linearizable — lives in `examples/hermesd.rs` and
 //! `examples/tcp_cluster.rs` (DESIGN.md §4).
 
+use crate::membership::{MembershipOptions, MembershipStatus};
 use crate::threaded::{spawn_node, Command, Completion};
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
-use hermes_common::{ClientId, MembershipView, NodeId, OpId, ShardRouter};
+use hermes_common::{ClientId, MembershipView, NodeId, NodeSet, OpId, Reply, ShardRouter};
 use hermes_core::ProtocolConfig;
+use hermes_membership::RmConfig;
 use hermes_net::{
-    read_frame_from, reap_finished, write_frame_to, FrameRead, TcpConfig, TcpEndpoint,
+    read_frame_deadline, read_frame_from, reap_finished, write_frame_to, FrameRead, TcpConfig,
+    TcpEndpoint, TcpStats,
 };
 use hermes_store::{Store, StoreConfig};
 use hermes_wings::client as rpc;
@@ -32,7 +35,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Remote connections' protocol-level client ids live above this base so
 /// they can never collide with in-process session ids.
@@ -63,12 +66,18 @@ pub struct NodeOptions {
     /// Exit after this long (`None`: run until told to stop). Consumed by
     /// the `hermesd` example's main loop, not by [`NodeRuntime`] itself.
     pub run_for: Option<Duration>,
+    /// Run the live membership subsystem (on by default; `--no-membership`
+    /// pins the initial view for the process lifetime).
+    pub membership: Option<RmConfig>,
+    /// (Re)start outside the group and join as a shadow: refuse service,
+    /// ask the members for admission, bulk-sync, get promoted (`--join`).
+    pub join: bool,
 }
 
 impl NodeOptions {
     /// Parses daemon command-line arguments (everything after the program
     /// name): `--node <id> --peers <addr,addr,...> --client <addr>
-    /// [--workers <n>] [--duration <secs>]`.
+    /// [--workers <n>] [--duration <secs>] [--join] [--no-membership]`.
     ///
     /// # Errors
     ///
@@ -79,6 +88,8 @@ impl NodeOptions {
         let mut client_addr: Option<SocketAddr> = None;
         let mut workers = 2usize;
         let mut run_for = None;
+        let mut membership = Some(RmConfig::wall_clock());
+        let mut join = false;
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let mut value = |name: &str| {
@@ -120,6 +131,8 @@ impl NodeOptions {
                         .map_err(|e| format!("--duration: {e}"))?;
                     run_for = Some(Duration::from_secs_f64(secs));
                 }
+                "--join" => join = true,
+                "--no-membership" => membership = None,
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -135,6 +148,9 @@ impl NodeOptions {
         if workers == 0 {
             return Err("--workers must be ≥ 1".into());
         }
+        if join && membership.is_none() {
+            return Err("--join requires membership (drop --no-membership)".into());
+        }
         Ok(NodeOptions {
             node,
             peers,
@@ -143,6 +159,8 @@ impl NodeOptions {
             protocol: ProtocolConfig::default(),
             tcp: TcpConfig::default(),
             run_for,
+            membership,
+            join,
         })
     }
 }
@@ -164,6 +182,11 @@ pub struct NodeRuntime {
     ingress: Option<hermes_net::IngressGuard>,
     acceptor: Option<JoinHandle<()>>,
     peer_downs: Arc<AtomicU64>,
+    status: Arc<MembershipStatus>,
+    tcp_stats: Arc<TcpStats>,
+    /// Raised when a client connection delivers the shutdown RPC; the
+    /// daemon's main loop polls it and winds the process down.
+    shutdown_requested: Arc<AtomicBool>,
 }
 
 impl NodeRuntime {
@@ -173,13 +196,27 @@ impl NodeRuntime {
     ///
     /// Fails if either listener cannot be bound.
     pub fn serve(opts: NodeOptions) -> std::io::Result<NodeRuntime> {
+        if opts.join && opts.membership.is_none() {
+            // Honoring join without membership is impossible (nothing can
+            // ever admit the node), and ignoring it would boot a blank
+            // store as a serving full member.
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "join requires the membership subsystem",
+            ));
+        }
         let ep = TcpEndpoint::bind(opts.node, &opts.peers, opts.tcp)?;
+        let tcp_stats = ep.stats();
         let client_listener = TcpListener::bind(opts.client_addr)?;
         client_listener.set_nonblocking(true)?;
         let client_addr = client_listener.local_addr()?;
         let store = Arc::new(Store::new(StoreConfig::default()));
         let running = Arc::new(AtomicBool::new(true));
         let view = MembershipView::initial(opts.peers.len());
+        let membership = opts.membership.map(|rm| MembershipOptions {
+            rm,
+            join: opts.join,
+        });
         let node = spawn_node(
             ep,
             view,
@@ -187,14 +224,17 @@ impl NodeRuntime {
             opts.workers,
             Arc::clone(&store),
             Arc::clone(&running),
+            membership,
         );
         let client_stop = Arc::new(AtomicBool::new(false));
+        let shutdown_requested = Arc::new(AtomicBool::new(false));
         let acceptor = {
             let lanes = node.lanes.clone();
             let router = node.router;
             let stop = Arc::clone(&client_stop);
+            let shutdown = Arc::clone(&shutdown_requested);
             std::thread::spawn(move || {
-                client_acceptor_main(client_listener, lanes, router, stop);
+                client_acceptor_main(client_listener, lanes, router, stop, shutdown);
             })
         };
         Ok(NodeRuntime {
@@ -209,6 +249,9 @@ impl NodeRuntime {
             ingress: Some(node.guard),
             acceptor: Some(acceptor),
             peer_downs: node.peer_downs,
+            status: node.status,
+            tcp_stats,
+            shutdown_requested,
         })
     }
 
@@ -232,9 +275,47 @@ impl NodeRuntime {
         self.peer_downs.load(Ordering::Relaxed)
     }
 
+    /// Live membership gauges (current view, serving state, view changes).
+    pub fn membership(&self) -> &MembershipStatus {
+        &self.status
+    }
+
+    /// TCP transport counters (frames, dials, accepts, disconnects).
+    pub fn tcp_stats(&self) -> &TcpStats {
+        &self.tcp_stats
+    }
+
+    /// One coherent operator-facing snapshot of this replica's health.
+    pub fn stats(&self) -> NodeStats {
+        NodeStats {
+            epoch: self.status.epoch(),
+            view_changes: self.status.view_changes(),
+            members: self.status.members(),
+            shadows: self.status.shadows(),
+            serving: self.status.serving(),
+            synced: self.status.synced(),
+            peer_disconnects: self.peer_disconnects(),
+            reconnect_dials: self.tcp_stats.dials(),
+            frames_sent: self.tcp_stats.frames_sent(),
+            frames_received: self.tcp_stats.frames_received(),
+        }
+    }
+
+    /// Whether a client connection has delivered the shutdown RPC
+    /// ([`request_shutdown`]); the daemon's main loop polls this and exits
+    /// cleanly, joining worker and transport threads.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_requested.load(Ordering::SeqCst)
+    }
+
     /// Lock-free local read from this node's seqlock mirror (paper §4.1);
-    /// `None` when the key is invalidated mid-write.
+    /// `None` when the key is invalidated mid-write, or when this replica
+    /// is not serving (expired lease, deposed from the view, shadow) —
+    /// the mirror may be stale then.
     pub fn read_local(&self, key: hermes_common::Key) -> Option<hermes_common::Value> {
+        if !self.status.serving() {
+            return None;
+        }
         let mut buf = Vec::new();
         match self.store.get(key, &mut buf) {
             None => Some(hermes_common::Value::EMPTY),
@@ -274,6 +355,64 @@ impl Drop for NodeRuntime {
     }
 }
 
+/// An operator-facing health snapshot of one replica daemon
+/// ([`NodeRuntime::stats`]) — the numbers `hermesd` logs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Epoch of the currently installed membership view.
+    pub epoch: u64,
+    /// Reconfigured views installed since start.
+    pub view_changes: u64,
+    /// Members of the current view.
+    pub members: NodeSet,
+    /// Shadows of the current view.
+    pub shadows: NodeSet,
+    /// Whether this replica currently serves client operations.
+    pub serving: bool,
+    /// Whether shadow catch-up completed (always true unless `--join`).
+    pub synced: bool,
+    /// Peer connections this node's transport readers observed dying.
+    pub peer_disconnects: u64,
+    /// Successful outbound dials (first connects and reconnects).
+    pub reconnect_dials: u64,
+    /// Wings frames written to peers.
+    pub frames_sent: u64,
+    /// Wings frames received from peers.
+    pub frames_received: u64,
+}
+
+/// Asks the replica daemon at `addr` (its client port) to shut down
+/// cleanly, waiting up to `timeout` for the acknowledgement.
+///
+/// # Errors
+///
+/// Fails if the daemon is unreachable or hangs up before acknowledging.
+pub fn request_shutdown(addr: SocketAddr, timeout: Duration) -> std::io::Result<()> {
+    let deadline = Instant::now() + timeout;
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(25)))?;
+    write_frame_to(&mut stream, &rpc::encode_shutdown_bytes(0))?;
+    let stop = AtomicBool::new(false);
+    // Deadline-bounded read: a wedged daemon (accepts but never replies)
+    // must not hang us past the caller's timeout.
+    match read_frame_deadline(&mut stream, MAX_CLIENT_FRAME, &stop, deadline) {
+        FrameRead::Frame(payload) => match rpc::decode_reply(&payload) {
+            Ok((_, Reply::WriteOk)) => Ok(()),
+            _ => Err(std::io::Error::other("unexpected shutdown ack")),
+        },
+        FrameRead::Stopped => unreachable!("stop flag is never raised"),
+        FrameRead::Closed if Instant::now() >= deadline => Err(std::io::Error::new(
+            ErrorKind::TimedOut,
+            "no shutdown acknowledgement",
+        )),
+        FrameRead::Closed => Err(std::io::Error::new(
+            ErrorKind::ConnectionAborted,
+            "daemon hung up before acknowledging shutdown",
+        )),
+    }
+}
+
 /// Accepts client connections and hands each to a reader/writer thread
 /// pair; joins them all before exiting so shutdown is clean.
 fn client_acceptor_main(
@@ -281,6 +420,7 @@ fn client_acceptor_main(
     lanes: Vec<Sender<Command>>,
     router: ShardRouter,
     stop: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
 ) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     let mut next_client = REMOTE_CLIENT_BASE;
@@ -292,8 +432,9 @@ fn client_acceptor_main(
                 next_client += 1;
                 let lanes = lanes.clone();
                 let stop = Arc::clone(&stop);
+                let shutdown = Arc::clone(&shutdown);
                 conns.push(std::thread::spawn(move || {
-                    serve_client_conn(stream, client, lanes, router, stop);
+                    serve_client_conn(stream, client, lanes, router, stop, shutdown);
                 }));
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -317,6 +458,7 @@ fn serve_client_conn(
     lanes: Vec<Sender<Command>>,
     router: ShardRouter,
     stop: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
 ) {
     if stream.set_nodelay(true).is_err() || stream.set_read_timeout(Some(CLIENT_POLL)).is_err() {
         return;
@@ -361,8 +503,19 @@ fn serve_client_conn(
 
     let mut read_half = stream;
     while let FrameRead::Frame(payload) = read_frame_from(&mut read_half, MAX_CLIENT_FRAME, &stop) {
-        let Ok((seq, key, cop)) = rpc::decode_request(&payload) else {
+        let Ok(request) = rpc::decode_any(&payload) else {
             break; // Protocol error: drop the connection.
+        };
+        let (seq, key, cop) = match request {
+            rpc::Request::Op { seq, key, cop } => (seq, key, cop),
+            rpc::Request::Shutdown { seq } => {
+                // The shutdown RPC: acknowledge, then signal the daemon's
+                // main loop (which tears everything down cleanly).
+                in_flight.fetch_add(1, Ordering::Relaxed);
+                let _ = completions_tx.send((OpId::new(client, seq), Reply::WriteOk));
+                shutdown.store(true, Ordering::SeqCst);
+                continue;
+            }
         };
         let op = OpId::new(client, seq);
         let lane = router.lane_for_op(key, &cop);

@@ -34,6 +34,7 @@
 //! [`ClientSession`]s ([`ThreadCluster::session`]) with many operations in
 //! flight.
 
+use crate::membership::{boot_view, MembershipOptions, MembershipStatus};
 use crate::session::{ClientSession, LaneChannel};
 use crate::sharded::ShardedEngine;
 use crate::timers::DeadlineQueue;
@@ -42,11 +43,13 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hermes_common::{
     ClientId, ClientOp, Effect, Key, MembershipView, NodeId, OpId, Reply, RmwOp, ShardRouter, Value,
 };
-use hermes_core::{HermesNode, KeyState, Msg, ProtocolConfig};
+use hermes_core::{HermesNode, KeyState, Msg, ProtocolConfig, Ts, UpdateKind};
+use hermes_membership::{wire, MembershipDriver, RmEffect, RmMsg};
 use hermes_net::{Endpoint, InProcNet, IngressGuard, NetEvent, NetFaults, NetSender, Transport};
 use hermes_store::{SlotMeta, SlotState, Store, StoreConfig};
+use hermes_wings::control::{self, ControlMsg};
 use hermes_wings::{codec, decode_frame, Batcher, CreditConfig};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -80,6 +83,25 @@ pub(crate) enum Command {
     Net(NetEvent),
     /// A reconfigured membership view (installed on every lane).
     InstallView(MembershipView),
+    /// Stream this lane's committed per-key state to `to` as control-plane
+    /// sync chunks, finishing with a lane mark (shadow catch-up, paper
+    /// §3.4 *Recovery*; the pump fans a `SyncRequest` out to every lane).
+    SyncLane {
+        /// The catching-up shadow.
+        to: NodeId,
+    },
+    /// Install one key's committed state during shadow catch-up (routed to
+    /// the owning lane by the pump; newer-timestamp-wins).
+    InstallChunk {
+        /// The key.
+        key: Key,
+        /// Committed logical timestamp.
+        ts: Ts,
+        /// Kind of the last update.
+        kind: UpdateKind,
+        /// Committed value.
+        value: Value,
+    },
     /// Stop the worker thread.
     Shutdown,
 }
@@ -97,6 +119,10 @@ pub struct ClusterConfig {
     pub faults: NetFaults,
     /// Seed for the fault injector.
     pub seed: u64,
+    /// Run the live membership subsystem on every node (heartbeats,
+    /// failure detection, lease-gated view changes — DESIGN.md §5).
+    /// `None` pins the initial view for the cluster's lifetime.
+    pub membership: Option<hermes_membership::RmConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -107,6 +133,7 @@ impl Default for ClusterConfig {
             protocol: ProtocolConfig::default(),
             faults: NetFaults::default(),
             seed: 0,
+            membership: None,
         }
     }
 }
@@ -136,6 +163,8 @@ pub struct ThreadCluster {
     stores: Vec<Arc<Store>>,
     /// Per node: peer connections observed dying by the node's readers.
     peer_downs: Vec<Arc<AtomicU64>>,
+    /// Per node: live membership gauges (static when `membership` is off).
+    statuses: Vec<Arc<MembershipStatus>>,
     router: ShardRouter,
     next_seq: AtomicU64,
     next_session: AtomicU64,
@@ -215,7 +244,11 @@ impl ThreadCluster {
         let mut handles = Vec::new();
         let mut guards = Vec::new();
         let mut peer_downs = Vec::new();
+        let mut statuses = Vec::new();
         let mut router = None;
+        let membership = cfg
+            .membership
+            .map(|rm| MembershipOptions { rm, join: false });
         for (i, ep) in endpoints.into_iter().enumerate() {
             let node = spawn_node(
                 ep,
@@ -224,12 +257,14 @@ impl ThreadCluster {
                 cfg.workers_per_node,
                 Arc::clone(&stores[i]),
                 Arc::clone(&running),
+                membership,
             );
             router = Some(node.router);
             lanes.push(node.lanes);
             handles.extend(node.handles);
             guards.push(node.guard);
             peer_downs.push(node.peer_downs);
+            statuses.push(node.status);
         }
         ThreadCluster {
             handles,
@@ -237,6 +272,7 @@ impl ThreadCluster {
             lanes,
             stores,
             peer_downs,
+            statuses,
             router: router.expect("at least one node"),
             next_seq: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
@@ -280,6 +316,14 @@ impl ThreadCluster {
         self.peer_downs[node].load(Ordering::Relaxed)
     }
 
+    /// Live membership gauges of replica `node` (current view epoch,
+    /// members, serving state, view-change count). Static — the initial
+    /// view, serving forever — unless the cluster was launched with
+    /// [`ClusterConfig::membership`].
+    pub fn membership(&self, node: usize) -> &MembershipStatus {
+        &self.statuses[node]
+    }
+
     fn submit(&self, node: usize, key: Key, cop: ClientOp) -> Reply {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let op = OpId::new(ClientId(node as u64), seq);
@@ -318,8 +362,14 @@ impl ThreadCluster {
     /// bypassing the protocol workers — the CRCW fast path of paper §4.1.
     ///
     /// Returns `None` when the key is invalidated (a protocol read would
-    /// stall) — fall back to [`ThreadCluster::read`] in that case.
+    /// stall) — fall back to [`ThreadCluster::read`] in that case — or
+    /// when the replica is not serving (expired lease, deposed from the
+    /// view): the mirror may be stale then, and serving it would break
+    /// linearizability.
     pub fn read_local(&self, node: usize, key: Key) -> Option<Value> {
+        if !self.statuses[node].serving() {
+            return None;
+        }
         let mut buf = Vec::new();
         match self.stores[node].get(key, &mut buf) {
             None => Some(Value::EMPTY),
@@ -383,12 +433,19 @@ pub(crate) struct NodeHandle {
     pub(crate) handles: Vec<JoinHandle<()>>,
     pub(crate) guard: IngressGuard,
     pub(crate) peer_downs: Arc<AtomicU64>,
+    pub(crate) status: Arc<MembershipStatus>,
 }
 
 /// Spawns one replica node's worker threads over `ep` and points the
 /// transport's ingress at lane 0's command queue (the unified wakeup path).
 /// Shared by [`ThreadCluster`] (N nodes in one process) and
 /// [`NodeRuntime`](crate::NodeRuntime) (one node per process).
+///
+/// With `membership` set, the pump lane additionally hosts the node's
+/// [`MembershipDriver`]: heartbeats and view agreement ride as Wings
+/// control frames over the same transport, agreed views are installed into
+/// every shard lane, and client operations are lease-gated through the
+/// returned [`MembershipStatus`].
 pub(crate) fn spawn_node<E: Endpoint>(
     ep: E,
     view: MembershipView,
@@ -396,8 +453,13 @@ pub(crate) fn spawn_node<E: Endpoint>(
     workers_per_node: usize,
     store: Arc<Store>,
     running: Arc<AtomicBool>,
+    membership: Option<MembershipOptions>,
 ) -> NodeHandle {
-    let engine = ShardedEngine::new(ep.node_id(), view, protocol, workers_per_node);
+    let me = ep.node_id();
+    let join = membership.is_some_and(|m| m.join);
+    let boot = boot_view(view, me, join);
+    let status = Arc::new(MembershipStatus::new(boot, boot.is_serving(me), !join));
+    let engine = ShardedEngine::new(me, boot, protocol, workers_per_node);
     let (router, shards) = engine.into_shards();
     let channels: Vec<(Sender<Command>, Receiver<Command>)> =
         shards.iter().map(|_| unbounded()).collect();
@@ -406,13 +468,28 @@ pub(crate) fn spawn_node<E: Endpoint>(
     let peer_downs = Arc::new(AtomicU64::new(0));
     let mut handles = Vec::new();
     for (lane, (node, (_, rx))) in shards.into_iter().zip(channels).enumerate() {
-        let worker = Worker::new(lane, node, router, Arc::clone(&store), net_tx.clone());
+        let worker = Worker::new(
+            lane,
+            node,
+            router,
+            Arc::clone(&store),
+            net_tx.clone(),
+            Arc::clone(&status),
+        );
         let running = Arc::clone(&running);
         if lane == 0 {
             let peer_lanes = txs.clone();
             let peer_downs = Arc::clone(&peer_downs);
+            let glue = membership.map(|m| {
+                let driver = if m.join {
+                    MembershipDriver::joiner(me, boot, m.rm)
+                } else {
+                    MembershipDriver::new(me, boot, m.rm)
+                };
+                PumpMembership::new(driver, net_tx.clone(), Arc::clone(&status))
+            });
             handles.push(std::thread::spawn(move || {
-                pump_main(worker, rx, peer_lanes, running, peer_downs);
+                pump_main(worker, rx, peer_lanes, running, peer_downs, glue);
             }));
         } else {
             handles.push(std::thread::spawn(move || {
@@ -429,6 +506,7 @@ pub(crate) fn spawn_node<E: Endpoint>(
         handles,
         guard,
         peer_downs,
+        status,
     }
 }
 
@@ -446,11 +524,22 @@ struct Worker<S: NetSender> {
     /// Cached broadcast set of the current view, refreshed only on
     /// membership change (not rebuilt per effect drain).
     peers: Vec<NodeId>,
+    /// The node-wide serving gate (lease validity × view membership),
+    /// maintained by the pump's membership driver. One relaxed load per
+    /// client operation.
+    status: Arc<MembershipStatus>,
     fx: Vec<Effect<Msg>>,
 }
 
 impl<S: NetSender> Worker<S> {
-    fn new(lane: usize, node: HermesNode, router: ShardRouter, store: Arc<Store>, net: S) -> Self {
+    fn new(
+        lane: usize,
+        node: HermesNode,
+        router: ShardRouter,
+        store: Arc<Store>,
+        net: S,
+        status: Arc<MembershipStatus>,
+    ) -> Self {
         let mut worker = Worker {
             lane,
             node,
@@ -461,6 +550,7 @@ impl<S: NetSender> Worker<S> {
             timers: DeadlineQueue::new(),
             clients: HashMap::new(),
             peers: Vec::new(),
+            status,
             fx: Vec::new(),
         };
         worker.refresh_peers();
@@ -485,11 +575,25 @@ impl<S: NetSender> Worker<S> {
                 cop,
                 reply,
             } => {
+                // Lease gate (paper §3.4): an expired lease — minority
+                // partition, mid-view-change, shadow — refuses service
+                // without touching the protocol.
+                if !self.status.serving() {
+                    let _ = reply.send((op, Reply::NotOperational));
+                    return true;
+                }
                 self.clients.insert(op, reply);
                 self.node.on_client_op(op, key, cop, &mut self.fx);
                 self.drain_effects(Some(key));
             }
             Command::Deliver { from, msg } => self.handle_message(from, msg),
+            Command::SyncLane { to } => self.sync_lane(to),
+            Command::InstallChunk {
+                key,
+                ts,
+                kind,
+                value,
+            } => self.install_chunk(key, ts, kind, value),
             Command::InstallView(view) => {
                 self.node.on_membership_update(view, &mut self.fx);
                 self.refresh_peers();
@@ -534,6 +638,49 @@ impl<S: NetSender> Worker<S> {
         self.batcher.flush_into(|to, frame| net.send(to, frame));
     }
 
+    /// Installs one key's state from a shadow catch-up chunk
+    /// (newer-timestamp-wins, [`HermesNode::install_chunk`]) and mirrors it
+    /// so local reads observe the synced value.
+    fn install_chunk(&mut self, key: Key, ts: Ts, kind: UpdateKind, value: Value) {
+        self.node.install_chunk(key, ts, value, kind);
+        self.mirror_key(key);
+    }
+
+    /// Streams this lane's per-key state to the catching-up shadow `to` as
+    /// control frames, ending with this lane's mark. Values still in
+    /// flight are safe to ship: anything non-final here has a coordinator
+    /// driving it through the shadow-inclusive view, and the shadow merges
+    /// by timestamp.
+    fn sync_lane(&mut self, to: NodeId) {
+        for (key, e) in self.node.entries() {
+            let chunk = ControlMsg::SyncChunk {
+                key: *key,
+                ts: e.ts,
+                kind: e.kind,
+                value: e.value.clone(),
+            };
+            self.net.send(to, control::encode(&chunk));
+        }
+        let mark = ControlMsg::SyncMark {
+            lane: self.lane as u32,
+            lanes: self.router.spec().workers() as u32,
+        };
+        self.net.send(to, control::encode(&mark));
+    }
+
+    /// Mirrors `key`'s protocol state into the shared seqlock KVS (paper
+    /// §4.1) so other threads serve lock-free local reads.
+    fn mirror_key(&mut self, key: Key) {
+        let (state, ts, value) = self.node.key_mirror(key);
+        let meta = if state == KeyState::Valid {
+            SlotMeta::valid(ts.version, ts.cid)
+        } else {
+            SlotMeta::invalid(ts.version, ts.cid)
+        };
+        let bytes = value.map_or(&[][..], |v| v.as_bytes());
+        self.store.put(key, meta, bytes);
+    }
+
     /// Mirrors the touched key's state into the seqlock KVS so other
     /// threads can serve lock-free local reads (paper §4.1), then
     /// interprets the effects of the protocol transition. The mirror comes
@@ -544,14 +691,7 @@ impl<S: NetSender> Worker<S> {
     /// write.
     fn drain_effects(&mut self, touched: Option<Key>) {
         if let Some(touched) = touched {
-            let (state, ts, value) = self.node.key_mirror(touched);
-            let meta = if state == KeyState::Valid {
-                SlotMeta::valid(ts.version, ts.cid)
-            } else {
-                SlotMeta::invalid(ts.version, ts.cid)
-            };
-            let bytes = value.map_or(&[][..], |v| v.as_bytes());
-            self.store.put(touched, meta, bytes);
+            self.mirror_key(touched);
         }
         let mut fx = std::mem::take(&mut self.fx);
         for e in fx.drain(..) {
@@ -587,6 +727,160 @@ impl<S: NetSender> Worker<S> {
     }
 }
 
+/// Re-request a shadow's bulk sync after this long without completing it
+/// (lost chunks re-stream; installs are idempotent by timestamp).
+const SYNC_RETRY: Duration = Duration::from_millis(250);
+
+/// The live membership subsystem as hosted on a node's pump lane: a
+/// [`MembershipDriver`] whose effects travel as Wings control frames over
+/// the node's existing transport, whose agreed views are installed into
+/// every shard lane, and whose lease verdict gates client service through
+/// the shared [`MembershipStatus`] (DESIGN.md §5).
+struct PumpMembership<S: NetSender> {
+    driver: MembershipDriver,
+    net: S,
+    status: Arc<MembershipStatus>,
+    rmfx: Vec<RmEffect>,
+    /// Lanes of the sync source that finished streaming chunks to us.
+    marks: HashSet<u32>,
+    /// Lane count announced by the sync source's marks.
+    lanes_expected: Option<u32>,
+    last_sync_request: Option<Instant>,
+}
+
+impl<S: NetSender> PumpMembership<S> {
+    fn new(driver: MembershipDriver, net: S, status: Arc<MembershipStatus>) -> Self {
+        PumpMembership {
+            driver,
+            net,
+            status,
+            rmfx: Vec::new(),
+            marks: HashSet::new(),
+            lanes_expected: None,
+            last_sync_request: None,
+        }
+    }
+
+    /// Periodic drive: heartbeats, failure detection, view agreement, the
+    /// join state machine, sync (re-)requests and the serving gate.
+    fn tick(&mut self, worker: &mut Worker<S>, lanes: &[Sender<Command>]) {
+        self.driver.tick(&mut self.rmfx);
+        self.apply_effects(worker, lanes);
+        if self.driver.needs_sync() {
+            let due = self
+                .last_sync_request
+                .is_none_or(|at| at.elapsed() >= SYNC_RETRY);
+            if due {
+                self.last_sync_request = Some(Instant::now());
+                if let Some(source) = self.driver.view().members.min() {
+                    self.net
+                        .send(source, control::encode(&ControlMsg::SyncRequest));
+                }
+            }
+        }
+        self.status.set_serving(self.driver.serving());
+    }
+
+    /// Consumes `frame` if it is control-plane; returns whether it was.
+    fn on_frame(
+        &mut self,
+        worker: &mut Worker<S>,
+        lanes: &[Sender<Command>],
+        from: NodeId,
+        frame: &Bytes,
+    ) -> bool {
+        let Some(decoded) = control::decode(frame) else {
+            return false;
+        };
+        let Ok(msg) = decoded else {
+            return true; // Malformed control frame: drop it.
+        };
+        match msg {
+            ControlMsg::Membership(payload) => {
+                self.driver.on_control(from, &payload, &mut self.rmfx);
+                self.apply_effects(worker, lanes);
+            }
+            ControlMsg::SyncRequest => {
+                // Fan the request out: every lane streams its shard.
+                for lane in &lanes[1..] {
+                    let _ = lane.send(Command::SyncLane { to: from });
+                }
+                worker.handle_command(Command::SyncLane { to: from });
+            }
+            ControlMsg::SyncChunk {
+                key,
+                ts,
+                kind,
+                value,
+            } => {
+                let owner = worker.router.spec().owner(key);
+                if owner == worker.lane {
+                    worker.install_chunk(key, ts, kind, value);
+                } else {
+                    let _ = lanes[owner].send(Command::InstallChunk {
+                        key,
+                        ts,
+                        kind,
+                        value,
+                    });
+                }
+            }
+            ControlMsg::SyncMark { lane, lanes: total } => {
+                if self.lanes_expected != Some(total) {
+                    self.marks.clear();
+                    self.lanes_expected = Some(total);
+                }
+                self.marks.insert(lane);
+                if self.driver.needs_sync() && self.marks.len() as u32 >= total {
+                    self.driver.mark_synced();
+                    self.status.set_synced(true);
+                }
+            }
+        }
+        true
+    }
+
+    /// A transport reader saw `peer`'s connection die: feed the failure
+    /// detector (suspicion is accelerated; a live peer's next heartbeat
+    /// clears it, and the lease-expiry wait still guards reconfiguration).
+    fn on_peer_down(&mut self, peer: NodeId) {
+        self.driver.on_peer_down(peer);
+    }
+
+    fn apply_effects(&mut self, worker: &mut Worker<S>, lanes: &[Sender<Command>]) {
+        let mut fx = std::mem::take(&mut self.rmfx);
+        for e in fx.drain(..) {
+            match e {
+                RmEffect::Send(to, msg) => self.send_rm(to, &msg),
+                RmEffect::Broadcast(msg) => {
+                    let frame = rm_frame(&msg);
+                    let me = self.driver.node_id();
+                    for to in self.driver.view().broadcast_set(me) {
+                        self.net.send(to, frame.clone());
+                    }
+                }
+                RmEffect::InstallView(view) => {
+                    self.status.record_view(view);
+                    for lane in &lanes[1..] {
+                        let _ = lane.send(Command::InstallView(view));
+                    }
+                    worker.handle_command(Command::InstallView(view));
+                }
+            }
+        }
+        self.rmfx = fx;
+    }
+
+    fn send_rm(&self, to: NodeId, msg: &RmMsg) {
+        self.net.send(to, rm_frame(msg));
+    }
+}
+
+/// Encodes one membership message as a complete Wings control frame.
+fn rm_frame(msg: &RmMsg) -> Bytes {
+    control::encode(&ControlMsg::Membership(Bytes::from(wire::encode(msg))))
+}
+
 /// Decodes one Wings frame and routes each message to the lane owning its
 /// key: processed inline when this worker owns it, forwarded otherwise.
 fn handle_frame<S: NetSender>(
@@ -616,18 +910,30 @@ fn pump_command<S: NetSender>(
     worker: &mut Worker<S>,
     lanes: &[Sender<Command>],
     peer_downs: &AtomicU64,
+    membership: &mut Option<PumpMembership<S>>,
     cmd: Command,
 ) -> bool {
     match cmd {
         Command::Net(NetEvent::Frame(from, frame)) => {
+            // Control frames (membership + shadow catch-up) never reach the
+            // data-plane demux.
+            if let Some(m) = membership.as_mut() {
+                if m.on_frame(worker, lanes, from, &frame) {
+                    return true;
+                }
+            }
             handle_frame(worker, lanes, from, &frame);
             true
         }
-        Command::Net(NetEvent::PeerDown(_)) => {
-            // Surface the disconnect (tests/operators observe the count);
-            // the protocol itself needs nothing — message-loss timeouts
-            // already cover whatever the dead connection swallowed.
+        Command::Net(NetEvent::PeerDown(peer)) => {
+            // Surface the disconnect (tests/operators observe the count).
+            // The data plane needs nothing — message-loss timeouts cover
+            // whatever the dead connection swallowed — but the membership
+            // driver uses it as an early suspicion hint.
             peer_downs.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = membership.as_mut() {
+                m.on_peer_down(peer);
+            }
             true
         }
         Command::Net(NetEvent::PeerUp(_)) => true,
@@ -650,6 +956,7 @@ fn pump_main<S: NetSender>(
     lanes: Vec<Sender<Command>>,
     running: Arc<AtomicBool>,
     peer_downs: Arc<AtomicU64>,
+    mut membership: Option<PumpMembership<S>>,
 ) {
     while running.load(Ordering::Relaxed) {
         let wait = worker
@@ -659,7 +966,7 @@ fn pump_main<S: NetSender>(
             .unwrap_or(MLT);
         match commands.recv_timeout(wait) {
             Ok(cmd) => {
-                if !pump_command(&mut worker, &lanes, &peer_downs, cmd) {
+                if !pump_command(&mut worker, &lanes, &peer_downs, &mut membership, cmd) {
                     return;
                 }
                 // Drain a bounded burst before timers/flush.
@@ -667,13 +974,18 @@ fn pump_main<S: NetSender>(
                     let Ok(cmd) = commands.try_recv() else {
                         break;
                     };
-                    if !pump_command(&mut worker, &lanes, &peer_downs, cmd) {
+                    if !pump_command(&mut worker, &lanes, &peer_downs, &mut membership, cmd) {
                         return;
                     }
                 }
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return,
+        }
+        // Membership runs on the pump's cadence: the loop wakes at least
+        // every MLT, which is finer than the heartbeat interval.
+        if let Some(m) = membership.as_mut() {
+            m.tick(&mut worker, &lanes);
         }
         worker.expire_timers();
         // Flush outstanding frames (opportunistic batching: never hold).

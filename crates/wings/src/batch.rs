@@ -102,6 +102,9 @@ impl Batcher {
     fn seal(buf: &mut BytesMut, count: &mut usize) -> Bytes {
         let mut frame = std::mem::take(buf);
         let n = *count as u16;
+        // Data frames always carry ≥ 1 message: a zero count is the escape
+        // reserved for control frames (see [`crate::control`]).
+        debug_assert!(n >= 1, "data frames never seal empty");
         frame[0..2].copy_from_slice(&n.to_le_bytes());
         *count = 0;
         frame.freeze()

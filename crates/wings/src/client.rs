@@ -20,6 +20,7 @@ const REQ_READ: u8 = 0;
 const REQ_WRITE: u8 = 1;
 const REQ_CAS: u8 = 2;
 const REQ_FETCH_ADD: u8 = 3;
+const REQ_SHUTDOWN: u8 = 4;
 
 const RSP_READ_OK: u8 = 0;
 const RSP_WRITE_OK: u8 = 1;
@@ -127,8 +128,52 @@ pub fn encode_request_bytes(seq: u64, key: Key, cop: &ClientOp) -> Bytes {
 ///
 /// # Errors
 ///
-/// Returns a [`ClientCodecError`] on truncation or an unknown tag.
+/// Returns a [`ClientCodecError`] on truncation or an unknown tag
+/// (including the admin [`Request::Shutdown`] tag — use [`decode_any`] to
+/// accept both).
 pub fn decode_request(buf: &[u8]) -> Result<(u64, Key, ClientOp), ClientCodecError> {
+    match decode_any(buf)? {
+        Request::Op { seq, key, cop } => Ok((seq, key, cop)),
+        Request::Shutdown { .. } => Err(ClientCodecError::BadTag(REQ_SHUTDOWN)),
+    }
+}
+
+/// Everything a client-port connection can ask of a replica daemon: a data
+/// operation, or the administrative shutdown of the whole daemon.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// A key-value operation (the common case).
+    Op {
+        /// Session-local sequence number echoed by the response.
+        seq: u64,
+        /// Target key.
+        key: Key,
+        /// The operation.
+        cop: ClientOp,
+    },
+    /// Ask the daemon to exit cleanly (the shutdown RPC; acknowledged with
+    /// a [`Reply::WriteOk`] echoing `seq` before the daemon winds down).
+    Shutdown {
+        /// Session-local sequence number echoed by the acknowledgement.
+        seq: u64,
+    },
+}
+
+/// Encodes a shutdown request into a fresh buffer.
+pub fn encode_shutdown_bytes(seq: u64) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u64_le(seq);
+    out.put_u64_le(0); // Key slot, unused: keeps one request layout.
+    out.put_u8(REQ_SHUTDOWN);
+    out.freeze()
+}
+
+/// Decodes one client request, admin requests included.
+///
+/// # Errors
+///
+/// Returns a [`ClientCodecError`] on truncation or an unknown tag.
+pub fn decode_any(buf: &[u8]) -> Result<Request, ClientCodecError> {
     let mut c = Cursor::new(buf);
     let seq = c.u64()?;
     let key = Key(c.u64()?);
@@ -141,9 +186,10 @@ pub fn decode_request(buf: &[u8]) -> Result<(u64, Key, ClientOp), ClientCodecErr
             new: c.value()?,
         }),
         REQ_FETCH_ADD => ClientOp::Rmw(RmwOp::FetchAdd { delta: c.u64()? }),
+        REQ_SHUTDOWN => return Ok(Request::Shutdown { seq }),
         other => return Err(ClientCodecError::BadTag(other)),
     };
-    Ok((seq, key, cop))
+    Ok(Request::Op { seq, key, cop })
 }
 
 /// Encodes one client response (appending to `out`).
@@ -296,6 +342,28 @@ mod tests {
         let mut rsp = encode_reply_bytes(1, &Reply::WriteOk).to_vec();
         rsp[8] = 77;
         assert_eq!(decode_reply(&rsp), Err(ClientCodecError::BadTag(77)));
+    }
+
+    #[test]
+    fn shutdown_request_roundtrips_and_is_rejected_by_the_op_decoder() {
+        let frame = encode_shutdown_bytes(17);
+        assert_eq!(decode_any(&frame).unwrap(), Request::Shutdown { seq: 17 });
+        // The op-only decoder refuses it (callers not expecting admin
+        // requests treat it as a protocol error).
+        assert_eq!(
+            decode_request(&frame),
+            Err(ClientCodecError::BadTag(REQ_SHUTDOWN))
+        );
+        // Data requests decode identically through both entry points.
+        let op = encode_request_bytes(5, Key(9), &ClientOp::Read);
+        assert_eq!(
+            decode_any(&op).unwrap(),
+            Request::Op {
+                seq: 5,
+                key: Key(9),
+                cop: ClientOp::Read
+            }
+        );
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   (responses) and explicit, batched credit-update messages;
 //! * [`client`] — the request/response wire format of the client-facing
 //!   RPC port served by `hermesd` replica daemons;
+//! * [`control`] — the control-plane frame kind (zero-count escape)
+//!   carrying membership traffic and shadow-replica catch-up streams next
+//!   to the data frames;
 //! * broadcast is a series of unicasts sharing one payload
 //!   (`bytes::Bytes` clones), mirroring Wings' linked-list of work requests
 //!   pointing at a single buffer.
@@ -41,6 +44,7 @@
 
 pub mod client;
 pub mod codec;
+pub mod control;
 
 mod batch;
 mod credits;

@@ -1,23 +1,63 @@
 //! `hermesd` — one Hermes replica as its own OS process.
 //!
 //! Binds a replication listener (TCP, length-prefixed Wings frames) and a
-//! client RPC port, then serves until stdin closes (the supervising
-//! process dropped us), `--duration` elapses, or the process is killed.
-//! Three of these on one box are a real multi-process Hermes cluster:
+//! client RPC port, runs the live membership subsystem (heartbeats, lease
+//! expiry → view changes, shadow rejoin — DESIGN.md §5), and serves until
+//! told to stop. Three of these on one box are a real multi-process Hermes
+//! cluster that survives `kill -9` of a replica:
 //!
 //! ```sh
 //! cargo run --release --example hermesd -- --node 0 \
 //!     --peers 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 \
 //!     --client 127.0.0.1:8101 &
 //! # ... same for --node 1 / --node 2 with their own --client ports.
+//! # A killed replica restarts with --join: it re-enters as a shadow,
+//! # bulk-syncs the dataset, and is promoted back to full member.
 //! ```
 //!
-//! `examples/tcp_cluster.rs` spawns exactly this daemon three times over
-//! loopback and checks a concurrent-session history for linearizability.
+//! Clean exit paths, all of which join worker and transport threads:
+//!
+//! * stdin closing (the supervising process hung up),
+//! * `--duration` elapsing,
+//! * ctrl-c / SIGINT,
+//! * the shutdown RPC on the client port
+//!   (`hermes_replica::request_shutdown`).
+//!
+//! The daemon logs every membership view transition and a transport stats
+//! line on exit, so operators can watch reconnects and view changes.
 
 use hermes::prelude::*;
 use std::io::Read;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// Raised by the SIGINT handler; polled by the main loop.
+static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+
+/// Installs a minimal SIGINT handler (an async-signal-safe atomic store)
+/// without any external dependency: std already links libc.
+#[cfg(unix)]
+fn install_sigint_handler() {
+    unsafe extern "C" fn on_sigint(_sig: i32) {
+        SIGINT_SEEN.store(true, Ordering::Relaxed);
+    }
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    let handler: unsafe extern "C" fn(i32) = on_sigint;
+    unsafe {
+        signal(SIGINT, handler as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
+
+fn fmt_set(set: hermes::common::NodeSet) -> String {
+    let ids: Vec<String> = set.iter().map(|n| n.0.to_string()).collect();
+    format!("{{{}}}", ids.join(","))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,13 +67,15 @@ fn main() {
             eprintln!("hermesd: {e}");
             eprintln!(
                 "usage: hermesd --node <id> --peers <addr,addr,...> --client <addr> \
-                 [--workers <n>] [--duration <secs>]"
+                 [--workers <n>] [--duration <secs>] [--join] [--no-membership]"
             );
             std::process::exit(2);
         }
     };
+    install_sigint_handler();
     let run_for = opts.run_for;
     let node = opts.node;
+    let joining = opts.join;
     let runtime = match NodeRuntime::serve(opts) {
         Ok(rt) => rt,
         Err(e) => {
@@ -42,15 +84,17 @@ fn main() {
         }
     };
     println!(
-        "hermesd: node {} serving clients at {} with {} workers",
+        "hermesd: node {} serving clients at {} with {} workers{}",
         runtime.node_id(),
         runtime.client_addr(),
-        runtime.workers()
+        runtime.workers(),
+        if joining { " (joining as shadow)" } else { "" }
     );
 
-    // Run until stdin closes (supervisor hung up) or --duration elapses.
+    // Run until stdin closes (supervisor hung up), --duration elapses,
+    // SIGINT arrives, or a client delivers the shutdown RPC.
     let deadline = run_for.map(|d| Instant::now() + d);
-    let stdin_closed = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stdin_closed = std::sync::Arc::new(AtomicBool::new(false));
     let watcher = {
         let stdin_closed = std::sync::Arc::clone(&stdin_closed);
         std::thread::spawn(move || {
@@ -58,20 +102,52 @@ fn main() {
             let mut stdin = std::io::stdin();
             // read() returning Ok(0) is EOF: the parent dropped our stdin.
             while !matches!(stdin.read(&mut sink), Ok(0) | Err(_)) {}
-            stdin_closed.store(true, std::sync::atomic::Ordering::SeqCst);
+            stdin_closed.store(true, Ordering::SeqCst);
         })
     };
+    let mut last = runtime.stats();
     loop {
-        if stdin_closed.load(std::sync::atomic::Ordering::SeqCst) {
+        if stdin_closed.load(Ordering::SeqCst) {
             break;
         }
         if deadline.is_some_and(|d| Instant::now() >= d) {
             break;
         }
-        std::thread::sleep(Duration::from_millis(50));
+        if SIGINT_SEEN.load(Ordering::Relaxed) {
+            println!("hermesd: node {node} caught SIGINT");
+            break;
+        }
+        if runtime.shutdown_requested() {
+            println!("hermesd: node {node} shutdown RPC received");
+            break;
+        }
+        let stats = runtime.stats();
+        // Log every membership transition (view change, serve/sync flips).
+        if (stats.epoch, stats.serving, stats.synced) != (last.epoch, last.serving, last.synced) {
+            println!(
+                "hermesd: node {node} view epoch={} members={} shadows={} \
+                 serving={} synced={} (view_changes={})",
+                stats.epoch,
+                fmt_set(stats.members),
+                fmt_set(stats.shadows),
+                stats.serving,
+                stats.synced,
+                stats.view_changes,
+            );
+            last = stats;
+        }
+        std::thread::sleep(Duration::from_millis(25));
     }
-    let disconnects = runtime.peer_disconnects();
+    let stats = runtime.stats();
     runtime.shutdown();
     drop(watcher); // Detached: blocked in read() until our stdin closes.
-    println!("hermesd: node {node} clean shutdown ({disconnects} peer disconnects observed)");
+    println!(
+        "hermesd: node {node} transport: {} frames out, {} in, {} dials, \
+         {} peer disconnects",
+        stats.frames_sent, stats.frames_received, stats.reconnect_dials, stats.peer_disconnects,
+    );
+    println!(
+        "hermesd: node {node} clean shutdown (epoch={} view_changes={})",
+        stats.epoch, stats.view_changes
+    );
 }

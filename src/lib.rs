@@ -66,9 +66,11 @@ pub mod prelude {
         Reply, RmwOp, ShardRouter, ShardSpec, Value,
     };
     pub use hermes_core::{HermesNode, KeyState, Msg, ProtocolConfig, Ts, UpdateKind};
+    pub use hermes_membership::RmConfig;
     pub use hermes_replica::{
-        run_sim, ClientSession, ClusterConfig, CostModel, NodeOptions, NodeRuntime, RemoteChannel,
-        RunReport, SessionChannel, ShardedEngine, SimConfig, ThreadCluster, Ticket,
+        request_shutdown, run_sim, ClientSession, ClusterConfig, CostModel, MembershipOptions,
+        MembershipStatus, NodeOptions, NodeRuntime, NodeStats, RemoteChannel, RunReport,
+        SessionChannel, ShardedEngine, SimConfig, ThreadCluster, Ticket,
     };
     pub use hermes_workload::{
         run_closed_loop, ClosedLoopConfig, ClosedLoopReport, PipelinedKv, Workload, WorkloadConfig,
