@@ -31,6 +31,7 @@ mod ids;
 mod nodeset;
 pub mod protocol;
 pub mod shard;
+pub mod txn;
 mod value;
 
 pub use error::{ClientError, ProtocolFault};
@@ -38,4 +39,5 @@ pub use ids::{ClientId, Epoch, Key, NodeId, OpId};
 pub use nodeset::NodeSet;
 pub use protocol::{Capabilities, ClientOp, Effect, MembershipView, ReplicaProtocol, Reply, RmwOp};
 pub use shard::{ShardRouter, ShardSpec};
+pub use txn::{TxnAbort, TxnOp, TxnReply};
 pub use value::Value;

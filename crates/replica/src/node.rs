@@ -20,8 +20,11 @@
 
 use crate::membership::{MembershipOptions, MembershipStatus};
 use crate::threaded::{spawn_node, Command, Completion};
-use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
-use hermes_common::{ClientId, MembershipView, NodeId, NodeSet, OpId, Reply, ShardRouter};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use hermes_common::{
+    ClientId, MembershipView, NodeId, NodeSet, OpId, Reply, ShardRouter, TxnAbort, TxnOp, TxnReply,
+};
 use hermes_core::ProtocolConfig;
 use hermes_membership::RmConfig;
 use hermes_net::{
@@ -29,6 +32,7 @@ use hermes_net::{
     TcpEndpoint, TcpStats,
 };
 use hermes_store::{Store, StoreConfig};
+use hermes_txn::{TxnConfig, TxnMachine, TxnToken};
 use hermes_wings::client as rpc;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -40,6 +44,19 @@ use std::time::{Duration, Instant};
 /// Remote connections' protocol-level client ids live above this base so
 /// they can never collide with in-process session ids.
 const REMOTE_CLIENT_BASE: u64 = 1 << 33;
+
+/// Server-side transaction coordinators submit their sub-operations under
+/// ids above this base (one fresh id per transaction, so lock tokens and
+/// `OpId`s are globally unique).
+const TXN_CLIENT_BASE: u64 = 1 << 34;
+
+/// Allocator for [`TXN_CLIENT_BASE`] ids, shared by every connection
+/// thread of the process.
+static NEXT_TXN_CLIENT: AtomicU64 = AtomicU64::new(0);
+
+/// Provider of the stats-RPC payload, captured from the runtime's gauges
+/// by the client acceptor.
+type StatsSource = dyn Fn() -> rpc::StatsPayload + Send + Sync;
 
 /// Accept/read poll granularity of the client-port service.
 const CLIENT_POLL: Duration = Duration::from_millis(25);
@@ -183,6 +200,8 @@ pub struct NodeRuntime {
     acceptor: Option<JoinHandle<()>>,
     peer_downs: Arc<AtomicU64>,
     status: Arc<MembershipStatus>,
+    /// Client operations handled per worker lane (stats RPC gauge).
+    lane_ops: Arc<Vec<AtomicU64>>,
     tcp_stats: Arc<TcpStats>,
     /// Raised when a client connection delivers the shutdown RPC; the
     /// daemon's main loop polls it and winds the process down.
@@ -228,13 +247,27 @@ impl NodeRuntime {
         );
         let client_stop = Arc::new(AtomicBool::new(false));
         let shutdown_requested = Arc::new(AtomicBool::new(false));
+        let stats_source: Arc<StatsSource> = {
+            let status = Arc::clone(&node.status);
+            let lane_ops = Arc::clone(&node.lane_ops);
+            Arc::new(move || rpc::StatsPayload {
+                epoch: status.epoch(),
+                view_changes: status.view_changes(),
+                members: status.members(),
+                shadows: status.shadows(),
+                serving: status.serving(),
+                synced: status.synced(),
+                lane_ops: lane_ops.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            })
+        };
         let acceptor = {
             let lanes = node.lanes.clone();
             let router = node.router;
             let stop = Arc::clone(&client_stop);
             let shutdown = Arc::clone(&shutdown_requested);
+            let stats = Arc::clone(&stats_source);
             std::thread::spawn(move || {
-                client_acceptor_main(client_listener, lanes, router, stop, shutdown);
+                client_acceptor_main(client_listener, lanes, router, stop, shutdown, stats);
             })
         };
         Ok(NodeRuntime {
@@ -250,6 +283,7 @@ impl NodeRuntime {
             acceptor: Some(acceptor),
             peer_downs: node.peer_downs,
             status: node.status,
+            lane_ops: node.lane_ops,
             tcp_stats,
             shutdown_requested,
         })
@@ -285,6 +319,14 @@ impl NodeRuntime {
         &self.tcp_stats
     }
 
+    /// Client operations handled per worker lane since start.
+    pub fn lane_ops(&self) -> Vec<u64> {
+        self.lane_ops
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// One coherent operator-facing snapshot of this replica's health.
     pub fn stats(&self) -> NodeStats {
         NodeStats {
@@ -298,6 +340,7 @@ impl NodeRuntime {
             reconnect_dials: self.tcp_stats.dials(),
             frames_sent: self.tcp_stats.frames_sent(),
             frames_received: self.tcp_stats.frames_received(),
+            lane_ops: self.lane_ops(),
         }
     }
 
@@ -356,8 +399,9 @@ impl Drop for NodeRuntime {
 }
 
 /// An operator-facing health snapshot of one replica daemon
-/// ([`NodeRuntime::stats`]) — the numbers `hermesd` logs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// ([`NodeRuntime::stats`]) — the numbers `hermesd` logs, also served
+/// remotely by the stats RPC ([`query_stats`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NodeStats {
     /// Epoch of the currently installed membership view.
     pub epoch: u64,
@@ -379,6 +423,8 @@ pub struct NodeStats {
     pub frames_sent: u64,
     /// Wings frames received from peers.
     pub frames_received: u64,
+    /// Client operations handled per worker lane since start.
+    pub lane_ops: Vec<u64>,
 }
 
 /// Asks the replica daemon at `addr` (its client port) to shut down
@@ -388,28 +434,10 @@ pub struct NodeStats {
 ///
 /// Fails if the daemon is unreachable or hangs up before acknowledging.
 pub fn request_shutdown(addr: SocketAddr, timeout: Duration) -> std::io::Result<()> {
-    let deadline = Instant::now() + timeout;
-    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(Duration::from_millis(25)))?;
-    write_frame_to(&mut stream, &rpc::encode_shutdown_bytes(0))?;
-    let stop = AtomicBool::new(false);
-    // Deadline-bounded read: a wedged daemon (accepts but never replies)
-    // must not hang us past the caller's timeout.
-    match read_frame_deadline(&mut stream, MAX_CLIENT_FRAME, &stop, deadline) {
-        FrameRead::Frame(payload) => match rpc::decode_reply(&payload) {
-            Ok((_, Reply::WriteOk)) => Ok(()),
-            _ => Err(std::io::Error::other("unexpected shutdown ack")),
-        },
-        FrameRead::Stopped => unreachable!("stop flag is never raised"),
-        FrameRead::Closed if Instant::now() >= deadline => Err(std::io::Error::new(
-            ErrorKind::TimedOut,
-            "no shutdown acknowledgement",
-        )),
-        FrameRead::Closed => Err(std::io::Error::new(
-            ErrorKind::ConnectionAborted,
-            "daemon hung up before acknowledging shutdown",
-        )),
+    let frame = exchange_frame(addr, &rpc::encode_shutdown_bytes(0), timeout)?;
+    match rpc::decode_reply(&frame) {
+        Ok((_, Reply::WriteOk)) => Ok(()),
+        _ => Err(std::io::Error::other("unexpected shutdown ack")),
     }
 }
 
@@ -421,6 +449,7 @@ fn client_acceptor_main(
     router: ShardRouter,
     stop: Arc<AtomicBool>,
     shutdown: Arc<AtomicBool>,
+    stats: Arc<StatsSource>,
 ) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     let mut next_client = REMOTE_CLIENT_BASE;
@@ -433,8 +462,9 @@ fn client_acceptor_main(
                 let lanes = lanes.clone();
                 let stop = Arc::clone(&stop);
                 let shutdown = Arc::clone(&shutdown);
+                let stats = Arc::clone(&stats);
                 conns.push(std::thread::spawn(move || {
-                    serve_client_conn(stream, client, lanes, router, stop, shutdown);
+                    serve_client_conn(stream, client, lanes, router, stop, shutdown, stats);
                 }));
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -451,7 +481,11 @@ fn client_acceptor_main(
 /// One client connection: requests in on this thread, completions out on a
 /// companion writer thread (completions are out of order — inter-key
 /// concurrency — so the writer matches them to requests by sequence
-/// number).
+/// number). Whole transactions ([`rpc::Request::Txn`]) are coordinated
+/// right here in the connection thread — the worker lanes host no
+/// transaction state — and stats queries are answered from the runtime's
+/// gauges; their replies are written directly by the reader under the
+/// shared write-half lock (frames stay whole, whoever writes them).
 fn serve_client_conn(
     stream: TcpStream,
     client: ClientId,
@@ -459,18 +493,27 @@ fn serve_client_conn(
     router: ShardRouter,
     stop: Arc<AtomicBool>,
     shutdown: Arc<AtomicBool>,
+    stats: Arc<StatsSource>,
 ) {
     if stream.set_nodelay(true).is_err() || stream.set_read_timeout(Some(CLIENT_POLL)).is_err() {
         return;
     }
-    let Ok(mut write_half) = stream.try_clone() else {
+    let Ok(write_half) = stream.try_clone() else {
         return;
+    };
+    // Both the writer thread (op completions) and this reader thread
+    // (txn/stats replies) write the socket; the mutex keeps frames whole.
+    let write_half = Arc::new(std::sync::Mutex::new(write_half));
+    let write_frame = |frame: &[u8]| -> bool {
+        let mut guard = write_half.lock().unwrap_or_else(|e| e.into_inner());
+        write_frame_to(&mut guard, frame).is_ok()
     };
     let (completions_tx, completions_rx) = unbounded::<Completion>();
     let in_flight = Arc::new(AtomicU64::new(0));
     let reader_done = Arc::new(AtomicBool::new(false));
 
     let writer = {
+        let write_half = Arc::clone(&write_half);
         let in_flight = Arc::clone(&in_flight);
         let reader_done = Arc::clone(&reader_done);
         let stop = Arc::clone(&stop);
@@ -480,7 +523,8 @@ fn serve_client_conn(
                     Ok((op, reply)) => {
                         in_flight.fetch_sub(1, Ordering::Relaxed);
                         let payload = rpc::encode_reply_bytes(op.seq, &reply);
-                        if write_frame_to(&mut write_half, &payload).is_err() {
+                        let mut guard = write_half.lock().unwrap_or_else(|e| e.into_inner());
+                        if write_frame_to(&mut guard, &payload).is_err() {
                             return;
                         }
                     }
@@ -508,6 +552,24 @@ fn serve_client_conn(
         };
         let (seq, key, cop) = match request {
             rpc::Request::Op { seq, key, cop } => (seq, key, cop),
+            rpc::Request::Txn { seq, op } => {
+                // Coordinate the whole transaction here, synchronously:
+                // sub-operations fan across the worker lanes and complete
+                // back into a private channel. The connection cannot start
+                // another request meanwhile, but its earlier pipelined ops
+                // keep completing through the writer.
+                let reply = drive_server_txn(&lanes, router, op);
+                if !write_frame(&rpc::encode_txn_reply_bytes(seq, &reply)) {
+                    break; // Connection dead; reply already resolved.
+                }
+                continue;
+            }
+            rpc::Request::Stats { seq } => {
+                if !write_frame(&rpc::encode_stats_reply_bytes(seq, &stats())) {
+                    break;
+                }
+                continue;
+            }
             rpc::Request::Shutdown { seq } => {
                 // The shutdown RPC: acknowledge, then signal the daemon's
                 // main loop (which tears everything down cleanly).
@@ -534,6 +596,113 @@ fn serve_client_conn(
     reader_done.store(true, Ordering::SeqCst);
     drop(completions_tx);
     let _ = writer.join();
+}
+
+/// Per-sub-op completion deadline of a server-side coordinator; generous —
+/// the lanes are in-process, so only a replica that stops serving
+/// (lease expiry, shutdown) can stall a sub-operation this long.
+const SERVER_TXN_WAIT: Duration = Duration::from_secs(10);
+
+/// Coordinates one whole transaction received over the client RPC port:
+/// the same `hermes-txn` machine a client-side session drives, hosted in
+/// the connection thread (lane 0 and the workers carry no transaction
+/// state). Because sub-operations run against in-process lanes, the only
+/// failure mode is replica shutdown/lease loss, reported as
+/// [`TxnAbort::NotOperational`] (outcome unresolved — clients treat it
+/// like an in-doubt transaction, not a guaranteed no-op).
+fn drive_server_txn(lanes: &[Sender<Command>], router: ShardRouter, op: TxnOp) -> TxnReply {
+    let client = ClientId(TXN_CLIENT_BASE + NEXT_TXN_CLIENT.fetch_add(1, Ordering::Relaxed));
+    let token = TxnToken::new(client.0, 0);
+    let mut machine = TxnMachine::new(token, op, TxnConfig::default());
+    let (tx, rx): (Sender<Completion>, Receiver<Completion>) = unbounded();
+    let mut subs = Vec::new();
+    loop {
+        if let Some(reply) = machine.outcome() {
+            return reply.clone();
+        }
+        if machine.in_doubt() {
+            // Lanes gone mid-transaction: the process is shutting down.
+            return TxnReply::Aborted(TxnAbort::NotOperational);
+        }
+        machine.poll(&mut subs);
+        for sub in subs.drain(..) {
+            // The machine's sub-op tag rides as the OpId sequence number,
+            // so completions map straight back.
+            let op_id = OpId::new(client, sub.tag);
+            let lane = router.lane_for_op(sub.key, &sub.cop);
+            let cmd = Command::Op {
+                op: op_id,
+                key: sub.key,
+                cop: sub.cop,
+                reply: tx.clone(),
+            };
+            if lanes[lane].send(cmd).is_err() {
+                machine.on_reply(op_id.seq, Reply::NotOperational);
+            }
+        }
+        match rx.recv_timeout(SERVER_TXN_WAIT) {
+            Ok((op_id, reply)) => machine.on_reply(op_id.seq, reply),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                return TxnReply::Aborted(TxnAbort::NotOperational);
+            }
+        }
+    }
+}
+
+/// Queries the membership/runtime stats of the replica daemon at `addr`
+/// (its client port) — the RPC that lets harnesses and operators observe
+/// view changes, catch-up progress and per-lane op counts without parsing
+/// daemon logs.
+///
+/// # Errors
+///
+/// Fails if the daemon is unreachable or answers with a malformed frame
+/// before `timeout` elapses.
+pub fn query_stats(addr: SocketAddr, timeout: Duration) -> std::io::Result<rpc::StatsPayload> {
+    let frame = exchange_frame(addr, &rpc::encode_stats_request_bytes(0), timeout)?;
+    match rpc::decode_stats_reply(&frame) {
+        Ok((_, stats)) => Ok(stats),
+        Err(e) => Err(std::io::Error::other(format!("bad stats reply: {e}"))),
+    }
+}
+
+/// Executes one whole multi-key transaction against the replica daemon at
+/// `addr` as a single RPC: the daemon's connection thread coordinates it
+/// (`hermes-txn`) and answers with the final [`TxnReply`]. The one-call
+/// remote counterpart of [`ClientSession::txn`](crate::ClientSession::txn).
+///
+/// # Errors
+///
+/// Fails if the daemon is unreachable or hangs up before replying; the
+/// transaction's own fate is then unknown (it may still commit server-side).
+pub fn remote_txn(addr: SocketAddr, op: &TxnOp, timeout: Duration) -> std::io::Result<TxnReply> {
+    let frame = exchange_frame(addr, &rpc::encode_txn_bytes(0, op), timeout)?;
+    match rpc::decode_txn_reply(&frame) {
+        Ok((_, reply)) => Ok(reply),
+        Err(e) => Err(std::io::Error::other(format!("bad txn reply: {e}"))),
+    }
+}
+
+/// One request/response exchange on a fresh client-port connection.
+fn exchange_frame(addr: SocketAddr, request: &Bytes, timeout: Duration) -> std::io::Result<Bytes> {
+    let deadline = Instant::now() + timeout;
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(25)))?;
+    write_frame_to(&mut stream, request)?;
+    let stop = AtomicBool::new(false);
+    match read_frame_deadline(&mut stream, MAX_CLIENT_FRAME, &stop, deadline) {
+        FrameRead::Frame(payload) => Ok(Bytes::from(payload)),
+        FrameRead::Stopped => unreachable!("stop flag is never raised"),
+        FrameRead::Closed if Instant::now() >= deadline => Err(std::io::Error::new(
+            ErrorKind::TimedOut,
+            "no reply before deadline",
+        )),
+        FrameRead::Closed => Err(std::io::Error::new(
+            ErrorKind::ConnectionAborted,
+            "daemon hung up before replying",
+        )),
+    }
 }
 
 #[cfg(test)]

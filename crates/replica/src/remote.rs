@@ -103,6 +103,31 @@ impl RemoteChannel {
     pub fn into_session(self) -> ClientSession<RemoteChannel> {
         ClientSession::new(self, CreditConfig::default())
     }
+
+    /// A handle that can kill this connection from another thread — the
+    /// client-side counterpart of the transport's `kill_connection` fault
+    /// hook, used by tests to chop a session mid-transaction and prove
+    /// recovery ([`ClientSession::resume_txn`](crate::ClientSession)).
+    pub fn kill_switch(&self) -> std::io::Result<KillSwitch> {
+        Ok(KillSwitch {
+            stream: self.stream.try_clone()?,
+        })
+    }
+}
+
+/// Kills a [`RemoteChannel`]'s TCP connection on demand (fault injection).
+#[derive(Debug)]
+pub struct KillSwitch {
+    stream: TcpStream,
+}
+
+impl KillSwitch {
+    /// Shuts the connection down abruptly: in-flight requests die, the
+    /// session's subsequent submissions fail, and completions drain as
+    /// [`Reply::NotOperational`].
+    pub fn kill(&self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
 }
 
 impl SessionChannel for RemoteChannel {
@@ -123,13 +148,30 @@ impl SessionChannel for RemoteChannel {
     }
 
     fn try_recv(&mut self) -> Option<(OpId, Reply)> {
-        let (seq, reply) = self.completions.try_recv().ok()?;
-        Some((OpId::new(self.client, seq), reply))
+        match self.completions.try_recv() {
+            Ok((seq, reply)) => Some((OpId::new(self.client, seq), reply)),
+            Err(crossbeam::channel::TryRecvError::Empty) => None,
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                // Reader thread gone and its queue drained: connection dead.
+                self.alive = false;
+                None
+            }
+        }
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Option<(OpId, Reply)> {
-        let (seq, reply) = self.completions.recv_timeout(timeout).ok()?;
-        Some((OpId::new(self.client, seq), reply))
+        match self.completions.recv_timeout(timeout) {
+            Ok((seq, reply)) => Some((OpId::new(self.client, seq), reply)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                self.alive = false;
+                None
+            }
+        }
+    }
+
+    fn is_alive(&self) -> bool {
+        self.alive
     }
 }
 

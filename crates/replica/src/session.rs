@@ -27,7 +27,11 @@
 
 use crate::threaded::{Command, Completion};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use hermes_common::{ClientId, ClientOp, Key, NodeId, OpId, Reply, RmwOp, ShardRouter, Value};
+use hermes_common::{
+    ClientId, ClientOp, Key, NodeId, OpId, Reply, RmwOp, ShardRouter, TxnAbort, TxnOp, TxnReply,
+    Value,
+};
+use hermes_txn::{TxnConfig, TxnMachine, TxnToken};
 use hermes_wings::{CreditConfig, CreditFlow};
 use hermes_workload::PipelinedKv;
 use std::collections::{HashMap, HashSet};
@@ -76,6 +80,13 @@ pub trait SessionChannel {
 
     /// Blocks up to `timeout` for one completion.
     fn recv_timeout(&mut self, timeout: Duration) -> Option<(OpId, Reply)>;
+
+    /// Whether the channel can still carry traffic. A dead channel (TCP
+    /// connection cut) lets blocking waiters fail fast instead of running
+    /// out their timeout; in-process channels never die.
+    fn is_alive(&self) -> bool {
+        true
+    }
 }
 
 /// In-process channel: operations go straight to the worker lane owning
@@ -154,6 +165,9 @@ impl SessionChannel for LaneChannel {
 pub struct ClientSession<C: SessionChannel = LaneChannel> {
     channel: C,
     next_seq: u64,
+    /// Serial of the next multi-key transaction (tokens must be unique per
+    /// session, [`TxnToken`]).
+    next_txn: u64,
     /// End-to-end flow control: one credit per in-flight operation toward
     /// the session's replica (paper §4.2).
     flow: CreditFlow,
@@ -174,6 +188,7 @@ impl<C: SessionChannel> ClientSession<C> {
         ClientSession {
             channel,
             next_seq: 0,
+            next_txn: 0,
             flow: CreditFlow::new(1, credits),
             ready: HashMap::new(),
             abandoned: HashSet::new(),
@@ -331,6 +346,172 @@ impl<C: SessionChannel> ClientSession<C> {
             self.pump(Some(deadline - now));
         }
     }
+
+    /// Executes one multi-key transaction (`hermes-txn`, DESIGN.md §6),
+    /// blocking until it commits or aborts.
+    ///
+    /// The coordinator lives entirely client-side: the transaction's
+    /// single-key sub-operations (lock CASes, reads, writes, unlocks) ride
+    /// this session's ordinary pipelined submit path, fanning across shard
+    /// lanes in-process or across a TCP connection — the worker lanes host
+    /// no transaction state. Sub-operations of one phase are pipelined;
+    /// lock acquisition is sequential in sorted key order.
+    ///
+    /// If the transport dies mid-transaction the result is
+    /// [`TxnResult::InDoubt`], carrying the coordinator state: open a
+    /// fresh session to the cluster and finish the transaction with
+    /// [`ClientSession::resume_txn`] — every sub-operation is idempotent,
+    /// so resuming never double-applies and never leaves a partial write.
+    pub fn txn(&mut self, op: TxnOp) -> TxnResult {
+        let serial = self.next_txn;
+        self.next_txn += 1;
+        let token = TxnToken::new(self.channel.client_id().0, serial);
+        self.drive_txn(TxnMachine::new(token, op, TxnConfig::default()))
+    }
+
+    /// Resumes an in-doubt transaction ([`TxnResult::InDoubt`]) over this
+    /// session — typically a fresh connection after the one that started
+    /// the transaction died. Unanswered sub-operations are re-issued
+    /// idempotently; the transaction then commits or rolls back exactly as
+    /// if the transport had never failed.
+    pub fn resume_txn(&mut self, pending: PendingTxn) -> TxnResult {
+        let mut machine = *pending.machine;
+        machine.resume();
+        self.drive_txn(machine)
+    }
+
+    fn drive_txn(&mut self, mut machine: TxnMachine) -> TxnResult {
+        let mut subs = Vec::new();
+        // Session ticket → machine sub-op tag for everything in flight.
+        let mut tags: HashMap<Ticket, u64> = HashMap::new();
+        let mut paced_attempt = machine.attempts();
+        loop {
+            if let Some(reply) = machine.outcome() {
+                return match reply.clone() {
+                    TxnReply::Committed { values } => TxnResult::Committed(values),
+                    TxnReply::Aborted(abort) => TxnResult::Aborted(abort),
+                };
+            }
+            if machine.in_doubt() {
+                self.abandon_txn_tickets(&mut tags);
+                return TxnResult::InDoubt(PendingTxn {
+                    machine: Box::new(machine),
+                });
+            }
+            machine.poll(&mut subs);
+            for sub in subs.drain(..) {
+                let ticket = self.submit(sub.key, sub.cop);
+                tags.insert(ticket, sub.tag);
+            }
+            if machine.attempts() > paced_attempt {
+                // A lock conflict restarted acquisition: back off briefly
+                // (jittered by session identity) so colliding coordinators
+                // do not re-collide in lockstep.
+                paced_attempt = machine.attempts();
+                let step = Duration::from_micros(200);
+                let jitter = Duration::from_micros(37 * (self.client_id().0 % 11));
+                std::thread::sleep(step * paced_attempt.min(8) + jitter);
+            }
+            let Some((ticket, reply)) = self.wait_txn_completion(&tags) else {
+                // Nothing completed within the limit: the service is gone
+                // for this session; every outstanding sub-op is unknown.
+                let pending: Vec<(Ticket, u64)> = tags.drain().collect();
+                for (ticket, tag) in pending {
+                    self.abandoned.insert(ticket.op);
+                    machine.on_reply(tag, Reply::NotOperational);
+                }
+                return TxnResult::InDoubt(PendingTxn {
+                    machine: Box::new(machine),
+                });
+            };
+            let tag = tags
+                .remove(&ticket)
+                .expect("completion matches a txn ticket");
+            machine.on_reply(tag, reply);
+        }
+    }
+
+    /// Blocks until a completion belonging to `tags` arrives (completions
+    /// of the caller's unrelated operations stay queued in `ready`).
+    fn wait_txn_completion(&mut self, tags: &HashMap<Ticket, u64>) -> Option<(Ticket, Reply)> {
+        let deadline = Instant::now() + WAIT_LIMIT;
+        loop {
+            let hit = self
+                .ready
+                .keys()
+                .copied()
+                .map(|op| Ticket { op })
+                .find(|t| tags.contains_key(t));
+            if let Some(ticket) = hit {
+                let reply = self.ready.remove(&ticket.op).expect("key just observed");
+                return Some((ticket, reply));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if !self.channel.is_alive() {
+                // Connection cut: queued completions were already drained
+                // above, so nothing for this transaction can arrive.
+                return None;
+            }
+            self.pump(Some(deadline - now));
+        }
+    }
+
+    /// Drops any not-yet-collected completions of an in-doubt transaction
+    /// so they can never be observed twice after a resume re-issues them.
+    fn abandon_txn_tickets(&mut self, tags: &mut HashMap<Ticket, u64>) {
+        for (ticket, _) in tags.drain() {
+            if self.ready.remove(&ticket.op).is_none() {
+                self.abandoned.insert(ticket.op);
+            }
+        }
+    }
+}
+
+/// How a multi-key transaction ([`ClientSession::txn`]) ended.
+#[derive(Debug)]
+pub enum TxnResult {
+    /// Committed; carries the committed observation (snapshot values for a
+    /// multi-get, prior balances for a transfer).
+    Committed(Vec<(Key, Value)>),
+    /// Aborted with no effect (lock conflict past the retry budget, failed
+    /// validation, or a malformed request).
+    Aborted(TxnAbort),
+    /// The transport died mid-transaction: outcome unknown until resumed.
+    /// Pass the carried [`PendingTxn`] to [`ClientSession::resume_txn`] on
+    /// a fresh session to finish (or roll back) the transaction; dropping
+    /// it instead may leave lock records held until an operator clears
+    /// them.
+    InDoubt(PendingTxn),
+}
+
+impl TxnResult {
+    /// The transaction's reply, if it resolved (`None` while in doubt) —
+    /// the form recorded into transaction histories.
+    pub fn as_reply(&self) -> Option<TxnReply> {
+        match self {
+            TxnResult::Committed(values) => Some(TxnReply::Committed {
+                values: values.clone(),
+            }),
+            TxnResult::Aborted(abort) => Some(TxnReply::Aborted(*abort)),
+            TxnResult::InDoubt(_) => None,
+        }
+    }
+
+    /// Whether the transaction committed.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, TxnResult::Committed(_))
+    }
+}
+
+/// An in-doubt transaction's coordinator state, detached from the dead
+/// session that started it (see [`TxnResult::InDoubt`]).
+#[derive(Debug)]
+pub struct PendingTxn {
+    /// Boxed: the coordinator state is large and the in-doubt case rare.
+    machine: Box<TxnMachine>,
 }
 
 /// Lets [`hermes_workload::run_closed_loop`] drive sessions directly.

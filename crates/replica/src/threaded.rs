@@ -165,6 +165,8 @@ pub struct ThreadCluster {
     peer_downs: Vec<Arc<AtomicU64>>,
     /// Per node: live membership gauges (static when `membership` is off).
     statuses: Vec<Arc<MembershipStatus>>,
+    /// Per node: client operations handled per worker lane.
+    lane_op_counts: Vec<Arc<Vec<AtomicU64>>>,
     router: ShardRouter,
     next_seq: AtomicU64,
     next_session: AtomicU64,
@@ -245,6 +247,7 @@ impl ThreadCluster {
         let mut guards = Vec::new();
         let mut peer_downs = Vec::new();
         let mut statuses = Vec::new();
+        let mut lane_op_counts = Vec::new();
         let mut router = None;
         let membership = cfg
             .membership
@@ -265,6 +268,7 @@ impl ThreadCluster {
             guards.push(node.guard);
             peer_downs.push(node.peer_downs);
             statuses.push(node.status);
+            lane_op_counts.push(node.lane_ops);
         }
         ThreadCluster {
             handles,
@@ -273,6 +277,7 @@ impl ThreadCluster {
             stores,
             peer_downs,
             statuses,
+            lane_op_counts,
             router: router.expect("at least one node"),
             next_seq: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
@@ -322,6 +327,16 @@ impl ThreadCluster {
     /// [`ClusterConfig::membership`].
     pub fn membership(&self, node: usize) -> &MembershipStatus {
         &self.statuses[node]
+    }
+
+    /// Client operations handled per worker lane of replica `node` since
+    /// start — the gauge that shows multi-key transactions really fanning
+    /// their sub-operations across shard lanes.
+    pub fn lane_ops(&self, node: usize) -> Vec<u64> {
+        self.lane_op_counts[node]
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     fn submit(&self, node: usize, key: Key, cop: ClientOp) -> Reply {
@@ -434,6 +449,8 @@ pub(crate) struct NodeHandle {
     pub(crate) guard: IngressGuard,
     pub(crate) peer_downs: Arc<AtomicU64>,
     pub(crate) status: Arc<MembershipStatus>,
+    /// Client operations handled per worker lane (the stats RPC gauge).
+    pub(crate) lane_ops: Arc<Vec<AtomicU64>>,
 }
 
 /// Spawns one replica node's worker threads over `ep` and points the
@@ -466,6 +483,8 @@ pub(crate) fn spawn_node<E: Endpoint>(
     let txs: Vec<Sender<Command>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
     let net_tx = ep.sender();
     let peer_downs = Arc::new(AtomicU64::new(0));
+    let lane_ops: Arc<Vec<AtomicU64>> =
+        Arc::new((0..workers_per_node).map(|_| AtomicU64::new(0)).collect());
     let mut handles = Vec::new();
     for (lane, (node, (_, rx))) in shards.into_iter().zip(channels).enumerate() {
         let worker = Worker::new(
@@ -475,6 +494,7 @@ pub(crate) fn spawn_node<E: Endpoint>(
             Arc::clone(&store),
             net_tx.clone(),
             Arc::clone(&status),
+            Arc::clone(&lane_ops),
         );
         let running = Arc::clone(&running);
         if lane == 0 {
@@ -507,6 +527,7 @@ pub(crate) fn spawn_node<E: Endpoint>(
         guard,
         peer_downs,
         status,
+        lane_ops,
     }
 }
 
@@ -528,6 +549,9 @@ struct Worker<S: NetSender> {
     /// maintained by the pump's membership driver. One relaxed load per
     /// client operation.
     status: Arc<MembershipStatus>,
+    /// Per-lane client-operation counters shared with the stats RPC; this
+    /// worker bumps `lane_ops[lane]` once per operation delivered to it.
+    lane_ops: Arc<Vec<AtomicU64>>,
     fx: Vec<Effect<Msg>>,
 }
 
@@ -539,6 +563,7 @@ impl<S: NetSender> Worker<S> {
         store: Arc<Store>,
         net: S,
         status: Arc<MembershipStatus>,
+        lane_ops: Arc<Vec<AtomicU64>>,
     ) -> Self {
         let mut worker = Worker {
             lane,
@@ -551,6 +576,7 @@ impl<S: NetSender> Worker<S> {
             clients: HashMap::new(),
             peers: Vec::new(),
             status,
+            lane_ops,
             fx: Vec::new(),
         };
         worker.refresh_peers();
@@ -575,6 +601,7 @@ impl<S: NetSender> Worker<S> {
                 cop,
                 reply,
             } => {
+                self.lane_ops[self.lane].fetch_add(1, Ordering::Relaxed);
                 // Lease gate (paper §3.4): an expired lease — minority
                 // partition, mid-view-change, shadow — refuses service
                 // without touching the protocol.

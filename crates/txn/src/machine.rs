@@ -1,0 +1,528 @@
+//! The sans-io transaction coordinator state machine.
+//!
+//! [`TxnMachine`] turns one multi-key [`TxnOp`] into a deterministic
+//! sequence of ordinary single-key Hermes operations:
+//!
+//! 1. **lock** — acquire a CAS lock record per data key, in sorted key
+//!    order, in the reserved lock namespace ([`lock_key`]);
+//! 2. **read / validate** — read the data keys under lock and validate
+//!    (a `Transfer` checks funds); validation failure aborts *before* any
+//!    data write;
+//! 3. **apply** — write the new values (all locks held, so no concurrent
+//!    transaction observes a partial update through the transaction API);
+//! 4. **unlock** — write every lock record back to empty.
+//!
+//! The machine is sans-io: it never blocks, sleeps or talks to a socket.
+//! [`TxnMachine::poll`] yields [`SubOp`]s to submit; the driver feeds each
+//! completion back through [`TxnMachine::on_reply`]; [`TxnMachine::outcome`]
+//! reports the final [`TxnReply`]. The same machine therefore runs
+//! unchanged inside an in-process client session, over a TCP session, and
+//! inside a `hermesd` connection thread.
+//!
+//! **Recovery.** Every sub-operation is idempotent: the lock CAS is
+//! tagged with the transaction's unique token (re-issuing it against a
+//! lock we already hold answers `CasFailed { current: token }`, which the
+//! machine accepts as acquired), and the apply/unlock writes are plain
+//! last-writer-wins writes of values the machine already fixed. A driver
+//! whose transport died mid-transaction ([`TxnMachine::in_doubt`]) can
+//! therefore reconnect and [`TxnMachine::resume`]: the machine re-issues
+//! exactly the sub-operations whose replies are missing and the
+//! transaction completes (or rolls back) with no partial write left
+//! behind.
+//!
+//! **Abort rules.** Aborts happen only before the apply phase — a lock
+//! conflict past the retry budget ([`TxnAbort::Conflict`]), failed
+//! validation ([`TxnAbort::InsufficientFunds`]), or a malformed request
+//! ([`TxnAbort::Invalid`]) — and always release any locks already held, so
+//! an aborted transaction leaves no trace.
+
+use hermes_common::{ClientOp, Key, Reply, RmwOp, TxnAbort, TxnOp, TxnReply, Value};
+use std::collections::HashMap;
+
+/// Data keys live below this bit; lock records above it. A transaction on
+/// key `k` locks `k | LOCK_BASE`, so the lock namespace never collides
+/// with data (the runtime shards lock keys like any other key, which is
+/// what lets lock traffic fan across worker lanes).
+pub const LOCK_BASE: u64 = 1 << 63;
+
+/// The lock record guarding data key `key`.
+pub fn lock_key(key: Key) -> Key {
+    Key(key.0 | LOCK_BASE)
+}
+
+/// Whether `key` lies in the reserved lock namespace.
+pub fn is_lock_key(key: Key) -> bool {
+    key.0 & LOCK_BASE != 0
+}
+
+/// Globally unique identity of one transaction attempt stream: the lock
+/// value a coordinator CASes into each lock record. Uniqueness is what
+/// makes the lock CAS idempotent — a replayed acquisition recognises its
+/// own token.
+///
+/// Uniqueness must hold across *processes*, not just within one: client
+/// and daemon coordinators both allocate `owner` ids from process-local
+/// counters, so the token additionally carries a per-process random
+/// [`process_nonce`]. Without it, the first session of two different
+/// client processes would mint identical tokens, each would mistake the
+/// other's lock for its own (`CasFailed { current == token }` reads as
+/// "held"), and two transactions would run under one lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxnToken {
+    /// Per-process random salt ([`process_nonce`] in production;
+    /// tests may pin it for determinism).
+    pub nonce: u64,
+    /// The coordinating client (session or daemon connection),
+    /// process-locally unique.
+    pub owner: u64,
+    /// The owner's transaction counter.
+    pub serial: u64,
+}
+
+impl TxnToken {
+    /// A production token: `(owner, serial)` under this process's random
+    /// nonce.
+    pub fn new(owner: u64, serial: u64) -> Self {
+        TxnToken {
+            nonce: process_nonce(),
+            owner,
+            serial,
+        }
+    }
+
+    /// The 24-byte lock-record value this token writes.
+    pub fn value(&self) -> Value {
+        let mut bytes = [0u8; 24];
+        bytes[..8].copy_from_slice(&self.nonce.to_le_bytes());
+        bytes[8..16].copy_from_slice(&self.owner.to_le_bytes());
+        bytes[16..].copy_from_slice(&self.serial.to_le_bytes());
+        Value::from(bytes.to_vec())
+    }
+}
+
+/// This process's random transaction-token salt: drawn once per process
+/// from the standard library's randomly seeded hasher, salted further
+/// with the PID and the wall clock. Makes tokens minted by independent
+/// processes (whose `owner` counters all start at zero) collide with
+/// probability ~2⁻⁶⁴ instead of ~1.
+pub fn process_nonce() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    static NONCE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *NONCE.get_or_init(|| {
+        let mut h = std::hash::RandomState::new().build_hasher();
+        h.write_u32(std::process::id());
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        h.write_u128(now);
+        h.finish()
+    })
+}
+
+/// Coordinator tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct TxnConfig {
+    /// Lock-phase attempts before the transaction aborts with
+    /// [`TxnAbort::Conflict`]. Each attempt releases any locks held and
+    /// restarts acquisition from the first key.
+    pub max_attempts: u32,
+}
+
+impl Default for TxnConfig {
+    fn default() -> Self {
+        TxnConfig { max_attempts: 8 }
+    }
+}
+
+/// One single-key operation the driver must submit on the machine's
+/// behalf, identified by a machine-local `tag` echoed through
+/// [`TxnMachine::on_reply`].
+#[derive(Clone, Debug)]
+pub struct SubOp {
+    /// Machine-local identifier of this sub-operation.
+    pub tag: u64,
+    /// Target key (a data key or a lock record).
+    pub key: Key,
+    /// The single-key operation.
+    pub cop: ClientOp,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Acquiring lock `keys[next]` (sorted order; strictly sequential).
+    Locking { next: usize },
+    /// Reading the data keys under lock (parallel).
+    Reading,
+    /// Writing the new values (parallel).
+    Applying,
+    /// Writing every lock record back to empty (parallel).
+    Unlocking,
+    /// Releasing held locks on the way to a retry or an abort (parallel).
+    Releasing {
+        retry: bool,
+        abort: Option<TxnAbort>,
+    },
+    /// Finished; [`TxnMachine::outcome`] is set.
+    Done,
+}
+
+/// The deterministic multi-key transaction coordinator (see the module
+/// docs for the protocol).
+#[derive(Debug)]
+pub struct TxnMachine {
+    token: Value,
+    op: TxnOp,
+    /// Sorted distinct data keys (the lock-acquisition order).
+    keys: Vec<Key>,
+    cfg: TxnConfig,
+    phase: Phase,
+    /// Lock-phase attempts consumed (1 = first try).
+    attempts: u32,
+    next_tag: u64,
+    /// Sub-ops produced but not yet drained by [`TxnMachine::poll`].
+    queue: Vec<SubOp>,
+    /// Sub-ops submitted (drained) whose reply has not arrived.
+    inflight: HashMap<u64, (Key, ClientOp)>,
+    /// Data keys whose lock we know we hold.
+    locked: Vec<Key>,
+    /// Values read under lock, by data key.
+    reads: HashMap<Key, Value>,
+    /// Committed observation reported on success.
+    observed: Vec<(Key, Value)>,
+    /// Set when a sub-op answered `NotOperational`: the transport is gone
+    /// and the driver must [`TxnMachine::resume`] over a fresh one (or
+    /// abandon the transaction as in doubt).
+    in_doubt: bool,
+    outcome: Option<TxnReply>,
+}
+
+impl TxnMachine {
+    /// Builds the coordinator for one transaction. A malformed request
+    /// (no keys, duplicate `MultiPut` keys, a self-transfer, or any key in
+    /// the reserved lock namespace) completes immediately as
+    /// [`TxnAbort::Invalid`] without issuing a single sub-operation.
+    pub fn new(token: TxnToken, op: TxnOp, cfg: TxnConfig) -> Self {
+        let keys = op.keys();
+        let invalid = keys.is_empty()
+            || keys.iter().any(|&k| is_lock_key(k))
+            || keys.len() != op.len()
+            || cfg.max_attempts == 0;
+        let mut machine = TxnMachine {
+            token: token.value(),
+            op,
+            keys,
+            cfg,
+            phase: Phase::Done,
+            attempts: 1,
+            next_tag: 0,
+            queue: Vec::new(),
+            inflight: HashMap::new(),
+            locked: Vec::new(),
+            reads: HashMap::new(),
+            observed: Vec::new(),
+            in_doubt: false,
+            outcome: None,
+        };
+        if invalid {
+            machine.outcome = Some(TxnReply::Aborted(TxnAbort::Invalid));
+        } else {
+            machine.phase = Phase::Locking { next: 0 };
+            machine.push_lock_cas(machine.keys[0]);
+        }
+        machine
+    }
+
+    /// The final reply, once the machine reaches it.
+    pub fn outcome(&self) -> Option<&TxnReply> {
+        self.outcome.as_ref()
+    }
+
+    /// Whether a sub-operation came back `NotOperational`: the driver's
+    /// transport is gone mid-transaction. [`TxnMachine::resume`] re-issues
+    /// the missing sub-operations over a fresh transport.
+    pub fn in_doubt(&self) -> bool {
+        self.in_doubt
+    }
+
+    /// Lock-phase attempts consumed so far (drivers use this for backoff
+    /// pacing between conflict retries).
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Drains the sub-operations the driver must submit now. Each drained
+    /// sub-op is booked as in flight until its reply arrives.
+    pub fn poll(&mut self, out: &mut Vec<SubOp>) {
+        for sub in &self.queue {
+            self.inflight.insert(sub.tag, (sub.key, sub.cop.clone()));
+        }
+        out.append(&mut self.queue);
+    }
+
+    /// Re-issues every submitted-but-unanswered sub-operation (all
+    /// sub-operations are idempotent — see the module docs) and clears the
+    /// in-doubt flag. Call after reconnecting; a no-op once the outcome is
+    /// decided.
+    pub fn resume(&mut self) {
+        if self.outcome.is_some() {
+            return;
+        }
+        self.in_doubt = false;
+        let pending: Vec<(Key, ClientOp)> = self.inflight.drain().map(|(_, v)| v).collect();
+        for (key, cop) in pending {
+            self.push(key, cop);
+        }
+    }
+
+    fn push(&mut self, key: Key, cop: ClientOp) {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.queue.push(SubOp { tag, key, cop });
+    }
+
+    fn push_lock_cas(&mut self, data_key: Key) {
+        let cas = ClientOp::Rmw(RmwOp::CompareAndSwap {
+            expect: Value::EMPTY,
+            new: self.token.clone(),
+        });
+        self.push(lock_key(data_key), cas);
+    }
+
+    /// Feeds one completion back. Tags not issued by this machine (late
+    /// completions of a superseded attempt) are ignored.
+    pub fn on_reply(&mut self, tag: u64, reply: Reply) {
+        let Some((key, cop)) = self.inflight.remove(&tag) else {
+            return;
+        };
+        if matches!(reply, Reply::NotOperational) {
+            // Transport gone: keep the sub-op booked so a later resume
+            // re-issues it (idempotently) over a fresh transport.
+            self.inflight.insert(tag, (key, cop));
+            self.in_doubt = true;
+            return;
+        }
+        match self.phase {
+            Phase::Locking { next } => self.on_lock_reply(next, key, reply),
+            Phase::Reading => self.on_read_reply(key, reply),
+            Phase::Applying => self.on_write_reply(reply),
+            Phase::Unlocking | Phase::Releasing { .. } => self.on_unlock_reply(key, reply),
+            Phase::Done => {}
+        }
+    }
+
+    fn on_lock_reply(&mut self, next: usize, key: Key, reply: Reply) {
+        debug_assert!(is_lock_key(key), "lock phase completes lock keys");
+        match reply {
+            Reply::RmwOk { .. } => self.lock_acquired(next),
+            Reply::CasFailed { current } if current == self.token => {
+                // A replay of our own acquisition (resume path): held.
+                self.lock_acquired(next)
+            }
+            Reply::CasFailed { .. } => self.lock_conflict(),
+            Reply::RmwAborted => {
+                // The CAS lost a protocol-level race and *probably* had no
+                // effect — but an aborted RMW may still be replayed to
+                // completion (paper §3.6), so re-issue until the outcome
+                // is definitive: RmwOk / our own token ⇒ held, another
+                // token ⇒ conflict (and then our CAS can no longer commit,
+                // since at most one of the concurrent CASes does).
+                self.push_lock_cas(Key(key.0 & !LOCK_BASE));
+            }
+            _ => self.in_doubt = true,
+        }
+    }
+
+    fn lock_acquired(&mut self, next: usize) {
+        self.locked.push(self.keys[next]);
+        let next = next + 1;
+        if next < self.keys.len() {
+            self.phase = Phase::Locking { next };
+            self.push_lock_cas(self.keys[next]);
+            return;
+        }
+        // All locks held.
+        match &self.op {
+            TxnOp::MultiPut(_) => self.start_apply(),
+            TxnOp::MultiGet(_) | TxnOp::Transfer { .. } => {
+                self.phase = Phase::Reading;
+                let keys = self.keys.clone();
+                for key in keys {
+                    self.push(key, ClientOp::Read);
+                }
+            }
+        }
+    }
+
+    fn lock_conflict(&mut self) {
+        let out_of_attempts = self.attempts >= self.cfg.max_attempts;
+        let abort = out_of_attempts.then_some(TxnAbort::Conflict);
+        if self.locked.is_empty() {
+            self.after_release(abort);
+        } else {
+            self.phase = Phase::Releasing {
+                retry: !out_of_attempts,
+                abort,
+            };
+            let held: Vec<Key> = self.locked.clone();
+            for key in held {
+                self.push(lock_key(key), ClientOp::Write(Value::EMPTY));
+            }
+        }
+    }
+
+    fn on_read_reply(&mut self, key: Key, reply: Reply) {
+        match reply {
+            Reply::ReadOk(v) => {
+                self.reads.insert(key, v);
+            }
+            _ => {
+                self.in_doubt = true;
+                return;
+            }
+        }
+        if !self.inflight.is_empty() || !self.queue.is_empty() {
+            return;
+        }
+        // Snapshot complete: validate and compute.
+        match self.op.clone() {
+            TxnOp::MultiGet(_) => {
+                self.observed = self
+                    .keys
+                    .iter()
+                    .map(|k| (*k, self.reads.get(k).cloned().unwrap_or(Value::EMPTY)))
+                    .collect();
+                self.start_unlock();
+            }
+            TxnOp::Transfer {
+                debit,
+                credit,
+                amount,
+            } => {
+                let debit_bal = self.balance(debit);
+                let credit_bal = self.balance(credit);
+                if debit_bal < amount {
+                    self.abort_releasing(TxnAbort::InsufficientFunds);
+                    return;
+                }
+                self.observed = vec![
+                    (debit, Value::from_u64(debit_bal)),
+                    (credit, Value::from_u64(credit_bal)),
+                ];
+                self.start_apply();
+            }
+            TxnOp::MultiPut(_) => unreachable!("MultiPut skips the read phase"),
+        }
+    }
+
+    fn balance(&self, key: Key) -> u64 {
+        self.reads.get(&key).and_then(Value::to_u64).unwrap_or(0)
+    }
+
+    /// The data writes of the apply phase (fixed once validation passed).
+    fn pending_writes(&self) -> Vec<(Key, Value)> {
+        match &self.op {
+            TxnOp::MultiPut(puts) => puts.clone(),
+            TxnOp::Transfer {
+                debit,
+                credit,
+                amount,
+            } => {
+                let debit_bal = self
+                    .observed
+                    .first()
+                    .and_then(|(_, v)| v.to_u64())
+                    .unwrap_or(0);
+                let credit_bal = self
+                    .observed
+                    .get(1)
+                    .and_then(|(_, v)| v.to_u64())
+                    .unwrap_or(0);
+                vec![
+                    (*debit, Value::from_u64(debit_bal - amount)),
+                    (*credit, Value::from_u64(credit_bal.wrapping_add(*amount))),
+                ]
+            }
+            TxnOp::MultiGet(_) => Vec::new(),
+        }
+    }
+
+    fn start_apply(&mut self) {
+        self.phase = Phase::Applying;
+        for (key, value) in self.pending_writes() {
+            self.push(key, ClientOp::Write(value));
+        }
+    }
+
+    fn on_write_reply(&mut self, reply: Reply) {
+        if !matches!(reply, Reply::WriteOk) {
+            self.in_doubt = true;
+            return;
+        }
+        if self.inflight.is_empty() && self.queue.is_empty() {
+            self.start_unlock();
+        }
+    }
+
+    fn start_unlock(&mut self) {
+        self.phase = Phase::Unlocking;
+        let keys = self.keys.clone();
+        for key in keys {
+            self.push(lock_key(key), ClientOp::Write(Value::EMPTY));
+        }
+    }
+
+    fn abort_releasing(&mut self, abort: TxnAbort) {
+        self.phase = Phase::Releasing {
+            retry: false,
+            abort: Some(abort),
+        };
+        let held: Vec<Key> = self.locked.clone();
+        for key in held {
+            self.push(lock_key(key), ClientOp::Write(Value::EMPTY));
+        }
+    }
+
+    fn on_unlock_reply(&mut self, key: Key, reply: Reply) {
+        debug_assert!(is_lock_key(key), "unlock phase completes lock keys");
+        if !matches!(reply, Reply::WriteOk) {
+            self.in_doubt = true;
+            return;
+        }
+        if !self.inflight.is_empty() || !self.queue.is_empty() {
+            return;
+        }
+        match self.phase {
+            Phase::Unlocking => {
+                self.phase = Phase::Done;
+                self.outcome = Some(TxnReply::Committed {
+                    values: std::mem::take(&mut self.observed),
+                });
+            }
+            Phase::Releasing { retry, abort } => {
+                self.locked.clear();
+                self.after_release(if retry {
+                    None
+                } else {
+                    abort.or(Some(TxnAbort::Conflict))
+                });
+            }
+            _ => unreachable!("unlock replies only in unlock/release phases"),
+        }
+    }
+
+    /// Locks all released after a conflict or validation failure: retry
+    /// from scratch or finish with the abort.
+    fn after_release(&mut self, abort: Option<TxnAbort>) {
+        if let Some(abort) = abort {
+            self.phase = Phase::Done;
+            self.outcome = Some(TxnReply::Aborted(abort));
+            return;
+        }
+        self.attempts += 1;
+        self.locked.clear();
+        self.reads.clear();
+        self.phase = Phase::Locking { next: 0 };
+        self.push_lock_cas(self.keys[0]);
+    }
+}

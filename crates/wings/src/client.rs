@@ -14,13 +14,15 @@
 //! this module encodes only the payloads. All integers little-endian.
 
 use bytes::{BufMut, Bytes, BytesMut};
-use hermes_common::{ClientOp, Key, Reply, RmwOp, Value};
+use hermes_common::{ClientOp, Key, NodeSet, Reply, RmwOp, TxnAbort, TxnOp, TxnReply, Value};
 
 const REQ_READ: u8 = 0;
 const REQ_WRITE: u8 = 1;
 const REQ_CAS: u8 = 2;
 const REQ_FETCH_ADD: u8 = 3;
 const REQ_SHUTDOWN: u8 = 4;
+const REQ_TXN: u8 = 5;
+const REQ_STATS: u8 = 6;
 
 const RSP_READ_OK: u8 = 0;
 const RSP_WRITE_OK: u8 = 1;
@@ -29,6 +31,21 @@ const RSP_CAS_FAILED: u8 = 3;
 const RSP_RMW_ABORTED: u8 = 4;
 const RSP_NOT_OPERATIONAL: u8 = 5;
 const RSP_UNSUPPORTED: u8 = 6;
+/// Transaction and stats responses use their own tag space so they can
+/// never be mistaken for single-key completions (they ride on dedicated
+/// request/response exchanges, not the pipelined session stream).
+const RSP_TXN: u8 = 7;
+const RSP_STATS: u8 = 8;
+
+const TXN_MULTI_GET: u8 = 0;
+const TXN_MULTI_PUT: u8 = 1;
+const TXN_TRANSFER: u8 = 2;
+
+const TXN_COMMITTED: u8 = 0;
+const TXN_ABORT_CONFLICT: u8 = 1;
+const TXN_ABORT_FUNDS: u8 = 2;
+const TXN_ABORT_INVALID: u8 = 3;
+const TXN_ABORT_NOT_OPERATIONAL: u8 = 4;
 
 /// Errors produced when decoding a malformed client request or response.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -129,17 +146,20 @@ pub fn encode_request_bytes(seq: u64, key: Key, cop: &ClientOp) -> Bytes {
 /// # Errors
 ///
 /// Returns a [`ClientCodecError`] on truncation or an unknown tag
-/// (including the admin [`Request::Shutdown`] tag — use [`decode_any`] to
-/// accept both).
+/// (including the transaction, stats and admin shutdown tags — use
+/// [`decode_any`] to accept those).
 pub fn decode_request(buf: &[u8]) -> Result<(u64, Key, ClientOp), ClientCodecError> {
     match decode_any(buf)? {
         Request::Op { seq, key, cop } => Ok((seq, key, cop)),
+        Request::Txn { .. } => Err(ClientCodecError::BadTag(REQ_TXN)),
+        Request::Stats { .. } => Err(ClientCodecError::BadTag(REQ_STATS)),
         Request::Shutdown { .. } => Err(ClientCodecError::BadTag(REQ_SHUTDOWN)),
     }
 }
 
 /// Everything a client-port connection can ask of a replica daemon: a data
-/// operation, or the administrative shutdown of the whole daemon.
+/// operation, a whole multi-key transaction, an operator stats query, or
+/// the administrative shutdown of the whole daemon.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
     /// A key-value operation (the common case).
@@ -151,12 +171,49 @@ pub enum Request {
         /// The operation.
         cop: ClientOp,
     },
+    /// A multi-key transaction, coordinated by the daemon's connection
+    /// thread (the lane workers host no transaction state) and answered
+    /// with one [`TxnReply`] frame ([`encode_txn_reply_bytes`]).
+    Txn {
+        /// Session-local sequence number echoed by the reply.
+        seq: u64,
+        /// The transaction.
+        op: TxnOp,
+    },
+    /// Ask for the daemon's membership/runtime gauges, answered with one
+    /// [`StatsPayload`] frame ([`encode_stats_reply_bytes`]) — the RPC
+    /// that lets harnesses observe view changes without parsing logs.
+    Stats {
+        /// Session-local sequence number echoed by the reply.
+        seq: u64,
+    },
     /// Ask the daemon to exit cleanly (the shutdown RPC; acknowledged with
     /// a [`Reply::WriteOk`] echoing `seq` before the daemon winds down).
     Shutdown {
         /// Session-local sequence number echoed by the acknowledgement.
         seq: u64,
     },
+}
+
+/// One replica daemon's operator-facing gauges, as served by the stats RPC
+/// ([`Request::Stats`]): the live membership view plus per-lane operation
+/// counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatsPayload {
+    /// Epoch of the currently installed membership view.
+    pub epoch: u64,
+    /// Reconfigured views installed since the daemon started.
+    pub view_changes: u64,
+    /// Members of the current view.
+    pub members: NodeSet,
+    /// Shadows of the current view.
+    pub shadows: NodeSet,
+    /// Whether the replica currently serves client operations.
+    pub serving: bool,
+    /// Whether shadow bulk catch-up completed (true unless joining).
+    pub synced: bool,
+    /// Client operations handled per worker lane since start.
+    pub lane_ops: Vec<u64>,
 }
 
 /// Encodes a shutdown request into a fresh buffer.
@@ -166,6 +223,81 @@ pub fn encode_shutdown_bytes(seq: u64) -> Bytes {
     out.put_u64_le(0); // Key slot, unused: keeps one request layout.
     out.put_u8(REQ_SHUTDOWN);
     out.freeze()
+}
+
+/// Encodes one whole multi-key transaction request into a fresh buffer.
+pub fn encode_txn_bytes(seq: u64, op: &TxnOp) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u64_le(seq);
+    out.put_u64_le(0); // Key slot, unused: keeps one request layout.
+    out.put_u8(REQ_TXN);
+    match op {
+        TxnOp::MultiGet(keys) => {
+            out.put_u8(TXN_MULTI_GET);
+            out.put_u32_le(keys.len() as u32);
+            for k in keys {
+                out.put_u64_le(k.0);
+            }
+        }
+        TxnOp::MultiPut(puts) => {
+            out.put_u8(TXN_MULTI_PUT);
+            out.put_u32_le(puts.len() as u32);
+            for (k, v) in puts {
+                out.put_u64_le(k.0);
+                put_value(&mut out, v);
+            }
+        }
+        TxnOp::Transfer {
+            debit,
+            credit,
+            amount,
+        } => {
+            out.put_u8(TXN_TRANSFER);
+            out.put_u64_le(debit.0);
+            out.put_u64_le(credit.0);
+            out.put_u64_le(*amount);
+        }
+    }
+    out.freeze()
+}
+
+/// Encodes a stats query into a fresh buffer.
+pub fn encode_stats_request_bytes(seq: u64) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u64_le(seq);
+    out.put_u64_le(0); // Key slot, unused: keeps one request layout.
+    out.put_u8(REQ_STATS);
+    out.freeze()
+}
+
+fn decode_txn_op(c: &mut Cursor<'_>) -> Result<TxnOp, ClientCodecError> {
+    let sub = c.u8()?;
+    Ok(match sub {
+        TXN_MULTI_GET => {
+            let n = c.u32()? as usize;
+            let mut keys = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                keys.push(Key(c.u64()?));
+            }
+            TxnOp::MultiGet(keys)
+        }
+        TXN_MULTI_PUT => {
+            let n = c.u32()? as usize;
+            let mut puts = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let k = Key(c.u64()?);
+                let v = c.value()?;
+                puts.push((k, v));
+            }
+            TxnOp::MultiPut(puts)
+        }
+        TXN_TRANSFER => TxnOp::Transfer {
+            debit: Key(c.u64()?),
+            credit: Key(c.u64()?),
+            amount: c.u64()?,
+        },
+        other => return Err(ClientCodecError::BadTag(other)),
+    })
 }
 
 /// Decodes one client request, admin requests included.
@@ -186,10 +318,124 @@ pub fn decode_any(buf: &[u8]) -> Result<Request, ClientCodecError> {
             new: c.value()?,
         }),
         REQ_FETCH_ADD => ClientOp::Rmw(RmwOp::FetchAdd { delta: c.u64()? }),
+        REQ_TXN => {
+            let op = decode_txn_op(&mut c)?;
+            return Ok(Request::Txn { seq, op });
+        }
+        REQ_STATS => return Ok(Request::Stats { seq }),
         REQ_SHUTDOWN => return Ok(Request::Shutdown { seq }),
         other => return Err(ClientCodecError::BadTag(other)),
     };
     Ok(Request::Op { seq, key, cop })
+}
+
+/// Encodes one transaction reply into a fresh buffer.
+pub fn encode_txn_reply_bytes(seq: u64, reply: &TxnReply) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u64_le(seq);
+    out.put_u8(RSP_TXN);
+    match reply {
+        TxnReply::Committed { values } => {
+            out.put_u8(TXN_COMMITTED);
+            out.put_u32_le(values.len() as u32);
+            for (k, v) in values {
+                out.put_u64_le(k.0);
+                put_value(&mut out, v);
+            }
+        }
+        TxnReply::Aborted(abort) => out.put_u8(match abort {
+            TxnAbort::Conflict => TXN_ABORT_CONFLICT,
+            TxnAbort::InsufficientFunds => TXN_ABORT_FUNDS,
+            TxnAbort::Invalid => TXN_ABORT_INVALID,
+            TxnAbort::NotOperational => TXN_ABORT_NOT_OPERATIONAL,
+        }),
+    }
+    out.freeze()
+}
+
+/// Decodes one transaction reply.
+///
+/// # Errors
+///
+/// Returns a [`ClientCodecError`] on truncation or an unknown tag.
+pub fn decode_txn_reply(buf: &[u8]) -> Result<(u64, TxnReply), ClientCodecError> {
+    let mut c = Cursor::new(buf);
+    let seq = c.u64()?;
+    if c.u8()? != RSP_TXN {
+        return Err(ClientCodecError::BadTag(buf[8]));
+    }
+    let reply = match c.u8()? {
+        TXN_COMMITTED => {
+            let n = c.u32()? as usize;
+            let mut values = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let k = Key(c.u64()?);
+                let v = c.value()?;
+                values.push((k, v));
+            }
+            TxnReply::Committed { values }
+        }
+        TXN_ABORT_CONFLICT => TxnReply::Aborted(TxnAbort::Conflict),
+        TXN_ABORT_FUNDS => TxnReply::Aborted(TxnAbort::InsufficientFunds),
+        TXN_ABORT_INVALID => TxnReply::Aborted(TxnAbort::Invalid),
+        TXN_ABORT_NOT_OPERATIONAL => TxnReply::Aborted(TxnAbort::NotOperational),
+        other => return Err(ClientCodecError::BadTag(other)),
+    };
+    Ok((seq, reply))
+}
+
+/// Encodes one stats reply into a fresh buffer.
+pub fn encode_stats_reply_bytes(seq: u64, stats: &StatsPayload) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u64_le(seq);
+    out.put_u8(RSP_STATS);
+    out.put_u64_le(stats.epoch);
+    out.put_u64_le(stats.view_changes);
+    out.put_u64_le(stats.members.bits());
+    out.put_u64_le(stats.shadows.bits());
+    out.put_u8(stats.serving as u8);
+    out.put_u8(stats.synced as u8);
+    out.put_u32_le(stats.lane_ops.len() as u32);
+    for ops in &stats.lane_ops {
+        out.put_u64_le(*ops);
+    }
+    out.freeze()
+}
+
+/// Decodes one stats reply.
+///
+/// # Errors
+///
+/// Returns a [`ClientCodecError`] on truncation or an unknown tag.
+pub fn decode_stats_reply(buf: &[u8]) -> Result<(u64, StatsPayload), ClientCodecError> {
+    let mut c = Cursor::new(buf);
+    let seq = c.u64()?;
+    if c.u8()? != RSP_STATS {
+        return Err(ClientCodecError::BadTag(buf[8]));
+    }
+    let epoch = c.u64()?;
+    let view_changes = c.u64()?;
+    let members = NodeSet::from_bits(c.u64()?);
+    let shadows = NodeSet::from_bits(c.u64()?);
+    let serving = c.u8()? != 0;
+    let synced = c.u8()? != 0;
+    let n = c.u32()? as usize;
+    let mut lane_ops = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        lane_ops.push(c.u64()?);
+    }
+    Ok((
+        seq,
+        StatsPayload {
+            epoch,
+            view_changes,
+            members,
+            shadows,
+            serving,
+            synced,
+            lane_ops,
+        },
+    ))
 }
 
 /// Encodes one client response (appending to `out`).
@@ -364,6 +610,111 @@ mod tests {
                 cop: ClientOp::Read
             }
         );
+    }
+
+    fn txn_op_samples() -> Vec<TxnOp> {
+        vec![
+            TxnOp::MultiGet(vec![Key(1), Key(u64::MAX), Key(0)]),
+            TxnOp::MultiGet(vec![]),
+            TxnOp::MultiPut(vec![
+                (Key(3), Value::from_u64(7)),
+                (Key(4), Value::EMPTY),
+                (Key(5), Value::filled(0xEE, 64)),
+            ]),
+            TxnOp::Transfer {
+                debit: Key(10),
+                credit: Key(11),
+                amount: u64::MAX,
+            },
+        ]
+    }
+
+    fn txn_reply_samples() -> Vec<TxnReply> {
+        vec![
+            TxnReply::Committed { values: vec![] },
+            TxnReply::Committed {
+                values: vec![(Key(1), Value::from_u64(9)), (Key(2), Value::EMPTY)],
+            },
+            TxnReply::Aborted(TxnAbort::Conflict),
+            TxnReply::Aborted(TxnAbort::InsufficientFunds),
+            TxnReply::Aborted(TxnAbort::Invalid),
+            TxnReply::Aborted(TxnAbort::NotOperational),
+        ]
+    }
+
+    #[test]
+    fn txn_requests_roundtrip_and_truncate_cleanly() {
+        for (seq, op) in txn_op_samples().into_iter().enumerate() {
+            let frame = encode_txn_bytes(seq as u64, &op);
+            assert_eq!(
+                decode_any(&frame).unwrap(),
+                Request::Txn {
+                    seq: seq as u64,
+                    op: op.clone()
+                }
+            );
+            // The single-key decoder refuses whole transactions.
+            assert_eq!(
+                decode_request(&frame),
+                Err(ClientCodecError::BadTag(REQ_TXN))
+            );
+            for cut in 0..frame.len() {
+                assert_eq!(
+                    decode_any(&frame[..cut]),
+                    Err(ClientCodecError::Truncated),
+                    "txn request {op:?} cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn txn_replies_roundtrip_and_truncate_cleanly() {
+        for (seq, reply) in txn_reply_samples().into_iter().enumerate() {
+            let frame = encode_txn_reply_bytes(seq as u64, &reply);
+            assert_eq!(
+                decode_txn_reply(&frame).unwrap(),
+                (seq as u64, reply.clone())
+            );
+            // A txn reply is not a single-key reply and vice versa.
+            assert!(decode_reply(&frame).is_err());
+            for cut in 0..frame.len() {
+                assert_eq!(
+                    decode_txn_reply(&frame[..cut]),
+                    Err(ClientCodecError::Truncated),
+                    "txn reply {reply:?} cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_rpc_roundtrips() {
+        let frame = encode_stats_request_bytes(3);
+        assert_eq!(decode_any(&frame).unwrap(), Request::Stats { seq: 3 });
+        assert_eq!(
+            decode_request(&frame),
+            Err(ClientCodecError::BadTag(REQ_STATS))
+        );
+        let stats = StatsPayload {
+            epoch: 2,
+            view_changes: 1,
+            members: NodeSet::first_n(2),
+            shadows: NodeSet::from_bits(0b100),
+            serving: true,
+            synced: false,
+            lane_ops: vec![10, 0, 7],
+        };
+        let frame = encode_stats_reply_bytes(9, &stats);
+        assert_eq!(decode_stats_reply(&frame).unwrap(), (9, stats.clone()));
+        assert!(decode_reply(&frame).is_err());
+        for cut in 0..frame.len() {
+            assert_eq!(
+                decode_stats_reply(&frame[..cut]),
+                Err(ClientCodecError::Truncated),
+                "stats reply cut at {cut}"
+            );
+        }
     }
 
     #[test]

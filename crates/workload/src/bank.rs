@@ -1,0 +1,198 @@
+//! The bank-transfer workload: the acceptance workload of the multi-key
+//! transaction subsystem (`hermes-txn`, DESIGN.md §6).
+//!
+//! A fixed set of accounts is funded once; concurrent clients then move
+//! money between random account pairs with `Transfer` transactions and
+//! audit the books with `MultiGet` snapshots. Two global properties make
+//! it a sharp correctness probe:
+//!
+//! * **conservation** — the sum of all balances equals the initial total
+//!   at every consistent snapshot, so any torn (partially applied)
+//!   transfer is caught by a single audit;
+//! * **serializability** — the recorded per-transaction observations
+//!   (prior balances, snapshots) must admit a sequential order
+//!   (`hermes_txn::check_txns_serializable`).
+
+use hermes_common::{Key, TxnOp, Value};
+use hermes_sim::rng::Rng;
+
+/// Shape of a bank workload.
+#[derive(Clone, Copy, Debug)]
+pub struct BankConfig {
+    /// Number of accounts.
+    pub accounts: u64,
+    /// First account's key; accounts are `base..base + accounts`
+    /// (sequential keys scatter across shard lanes via the key hash).
+    pub account_base: u64,
+    /// Balance every account starts with.
+    pub initial_balance: u64,
+    /// Largest single transfer (amounts are drawn from `1..=max`).
+    pub max_transfer: u64,
+}
+
+impl Default for BankConfig {
+    fn default() -> Self {
+        BankConfig {
+            accounts: 8,
+            account_base: 0,
+            initial_balance: 1_000,
+            max_transfer: 100,
+        }
+    }
+}
+
+impl BankConfig {
+    /// The key of account `i`.
+    pub fn account_key(&self, i: u64) -> Key {
+        Key(self.account_base + i)
+    }
+
+    /// All account keys.
+    pub fn account_keys(&self) -> Vec<Key> {
+        (0..self.accounts).map(|i| self.account_key(i)).collect()
+    }
+
+    /// The one-shot funding transaction establishing every balance.
+    pub fn funding(&self) -> TxnOp {
+        TxnOp::MultiPut(
+            self.account_keys()
+                .into_iter()
+                .map(|k| (k, Value::from_u64(self.initial_balance)))
+                .collect(),
+        )
+    }
+
+    /// A full-book audit snapshot.
+    pub fn audit(&self) -> TxnOp {
+        TxnOp::MultiGet(self.account_keys())
+    }
+
+    /// The invariant: total money in the system after funding.
+    pub fn total(&self) -> u64 {
+        self.accounts * self.initial_balance
+    }
+
+    /// Sums an audit snapshot and checks conservation.
+    ///
+    /// # Errors
+    ///
+    /// Describes the violation when the snapshot total differs from
+    /// [`BankConfig::total`].
+    pub fn check_conserved(&self, snapshot: &[(Key, Value)]) -> Result<u64, String> {
+        let sum: u64 = snapshot.iter().map(|(_, v)| v.to_u64().unwrap_or(0)).sum();
+        if sum == self.total() {
+            Ok(sum)
+        } else {
+            Err(format!(
+                "conservation violated: audited {} vs funded {} over {:?}",
+                sum,
+                self.total(),
+                snapshot
+            ))
+        }
+    }
+}
+
+/// Deterministic stream of transfer transactions over a [`BankConfig`].
+#[derive(Debug)]
+pub struct BankWorkload {
+    cfg: BankConfig,
+    rng: Rng,
+}
+
+impl BankWorkload {
+    /// A transfer stream with the given seed (one per client session).
+    pub fn new(cfg: BankConfig, seed: u64) -> Self {
+        BankWorkload {
+            cfg,
+            rng: Rng::seeded(seed),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &BankConfig {
+        &self.cfg
+    }
+
+    /// The next transfer: two distinct random accounts, amount in
+    /// `1..=max_transfer`.
+    pub fn next_transfer(&mut self) -> TxnOp {
+        let a = self.rng.gen_range(self.cfg.accounts);
+        let mut b = self.rng.gen_range(self.cfg.accounts - 1);
+        if b >= a {
+            b += 1;
+        }
+        TxnOp::Transfer {
+            debit: self.cfg.account_key(a),
+            credit: self.cfg.account_key(b),
+            amount: 1 + self.rng.gen_range(self.cfg.max_transfer),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn funding_and_audit_cover_every_account() {
+        let cfg = BankConfig {
+            accounts: 4,
+            account_base: 100,
+            initial_balance: 10,
+            max_transfer: 3,
+        };
+        assert_eq!(cfg.total(), 40);
+        let TxnOp::MultiPut(puts) = cfg.funding() else {
+            panic!("funding is a MultiPut");
+        };
+        assert_eq!(puts.len(), 4);
+        assert_eq!(puts[0], (Key(100), Value::from_u64(10)));
+        let TxnOp::MultiGet(keys) = cfg.audit() else {
+            panic!("audit is a MultiGet");
+        };
+        assert_eq!(keys, vec![Key(100), Key(101), Key(102), Key(103)]);
+    }
+
+    #[test]
+    fn conservation_check_accepts_and_rejects() {
+        let cfg = BankConfig {
+            accounts: 2,
+            account_base: 0,
+            initial_balance: 5,
+            max_transfer: 1,
+        };
+        let good = vec![(Key(0), Value::from_u64(7)), (Key(1), Value::from_u64(3))];
+        assert_eq!(cfg.check_conserved(&good), Ok(10));
+        let bad = vec![(Key(0), Value::from_u64(7)), (Key(1), Value::from_u64(4))];
+        assert!(cfg.check_conserved(&bad).is_err());
+    }
+
+    #[test]
+    fn transfers_pick_distinct_accounts_and_bounded_amounts() {
+        let cfg = BankConfig::default();
+        let mut wl = BankWorkload::new(cfg, 42);
+        for _ in 0..1000 {
+            let TxnOp::Transfer {
+                debit,
+                credit,
+                amount,
+            } = wl.next_transfer()
+            else {
+                panic!("bank workload generates transfers");
+            };
+            assert_ne!(debit, credit);
+            assert!((1..=cfg.max_transfer).contains(&amount));
+            assert!(debit.0 < cfg.accounts && credit.0 < cfg.accounts);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = BankWorkload::new(BankConfig::default(), 9);
+        let mut b = BankWorkload::new(BankConfig::default(), 9);
+        for _ in 0..50 {
+            assert_eq!(a.next_transfer(), b.next_transfer());
+        }
+    }
+}

@@ -12,7 +12,10 @@
 //!   and value payloads of configurable size;
 //! * [`run_closed_loop`] — a closed-loop multi-request driver over any
 //!   [`PipelinedKv`] service (the paper's outstanding-requests-per-session
-//!   client model, §5.2).
+//!   client model, §5.2);
+//! * [`BankWorkload`] — the bank-transfer stream driving the multi-key
+//!   transaction subsystem (`hermes-txn`), with the conserved-total
+//!   invariant as its built-in oracle.
 //!
 //! # Examples
 //!
@@ -32,8 +35,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod bank;
 mod driver;
 
+pub use bank::{BankConfig, BankWorkload};
 pub use driver::{run_closed_loop, ClosedLoopConfig, ClosedLoopReport, PipelinedKv};
 
 use hermes_common::{ClientOp, Key, RmwOp, Value};

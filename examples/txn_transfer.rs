@@ -1,0 +1,326 @@
+//! Cross-shard bank transfers against a real multi-process Hermes cluster:
+//! the demonstration harness of the `hermes-txn` subsystem (DESIGN.md §6).
+//!
+//! Run with no arguments, this binary:
+//!
+//! 1. reserves loopback ports and spawns **three copies of itself** as
+//!    replica daemons (same CLI as `examples/hermesd.rs`);
+//! 2. funds a small bank with one `MultiPut` transaction, then drives
+//!    concurrent client threads moving money between accounts with
+//!    `Transfer` transactions — each transaction a client-side
+//!    lock → read/validate → apply → unlock sequence of ordinary
+//!    single-key Hermes operations over real TCP sessions;
+//! 3. kills one client's TCP connection mid-workload and resumes the
+//!    in-doubt transaction over a fresh connection (idempotent replay —
+//!    no partial write survives);
+//! 4. audits the books through the server-side one-RPC transaction path
+//!    (`remote_txn`) and checks the **conserved-total invariant** plus
+//!    transaction-granularity **serializability**
+//!    (`hermes_txn::check_txns_serializable`);
+//! 5. queries each daemon's stats RPC (per-lane op counts — the proof
+//!    that sub-operations fan across worker shard lanes), then shuts
+//!    everything down cleanly.
+//!
+//! `--smoke` shrinks the workload to CI size. `--node` switches to daemon
+//! mode.
+
+use hermes::harness::observe_txn;
+use hermes::prelude::*;
+use hermes::replica::{query_stats, remote_txn, KillSwitch};
+use hermes::txn::{check_txns_serializable, lock_key, TxnObs};
+use hermes::wings::CreditConfig;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const NODES: usize = 3;
+const CLIENTS: usize = 3;
+
+const BANK: BankConfig = BankConfig {
+    accounts: 8,
+    account_base: 0,
+    initial_balance: 1_000,
+    max_transfer: 100,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--node") {
+        daemon_main(&args);
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    harness_main(if smoke { 6 } else { 14 });
+}
+
+/// Daemon mode: serve one replica until stdin closes.
+fn daemon_main(args: &[String]) {
+    let opts = NodeOptions::parse(args).unwrap_or_else(|e| {
+        eprintln!("txn_transfer daemon: {e}");
+        std::process::exit(2);
+    });
+    let node = opts.node;
+    let runtime = NodeRuntime::serve(opts).unwrap_or_else(|e| {
+        eprintln!("txn_transfer daemon: node {node}: {e}");
+        std::process::exit(1);
+    });
+    println!("hermesd: node {} serving", runtime.node_id());
+    let mut sink = [0u8; 256];
+    let mut stdin = std::io::stdin();
+    while !matches!(stdin.read(&mut sink), Ok(0) | Err(_)) {}
+    runtime.shutdown();
+    println!("hermesd: node {node} clean shutdown");
+}
+
+/// Kills the child on drop so a panicking harness leaves no orphans.
+struct ChildGuard(Option<Child>);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn reserve_loopback_addrs(n: usize) -> Vec<SocketAddr> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr"))
+        .collect()
+}
+
+fn remote_session(addr: SocketAddr) -> ClientSession<RemoteChannel> {
+    RemoteChannel::connect_within(addr, Duration::from_secs(10))
+        .expect("daemon client port reachable")
+        .into_session()
+}
+
+fn record(
+    history: &Mutex<Vec<TxnObs>>,
+    clock: &AtomicU64,
+    op: &TxnOp,
+    invoke: u64,
+    result: &TxnResult,
+) {
+    let obs = observe_txn(op, result, invoke, clock);
+    history.lock().expect("history lock").push(obs);
+}
+
+fn harness_main(transfers_per_client: u64) {
+    let start = Instant::now();
+    let repl_addrs = reserve_loopback_addrs(NODES);
+    let client_addrs = reserve_loopback_addrs(NODES);
+    let peers = repl_addrs
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let exe = std::env::current_exe().expect("own path");
+
+    println!("txn_transfer: spawning {NODES} replica processes over {peers}");
+    let mut children: Vec<ChildGuard> = (0..NODES)
+        .map(|i| {
+            let child = Command::new(&exe)
+                .args([
+                    "--node",
+                    &i.to_string(),
+                    "--peers",
+                    &peers,
+                    "--client",
+                    &client_addrs[i].to_string(),
+                    "--workers",
+                    "2",
+                ])
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()
+                .expect("spawn replica process");
+            ChildGuard(Some(child))
+        })
+        .collect();
+
+    let clock = Arc::new(AtomicU64::new(0));
+    let history: Arc<Mutex<Vec<TxnObs>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // Fund the bank (retrying while the cluster comes up).
+    let funding = BANK.funding();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut session = remote_session(client_addrs[0]);
+        let invoke = clock.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let result = session.txn(funding.clone());
+        if result.is_committed() {
+            record(&history, &clock, &funding, invoke, &result);
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cluster never served the funding txn: {result:?}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!(
+        "txn_transfer: funded {} accounts x {} = {} total",
+        BANK.accounts,
+        BANK.initial_balance,
+        BANK.total()
+    );
+
+    // Concurrent transfer clients; client 0's connection dies mid-run.
+    let mut joins = Vec::new();
+    for sid in 0..CLIENTS {
+        let addr = client_addrs[sid % NODES];
+        let clock = Arc::clone(&clock);
+        let history = Arc::clone(&history);
+        joins.push(std::thread::spawn(move || {
+            let channel = RemoteChannel::connect_within(addr, Duration::from_secs(10))
+                .expect("daemon client port reachable");
+            let mut switch: Option<KillSwitch> =
+                (sid == 0).then(|| channel.kill_switch().expect("kill switch"));
+            let mut session = ClientSession::new(channel, CreditConfig::default());
+            let mut bank = BankWorkload::new(BANK, 7 + sid as u64);
+            let (mut committed, mut aborted, mut reconnects) = (0u64, 0u64, 0u64);
+            for i in 0..transfers_per_client {
+                let op = bank.next_transfer();
+                let invoke = clock.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i == 2 {
+                    if let Some(switch) = switch.take() {
+                        // Chop our own connection a moment into this txn.
+                        std::thread::spawn(move || {
+                            std::thread::sleep(Duration::from_millis(2));
+                            switch.kill();
+                        });
+                    }
+                }
+                let mut result = session.txn(op.clone());
+                while let TxnResult::InDoubt(pending) = result {
+                    // Transport died mid-transaction: reconnect and resume
+                    // (idempotent sub-ops — no partial write can survive).
+                    reconnects += 1;
+                    session = remote_session(addr);
+                    result = session.resume_txn(pending);
+                }
+                match &result {
+                    TxnResult::Committed(_) => committed += 1,
+                    TxnResult::Aborted(_) => aborted += 1,
+                    TxnResult::InDoubt(_) => unreachable!("resolved above"),
+                }
+                record(&history, &clock, &op, invoke, &result);
+            }
+            (committed, aborted, reconnects)
+        }));
+    }
+    let (mut committed, mut aborted, mut reconnects) = (0u64, 0u64, 0u64);
+    for j in joins {
+        let (c, a, r) = j.join().expect("client thread");
+        committed += c;
+        aborted += a;
+        reconnects += r;
+    }
+    println!(
+        "txn_transfer: {} transfers committed, {} aborted, {} reconnect-resumes",
+        committed, aborted, reconnects
+    );
+    assert!(committed > 0, "no transfer committed");
+    assert!(
+        reconnects > 0,
+        "the mid-workload connection kill never fired"
+    );
+
+    // Audit through the server-side one-RPC transaction path.
+    let audit = BANK.audit();
+    let invoke = clock.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    let reply =
+        remote_txn(client_addrs[2], &audit, Duration::from_secs(10)).expect("remote audit RPC");
+    let TxnReply::Committed { values } = &reply else {
+        panic!("audit must commit: {reply:?}");
+    };
+    let total = BANK
+        .check_conserved(values)
+        .expect("conserved-total invariant");
+    let result = TxnResult::Committed(values.clone());
+    record(&history, &clock, &audit, invoke, &result);
+    println!("txn_transfer: audit sums to {total} — money conserved across the kill");
+
+    // Serializability at transaction granularity.
+    let history_vec = history.lock().expect("history lock");
+    assert!(
+        check_txns_serializable(&history_vec),
+        "transaction history is not serializable"
+    );
+    println!(
+        "txn_transfer: {} recorded transactions admit a sequential order",
+        history_vec.len()
+    );
+    drop(history_vec);
+
+    // No lock record may survive the workload.
+    let mut lock_reader = remote_session(client_addrs[1]);
+    for key in BANK.account_keys() {
+        let ticket = lock_reader.read(lock_key(key));
+        assert_eq!(
+            lock_reader.wait(ticket),
+            Reply::ReadOk(Value::EMPTY),
+            "lock for {key:?} leaked"
+        );
+    }
+
+    // Per-lane op counts over the stats RPC: the sub-operations really
+    // fanned across both worker lanes of every replica.
+    for (i, addr) in client_addrs.iter().enumerate() {
+        let stats = query_stats(*addr, Duration::from_secs(5)).expect("stats RPC");
+        println!(
+            "txn_transfer: node {i} epoch={} members={} serving={} lane_ops={:?}",
+            stats.epoch,
+            stats.members.len(),
+            stats.serving,
+            stats.lane_ops
+        );
+        assert!(stats.serving, "node {i} stopped serving");
+    }
+
+    // Orderly shutdown.
+    for guard in &mut children {
+        let child = guard.0.as_mut().expect("child alive");
+        drop(child.stdin.take());
+    }
+    for (i, guard) in children.iter_mut().enumerate() {
+        let mut child = guard.0.take().expect("child alive");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let status = loop {
+            if let Some(status) = child.try_wait().expect("wait child") {
+                break status;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "node {i} did not exit after stdin hangup"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        };
+        assert!(status.success(), "node {i} exited with {status}");
+        let mut out = String::new();
+        child
+            .stdout
+            .take()
+            .expect("piped stdout")
+            .read_to_string(&mut out)
+            .expect("read child stdout");
+        assert!(
+            out.contains("clean shutdown"),
+            "node {i} missing shutdown marker; stdout:\n{out}"
+        );
+    }
+    println!(
+        "txn_transfer: done in {:.2?} — {NODES} processes, cross-shard transactions, \
+         clean shutdown",
+        start.elapsed()
+    );
+}

@@ -11,9 +11,10 @@
 //! across client threads is captured exactly (an operation that responded
 //! before another was invoked must be ordered before it).
 
-use hermes_common::{ClientOp, Key, Reply, RmwOp, Value};
+use hermes_common::{ClientOp, Key, Reply, RmwOp, TxnOp, Value};
 use hermes_model::{check_linearizable, HistoryOp, OpKind, Outcome};
-use hermes_replica::{ClientSession, SessionChannel, Ticket};
+use hermes_replica::{ClientSession, SessionChannel, Ticket, TxnResult};
+use hermes_txn::TxnObs;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One operation as observed by the client that issued it.
@@ -33,9 +34,34 @@ pub struct RecordedOp {
 
 /// Turns a reply into the checker's vocabulary. `Value::to_u64` maps the
 /// empty (never-written) value to `None`, the checker's initial state.
-/// Harness workloads only issue u64-valued writes and fetch-add RMWs.
+/// Harness workloads issue u64-valued writes, fetch-add RMWs and
+/// compare-and-swap RMWs.
 pub fn observe(cop: &ClientOp, reply: Reply) -> (OpKind, Outcome) {
     match (cop, reply) {
+        (ClientOp::Rmw(RmwOp::CompareAndSwap { expect, new }), Reply::RmwOk { .. }) => (
+            OpKind::CasOk {
+                expect: expect.to_u64().expect("harness CAS u64 payloads"),
+                new: new.to_u64().expect("harness CAS u64 payloads"),
+            },
+            Outcome::Completed,
+        ),
+        (ClientOp::Rmw(RmwOp::CompareAndSwap { expect, .. }), Reply::CasFailed { current }) => (
+            OpKind::CasFailed {
+                expect: expect.to_u64().expect("harness CAS u64 payloads"),
+                current: current.to_u64(),
+            },
+            Outcome::Completed,
+        ),
+        // An aborted CAS may still be replayed to completion elsewhere
+        // (paper §3.6): indeterminate — it either installed `new` or did
+        // nothing, which is exactly CasOk under unconstrained application.
+        (ClientOp::Rmw(RmwOp::CompareAndSwap { expect, new }), _) => (
+            OpKind::CasOk {
+                expect: expect.to_u64().expect("harness CAS u64 payloads"),
+                new: new.to_u64().expect("harness CAS u64 payloads"),
+            },
+            Outcome::Indeterminate,
+        ),
         (ClientOp::Read, Reply::ReadOk(v)) => (
             OpKind::Read {
                 returned: v.to_u64(),
@@ -79,7 +105,6 @@ pub fn observe(cop: &ClientOp, reply: Reply) -> (OpKind, Outcome) {
             },
             Outcome::Indeterminate,
         ),
-        (ClientOp::Rmw(_), _) => unreachable!("harness issues only fetch-add RMWs"),
     }
 }
 
@@ -182,4 +207,29 @@ pub fn check_linearizable_per_key(all: &[RecordedOp], keys: u64) -> Result<(), S
         }
     }
     Ok(())
+}
+
+/// Records one multi-key transaction as a transaction-granularity history
+/// event ([`TxnObs`], checked by
+/// [`hermes_txn::check_txns_serializable`]): the recorder's analogue of
+/// [`observe`] one level up — a whole transaction is one operation whose
+/// observation is its committed values.
+///
+/// `invoke` must be stamped from the shared clock *before* the
+/// transaction was submitted; the response is stamped here. An in-doubt
+/// result records as unresolved (`reply: None`, open response window): it
+/// may have taken partial effect, and the checker branches over that.
+pub fn observe_txn(op: &TxnOp, result: &TxnResult, invoke: u64, clock: &AtomicU64) -> TxnObs {
+    let reply = result.as_reply();
+    let response = if reply.is_some() {
+        clock.fetch_add(1, Ordering::SeqCst)
+    } else {
+        u64::MAX
+    };
+    TxnObs {
+        invoke,
+        response,
+        op: op.clone(),
+        reply,
+    }
 }

@@ -22,6 +22,7 @@
 //! | [`sim`] | `hermes-sim` | discrete-event kernel, RNG, histograms |
 //! | [`workload`] | `hermes-workload` | uniform/zipfian YCSB-style workloads (§5.2) |
 //! | [`model`] | `hermes-model` | model checker + linearizability checker (§3.2) |
+//! | [`txn`] | `hermes-txn` | cross-shard multi-key transactions over single-key Hermes (§7) |
 //!
 //! # Quickstart
 //!
@@ -56,6 +57,7 @@ pub use hermes_net as net;
 pub use hermes_replica as replica;
 pub use hermes_sim as sim;
 pub use hermes_store as store;
+pub use hermes_txn as txn;
 pub use hermes_wings as wings;
 pub use hermes_workload as workload;
 
@@ -63,16 +65,19 @@ pub use hermes_workload as workload;
 pub mod prelude {
     pub use hermes_common::{
         ClientOp, Effect, Epoch, Key, MembershipView, NodeId, NodeSet, OpId, ReplicaProtocol,
-        Reply, RmwOp, ShardRouter, ShardSpec, Value,
+        Reply, RmwOp, ShardRouter, ShardSpec, TxnAbort, TxnOp, TxnReply, Value,
     };
     pub use hermes_core::{HermesNode, KeyState, Msg, ProtocolConfig, Ts, UpdateKind};
     pub use hermes_membership::RmConfig;
     pub use hermes_replica::{
-        request_shutdown, run_sim, ClientSession, ClusterConfig, CostModel, MembershipOptions,
-        MembershipStatus, NodeOptions, NodeRuntime, NodeStats, RemoteChannel, RunReport,
-        SessionChannel, ShardedEngine, SimConfig, ThreadCluster, Ticket,
+        query_stats, remote_txn, request_shutdown, run_sim, ClientSession, ClusterConfig,
+        CostModel, MembershipOptions, MembershipStatus, NodeOptions, NodeRuntime, NodeStats,
+        PendingTxn, RemoteChannel, RunReport, SessionChannel, ShardedEngine, SimConfig,
+        ThreadCluster, Ticket, TxnResult,
     };
+    pub use hermes_txn::{check_txns_serializable, lock_key, TxnConfig, TxnMachine, TxnObs};
     pub use hermes_workload::{
-        run_closed_loop, ClosedLoopConfig, ClosedLoopReport, PipelinedKv, Workload, WorkloadConfig,
+        run_closed_loop, BankConfig, BankWorkload, ClosedLoopConfig, ClosedLoopReport, PipelinedKv,
+        Workload, WorkloadConfig,
     };
 }

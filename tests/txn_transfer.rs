@@ -1,0 +1,411 @@
+//! Acceptance gate of the multi-key transaction subsystem (`hermes-txn`,
+//! DESIGN.md §6): concurrent bank transfers spanning multiple shards on a
+//! 3-node cluster preserve the conserved-total invariant and produce a
+//! serializable transaction history — including a run where a client's
+//! TCP connection is killed mid-workload and the in-doubt transaction is
+//! resumed over a fresh connection, proving aborted/interrupted
+//! transactions leave no partial writes.
+//!
+//! Two deployments are exercised:
+//!
+//! * in-process: `ThreadCluster` sessions whose sub-operations fan across
+//!   worker shard lanes directly;
+//! * multi-process: three daemon replicas over loopback TCP (this test
+//!   binary re-executes itself as the daemons, like
+//!   `tests/membership_failover.rs`), remote sessions, a mid-workload
+//!   connection kill, and audits through the one-RPC server-side
+//!   transaction path (`remote_txn`).
+
+use hermes::harness::observe_txn;
+use hermes::prelude::*;
+use hermes::txn::{check_txns_serializable, lock_key, TxnObs};
+use hermes::wings::CreditConfig;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const BANK: BankConfig = BankConfig {
+    accounts: 8,
+    account_base: 0,
+    initial_balance: 1_000,
+    max_transfer: 100,
+};
+
+/// Runs `txn` to resolution on `session`, reconnecting via `reconnect`
+/// whenever the transport dies mid-transaction (the in-doubt path).
+fn txn_to_resolution<C: SessionChannel>(
+    session: &mut ClientSession<C>,
+    op: &TxnOp,
+    mut reconnect: impl FnMut() -> ClientSession<C>,
+) -> (TxnResult, u64) {
+    let mut reconnects = 0;
+    let mut result = session.txn(op.clone());
+    loop {
+        match result {
+            TxnResult::InDoubt(pending) => {
+                reconnects += 1;
+                assert!(reconnects <= 20, "txn never resolved across reconnects");
+                *session = reconnect();
+                result = session.resume_txn(pending);
+            }
+            resolved => return (resolved, reconnects),
+        }
+    }
+}
+
+fn record(
+    history: &Arc<Mutex<Vec<TxnObs>>>,
+    clock: &AtomicU64,
+    op: &TxnOp,
+    invoke: u64,
+    result: &TxnResult,
+) {
+    let obs = observe_txn(op, result, invoke, clock);
+    history.lock().expect("history lock").push(obs);
+}
+
+#[test]
+fn in_proc_transfers_span_shards_and_conserve_total() {
+    const WORKERS: usize = 2;
+    let cluster = ThreadCluster::launch(ClusterConfig {
+        nodes: 3,
+        workers_per_node: WORKERS,
+        ..ClusterConfig::default()
+    });
+    // The accounts must genuinely span shards, or this tests nothing.
+    let spec = ShardSpec::new(WORKERS);
+    let owners: std::collections::HashSet<usize> =
+        BANK.account_keys().iter().map(|&k| spec.owner(k)).collect();
+    assert!(owners.len() >= 2, "accounts all landed on one shard lane");
+
+    let clock = Arc::new(AtomicU64::new(0));
+    let history: Arc<Mutex<Vec<TxnObs>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // Fund the bank through one committed MultiPut.
+    let mut funder = cluster.session(0);
+    let funding = BANK.funding();
+    let invoke = clock.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    let result = funder.txn(funding.clone());
+    assert!(result.is_committed(), "funding must commit: {result:?}");
+    record(&history, &clock, &funding, invoke, &result);
+
+    // Concurrent transfer clients against all three replicas.
+    let cluster = Arc::new(cluster);
+    let mut joins = Vec::new();
+    for sid in 0..3usize {
+        let cluster = Arc::clone(&cluster);
+        let clock = Arc::clone(&clock);
+        let history = Arc::clone(&history);
+        joins.push(std::thread::spawn(move || {
+            let mut session = cluster.session(sid % 3);
+            let mut bank = BankWorkload::new(BANK, sid as u64);
+            let mut committed = 0u32;
+            for _ in 0..12 {
+                let op = bank.next_transfer();
+                let invoke = clock.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                let result = session.txn(op.clone());
+                // In-process lanes never die: every txn resolves.
+                assert!(
+                    !matches!(result, TxnResult::InDoubt(_)),
+                    "in-proc txn went in-doubt"
+                );
+                committed += u32::from(result.is_committed());
+                record(&history, &clock, &op, invoke, &result);
+            }
+            committed
+        }));
+    }
+    let committed: u32 = joins.into_iter().map(|j| j.join().expect("client")).sum();
+    assert!(committed > 0, "no transfer committed at all");
+
+    // Audit: the books must balance, through a different replica.
+    let mut auditor = cluster.session(1);
+    let audit = BANK.audit();
+    let invoke = clock.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    let result = auditor.txn(audit.clone());
+    let TxnResult::Committed(snapshot) = &result else {
+        panic!("audit must commit: {result:?}");
+    };
+    BANK.check_conserved(snapshot).expect("conserved total");
+    record(&history, &clock, &audit, invoke, &result);
+
+    // The whole multi-key history admits a sequential order.
+    let history = history.lock().expect("history lock");
+    assert!(
+        check_txns_serializable(&history),
+        "transaction history not serializable: {history:?}"
+    );
+
+    // Every lock record is released, on every replica.
+    for node in 0..3 {
+        for key in BANK.account_keys() {
+            assert_eq!(
+                cluster.read(node, lock_key(key)),
+                Reply::ReadOk(Value::EMPTY),
+                "lock for {key:?} leaked on node {node}"
+            );
+        }
+    }
+    // Sub-operations really fanned across lanes (both shards saw work).
+    let lane_ops = cluster.lane_ops(0);
+    assert_eq!(lane_ops.len(), WORKERS);
+    assert!(
+        lane_ops.iter().all(|&ops| ops > 0),
+        "a worker lane saw no client ops: {lane_ops:?}"
+    );
+    if let Ok(cluster) = Arc::try_unwrap(cluster) {
+        cluster.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-process deployment with a mid-workload connection kill.
+// ---------------------------------------------------------------------
+
+const NODES: usize = 3;
+
+/// Daemon half of the re-execution trick (see
+/// `tests/membership_failover.rs`): inert in a normal test run.
+#[test]
+fn daemon_process() {
+    let Ok(node) = std::env::var("HERMES_TXN_NODE") else {
+        return;
+    };
+    let peers = std::env::var("HERMES_TXN_PEERS").expect("peers env");
+    let client = std::env::var("HERMES_TXN_CLIENT").expect("client env");
+    let args = vec![
+        "--node".to_string(),
+        node,
+        "--peers".to_string(),
+        peers,
+        "--client".to_string(),
+        client,
+        "--workers".to_string(),
+        "2".to_string(),
+    ];
+    let opts = NodeOptions::parse(&args).expect("daemon options");
+    let node = opts.node;
+    let runtime = NodeRuntime::serve(opts).expect("daemon serves");
+    println!("txn-daemon: node {node} serving");
+    let mut sink = [0u8; 64];
+    let mut stdin = std::io::stdin();
+    while !matches!(stdin.read(&mut sink), Ok(0) | Err(_)) {}
+    runtime.shutdown();
+    println!("txn-daemon: node {node} clean shutdown");
+}
+
+/// Kills the child on drop so a panicking harness leaves no orphans.
+struct ChildGuard(Option<Child>);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn reserve_loopback_addrs(n: usize) -> Vec<SocketAddr> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr"))
+        .collect()
+}
+
+fn spawn_daemon(node: usize, peers: &str, client: SocketAddr) -> ChildGuard {
+    let exe = std::env::current_exe().expect("own path");
+    let mut cmd = Command::new(exe);
+    cmd.args(["daemon_process", "--exact", "--nocapture"])
+        .env("HERMES_TXN_NODE", node.to_string())
+        .env("HERMES_TXN_PEERS", peers)
+        .env("HERMES_TXN_CLIENT", client.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    ChildGuard(Some(cmd.spawn().expect("spawn replica daemon")))
+}
+
+fn remote_session(addr: SocketAddr) -> ClientSession<RemoteChannel> {
+    RemoteChannel::connect_within(addr, Duration::from_secs(10))
+        .expect("daemon client port reachable")
+        .into_session()
+}
+
+#[test]
+fn tcp_cluster_transfers_survive_connection_kill() {
+    if std::env::var("HERMES_TXN_NODE").is_ok() {
+        return; // Daemon child: only daemon_process runs.
+    }
+    let repl_addrs = reserve_loopback_addrs(NODES);
+    let client_addrs = reserve_loopback_addrs(NODES);
+    let peers = repl_addrs
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut children: Vec<ChildGuard> = (0..NODES)
+        .map(|i| spawn_daemon(i, &peers, client_addrs[i]))
+        .collect();
+
+    // Wait for the cluster to serve, then fund the bank.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let clock = Arc::new(AtomicU64::new(0));
+    let history: Arc<Mutex<Vec<TxnObs>>> = Arc::new(Mutex::new(Vec::new()));
+    let funding = BANK.funding();
+    loop {
+        let mut session = remote_session(client_addrs[0]);
+        let invoke = clock.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let result = session.txn(funding.clone());
+        if result.is_committed() {
+            record(&history, &clock, &funding, invoke, &result);
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cluster never came up: {result:?}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // Concurrent transfer clients; client 0 is the victim whose TCP
+    // connection gets chopped mid-workload (a delayed kill armed right
+    // before transaction 3 starts, so the cut lands inside or between
+    // live transactions — either way the session must reconnect and the
+    // in-doubt transaction must resume without leaving partial writes).
+    let mut joins = Vec::new();
+    for sid in 0..3usize {
+        let addr = client_addrs[sid % NODES];
+        let clock = Arc::clone(&clock);
+        let history = Arc::clone(&history);
+        joins.push(std::thread::spawn(move || {
+            let channel = RemoteChannel::connect_within(addr, Duration::from_secs(10))
+                .expect("daemon client port reachable");
+            let mut switch = (sid == 0).then(|| channel.kill_switch().expect("kill switch"));
+            let mut session = ClientSession::new(channel, CreditConfig::default());
+            let mut bank = BankWorkload::new(BANK, 1000 + sid as u64);
+            let mut stats = (0u32, 0u64); // (committed, reconnects)
+            for i in 0..10 {
+                let op = bank.next_transfer();
+                let invoke = clock.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if i == 3 {
+                    if let Some(switch) = switch.take() {
+                        std::thread::spawn(move || {
+                            std::thread::sleep(Duration::from_millis(3));
+                            switch.kill();
+                        });
+                    }
+                }
+                let (result, reconnects) =
+                    txn_to_resolution(&mut session, &op, || remote_session(addr));
+                stats.0 += u32::from(result.is_committed());
+                stats.1 += reconnects;
+                record(&history, &clock, &op, invoke, &result);
+            }
+            stats
+        }));
+    }
+
+    let mut committed = 0u32;
+    let mut reconnects = 0u64;
+    for j in joins {
+        let (c, r) = j.join().expect("client thread");
+        committed += c;
+        reconnects += r;
+    }
+    assert!(committed > 0, "no transfer committed");
+    assert!(
+        reconnects > 0,
+        "the connection kill was never observed — the fault path did not fire"
+    );
+
+    // Audit through the server-side one-RPC transaction path on another
+    // node: conservation must hold despite the mid-workload kill.
+    let audit = BANK.audit();
+    let invoke = clock.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    let reply = hermes::replica::remote_txn(client_addrs[2], &audit, Duration::from_secs(10))
+        .expect("remote audit");
+    let TxnReply::Committed { values } = &reply else {
+        panic!("audit must commit: {reply:?}");
+    };
+    BANK.check_conserved(values)
+        .expect("conserved total across connection kill");
+    let result = TxnResult::Committed(values.clone());
+    record(&history, &clock, &audit, invoke, &result);
+
+    // Transaction-granularity serializability over everything recorded.
+    let history_vec = history.lock().expect("history lock");
+    assert!(
+        check_txns_serializable(&history_vec),
+        "multi-process transaction history not serializable: {history_vec:?}"
+    );
+    drop(history_vec);
+
+    // No lock record leaked (the resumed transaction released its locks).
+    let mut lock_reader = remote_session(client_addrs[1]);
+    for key in BANK.account_keys() {
+        let ticket = lock_reader.read(lock_key(key));
+        assert_eq!(
+            lock_reader.wait(ticket),
+            Reply::ReadOk(Value::EMPTY),
+            "lock for {key:?} leaked"
+        );
+    }
+
+    // The stats RPC shows a healthy, busy cluster without log parsing.
+    for (i, addr) in client_addrs.iter().enumerate() {
+        let stats = hermes::replica::query_stats(*addr, Duration::from_secs(5)).expect("stats RPC");
+        assert!(stats.serving, "node {i} not serving: {stats:?}");
+        assert_eq!(stats.members.len(), NODES, "node {i} lost members");
+        assert_eq!(stats.lane_ops.len(), 2, "node {i} lane count");
+    }
+    let total_lane_ops: u64 = client_addrs
+        .iter()
+        .map(|addr| {
+            hermes::replica::query_stats(*addr, Duration::from_secs(5))
+                .expect("stats RPC")
+                .lane_ops
+                .iter()
+                .sum::<u64>()
+        })
+        .sum();
+    assert!(total_lane_ops > 0, "no lane handled any client op");
+
+    // Orderly teardown: hang up stdin, require clean exits.
+    for guard in &mut children {
+        let child = guard.0.as_mut().expect("child alive");
+        drop(child.stdin.take());
+    }
+    for (i, guard) in children.iter_mut().enumerate() {
+        let mut child = guard.0.take().expect("child alive");
+        let deadline = Instant::now() + Duration::from_secs(15);
+        let status = loop {
+            if let Some(status) = child.try_wait().expect("wait child") {
+                break status;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "node {i} did not exit after stdin hangup"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        };
+        let mut out = String::new();
+        child
+            .stdout
+            .take()
+            .expect("piped stdout")
+            .read_to_string(&mut out)
+            .expect("read child stdout");
+        assert!(status.success(), "node {i} exited with {status}: {out}");
+        assert!(
+            out.contains("clean shutdown"),
+            "node {i} missing shutdown marker; stdout:\n{out}"
+        );
+    }
+}
