@@ -68,10 +68,11 @@ impl TxnOp {
 }
 
 /// Why a transaction aborted. [`TxnAbort::Conflict`],
-/// [`TxnAbort::InsufficientFunds`] and [`TxnAbort::Invalid`] are decided
-/// strictly *before* any data write, so those aborts never leave a
-/// partial update behind. [`TxnAbort::NotOperational`] is the exception:
-/// it reports an **unresolved** outcome, not a guaranteed no-op.
+/// [`TxnAbort::InsufficientFunds`], [`TxnAbort::Overflow`] and
+/// [`TxnAbort::Invalid`] are decided strictly *before* any data write, so
+/// those aborts never leave a partial update behind.
+/// [`TxnAbort::NotOperational`] is the exception: it reports an
+/// **unresolved** outcome, not a guaranteed no-op.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TxnAbort {
     /// A lock could not be acquired within the retry budget (another
@@ -80,6 +81,10 @@ pub enum TxnAbort {
     /// A `Transfer` found the debit account short of funds. No effect;
     /// not retryable until the balance changes.
     InsufficientFunds,
+    /// A `Transfer` found the credit balance too close to `u64::MAX` to
+    /// receive the amount without wrapping (which would silently destroy
+    /// funds). No effect; not retryable until the balance changes.
+    Overflow,
     /// The request itself is malformed: no keys, duplicate keys in a
     /// `MultiPut`, a self-transfer, or a key inside the reserved lock
     /// namespace. No effect.
@@ -101,6 +106,7 @@ impl core::fmt::Display for TxnAbort {
         match self {
             TxnAbort::Conflict => write!(f, "lock conflict"),
             TxnAbort::InsufficientFunds => write!(f, "insufficient funds"),
+            TxnAbort::Overflow => write!(f, "credit balance overflow"),
             TxnAbort::Invalid => write!(f, "invalid transaction"),
             TxnAbort::NotOperational => write!(f, "service not operational"),
         }

@@ -32,7 +32,7 @@ use hermes_net::{
     TcpEndpoint, TcpStats,
 };
 use hermes_store::{Store, StoreConfig};
-use hermes_txn::{TxnConfig, TxnMachine, TxnToken};
+use hermes_txn::{conflict_backoff, TxnConfig, TxnMachine, TxnToken};
 use hermes_wings::client as rpc;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -616,6 +616,7 @@ fn drive_server_txn(lanes: &[Sender<Command>], router: ShardRouter, op: TxnOp) -
     let mut machine = TxnMachine::new(token, op, TxnConfig::default());
     let (tx, rx): (Sender<Completion>, Receiver<Completion>) = unbounded();
     let mut subs = Vec::new();
+    let mut paced_attempt = machine.attempts();
     loop {
         if let Some(reply) = machine.outcome() {
             return reply.clone();
@@ -623,6 +624,15 @@ fn drive_server_txn(lanes: &[Sender<Command>], router: ShardRouter, op: TxnOp) -
         if machine.in_doubt() {
             // Lanes gone mid-transaction: the process is shutting down.
             return TxnReply::Aborted(TxnAbort::NotOperational);
+        }
+        if machine.attempts() > paced_attempt {
+            // A lock conflict restarted acquisition: back off briefly
+            // (jittered by the txn's client id) before submitting the
+            // retry's first lock CAS — the same pacing as the client-side
+            // session driver, so contending daemon-coordinated
+            // transactions do not burn the whole retry budget in lockstep.
+            paced_attempt = machine.attempts();
+            std::thread::sleep(conflict_backoff(paced_attempt, client.0));
         }
         machine.poll(&mut subs);
         for sub in subs.drain(..) {

@@ -31,7 +31,7 @@ use hermes_common::{
     ClientId, ClientOp, Key, NodeId, OpId, Reply, RmwOp, ShardRouter, TxnAbort, TxnOp, TxnReply,
     Value,
 };
-use hermes_txn::{TxnConfig, TxnMachine, TxnToken};
+use hermes_txn::{conflict_backoff, TxnConfig, TxnMachine, TxnToken};
 use hermes_wings::{CreditConfig, CreditFlow};
 use hermes_workload::PipelinedKv;
 use std::collections::{HashMap, HashSet};
@@ -398,19 +398,18 @@ impl<C: SessionChannel> ClientSession<C> {
                     machine: Box::new(machine),
                 });
             }
+            if machine.attempts() > paced_attempt {
+                // A lock conflict restarted acquisition: back off briefly
+                // (jittered by session identity) *before* submitting the
+                // retry's first lock CAS, so colliding coordinators do not
+                // re-collide in lockstep.
+                paced_attempt = machine.attempts();
+                std::thread::sleep(conflict_backoff(paced_attempt, self.client_id().0));
+            }
             machine.poll(&mut subs);
             for sub in subs.drain(..) {
                 let ticket = self.submit(sub.key, sub.cop);
                 tags.insert(ticket, sub.tag);
-            }
-            if machine.attempts() > paced_attempt {
-                // A lock conflict restarted acquisition: back off briefly
-                // (jittered by session identity) so colliding coordinators
-                // do not re-collide in lockstep.
-                paced_attempt = machine.attempts();
-                let step = Duration::from_micros(200);
-                let jitter = Duration::from_micros(37 * (self.client_id().0 % 11));
-                std::thread::sleep(step * paced_attempt.min(8) + jitter);
             }
             let Some((ticket, reply)) = self.wait_txn_completion(&tags) else {
                 // Nothing completed within the limit: the service is gone

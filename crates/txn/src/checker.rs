@@ -60,10 +60,10 @@ fn writes_in(op: &TxnOp, state: &State) -> Vec<(Key, u64)> {
             if bal < *amount {
                 return Vec::new(); // Insufficient funds: no effect.
             }
-            vec![
-                (*debit, bal - amount),
-                (*credit, get(state, *credit).wrapping_add(*amount)),
-            ]
+            let Some(credited) = get(state, *credit).checked_add(*amount) else {
+                return Vec::new(); // Credit would overflow: no effect.
+            };
+            vec![(*debit, bal - amount), (*credit, credited)]
         }
     }
 }
@@ -74,8 +74,15 @@ fn apply(obs: &TxnObs, state: &State) -> Option<State> {
     let reply = obs.reply.as_ref().expect("committed txns carry a reply");
     match (&obs.op, reply) {
         (TxnOp::MultiGet(_), TxnReply::Committed { values }) => {
-            for (k, v) in values {
-                if get(state, *k) != v.to_u64().unwrap_or(0) {
+            // The committed snapshot must cover exactly the requested
+            // keys (sorted, deduped — the coordinator's reply order): a
+            // truncated observation is inconsistent, not vacuously valid.
+            let keys = obs.op.keys();
+            if values.len() != keys.len() {
+                return None;
+            }
+            for ((k, v), want) in values.iter().zip(keys) {
+                if *k != want || get(state, *k) != v.to_u64().unwrap_or(0) {
                     return None;
                 }
             }
@@ -107,14 +114,25 @@ fn apply(obs: &TxnObs, state: &State) -> Option<State> {
             if get(state, *debit) != pd || get(state, *credit) != pc || pd < *amount {
                 return None;
             }
+            // The coordinator aborts (Overflow) rather than commit a
+            // wrapping credit, so a committed observation must not wrap.
+            let credited = pc.checked_add(*amount)?;
             let mut next = state.clone();
             next.insert(debit.0, pd - amount);
-            next.insert(credit.0, pc.wrapping_add(*amount));
+            next.insert(credit.0, credited);
             Some(next)
         }
         (TxnOp::Transfer { debit, amount, .. }, TxnReply::Aborted(TxnAbort::InsufficientFunds)) => {
             // A funds abort is a committed read of "balance < amount".
             (get(state, *debit) < *amount).then(|| state.clone())
+        }
+        (TxnOp::Transfer { credit, amount, .. }, TxnReply::Aborted(TxnAbort::Overflow)) => {
+            // An overflow abort is a committed read of "credit balance
+            // cannot receive amount without wrapping".
+            get(state, *credit)
+                .checked_add(*amount)
+                .is_none()
+                .then(|| state.clone())
         }
         _ => None,
     }
@@ -123,10 +141,10 @@ fn apply(obs: &TxnObs, state: &State) -> Option<State> {
 /// Checks whether `history` is strictly serializable over a key space
 /// starting all-zero (the coordinator reads empty keys as 0).
 ///
-/// Rules: transactions with a committed reply (or a funds abort, which is
-/// a committed observation) must linearize exactly once with a consistent
-/// observation; conflict/invalid aborts never take effect and are
-/// excluded; unresolved transactions (`reply: None`) may apply any subset
+/// Rules: transactions with a committed reply (or a funds/overflow abort,
+/// which is a committed observation) must linearize exactly once with a
+/// consistent observation; conflict/invalid aborts never take effect and
+/// are excluded; unresolved transactions (`reply: None`) may apply any subset
 /// of their writes — including none — with their observation ignored.
 ///
 /// # Panics

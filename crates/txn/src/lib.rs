@@ -70,7 +70,8 @@ mod machine;
 
 pub use checker::{check_txns_serializable, leaked_lock, TxnObs};
 pub use machine::{
-    is_lock_key, lock_key, process_nonce, SubOp, TxnConfig, TxnMachine, TxnToken, LOCK_BASE,
+    conflict_backoff, is_lock_key, lock_key, process_nonce, SubOp, TxnConfig, TxnMachine, TxnToken,
+    LOCK_BASE,
 };
 
 // The shared vocabulary, re-exported for convenience.
@@ -323,6 +324,100 @@ mod tests {
     }
 
     #[test]
+    fn resumed_release_never_frees_anothers_lock() {
+        let mut kv = MockKv::default();
+        kv.map.insert(Key(1), Value::from_u64(10));
+        // Key 2's lock is held by someone else, so the transfer conflicts
+        // after acquiring key 1's lock and (budget of one attempt) moves
+        // straight to releasing it.
+        let rival = TxnToken {
+            nonce: 1,
+            owner: 99,
+            serial: 0,
+        };
+        kv.map.insert(lock_key(Key(2)), rival.value());
+        let mut m = TxnMachine::new(
+            token(9),
+            TxnOp::Transfer {
+                debit: Key(1),
+                credit: Key(2),
+                amount: 1,
+            },
+            TxnConfig { max_attempts: 1 },
+        );
+        let mut subs = Vec::new();
+        m.poll(&mut subs);
+        let lock1 = subs.remove(0);
+        m.on_reply(lock1.tag, kv.serve(&lock1)); // lock 1 acquired
+        m.poll(&mut subs);
+        let lock2 = subs.remove(0);
+        m.on_reply(lock2.tag, kv.serve(&lock2)); // conflict → release lock 1
+        m.poll(&mut subs);
+        let release = subs.remove(0);
+        // The release *applies* but its reply is lost mid-flight.
+        let _applied = kv.serve(&release);
+        assert!(kv.get(lock_key(Key(1))).is_empty(), "release applied");
+        m.on_reply(release.tag, Reply::NotOperational);
+        assert!(m.in_doubt());
+        // Another coordinator CAS-acquires key 1's lock in the meantime.
+        let newcomer = TxnToken {
+            nonce: 1,
+            owner: 100,
+            serial: 0,
+        };
+        kv.map.insert(lock_key(Key(1)), newcomer.value());
+        // Resume replays the release as CAS(our token → empty): it answers
+        // CasFailed (read as already-released) and must NOT blindly clear
+        // the newcomer's lock.
+        m.resume();
+        drive(&mut m, &mut kv);
+        assert_eq!(m.outcome(), Some(&TxnReply::Aborted(TxnAbort::Conflict)));
+        assert_eq!(
+            kv.get(lock_key(Key(1))),
+            newcomer.value(),
+            "the newcomer's lock survives our replayed release"
+        );
+    }
+
+    #[test]
+    fn transfer_credit_overflow_aborts_before_any_write() {
+        let mut kv = MockKv::default();
+        kv.map.insert(Key(1), Value::from_u64(10));
+        kv.map.insert(Key(2), Value::from_u64(u64::MAX));
+        let mut m = TxnMachine::new(
+            token(10),
+            TxnOp::Transfer {
+                debit: Key(1),
+                credit: Key(2),
+                amount: 5,
+            },
+            TxnConfig::default(),
+        );
+        drive(&mut m, &mut kv);
+        assert_eq!(m.outcome(), Some(&TxnReply::Aborted(TxnAbort::Overflow)));
+        assert_eq!(kv.get(Key(1)).to_u64(), Some(10), "debit untouched");
+        assert_eq!(kv.get(Key(2)).to_u64(), Some(u64::MAX), "credit untouched");
+        assert!(kv.get(lock_key(Key(1))).is_empty(), "locks released");
+        assert!(kv.get(lock_key(Key(2))).is_empty());
+    }
+
+    #[test]
+    fn multiget_duplicates_collapse_to_one_read() {
+        let mut kv = MockKv::default();
+        kv.map.insert(Key(1), Value::from_u64(7));
+        let mut m = TxnMachine::new(
+            token(11),
+            TxnOp::MultiGet(vec![Key(1), Key(1), Key(2)]),
+            TxnConfig::default(),
+        );
+        drive(&mut m, &mut kv);
+        assert_eq!(
+            committed_values(&m),
+            vec![(Key(1), Value::from_u64(7)), (Key(2), Value::EMPTY)]
+        );
+    }
+
+    #[test]
     fn invalid_requests_abort_immediately() {
         for op in [
             TxnOp::MultiGet(vec![]),
@@ -422,6 +517,70 @@ mod tests {
             }),
         );
         assert!(!check_txns_serializable(&[fund, t1, t2_bad]));
+    }
+
+    #[test]
+    fn serializability_checker_rejects_truncated_snapshots() {
+        use hermes_txn_obs_helpers::*;
+        let fund = obs(
+            0,
+            1,
+            TxnOp::MultiPut(vec![(Key(1), Value::from_u64(100))]),
+            Some(TxnReply::Committed { values: vec![] }),
+        );
+        let full = obs(
+            2,
+            3,
+            TxnOp::MultiGet(vec![Key(1), Key(2)]),
+            Some(TxnReply::Committed {
+                values: vec![(Key(1), Value::from_u64(100)), (Key(2), Value::EMPTY)],
+            }),
+        );
+        assert!(check_txns_serializable(&[fund.clone(), full]));
+        // A snapshot missing requested keys must not validate vacuously.
+        let truncated = obs(
+            2,
+            3,
+            TxnOp::MultiGet(vec![Key(1), Key(2)]),
+            Some(TxnReply::Committed { values: vec![] }),
+        );
+        assert!(!check_txns_serializable(&[fund, truncated]));
+    }
+
+    #[test]
+    fn serializability_checker_validates_overflow_aborts() {
+        use hermes_txn_obs_helpers::*;
+        let transfer = TxnOp::Transfer {
+            debit: Key(1),
+            credit: Key(2),
+            amount: 5,
+        };
+        // With the credit account at u64::MAX, the overflow abort is a
+        // consistent committed observation.
+        let fund_max = obs(
+            0,
+            1,
+            TxnOp::MultiPut(vec![
+                (Key(1), Value::from_u64(10)),
+                (Key(2), Value::from_u64(u64::MAX)),
+            ]),
+            Some(TxnReply::Committed { values: vec![] }),
+        );
+        let aborted = obs(
+            2,
+            3,
+            transfer.clone(),
+            Some(TxnReply::Aborted(TxnAbort::Overflow)),
+        );
+        assert!(check_txns_serializable(&[fund_max, aborted.clone()]));
+        // A fabricated overflow abort (credit nowhere near MAX) is rejected.
+        let fund_small = obs(
+            0,
+            1,
+            TxnOp::MultiPut(vec![(Key(1), Value::from_u64(10))]),
+            Some(TxnReply::Committed { values: vec![] }),
+        );
+        assert!(!check_txns_serializable(&[fund_small, aborted]));
     }
 
     #[test]

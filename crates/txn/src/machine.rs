@@ -10,7 +10,7 @@
 //!    data write;
 //! 3. **apply** — write the new values (all locks held, so no concurrent
 //!    transaction observes a partial update through the transaction API);
-//! 4. **unlock** — write every lock record back to empty.
+//! 4. **unlock** — CAS every lock record from our token back to empty.
 //!
 //! The machine is sans-io: it never blocks, sleeps or talks to a socket.
 //! [`TxnMachine::poll`] yields [`SubOp`]s to submit; the driver feeds each
@@ -22,17 +22,23 @@
 //! **Recovery.** Every sub-operation is idempotent: the lock CAS is
 //! tagged with the transaction's unique token (re-issuing it against a
 //! lock we already hold answers `CasFailed { current: token }`, which the
-//! machine accepts as acquired), and the apply/unlock writes are plain
-//! last-writer-wins writes of values the machine already fixed. A driver
-//! whose transport died mid-transaction ([`TxnMachine::in_doubt`]) can
-//! therefore reconnect and [`TxnMachine::resume`]: the machine re-issues
-//! exactly the sub-operations whose replies are missing and the
+//! machine accepts as acquired), the apply writes are plain
+//! last-writer-wins writes of values the machine already fixed, and the
+//! unlock is a `CAS(expect: token, new: empty)` whose replay, if the first
+//! issue already applied, answers `CasFailed` — read as already-released.
+//! The release must be a CAS, never a blind empty write: after our release
+//! applies, another coordinator may CAS-acquire the same lock, and a
+//! replayed blind write would silently free *that* transaction's lock. A
+//! driver whose transport died mid-transaction ([`TxnMachine::in_doubt`])
+//! can therefore reconnect and [`TxnMachine::resume`]: the machine
+//! re-issues exactly the sub-operations whose replies are missing and the
 //! transaction completes (or rolls back) with no partial write left
 //! behind.
 //!
 //! **Abort rules.** Aborts happen only before the apply phase — a lock
 //! conflict past the retry budget ([`TxnAbort::Conflict`]), failed
-//! validation ([`TxnAbort::InsufficientFunds`]), or a malformed request
+//! validation ([`TxnAbort::InsufficientFunds`],
+//! [`TxnAbort::Overflow`]), or a malformed request
 //! ([`TxnAbort::Invalid`]) — and always release any locks already held, so
 //! an aborted transaction leaves no trace.
 
@@ -135,6 +141,19 @@ impl Default for TxnConfig {
     }
 }
 
+/// The jittered pause a driver inserts before submitting a conflict
+/// retry's first lock CAS (i.e. whenever [`TxnMachine::attempts`]
+/// increases): linear in attempts, with a per-coordinator jitter so
+/// colliding coordinators desynchronise instead of re-colliding in
+/// lockstep until the retry budget burns out. Both the client-side
+/// session driver and the daemon-side connection driver use this, so
+/// the two paths pace identically under contention.
+pub fn conflict_backoff(attempts: u32, coordinator_id: u64) -> std::time::Duration {
+    let step = std::time::Duration::from_micros(200);
+    let jitter = std::time::Duration::from_micros(37 * (coordinator_id % 11));
+    step * attempts.min(8) + jitter
+}
+
 /// One single-key operation the driver must submit on the machine's
 /// behalf, identified by a machine-local `tag` echoed through
 /// [`TxnMachine::on_reply`].
@@ -204,9 +223,13 @@ impl TxnMachine {
     /// [`TxnAbort::Invalid`] without issuing a single sub-operation.
     pub fn new(token: TxnToken, op: TxnOp, cfg: TxnConfig) -> Self {
         let keys = op.keys();
+        // Duplicates are ambiguous only where the op writes: a MultiPut
+        // naming one key twice or a self-transfer. A MultiGet reading a
+        // key twice just collapses to one read of it.
+        let ambiguous_dup = !matches!(op, TxnOp::MultiGet(_)) && keys.len() != op.len();
         let invalid = keys.is_empty()
             || keys.iter().any(|&k| is_lock_key(k))
-            || keys.len() != op.len()
+            || ambiguous_dup
             || cfg.max_attempts == 0;
         let mut machine = TxnMachine {
             token: token.value(),
@@ -289,6 +312,17 @@ impl TxnMachine {
         self.push(lock_key(data_key), cas);
     }
 
+    /// Releases `data_key`'s lock with `CAS(expect: token, new: empty)` —
+    /// never a blind empty write, which on a resume replay could free a
+    /// lock another coordinator acquired after our release applied.
+    fn push_unlock_cas(&mut self, data_key: Key) {
+        let cas = ClientOp::Rmw(RmwOp::CompareAndSwap {
+            expect: self.token.clone(),
+            new: Value::EMPTY,
+        });
+        self.push(lock_key(data_key), cas);
+    }
+
     /// Feeds one completion back. Tags not issued by this machine (late
     /// completions of a superseded attempt) are ignored.
     pub fn on_reply(&mut self, tag: u64, reply: Reply) {
@@ -302,16 +336,25 @@ impl TxnMachine {
             self.in_doubt = true;
             return;
         }
-        match self.phase {
+        let consumed = match self.phase {
             Phase::Locking { next } => self.on_lock_reply(next, key, reply),
             Phase::Reading => self.on_read_reply(key, reply),
             Phase::Applying => self.on_write_reply(reply),
             Phase::Unlocking | Phase::Releasing { .. } => self.on_unlock_reply(key, reply),
-            Phase::Done => {}
+            Phase::Done => true,
+        };
+        if !consumed {
+            // An unexpected reply type for this phase (e.g. a version-
+            // skewed server): keep the sub-op booked like the
+            // NotOperational path, so a resume can still re-issue it —
+            // dropping it would leave the machine permanently
+            // unresolvable (nothing to replay, no outcome).
+            self.inflight.insert(tag, (key, cop));
+            self.in_doubt = true;
         }
     }
 
-    fn on_lock_reply(&mut self, next: usize, key: Key, reply: Reply) {
+    fn on_lock_reply(&mut self, next: usize, key: Key, reply: Reply) -> bool {
         debug_assert!(is_lock_key(key), "lock phase completes lock keys");
         match reply {
             Reply::RmwOk { .. } => self.lock_acquired(next),
@@ -329,8 +372,9 @@ impl TxnMachine {
                 // since at most one of the concurrent CASes does).
                 self.push_lock_cas(Key(key.0 & !LOCK_BASE));
             }
-            _ => self.in_doubt = true,
+            _ => return false,
         }
+        true
     }
 
     fn lock_acquired(&mut self, next: usize) {
@@ -366,23 +410,20 @@ impl TxnMachine {
             };
             let held: Vec<Key> = self.locked.clone();
             for key in held {
-                self.push(lock_key(key), ClientOp::Write(Value::EMPTY));
+                self.push_unlock_cas(key);
             }
         }
     }
 
-    fn on_read_reply(&mut self, key: Key, reply: Reply) {
+    fn on_read_reply(&mut self, key: Key, reply: Reply) -> bool {
         match reply {
             Reply::ReadOk(v) => {
                 self.reads.insert(key, v);
             }
-            _ => {
-                self.in_doubt = true;
-                return;
-            }
+            _ => return false,
         }
         if !self.inflight.is_empty() || !self.queue.is_empty() {
-            return;
+            return true;
         }
         // Snapshot complete: validate and compute.
         match self.op.clone() {
@@ -403,7 +444,13 @@ impl TxnMachine {
                 let credit_bal = self.balance(credit);
                 if debit_bal < amount {
                     self.abort_releasing(TxnAbort::InsufficientFunds);
-                    return;
+                    return true;
+                }
+                if credit_bal.checked_add(amount).is_none() {
+                    // A wrapping credit would silently destroy funds;
+                    // abort before any data write instead.
+                    self.abort_releasing(TxnAbort::Overflow);
+                    return true;
                 }
                 self.observed = vec![
                     (debit, Value::from_u64(debit_bal)),
@@ -413,6 +460,7 @@ impl TxnMachine {
             }
             TxnOp::MultiPut(_) => unreachable!("MultiPut skips the read phase"),
         }
+        true
     }
 
     fn balance(&self, key: Key) -> u64 {
@@ -438,9 +486,11 @@ impl TxnMachine {
                     .get(1)
                     .and_then(|(_, v)| v.to_u64())
                     .unwrap_or(0);
+                // Validation already checked funds and overflow, so plain
+                // arithmetic cannot wrap here.
                 vec![
                     (*debit, Value::from_u64(debit_bal - amount)),
-                    (*credit, Value::from_u64(credit_bal.wrapping_add(*amount))),
+                    (*credit, Value::from_u64(credit_bal + amount)),
                 ]
             }
             TxnOp::MultiGet(_) => Vec::new(),
@@ -454,21 +504,21 @@ impl TxnMachine {
         }
     }
 
-    fn on_write_reply(&mut self, reply: Reply) {
+    fn on_write_reply(&mut self, reply: Reply) -> bool {
         if !matches!(reply, Reply::WriteOk) {
-            self.in_doubt = true;
-            return;
+            return false;
         }
         if self.inflight.is_empty() && self.queue.is_empty() {
             self.start_unlock();
         }
+        true
     }
 
     fn start_unlock(&mut self) {
         self.phase = Phase::Unlocking;
         let keys = self.keys.clone();
         for key in keys {
-            self.push(lock_key(key), ClientOp::Write(Value::EMPTY));
+            self.push_unlock_cas(key);
         }
     }
 
@@ -479,18 +529,31 @@ impl TxnMachine {
         };
         let held: Vec<Key> = self.locked.clone();
         for key in held {
-            self.push(lock_key(key), ClientOp::Write(Value::EMPTY));
+            self.push_unlock_cas(key);
         }
     }
 
-    fn on_unlock_reply(&mut self, key: Key, reply: Reply) {
+    fn on_unlock_reply(&mut self, key: Key, reply: Reply) -> bool {
         debug_assert!(is_lock_key(key), "unlock phase completes lock keys");
-        if !matches!(reply, Reply::WriteOk) {
-            self.in_doubt = true;
-            return;
+        match reply {
+            // Our CAS(token → empty) applied: released.
+            Reply::RmwOk { .. } => {}
+            // A failed CAS never matches its expectation, so the record no
+            // longer carries our token: our release already applied (a
+            // resume replay) and the record is empty — or another
+            // coordinator has since re-acquired it, in which case leaving
+            // it untouched is exactly the point of the CAS.
+            Reply::CasFailed { .. } => {}
+            Reply::RmwAborted => {
+                // Advisory abort (paper §3.6): the CAS may still be
+                // replayed to completion — re-issue until definitive.
+                self.push_unlock_cas(Key(key.0 & !LOCK_BASE));
+                return true;
+            }
+            _ => return false,
         }
         if !self.inflight.is_empty() || !self.queue.is_empty() {
-            return;
+            return true;
         }
         match self.phase {
             Phase::Unlocking => {
@@ -509,6 +572,7 @@ impl TxnMachine {
             }
             _ => unreachable!("unlock replies only in unlock/release phases"),
         }
+        true
     }
 
     /// Locks all released after a conflict or validation failure: retry

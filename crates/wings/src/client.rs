@@ -46,6 +46,7 @@ const TXN_ABORT_CONFLICT: u8 = 1;
 const TXN_ABORT_FUNDS: u8 = 2;
 const TXN_ABORT_INVALID: u8 = 3;
 const TXN_ABORT_NOT_OPERATIONAL: u8 = 4;
+const TXN_ABORT_OVERFLOW: u8 = 5;
 
 /// Errors produced when decoding a malformed client request or response.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -348,6 +349,7 @@ pub fn encode_txn_reply_bytes(seq: u64, reply: &TxnReply) -> Bytes {
             TxnAbort::InsufficientFunds => TXN_ABORT_FUNDS,
             TxnAbort::Invalid => TXN_ABORT_INVALID,
             TxnAbort::NotOperational => TXN_ABORT_NOT_OPERATIONAL,
+            TxnAbort::Overflow => TXN_ABORT_OVERFLOW,
         }),
     }
     out.freeze()
@@ -379,6 +381,7 @@ pub fn decode_txn_reply(buf: &[u8]) -> Result<(u64, TxnReply), ClientCodecError>
         TXN_ABORT_FUNDS => TxnReply::Aborted(TxnAbort::InsufficientFunds),
         TXN_ABORT_INVALID => TxnReply::Aborted(TxnAbort::Invalid),
         TXN_ABORT_NOT_OPERATIONAL => TxnReply::Aborted(TxnAbort::NotOperational),
+        TXN_ABORT_OVERFLOW => TxnReply::Aborted(TxnAbort::Overflow),
         other => return Err(ClientCodecError::BadTag(other)),
     };
     Ok((seq, reply))
@@ -639,6 +642,7 @@ mod tests {
             TxnReply::Aborted(TxnAbort::InsufficientFunds),
             TxnReply::Aborted(TxnAbort::Invalid),
             TxnReply::Aborted(TxnAbort::NotOperational),
+            TxnReply::Aborted(TxnAbort::Overflow),
         ]
     }
 

@@ -153,10 +153,10 @@ fn harness_main(transfers_per_client: u64) {
     // Fund the bank (retrying while the cluster comes up).
     let funding = BANK.funding();
     let deadline = Instant::now() + Duration::from_secs(30);
+    let mut invoke = clock.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    let mut session = remote_session(client_addrs[0]);
+    let mut result = session.txn(funding.clone());
     loop {
-        let mut session = remote_session(client_addrs[0]);
-        let invoke = clock.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-        let result = session.txn(funding.clone());
         if result.is_committed() {
             record(&history, &clock, &funding, invoke, &result);
             break;
@@ -166,6 +166,18 @@ fn harness_main(transfers_per_client: u64) {
             "cluster never served the funding txn: {result:?}"
         );
         std::thread::sleep(Duration::from_millis(100));
+        session = remote_session(client_addrs[0]);
+        result = match result {
+            // Never drop an in-doubt funding transaction: its lock CASes
+            // or data writes may already have applied, and abandoning the
+            // machine would leak its locks and partial effect. Resume it
+            // to resolution instead.
+            TxnResult::InDoubt(pending) => session.resume_txn(pending),
+            _ => {
+                invoke = clock.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                session.txn(funding.clone())
+            }
+        };
     }
     println!(
         "txn_transfer: funded {} accounts x {} = {} total",

@@ -259,10 +259,10 @@ fn tcp_cluster_transfers_survive_connection_kill() {
     let clock = Arc::new(AtomicU64::new(0));
     let history: Arc<Mutex<Vec<TxnObs>>> = Arc::new(Mutex::new(Vec::new()));
     let funding = BANK.funding();
+    let mut invoke = clock.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    let mut session = remote_session(client_addrs[0]);
+    let mut result = session.txn(funding.clone());
     loop {
-        let mut session = remote_session(client_addrs[0]);
-        let invoke = clock.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-        let result = session.txn(funding.clone());
         if result.is_committed() {
             record(&history, &clock, &funding, invoke, &result);
             break;
@@ -272,6 +272,18 @@ fn tcp_cluster_transfers_survive_connection_kill() {
             "cluster never came up: {result:?}"
         );
         std::thread::sleep(Duration::from_millis(100));
+        session = remote_session(client_addrs[0]);
+        result = match result {
+            // Never drop an in-doubt funding transaction: its lock CASes
+            // or data writes may already have applied, and abandoning the
+            // machine would leak its locks and partial effect. Resume it
+            // to resolution instead.
+            TxnResult::InDoubt(pending) => session.resume_txn(pending),
+            _ => {
+                invoke = clock.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                session.txn(funding.clone())
+            }
+        };
     }
 
     // Concurrent transfer clients; client 0 is the victim whose TCP
