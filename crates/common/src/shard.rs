@@ -138,6 +138,25 @@ impl ShardRouter {
             self.spec.owner(key)
         }
     }
+
+    /// The lane a transport reader thread delivers an inbound message about
+    /// `key` to, *without* a live protocol instance in hand — the per-worker
+    /// ingress demux runs on the reader threads, which own no engine.
+    ///
+    /// Equivalent to [`ShardRouter::lane_for_msg`] for protocols whose
+    /// [`msg_serializes`](crate::ReplicaProtocol::msg_serializes) hook is
+    /// uniformly `false` (Hermes: no message carries a total-order step).
+    /// Protocols that serialize *per message* must keep demuxing on a lane
+    /// that holds the engine; the threaded runtime's reader-side demux is
+    /// only wired for Hermes.
+    #[inline]
+    pub fn lane_for_ingress(&self, key: Key) -> usize {
+        if self.serialize_updates {
+            ShardSpec::SERIAL_LANE
+        } else {
+            self.spec.owner(key)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -349,6 +368,25 @@ mod tests {
             );
             assert_eq!(router.lane_for_msg(&ParallelToy, key, &true), owner);
             assert_eq!(router.lane_for_timer(key), owner);
+        }
+    }
+
+    #[test]
+    fn ingress_demux_matches_message_routing() {
+        // The reader-thread demux (no protocol instance) must agree with
+        // the engine-side decision for non-serializing messages, and pin to
+        // the serial lane for update-serializing protocols.
+        let parallel = ShardRouter::for_protocol(&ParallelToy, 4);
+        for raw in 0..100u64 {
+            let key = Key(raw);
+            assert_eq!(
+                parallel.lane_for_ingress(key),
+                parallel.lane_for_msg(&ParallelToy, key, &false)
+            );
+        }
+        let serial = ShardRouter::for_protocol(&SerialToy, 4);
+        for raw in 0..100u64 {
+            assert_eq!(serial.lane_for_ingress(Key(raw)), ShardSpec::SERIAL_LANE);
         }
     }
 }

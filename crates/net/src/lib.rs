@@ -22,6 +22,11 @@
 //! once and deployed over either. Ingress is push-based ([`NetEvent`]s into
 //! an [`IngressSink`]), which is what gives runtimes event-driven wakeup.
 //!
+//! The crate also provides the readiness substrate of the sharded-poller
+//! client plane (DESIGN.md §7): a [`Poller`] multiplexes thousands of
+//! non-blocking sockets per thread (epoll on Linux, `poll(2)` elsewhere),
+//! and a [`Waker`] lets worker threads interrupt a blocked wait.
+//!
 //! # Examples
 //!
 //! ```
@@ -40,11 +45,13 @@
 #![warn(missing_debug_implementations)]
 
 mod inproc;
+mod poll;
 mod simnet;
 mod tcp;
 mod transport;
 
 pub use inproc::{InProcEndpoint, InProcNet, InProcSender, NetFaults};
+pub use poll::{Interest, PollEvent, Poller, Waker};
 pub use simnet::{DeliveryOutcome, SimNet, SimNetConfig};
 pub use tcp::{
     read_frame_deadline, read_frame_from, reap_finished, write_frame_to, FrameRead, TcpConfig,

@@ -40,6 +40,7 @@
 mod cost;
 mod membership;
 mod node;
+mod poller;
 mod remote;
 mod session;
 mod sharded;

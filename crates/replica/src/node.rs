@@ -5,21 +5,25 @@
 //! [`ThreadCluster`](crate::ThreadCluster) — the runtime code is shared,
 //! only the transport differs — and additionally serves a **client port**:
 //! a TCP listener speaking the `hermes_wings::client` RPC format, where
-//! each connection is one pipelined session. Per client connection:
+//! each connection is one pipelined session.
 //!
-//! * a reader thread decodes request frames and submits each operation to
-//!   the worker lane owning its key — the same unified command queue that
-//!   carries replication traffic, so an idle replica wakes the moment a
-//!   request lands;
-//! * a writer thread encodes completions (out of order, tagged with the
-//!   request's sequence number) back onto the socket.
+//! Client connections are *not* threads: a small fixed pool of poller
+//! shards (the sharded-poller client plane, [`ClientPlane`], DESIGN.md §7)
+//! owns every accepted socket through OS readiness APIs, runs each session
+//! as a sans-io state machine, and exchanges work with the worker lanes
+//! through their command queues — so one daemon holds tens of thousands of
+//! concurrent sessions with a session-count-independent thread count, the
+//! same thread discipline the paper's RDMA runtime gets from worker-polled
+//! receive queues (§4).
 //!
 //! The multi-process deployment story — and the loopback harness proving a
 //! 3-process cluster linearizable — lives in `examples/hermesd.rs` and
-//! `examples/tcp_cluster.rs` (DESIGN.md §4).
+//! `examples/tcp_cluster.rs` (DESIGN.md §4); the session-scaling evidence
+//! lives in `examples/session_scaling.rs`.
 
 use crate::membership::{MembershipOptions, MembershipStatus};
-use crate::threaded::{spawn_node, Command, Completion};
+use crate::poller::{ClientPlane, PlaneConfig, PlaneGauges, StatsSource};
+use crate::threaded::{spawn_node, Command, Completion, ReplyTo};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hermes_common::{
@@ -28,12 +32,11 @@ use hermes_common::{
 use hermes_core::ProtocolConfig;
 use hermes_membership::RmConfig;
 use hermes_net::{
-    read_frame_deadline, read_frame_from, reap_finished, write_frame_to, FrameRead, TcpConfig,
-    TcpEndpoint, TcpStats,
+    read_frame_deadline, write_frame_to, FrameRead, TcpConfig, TcpEndpoint, TcpStats,
 };
 use hermes_store::{Store, StoreConfig};
 use hermes_txn::{conflict_backoff, TxnConfig, TxnMachine, TxnToken};
-use hermes_wings::client as rpc;
+use hermes_wings::{client as rpc, CreditConfig};
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -41,28 +44,25 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Remote connections' protocol-level client ids live above this base so
-/// they can never collide with in-process session ids.
-const REMOTE_CLIENT_BASE: u64 = 1 << 33;
-
 /// Server-side transaction coordinators submit their sub-operations under
 /// ids above this base (one fresh id per transaction, so lock tokens and
 /// `OpId`s are globally unique).
 const TXN_CLIENT_BASE: u64 = 1 << 34;
 
-/// Allocator for [`TXN_CLIENT_BASE`] ids, shared by every connection
-/// thread of the process.
+/// Allocator for [`TXN_CLIENT_BASE`] ids, shared by every transaction
+/// executor of the process.
 static NEXT_TXN_CLIENT: AtomicU64 = AtomicU64::new(0);
 
-/// Provider of the stats-RPC payload, captured from the runtime's gauges
-/// by the client acceptor.
-type StatsSource = dyn Fn() -> rpc::StatsPayload + Send + Sync;
-
-/// Accept/read poll granularity of the client-port service.
-const CLIENT_POLL: Duration = Duration::from_millis(25);
-
 /// Request frames larger than this kill the client connection.
-const MAX_CLIENT_FRAME: usize = 16 << 20;
+pub(crate) const MAX_CLIENT_FRAME: usize = 16 << 20;
+
+/// Poller shards of the client plane unless `--pollers` says otherwise: a
+/// couple of readiness-driven threads comfortably multiplex tens of
+/// thousands of sessions (DESIGN.md §7).
+const DEFAULT_POLLERS: usize = 2;
+
+/// Transaction executor threads of the client plane.
+const TXN_EXECUTORS: usize = 2;
 
 /// Deployment parameters of one `hermesd` replica process.
 #[derive(Clone, Debug)]
@@ -76,6 +76,8 @@ pub struct NodeOptions {
     pub client_addr: SocketAddr,
     /// Worker threads (key shards) on this node; ≥ 1.
     pub workers: usize,
+    /// Poller shard threads of the client plane; ≥ 1 (DESIGN.md §7).
+    pub pollers: usize,
     /// Protocol switches.
     pub protocol: ProtocolConfig,
     /// TCP transport tuning.
@@ -94,7 +96,8 @@ pub struct NodeOptions {
 impl NodeOptions {
     /// Parses daemon command-line arguments (everything after the program
     /// name): `--node <id> --peers <addr,addr,...> --client <addr>
-    /// [--workers <n>] [--duration <secs>] [--join] [--no-membership]`.
+    /// [--workers <n>] [--pollers <n>] [--duration <secs>] [--join]
+    /// [--no-membership]`.
     ///
     /// # Errors
     ///
@@ -104,6 +107,7 @@ impl NodeOptions {
         let mut peers: Option<Vec<SocketAddr>> = None;
         let mut client_addr: Option<SocketAddr> = None;
         let mut workers = 2usize;
+        let mut pollers = DEFAULT_POLLERS;
         let mut run_for = None;
         let mut membership = Some(RmConfig::wall_clock());
         let mut join = false;
@@ -142,6 +146,11 @@ impl NodeOptions {
                         .parse()
                         .map_err(|e| format!("--workers: {e}"))?;
                 }
+                "--pollers" => {
+                    pollers = value("--pollers")?
+                        .parse()
+                        .map_err(|e| format!("--pollers: {e}"))?;
+                }
                 "--duration" => {
                     let secs: f64 = value("--duration")?
                         .parse()
@@ -165,6 +174,9 @@ impl NodeOptions {
         if workers == 0 {
             return Err("--workers must be ≥ 1".into());
         }
+        if pollers == 0 {
+            return Err("--pollers must be ≥ 1".into());
+        }
         if join && membership.is_none() {
             return Err("--join requires membership (drop --no-membership)".into());
         }
@@ -173,6 +185,7 @@ impl NodeOptions {
             peers,
             client_addr: client_addr.ok_or("--client is required")?,
             workers,
+            pollers,
             protocol: ProtocolConfig::default(),
             tcp: TcpConfig::default(),
             run_for,
@@ -192,16 +205,20 @@ pub struct NodeRuntime {
     router: ShardRouter,
     store: Arc<Store>,
     running: Arc<AtomicBool>,
-    /// Raised first on shutdown: stops the client acceptor and its
-    /// per-connection threads (who read it as their frame-read stop flag).
-    client_stop: Arc<AtomicBool>,
     handles: Vec<JoinHandle<()>>,
     ingress: Option<hermes_net::IngressGuard>,
-    acceptor: Option<JoinHandle<()>>,
+    /// The sharded-poller client plane owning every remote session
+    /// (stopped first on shutdown, before the worker lanes).
+    client_plane: Option<ClientPlane>,
+    /// Session-occupancy gauges shared with the client plane.
+    plane_gauges: Arc<PlaneGauges>,
     peer_downs: Arc<AtomicU64>,
     status: Arc<MembershipStatus>,
     /// Client operations handled per worker lane (stats RPC gauge).
     lane_ops: Arc<Vec<AtomicU64>>,
+    /// Peer messages delivered directly into each worker lane by the
+    /// transport readers (per-worker ingress demux gauge).
+    lane_ingress: Arc<Vec<AtomicU64>>,
     tcp_stats: Arc<TcpStats>,
     /// Raised when a client connection delivers the shutdown RPC; the
     /// daemon's main loop polls it and winds the process down.
@@ -245,11 +262,15 @@ impl NodeRuntime {
             Arc::clone(&running),
             membership,
         );
-        let client_stop = Arc::new(AtomicBool::new(false));
         let shutdown_requested = Arc::new(AtomicBool::new(false));
+        // The gauges exist before the plane so the stats closure the plane
+        // captures can already read them.
+        let plane_gauges = Arc::new(PlaneGauges::new(opts.pollers.max(1)));
         let stats_source: Arc<StatsSource> = {
             let status = Arc::clone(&node.status);
             let lane_ops = Arc::clone(&node.lane_ops);
+            let lane_ingress = Arc::clone(&node.lane_ingress);
+            let gauges = Arc::clone(&plane_gauges);
             Arc::new(move || rpc::StatsPayload {
                 epoch: status.epoch(),
                 view_changes: status.view_changes(),
@@ -258,18 +279,28 @@ impl NodeRuntime {
                 serving: status.serving(),
                 synced: status.synced(),
                 lane_ops: lane_ops.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                open_sessions: gauges.open_sessions(),
+                sessions_per_shard: gauges.sessions_per_shard(),
+                lane_ingress: lane_ingress
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect(),
             })
         };
-        let acceptor = {
-            let lanes = node.lanes.clone();
-            let router = node.router;
-            let stop = Arc::clone(&client_stop);
-            let shutdown = Arc::clone(&shutdown_requested);
-            let stats = Arc::clone(&stats_source);
-            std::thread::spawn(move || {
-                client_acceptor_main(client_listener, lanes, router, stop, shutdown, stats);
-            })
-        };
+        let client_plane = ClientPlane::start(
+            client_listener,
+            node.lanes.clone(),
+            node.router,
+            PlaneConfig {
+                pollers: opts.pollers.max(1),
+                txn_executors: TXN_EXECUTORS,
+                credits: CreditConfig::default(),
+                max_frame: MAX_CLIENT_FRAME,
+            },
+            Arc::clone(&plane_gauges),
+            Arc::clone(&shutdown_requested),
+            stats_source,
+        )?;
         Ok(NodeRuntime {
             node: opts.node,
             client_addr,
@@ -277,13 +308,14 @@ impl NodeRuntime {
             router: node.router,
             store,
             running,
-            client_stop,
             handles: node.handles,
             ingress: Some(node.guard),
-            acceptor: Some(acceptor),
+            client_plane: Some(client_plane),
+            plane_gauges,
             peer_downs: node.peer_downs,
             status: node.status,
             lane_ops: node.lane_ops,
+            lane_ingress: node.lane_ingress,
             tcp_stats,
             shutdown_requested,
         })
@@ -327,6 +359,25 @@ impl NodeRuntime {
             .collect()
     }
 
+    /// Peer messages the transport readers delivered directly into each
+    /// worker lane's queue (per-worker ingress demux, DESIGN.md §7).
+    pub fn lane_ingress(&self) -> Vec<u64> {
+        self.lane_ingress
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Remote client sessions currently open on the poller plane.
+    pub fn open_sessions(&self) -> u64 {
+        self.plane_gauges.open_sessions()
+    }
+
+    /// Open sessions per poller shard of the client plane.
+    pub fn sessions_per_shard(&self) -> Vec<u64> {
+        self.plane_gauges.sessions_per_shard()
+    }
+
     /// One coherent operator-facing snapshot of this replica's health.
     pub fn stats(&self) -> NodeStats {
         NodeStats {
@@ -341,6 +392,9 @@ impl NodeRuntime {
             frames_sent: self.tcp_stats.frames_sent(),
             frames_received: self.tcp_stats.frames_received(),
             lane_ops: self.lane_ops(),
+            lane_ingress: self.lane_ingress(),
+            open_sessions: self.open_sessions(),
+            sessions_per_shard: self.sessions_per_shard(),
         }
     }
 
@@ -370,11 +424,12 @@ impl NodeRuntime {
     }
 
     fn stop(&mut self) {
-        self.client_stop.store(true, Ordering::SeqCst);
-        self.running.store(false, Ordering::SeqCst);
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
+        // The client plane goes first, while the lanes still answer: open
+        // transactions at the executor pool resolve instead of stalling.
+        if let Some(mut plane) = self.client_plane.take() {
+            plane.stop();
         }
+        self.running.store(false, Ordering::SeqCst);
         for tx in &self.lanes {
             let _ = tx.send(Command::Shutdown);
         }
@@ -425,6 +480,13 @@ pub struct NodeStats {
     pub frames_received: u64,
     /// Client operations handled per worker lane since start.
     pub lane_ops: Vec<u64>,
+    /// Peer messages delivered directly into each worker lane's queue by
+    /// the transport readers (per-worker ingress demux).
+    pub lane_ingress: Vec<u64>,
+    /// Remote client sessions currently open on the poller plane.
+    pub open_sessions: u64,
+    /// Open sessions per poller shard of the client plane.
+    pub sessions_per_shard: Vec<u64>,
 }
 
 /// Asks the replica daemon at `addr` (its client port) to shut down
@@ -441,176 +503,23 @@ pub fn request_shutdown(addr: SocketAddr, timeout: Duration) -> std::io::Result<
     }
 }
 
-/// Accepts client connections and hands each to a reader/writer thread
-/// pair; joins them all before exiting so shutdown is clean.
-fn client_acceptor_main(
-    listener: TcpListener,
-    lanes: Vec<Sender<Command>>,
-    router: ShardRouter,
-    stop: Arc<AtomicBool>,
-    shutdown: Arc<AtomicBool>,
-    stats: Arc<StatsSource>,
-) {
-    let mut conns: Vec<JoinHandle<()>> = Vec::new();
-    let mut next_client = REMOTE_CLIENT_BASE;
-    while !stop.load(Ordering::Relaxed) {
-        reap_finished(&mut conns);
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let client = ClientId(next_client);
-                next_client += 1;
-                let lanes = lanes.clone();
-                let stop = Arc::clone(&stop);
-                let shutdown = Arc::clone(&shutdown);
-                let stats = Arc::clone(&stats);
-                conns.push(std::thread::spawn(move || {
-                    serve_client_conn(stream, client, lanes, router, stop, shutdown, stats);
-                }));
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => std::thread::sleep(CLIENT_POLL),
-        }
-    }
-    for c in conns {
-        let _ = c.join();
-    }
-}
-
-/// One client connection: requests in on this thread, completions out on a
-/// companion writer thread (completions are out of order — inter-key
-/// concurrency — so the writer matches them to requests by sequence
-/// number). Whole transactions ([`rpc::Request::Txn`]) are coordinated
-/// right here in the connection thread — the worker lanes host no
-/// transaction state — and stats queries are answered from the runtime's
-/// gauges; their replies are written directly by the reader under the
-/// shared write-half lock (frames stay whole, whoever writes them).
-fn serve_client_conn(
-    stream: TcpStream,
-    client: ClientId,
-    lanes: Vec<Sender<Command>>,
-    router: ShardRouter,
-    stop: Arc<AtomicBool>,
-    shutdown: Arc<AtomicBool>,
-    stats: Arc<StatsSource>,
-) {
-    if stream.set_nodelay(true).is_err() || stream.set_read_timeout(Some(CLIENT_POLL)).is_err() {
-        return;
-    }
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    // Both the writer thread (op completions) and this reader thread
-    // (txn/stats replies) write the socket; the mutex keeps frames whole.
-    let write_half = Arc::new(std::sync::Mutex::new(write_half));
-    let write_frame = |frame: &[u8]| -> bool {
-        let mut guard = write_half.lock().unwrap_or_else(|e| e.into_inner());
-        write_frame_to(&mut guard, frame).is_ok()
-    };
-    let (completions_tx, completions_rx) = unbounded::<Completion>();
-    let in_flight = Arc::new(AtomicU64::new(0));
-    let reader_done = Arc::new(AtomicBool::new(false));
-
-    let writer = {
-        let write_half = Arc::clone(&write_half);
-        let in_flight = Arc::clone(&in_flight);
-        let reader_done = Arc::clone(&reader_done);
-        let stop = Arc::clone(&stop);
-        std::thread::spawn(move || {
-            loop {
-                match completions_rx.recv_timeout(CLIENT_POLL) {
-                    Ok((op, reply)) => {
-                        in_flight.fetch_sub(1, Ordering::Relaxed);
-                        let payload = rpc::encode_reply_bytes(op.seq, &reply);
-                        let mut guard = write_half.lock().unwrap_or_else(|e| e.into_inner());
-                        if write_frame_to(&mut guard, &payload).is_err() {
-                            return;
-                        }
-                    }
-                    Err(RecvTimeoutError::Timeout) => {
-                        if stop.load(Ordering::Relaxed) {
-                            return;
-                        }
-                        // Linger until every submitted op has answered.
-                        if reader_done.load(Ordering::Relaxed)
-                            && in_flight.load(Ordering::Relaxed) == 0
-                        {
-                            return;
-                        }
-                    }
-                    Err(RecvTimeoutError::Disconnected) => return,
-                }
-            }
-        })
-    };
-
-    let mut read_half = stream;
-    while let FrameRead::Frame(payload) = read_frame_from(&mut read_half, MAX_CLIENT_FRAME, &stop) {
-        let Ok(request) = rpc::decode_any(&payload) else {
-            break; // Protocol error: drop the connection.
-        };
-        let (seq, key, cop) = match request {
-            rpc::Request::Op { seq, key, cop } => (seq, key, cop),
-            rpc::Request::Txn { seq, op } => {
-                // Coordinate the whole transaction here, synchronously:
-                // sub-operations fan across the worker lanes and complete
-                // back into a private channel. The connection cannot start
-                // another request meanwhile, but its earlier pipelined ops
-                // keep completing through the writer.
-                let reply = drive_server_txn(&lanes, router, op);
-                if !write_frame(&rpc::encode_txn_reply_bytes(seq, &reply)) {
-                    break; // Connection dead; reply already resolved.
-                }
-                continue;
-            }
-            rpc::Request::Stats { seq } => {
-                if !write_frame(&rpc::encode_stats_reply_bytes(seq, &stats())) {
-                    break;
-                }
-                continue;
-            }
-            rpc::Request::Shutdown { seq } => {
-                // The shutdown RPC: acknowledge, then signal the daemon's
-                // main loop (which tears everything down cleanly).
-                in_flight.fetch_add(1, Ordering::Relaxed);
-                let _ = completions_tx.send((OpId::new(client, seq), Reply::WriteOk));
-                shutdown.store(true, Ordering::SeqCst);
-                continue;
-            }
-        };
-        let op = OpId::new(client, seq);
-        let lane = router.lane_for_op(key, &cop);
-        in_flight.fetch_add(1, Ordering::Relaxed);
-        let cmd = Command::Op {
-            op,
-            key,
-            cop,
-            reply: completions_tx.clone(),
-        };
-        if lanes[lane].send(cmd).is_err() {
-            // Replica shutting down: answer directly.
-            let _ = completions_tx.send((op, hermes_common::Reply::NotOperational));
-        }
-    }
-    reader_done.store(true, Ordering::SeqCst);
-    drop(completions_tx);
-    let _ = writer.join();
-}
-
 /// Per-sub-op completion deadline of a server-side coordinator; generous —
 /// the lanes are in-process, so only a replica that stops serving
 /// (lease expiry, shutdown) can stall a sub-operation this long.
 const SERVER_TXN_WAIT: Duration = Duration::from_secs(10);
 
 /// Coordinates one whole transaction received over the client RPC port:
-/// the same `hermes-txn` machine a client-side session drives, hosted in
-/// the connection thread (lane 0 and the workers carry no transaction
-/// state). Because sub-operations run against in-process lanes, the only
-/// failure mode is replica shutdown/lease loss, reported as
-/// [`TxnAbort::NotOperational`] (outcome unresolved — clients treat it
-/// like an in-doubt transaction, not a guaranteed no-op).
-fn drive_server_txn(lanes: &[Sender<Command>], router: ShardRouter, op: TxnOp) -> TxnReply {
+/// the same `hermes-txn` machine a client-side session drives, hosted on
+/// one of the client plane's executor threads (lane 0 and the workers
+/// carry no transaction state). Because sub-operations run against
+/// in-process lanes, the only failure mode is replica shutdown/lease
+/// loss, reported as [`TxnAbort::NotOperational`] (outcome unresolved —
+/// clients treat it like an in-doubt transaction, not a guaranteed no-op).
+pub(crate) fn drive_server_txn(
+    lanes: &[Sender<Command>],
+    router: ShardRouter,
+    op: TxnOp,
+) -> TxnReply {
     let client = ClientId(TXN_CLIENT_BASE + NEXT_TXN_CLIENT.fetch_add(1, Ordering::Relaxed));
     let token = TxnToken::new(client.0, 0);
     let mut machine = TxnMachine::new(token, op, TxnConfig::default());
@@ -644,7 +553,7 @@ fn drive_server_txn(lanes: &[Sender<Command>], router: ShardRouter, op: TxnOp) -
                 op: op_id,
                 key: sub.key,
                 cop: sub.cop,
-                reply: tx.clone(),
+                reply: ReplyTo::Channel(tx.clone()),
             };
             if lanes[lane].send(cmd).is_err() {
                 machine.on_reply(op_id.seq, Reply::NotOperational);

@@ -1,0 +1,954 @@
+//! The sharded-poller client plane: a small fixed pool of readiness-driven
+//! poller threads owns *all* accepted client connections (DESIGN.md §7).
+//!
+//! The paper's HermesKV never spends a thread per connection — worker
+//! threads poll their receive queues (§4). The previous client port did:
+//! every accepted session cost a reader thread plus a writer thread, so
+//! 10,000 sessions meant 20,000 threads. This module replaces that with
+//! the C10K architecture:
+//!
+//! * each of a few **poller shards** ([`Shard`]) runs one thread over an OS
+//!   readiness multiplexer ([`Poller`], epoll on Linux) that owns thousands
+//!   of non-blocking client sockets;
+//! * each connection is a sans-io **session state machine**
+//!   ([`SessionMachine`]): bytes in → decoded requests out as
+//!   [`SessionEffect`]s, completions in → reply frames accumulated in a
+//!   write buffer — no I/O, no threads, unit-testable in isolation;
+//! * worker lanes finishing an operation do not touch sockets: they post
+//!   the completion into the owning shard's inbox and ring its [`Waker`]
+//!   ([`ShardHandle::complete`]), and the shard writes the reply frame on
+//!   its own thread;
+//! * Wings credit flow control ([`CreditFlow`], paper §4.2) runs *in* the
+//!   state machine: a session out of credits stops being decoded — and its
+//!   socket stops being read ([`Interest::NONE`] parks it, so
+//!   level-triggered readiness does not spin) — until completions return
+//!   credits. A client cannot grow the replica's queues without bound.
+//!
+//! Whole transactions still need a blocking coordinator
+//! ([`drive_server_txn`](crate::node) waits on lane completions), so they
+//! hop to a tiny fixed **transaction executor pool**; the final
+//! [`TxnReply`] comes back through the owning shard's inbox like any
+//! completion. Thread count is a property of the deployment (pollers +
+//! executors), not of the session count.
+
+use crate::threaded::{Command, ReplyTo};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hermes_common::{ClientId, ClientOp, Key, NodeId, OpId, Reply, ShardRouter, TxnOp, TxnReply};
+use hermes_net::{Interest, PollEvent, Poller, Waker};
+use hermes_wings::client as rpc;
+use hermes_wings::{CreditConfig, CreditFlow};
+use std::collections::HashMap;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Remote connections' protocol-level client ids live above this base so
+/// they can never collide with in-process session ids.
+pub(crate) const REMOTE_CLIENT_BASE: u64 = 1 << 33;
+
+/// Provider of the stats-RPC payload, captured from the runtime's gauges.
+pub(crate) type StatsSource = dyn Fn() -> rpc::StatsPayload + Send + Sync;
+
+/// Upper bound on a shard's blocked wait: the stop flag is re-checked at
+/// least this often even if the waker datagram is lost.
+const POLL_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// The waker's registration token in every shard's poller.
+const TOKEN_WAKE: u64 = 0;
+/// The client listener's token (registered in shard 0 only).
+const TOKEN_LISTENER: u64 = 1;
+/// First session token; each shard numbers its own sessions upward.
+const TOKEN_SESSION_BASE: u64 = 2;
+
+/// Per-readiness-event read chunk.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// A session whose client stops reading may accumulate at most this much
+/// undrained reply data before the shard kills it (slowloris bound).
+const OUT_CAP: usize = 64 << 20;
+
+/// Transactions a single session may have in flight at the executor pool.
+/// One preserves the old per-connection semantics: a transaction holds up
+/// the session's later requests (but not its earlier pipelined ops).
+const MAX_SESSION_TXNS: u32 = 1;
+
+/// The session's single flow-control peer: its replica.
+const SERVER: NodeId = NodeId(0);
+
+/// Shape of the client plane: how many poller shards own the sockets and
+/// how many executor threads coordinate whole transactions.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PlaneConfig {
+    /// Poller shard threads (≥ 1).
+    pub(crate) pollers: usize,
+    /// Transaction executor threads (≥ 1).
+    pub(crate) txn_executors: usize,
+    /// Per-session Wings credit budget (ops in flight per session).
+    pub(crate) credits: CreditConfig,
+    /// Request frames larger than this kill the connection.
+    pub(crate) max_frame: usize,
+}
+
+/// Live occupancy gauges of the plane, shared with the stats RPC. Created
+/// before the plane starts so the stats closure can capture it.
+#[derive(Debug)]
+pub(crate) struct PlaneGauges {
+    open: AtomicU64,
+    per_shard: Vec<AtomicU64>,
+}
+
+impl PlaneGauges {
+    pub(crate) fn new(shards: usize) -> PlaneGauges {
+        PlaneGauges {
+            open: AtomicU64::new(0),
+            per_shard: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Remote sessions currently open across all shards.
+    pub(crate) fn open_sessions(&self) -> u64 {
+        self.open.load(Ordering::Relaxed)
+    }
+
+    /// Open sessions per poller shard.
+    pub(crate) fn sessions_per_shard(&self) -> Vec<u64> {
+        self.per_shard
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// What a worker lane (or the transaction pool) needs to hand a result
+/// back to the shard owning the session: its inbox plus its waker.
+///
+/// Wakes coalesce: `armed` is set by the first poster and cleared by the
+/// shard right before it drains the inbox, so a burst of completions costs
+/// one wake datagram, not one per completion.
+#[derive(Clone, Debug)]
+pub(crate) struct ShardHandle {
+    tx: Sender<Inbound>,
+    waker: Arc<Waker>,
+    armed: Arc<AtomicBool>,
+}
+
+impl ShardHandle {
+    /// Posts one completed client operation (called from worker lanes via
+    /// [`ReplyTo::Poller`]).
+    pub(crate) fn complete(&self, op: OpId, reply: Reply) {
+        self.deliver(Inbound::Done(op, reply));
+    }
+
+    fn deliver(&self, item: Inbound) {
+        if self.tx.send(item).is_ok() && !self.armed.swap(true, Ordering::AcqRel) {
+            self.waker.wake();
+        }
+    }
+}
+
+/// Everything that reaches a shard from outside its poll loop.
+pub(crate) enum Inbound {
+    /// A freshly accepted connection assigned to this shard.
+    Conn(TcpStream),
+    /// A client operation completed on a worker lane.
+    Done(OpId, Reply),
+    /// A whole transaction resolved on the executor pool.
+    TxnDone(ClientId, u64, TxnReply),
+}
+
+/// What a [`SessionMachine`] asks its shard to do — the sans-io boundary:
+/// the machine decodes and frames bytes, the shard owns sockets, lanes and
+/// the executor pool.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum SessionEffect {
+    /// Submit one operation to the worker lane owning its key.
+    Submit {
+        /// Session-local sequence number (rides as the `OpId` seq).
+        seq: u64,
+        /// Target key.
+        key: Key,
+        /// The operation.
+        cop: ClientOp,
+    },
+    /// Hand a whole transaction to the executor pool.
+    RunTxn {
+        /// Session-local sequence number echoed by the reply.
+        seq: u64,
+        /// The transaction.
+        op: TxnOp,
+    },
+    /// Answer a stats query from the runtime's gauges.
+    SendStats {
+        /// Session-local sequence number echoed by the reply.
+        seq: u64,
+    },
+    /// The client asked the daemon to exit (ack already enqueued).
+    Shutdown,
+}
+
+/// One remote session as a non-blocking state machine: accumulate request
+/// bytes, decode complete frames into [`SessionEffect`]s under the Wings
+/// credit budget, frame completions into a write buffer. Performs no I/O.
+#[derive(Debug)]
+pub(crate) struct SessionMachine {
+    /// Received-but-undecoded bytes (partial frames, credit-stalled frames).
+    inbuf: Vec<u8>,
+    /// Prefix of `inbuf` already decoded (compacted after each drain).
+    parsed: usize,
+    /// Encoded reply frames not yet written to the socket.
+    out: Vec<u8>,
+    /// Prefix of `out` already written.
+    out_at: usize,
+    /// Wings flow control against the replica's single server slot: one
+    /// credit per submitted op, returned by its completion (paper §4.2).
+    credits: CreditFlow,
+    /// Transactions currently at the executor pool for this session.
+    inflight_txns: u32,
+    max_frame: usize,
+    dead: bool,
+}
+
+impl SessionMachine {
+    pub(crate) fn new(credits: CreditConfig, max_frame: usize) -> SessionMachine {
+        SessionMachine {
+            inbuf: Vec::new(),
+            parsed: 0,
+            out: Vec::new(),
+            out_at: 0,
+            credits: CreditFlow::new(1, credits),
+            inflight_txns: 0,
+            max_frame,
+            dead: false,
+        }
+    }
+
+    /// Bytes arrived from the socket: accumulate and decode what the
+    /// credit budget allows.
+    pub(crate) fn on_bytes(&mut self, data: &[u8], fx: &mut Vec<SessionEffect>) {
+        if self.dead {
+            return;
+        }
+        self.inbuf.extend_from_slice(data);
+        self.decode_pending(fx);
+    }
+
+    /// A submitted operation completed: return its credit, frame the
+    /// reply, and resume decoding frames the stall was holding back.
+    pub(crate) fn on_completion(&mut self, seq: u64, reply: &Reply, fx: &mut Vec<SessionEffect>) {
+        if self.dead {
+            return;
+        }
+        self.credits.on_implicit_credit(SERVER);
+        self.enqueue_frame(&rpc::encode_reply_bytes(seq, reply));
+        self.decode_pending(fx);
+    }
+
+    /// A transaction resolved at the executor pool.
+    pub(crate) fn on_txn_reply(&mut self, seq: u64, reply: &TxnReply, fx: &mut Vec<SessionEffect>) {
+        if self.dead {
+            return;
+        }
+        self.inflight_txns = self.inflight_txns.saturating_sub(1);
+        self.enqueue_frame(&rpc::encode_txn_reply_bytes(seq, reply));
+        self.decode_pending(fx);
+    }
+
+    /// Appends one length-prefixed frame to the write buffer.
+    pub(crate) fn enqueue_frame(&mut self, payload: &[u8]) {
+        if self.dead {
+            return;
+        }
+        if self.out.len() - self.out_at + 4 + payload.len() > OUT_CAP {
+            // The client stopped reading long ago: cut it loose rather
+            // than buffer without bound.
+            self.dead = true;
+            return;
+        }
+        self.out
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.out.extend_from_slice(payload);
+    }
+
+    fn decode_pending(&mut self, fx: &mut Vec<SessionEffect>) {
+        loop {
+            // A transaction in flight gates *all* later requests (the old
+            // per-connection semantics: one request stream, transactions
+            // are synchronous within it).
+            if self.dead || self.inflight_txns >= MAX_SESSION_TXNS {
+                break;
+            }
+            let buf = &self.inbuf[self.parsed..];
+            if buf.len() < 4 {
+                break;
+            }
+            let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+            if len > self.max_frame {
+                self.dead = true;
+                break;
+            }
+            if buf.len() < 4 + len {
+                break;
+            }
+            let Ok(request) = rpc::decode_any(&buf[4..4 + len]) else {
+                self.dead = true; // Protocol error: drop the connection.
+                break;
+            };
+            match request {
+                rpc::Request::Op { seq, key, cop } => {
+                    if !self.credits.try_consume(SERVER) {
+                        break; // Stalled: the frame stays buffered.
+                    }
+                    self.parsed += 4 + len;
+                    fx.push(SessionEffect::Submit { seq, key, cop });
+                }
+                rpc::Request::Txn { seq, op } => {
+                    self.inflight_txns += 1;
+                    self.parsed += 4 + len;
+                    fx.push(SessionEffect::RunTxn { seq, op });
+                }
+                rpc::Request::Stats { seq } => {
+                    self.parsed += 4 + len;
+                    fx.push(SessionEffect::SendStats { seq });
+                }
+                rpc::Request::Shutdown { seq } => {
+                    self.parsed += 4 + len;
+                    self.enqueue_frame(&rpc::encode_reply_bytes(seq, &Reply::WriteOk));
+                    fx.push(SessionEffect::Shutdown);
+                }
+            }
+        }
+        if self.parsed > 0 {
+            self.inbuf.drain(..self.parsed);
+            self.parsed = 0;
+        }
+    }
+
+    /// Whether the socket should be read. False while backpressured (out
+    /// of credits, or a transaction in flight): the shard parks read
+    /// interest and the client's bytes wait in the kernel buffer.
+    pub(crate) fn wants_read(&self) -> bool {
+        !self.dead && self.credits.available(SERVER) > 0 && self.inflight_txns < MAX_SESSION_TXNS
+    }
+
+    /// Whether reply bytes are waiting to be written.
+    pub(crate) fn wants_write(&self) -> bool {
+        self.out_at < self.out.len()
+    }
+
+    /// The unwritten tail of the write buffer.
+    pub(crate) fn write_chunk(&self) -> &[u8] {
+        &self.out[self.out_at..]
+    }
+
+    /// `n` bytes of [`SessionMachine::write_chunk`] reached the socket.
+    pub(crate) fn advance_write(&mut self, n: usize) {
+        self.out_at += n;
+        debug_assert!(self.out_at <= self.out.len());
+        if self.out_at == self.out.len() {
+            self.out.clear();
+            self.out_at = 0;
+        }
+    }
+
+    /// Marks the session dead (socket EOF / error / protocol violation);
+    /// the shard reaps it.
+    pub(crate) fn kill(&mut self) {
+        self.dead = true;
+    }
+
+    pub(crate) fn is_dead(&self) -> bool {
+        self.dead
+    }
+}
+
+/// One whole transaction queued for the executor pool.
+struct TxnJob {
+    client: ClientId,
+    seq: u64,
+    op: TxnOp,
+    /// The shard owning the session, for the reply.
+    home: ShardHandle,
+}
+
+/// The running client plane: poller shard threads plus the transaction
+/// executor pool. Dropping (or [`ClientPlane::stop`]) joins everything.
+#[derive(Debug)]
+pub(crate) struct ClientPlane {
+    shards: Vec<ShardHandle>,
+    threads: Vec<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ClientPlane {
+    /// Starts the plane over an already-bound client listener.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn start(
+        listener: TcpListener,
+        lanes: Vec<Sender<Command>>,
+        router: ShardRouter,
+        cfg: PlaneConfig,
+        gauges: Arc<PlaneGauges>,
+        shutdown: Arc<AtomicBool>,
+        stats: Arc<StatsSource>,
+    ) -> io::Result<ClientPlane> {
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (txn_tx, txn_rx) = unbounded::<TxnJob>();
+        let mut executors = Vec::new();
+        for i in 0..cfg.txn_executors.max(1) {
+            let rx = txn_rx.clone();
+            let lanes = lanes.clone();
+            executors.push(
+                std::thread::Builder::new()
+                    .name(format!("hermes-txn-{i}"))
+                    .spawn(move || txn_executor_main(rx, lanes, router))?,
+            );
+        }
+        drop(txn_rx);
+
+        let pollers = cfg.pollers.max(1);
+        let mut prepared = Vec::with_capacity(pollers);
+        let mut shards = Vec::with_capacity(pollers);
+        for _ in 0..pollers {
+            let poller = Poller::new()?;
+            let waker = Arc::new(Waker::new(&poller, TOKEN_WAKE)?);
+            let (tx, rx) = unbounded::<Inbound>();
+            let armed = Arc::new(AtomicBool::new(false));
+            shards.push(ShardHandle {
+                tx,
+                waker: Arc::clone(&waker),
+                armed: Arc::clone(&armed),
+            });
+            prepared.push((poller, waker, rx, armed));
+        }
+        prepared[0]
+            .0
+            .register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+
+        let next_client = Arc::new(AtomicU64::new(0));
+        let mut listener = Some(listener);
+        let mut threads = Vec::with_capacity(pollers);
+        for (i, (poller, waker, inbox, armed)) in prepared.into_iter().enumerate() {
+            let shard = Shard {
+                index: i,
+                poller,
+                waker,
+                inbox,
+                armed,
+                listener: if i == 0 { listener.take() } else { None },
+                peers: shards.clone(),
+                me: shards[i].clone(),
+                next_assign: i,
+                next_token: TOKEN_SESSION_BASE,
+                next_client: Arc::clone(&next_client),
+                sessions: HashMap::new(),
+                by_client: HashMap::new(),
+                lanes: lanes.clone(),
+                router,
+                txn_jobs: txn_tx.clone(),
+                stop: Arc::clone(&stop),
+                shutdown: Arc::clone(&shutdown),
+                stats: Arc::clone(&stats),
+                gauges: Arc::clone(&gauges),
+                cfg,
+                rdbuf: vec![0u8; READ_CHUNK],
+                fx: Vec::new(),
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("hermes-poller-{i}"))
+                    .spawn(move || shard.run())?,
+            );
+        }
+        Ok(ClientPlane {
+            shards,
+            threads,
+            executors,
+            stop,
+        })
+    }
+
+    /// Stops every shard and executor and joins their threads. Open
+    /// sessions are dropped (clients observe the hangup).
+    pub(crate) fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for s in &self.shards {
+            s.waker.wake();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        // Shard structs are gone now, dropping the last txn-job senders:
+        // the executors' recv disconnects and they exit.
+        self.shards.clear();
+        for e in self.executors.drain(..) {
+            let _ = e.join();
+        }
+    }
+}
+
+impl Drop for ClientPlane {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Executor pool worker: coordinates whole transactions (each blocks on
+/// lane completions, which is why they cannot run on a poller thread) and
+/// posts the reply back to the session's shard.
+fn txn_executor_main(jobs: Receiver<TxnJob>, lanes: Vec<Sender<Command>>, router: ShardRouter) {
+    while let Ok(job) = jobs.recv() {
+        let reply = crate::node::drive_server_txn(&lanes, router, job.op);
+        job.home
+            .deliver(Inbound::TxnDone(job.client, job.seq, reply));
+    }
+}
+
+/// One open connection as its shard sees it.
+struct Session {
+    stream: TcpStream,
+    machine: SessionMachine,
+    client: ClientId,
+    /// Interest currently registered in the poller (avoids redundant
+    /// `reregister` syscalls).
+    interest: Interest,
+}
+
+/// One poller shard: a thread, a readiness multiplexer, and every session
+/// assigned to it.
+struct Shard {
+    index: usize,
+    poller: Poller,
+    waker: Arc<Waker>,
+    inbox: Receiver<Inbound>,
+    armed: Arc<AtomicBool>,
+    /// The client listener (shard 0 only): accepted connections round-robin
+    /// across all shards.
+    listener: Option<TcpListener>,
+    peers: Vec<ShardHandle>,
+    me: ShardHandle,
+    next_assign: usize,
+    next_token: u64,
+    /// Plane-wide client-id allocator (ids must be unique across shards).
+    next_client: Arc<AtomicU64>,
+    sessions: HashMap<u64, Session>,
+    by_client: HashMap<u64, u64>,
+    lanes: Vec<Sender<Command>>,
+    router: ShardRouter,
+    txn_jobs: Sender<TxnJob>,
+    stop: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<StatsSource>,
+    gauges: Arc<PlaneGauges>,
+    cfg: PlaneConfig,
+    rdbuf: Vec<u8>,
+    fx: Vec<SessionEffect>,
+}
+
+impl Shard {
+    fn run(mut self) {
+        let mut events: Vec<PollEvent> = Vec::new();
+        while !self.stop.load(Ordering::Relaxed) {
+            events.clear();
+            if self.poller.wait(&mut events, Some(POLL_TIMEOUT)).is_err() {
+                break;
+            }
+            // Clear the wake latch *before* draining so a completion
+            // posted during the drain rings the waker again.
+            self.armed.store(false, Ordering::Release);
+            for ev in &events {
+                if ev.token == TOKEN_WAKE {
+                    self.waker.drain();
+                }
+            }
+            while let Ok(item) = self.inbox.try_recv() {
+                self.on_inbound(item);
+            }
+            for ev in &events {
+                match ev.token {
+                    TOKEN_WAKE => {}
+                    TOKEN_LISTENER => self.accept_ready(),
+                    token => self.session_io(token, *ev),
+                }
+            }
+        }
+        let tokens: Vec<u64> = self.sessions.keys().copied().collect();
+        for t in tokens {
+            self.reap(t);
+        }
+    }
+
+    fn on_inbound(&mut self, item: Inbound) {
+        match item {
+            Inbound::Conn(stream) => self.install(stream),
+            Inbound::Done(op, reply) => {
+                // A miss means the session was reaped with ops in flight:
+                // the completion has nowhere to go, drop it.
+                let Some(&token) = self.by_client.get(&op.client.0) else {
+                    return;
+                };
+                let mut fx = std::mem::take(&mut self.fx);
+                if let Some(sess) = self.sessions.get_mut(&token) {
+                    sess.machine.on_completion(op.seq, &reply, &mut fx);
+                }
+                self.apply_effects(token, &mut fx);
+                self.fx = fx;
+                self.finish_io(token);
+            }
+            Inbound::TxnDone(client, seq, reply) => {
+                let Some(&token) = self.by_client.get(&client.0) else {
+                    return;
+                };
+                let mut fx = std::mem::take(&mut self.fx);
+                if let Some(sess) = self.sessions.get_mut(&token) {
+                    sess.machine.on_txn_reply(seq, &reply, &mut fx);
+                }
+                self.apply_effects(token, &mut fx);
+                self.fx = fx;
+                self.finish_io(token);
+            }
+        }
+    }
+
+    /// Drains the accept queue, spreading connections round-robin over all
+    /// shards (remote shards get theirs through their inbox + waker).
+    fn accept_ready(&mut self) {
+        loop {
+            let accepted = match self.listener.as_ref() {
+                Some(l) => l.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _)) => {
+                    let target = self.next_assign % self.peers.len();
+                    self.next_assign = self.next_assign.wrapping_add(1);
+                    if target == self.index {
+                        self.install(stream);
+                    } else {
+                        self.peers[target].deliver(Inbound::Conn(stream));
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn install(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+            return;
+        }
+        let token = self.next_token;
+        if self
+            .poller
+            .register(stream.as_raw_fd(), token, Interest::READ)
+            .is_err()
+        {
+            return;
+        }
+        self.next_token += 1;
+        let client =
+            ClientId(REMOTE_CLIENT_BASE + self.next_client.fetch_add(1, Ordering::Relaxed));
+        self.by_client.insert(client.0, token);
+        self.sessions.insert(
+            token,
+            Session {
+                stream,
+                machine: SessionMachine::new(self.cfg.credits, self.cfg.max_frame),
+                client,
+                interest: Interest::READ,
+            },
+        );
+        self.gauges.open.fetch_add(1, Ordering::Relaxed);
+        self.gauges.per_shard[self.index].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn session_io(&mut self, token: u64, ev: PollEvent) {
+        let mut fx = std::mem::take(&mut self.fx);
+        {
+            let Some(sess) = self.sessions.get_mut(&token) else {
+                self.fx = fx;
+                return;
+            };
+            if ev.readable || ev.hangup {
+                let mut buf = std::mem::take(&mut self.rdbuf);
+                if !drain_read(sess, &mut buf, &mut fx) {
+                    sess.machine.kill();
+                }
+                self.rdbuf = buf;
+            }
+        }
+        self.apply_effects(token, &mut fx);
+        self.fx = fx;
+        self.finish_io(token);
+    }
+
+    /// Routes the machine's effects: operations to their owning lanes
+    /// (completing back as [`ReplyTo::Poller`]), transactions to the
+    /// executor pool, stats/shutdown answered from the runtime's state.
+    fn apply_effects(&mut self, token: u64, fx: &mut Vec<SessionEffect>) {
+        for e in fx.drain(..) {
+            let Some(sess) = self.sessions.get(&token) else {
+                continue;
+            };
+            let client = sess.client;
+            match e {
+                SessionEffect::Submit { seq, key, cop } => {
+                    let op = OpId::new(client, seq);
+                    let lane = self.router.lane_for_op(key, &cop);
+                    let cmd = Command::Op {
+                        op,
+                        key,
+                        cop,
+                        reply: ReplyTo::Poller(self.me.clone()),
+                    };
+                    if self.lanes[lane].send(cmd).is_err() {
+                        // Replica shutting down: answer inline. Any frames
+                        // the returned credit unstalls would fail the same
+                        // way, so their effects are dropped.
+                        let mut sub = Vec::new();
+                        if let Some(sess) = self.sessions.get_mut(&token) {
+                            sess.machine
+                                .on_completion(seq, &Reply::NotOperational, &mut sub);
+                        }
+                    }
+                }
+                SessionEffect::RunTxn { seq, op } => {
+                    let job = TxnJob {
+                        client,
+                        seq,
+                        op,
+                        home: self.me.clone(),
+                    };
+                    // Send fails only at plane teardown; the session is
+                    // about to be dropped with it.
+                    let _ = self.txn_jobs.send(job);
+                }
+                SessionEffect::SendStats { seq } => {
+                    let payload = rpc::encode_stats_reply_bytes(seq, &(self.stats)());
+                    if let Some(sess) = self.sessions.get_mut(&token) {
+                        sess.machine.enqueue_frame(&payload);
+                    }
+                }
+                SessionEffect::Shutdown => {
+                    self.shutdown.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    /// After any machine interaction: push buffered replies to the socket,
+    /// reap the session if it died, otherwise resubscribe its readiness to
+    /// what the machine can currently make progress on.
+    fn finish_io(&mut self, token: u64) {
+        let Some(sess) = self.sessions.get_mut(&token) else {
+            return;
+        };
+        if !sess.machine.is_dead() && sess.machine.wants_write() && !drain_write(sess) {
+            sess.machine.kill();
+        }
+        if sess.machine.is_dead() {
+            self.reap(token);
+            return;
+        }
+        let want = Interest {
+            read: sess.machine.wants_read(),
+            write: sess.machine.wants_write(),
+        };
+        if want != sess.interest {
+            let fd = sess.stream.as_raw_fd();
+            if self.poller.reregister(fd, token, want).is_ok() {
+                sess.interest = want;
+            }
+        }
+    }
+
+    /// Closes and forgets one session: deregisters the socket (the fd
+    /// closes with the stream), frees its client-id mapping, and returns
+    /// its gauge counts. In-flight completions for it are dropped on
+    /// arrival by the `by_client` miss.
+    fn reap(&mut self, token: u64) {
+        if let Some(sess) = self.sessions.remove(&token) {
+            let _ = self.poller.deregister(sess.stream.as_raw_fd());
+            self.by_client.remove(&sess.client.0);
+            self.gauges.open.fetch_sub(1, Ordering::Relaxed);
+            self.gauges.per_shard[self.index].fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Reads while the machine wants bytes; returns `false` when the peer
+/// closed or the socket failed. Bounded by the credit budget: a stalled
+/// machine stops the loop, leaving the rest in the kernel buffer.
+fn drain_read(sess: &mut Session, buf: &mut [u8], fx: &mut Vec<SessionEffect>) -> bool {
+    while sess.machine.wants_read() {
+        match sess.stream.read(buf) {
+            Ok(0) => return false,
+            Ok(n) => sess.machine.on_bytes(&buf[..n], fx),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Writes the machine's buffered reply bytes until done or the socket
+/// would block; returns `false` when the socket failed.
+fn drain_write(sess: &mut Session) -> bool {
+    loop {
+        let chunk = sess.machine.write_chunk();
+        if chunk.is_empty() {
+            return true;
+        }
+        match sess.stream.write(chunk) {
+            Ok(0) => return false,
+            Ok(n) => sess.machine.advance_write(n),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_common::Value;
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut f = (payload.len() as u32).to_le_bytes().to_vec();
+        f.extend_from_slice(payload);
+        f
+    }
+
+    fn machine_with_credits(n: u32) -> SessionMachine {
+        SessionMachine::new(
+            CreditConfig {
+                credits_per_peer: n,
+                ..CreditConfig::default()
+            },
+            1 << 20,
+        )
+    }
+
+    #[test]
+    fn decodes_requests_across_arbitrary_byte_splits() {
+        let wire = frame(&rpc::encode_request_bytes(
+            7,
+            Key(3),
+            &ClientOp::Write(Value::from_u64(9)),
+        ));
+        for cut in 0..=wire.len() {
+            let mut m = machine_with_credits(8);
+            let mut fx = Vec::new();
+            m.on_bytes(&wire[..cut], &mut fx);
+            m.on_bytes(&wire[cut..], &mut fx);
+            assert_eq!(
+                fx,
+                vec![SessionEffect::Submit {
+                    seq: 7,
+                    key: Key(3),
+                    cop: ClientOp::Write(Value::from_u64(9)),
+                }],
+                "split at {cut}"
+            );
+            assert!(!m.is_dead());
+        }
+    }
+
+    #[test]
+    fn credit_stall_parks_reading_and_completion_resumes() {
+        let mut m = machine_with_credits(2);
+        let mut wire = Vec::new();
+        for seq in 0..3u64 {
+            wire.extend_from_slice(&frame(&rpc::encode_request_bytes(
+                seq,
+                Key(seq),
+                &ClientOp::Read,
+            )));
+        }
+        let mut fx = Vec::new();
+        m.on_bytes(&wire, &mut fx);
+        // Two credits: two submissions; the third frame stays buffered and
+        // the machine asks the shard to stop reading the socket.
+        assert_eq!(fx.len(), 2);
+        assert!(!m.wants_read(), "out of credits must park reads");
+        fx.clear();
+        m.on_completion(0, &Reply::ReadOk(Value::EMPTY), &mut fx);
+        assert_eq!(
+            fx,
+            vec![SessionEffect::Submit {
+                seq: 2,
+                key: Key(2),
+                cop: ClientOp::Read,
+            }],
+            "returned credit must unstall the buffered frame"
+        );
+        assert!(m.wants_write(), "completion framed a reply");
+        let (seq, reply) = rpc::decode_reply(&m.write_chunk()[4..]).unwrap();
+        assert_eq!((seq, reply), (0, Reply::ReadOk(Value::EMPTY)));
+    }
+
+    #[test]
+    fn oversized_and_malformed_frames_kill_the_session() {
+        let mut m = SessionMachine::new(CreditConfig::default(), 64);
+        let mut fx = Vec::new();
+        m.on_bytes(&(65u32).to_le_bytes(), &mut fx);
+        assert!(m.is_dead(), "length beyond max_frame");
+
+        let mut m = machine_with_credits(4);
+        m.on_bytes(&frame(b"\xffgarbage"), &mut fx);
+        assert!(m.is_dead(), "undecodable request");
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn one_txn_in_flight_gates_later_requests() {
+        let mut m = machine_with_credits(8);
+        let op = TxnOp::MultiPut(vec![(Key(2), Value::from_u64(1))]);
+        let mut wire = frame(&rpc::encode_txn_bytes(0, &op));
+        wire.extend_from_slice(&frame(&rpc::encode_request_bytes(
+            1,
+            Key(9),
+            &ClientOp::Read,
+        )));
+        let mut fx = Vec::new();
+        m.on_bytes(&wire, &mut fx);
+        assert_eq!(fx.len(), 1, "the read waits behind the txn");
+        assert!(matches!(fx[0], SessionEffect::RunTxn { seq: 0, .. }));
+        assert!(!m.wants_read());
+        fx.clear();
+        m.on_txn_reply(0, &TxnReply::Committed { values: Vec::new() }, &mut fx);
+        assert_eq!(fx.len(), 1, "txn reply releases the gated read");
+        assert!(matches!(fx[0], SessionEffect::Submit { seq: 1, .. }));
+    }
+
+    #[test]
+    fn shutdown_request_acks_then_surfaces_the_effect() {
+        let mut m = machine_with_credits(4);
+        let mut fx = Vec::new();
+        m.on_bytes(&frame(&rpc::encode_shutdown_bytes(5)), &mut fx);
+        assert_eq!(fx, vec![SessionEffect::Shutdown]);
+        let (seq, reply) = rpc::decode_reply(&m.write_chunk()[4..]).unwrap();
+        assert_eq!((seq, reply), (5, Reply::WriteOk));
+    }
+
+    #[test]
+    fn write_buffer_drains_incrementally() {
+        let mut m = machine_with_credits(4);
+        let mut fx = Vec::new();
+        m.on_completion(1, &Reply::WriteOk, &mut fx);
+        let total = m.write_chunk().len();
+        m.advance_write(3);
+        assert_eq!(m.write_chunk().len(), total - 3);
+        m.advance_write(total - 3);
+        assert!(!m.wants_write());
+    }
+}

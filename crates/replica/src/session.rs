@@ -25,7 +25,7 @@
 //! [`ThreadCluster`]: crate::ThreadCluster
 //! [`ThreadCluster::session`]: crate::ThreadCluster::session
 
-use crate::threaded::{Command, Completion};
+use crate::threaded::{Command, Completion, ReplyTo};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hermes_common::{
     ClientId, ClientOp, Key, NodeId, OpId, Reply, RmwOp, ShardRouter, TxnAbort, TxnOp, TxnReply,
@@ -124,7 +124,7 @@ impl SessionChannel for LaneChannel {
             op: OpId::new(self.client, seq),
             key,
             cop,
-            reply: self.completions_tx.clone(),
+            reply: ReplyTo::Channel(self.completions_tx.clone()),
         };
         self.lanes[lane].send(cmd).is_ok()
     }

@@ -35,6 +35,7 @@
 //! flight.
 
 use crate::membership::{boot_view, MembershipOptions, MembershipStatus};
+use crate::poller::ShardHandle;
 use crate::session::{ClientSession, LaneChannel};
 use crate::sharded::ShardedEngine;
 use crate::timers::DeadlineQueue;
@@ -66,6 +67,30 @@ const SESSION_CLIENT_BASE: u64 = 1 << 32;
 /// An out-of-order completion: which operation finished, and how.
 pub(crate) type Completion = (OpId, Reply);
 
+/// Where a completed client operation's reply goes: an in-process
+/// completion channel (blocking helpers, [`LaneChannel`] sessions,
+/// server-side transaction coordinators) or a client-plane poller shard,
+/// which must additionally be woken out of its readiness wait to write the
+/// reply frame ([`ShardHandle::complete`]).
+#[derive(Clone)]
+pub(crate) enum ReplyTo {
+    /// An in-process completion channel.
+    Channel(Sender<Completion>),
+    /// The poller shard owning the remote session (DESIGN.md §7).
+    Poller(ShardHandle),
+}
+
+impl ReplyTo {
+    pub(crate) fn send(&self, op: OpId, reply: Reply) {
+        match self {
+            ReplyTo::Channel(tx) => {
+                let _ = tx.send((op, reply));
+            }
+            ReplyTo::Poller(shard) => shard.complete(op, reply),
+        }
+    }
+}
+
 /// Events delivered to one worker lane.
 pub(crate) enum Command {
     /// A client operation routed to this lane.
@@ -73,7 +98,7 @@ pub(crate) enum Command {
         op: OpId,
         key: Key,
         cop: ClientOp,
-        reply: Sender<Completion>,
+        reply: ReplyTo,
     },
     /// A peer protocol message demuxed to this lane by the node's pump.
     Deliver { from: NodeId, msg: Msg },
@@ -167,6 +192,9 @@ pub struct ThreadCluster {
     statuses: Vec<Arc<MembershipStatus>>,
     /// Per node: client operations handled per worker lane.
     lane_op_counts: Vec<Arc<Vec<AtomicU64>>>,
+    /// Per node: peer messages delivered directly into each lane by the
+    /// transport readers (per-worker ingress demux).
+    lane_ingress_counts: Vec<Arc<Vec<AtomicU64>>>,
     router: ShardRouter,
     next_seq: AtomicU64,
     next_session: AtomicU64,
@@ -248,6 +276,7 @@ impl ThreadCluster {
         let mut peer_downs = Vec::new();
         let mut statuses = Vec::new();
         let mut lane_op_counts = Vec::new();
+        let mut lane_ingress_counts = Vec::new();
         let mut router = None;
         let membership = cfg
             .membership
@@ -269,6 +298,7 @@ impl ThreadCluster {
             peer_downs.push(node.peer_downs);
             statuses.push(node.status);
             lane_op_counts.push(node.lane_ops);
+            lane_ingress_counts.push(node.lane_ingress);
         }
         ThreadCluster {
             handles,
@@ -278,6 +308,7 @@ impl ThreadCluster {
             peer_downs,
             statuses,
             lane_op_counts,
+            lane_ingress_counts,
             router: router.expect("at least one node"),
             next_seq: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
@@ -339,6 +370,16 @@ impl ThreadCluster {
             .collect()
     }
 
+    /// Peer messages the transport readers delivered directly into each
+    /// worker lane of replica `node` — the per-worker ingress demux
+    /// gauge. All-zero only before any replication traffic.
+    pub fn lane_ingress(&self, node: usize) -> Vec<u64> {
+        self.lane_ingress_counts[node]
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
     fn submit(&self, node: usize, key: Key, cop: ClientOp) -> Reply {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let op = OpId::new(ClientId(node as u64), seq);
@@ -349,7 +390,7 @@ impl ThreadCluster {
                 op,
                 key,
                 cop,
-                reply: tx,
+                reply: ReplyTo::Channel(tx),
             })
             .expect("replica worker alive");
         match rx.recv_timeout(Duration::from_secs(10)) {
@@ -451,6 +492,9 @@ pub(crate) struct NodeHandle {
     pub(crate) status: Arc<MembershipStatus>,
     /// Client operations handled per worker lane (the stats RPC gauge).
     pub(crate) lane_ops: Arc<Vec<AtomicU64>>,
+    /// Peer messages delivered directly into each lane's queue by the
+    /// transport readers (the per-worker ingress demux gauge).
+    pub(crate) lane_ingress: Arc<Vec<AtomicU64>>,
 }
 
 /// Spawns one replica node's worker threads over `ep` and points the
@@ -485,6 +529,8 @@ pub(crate) fn spawn_node<E: Endpoint>(
     let peer_downs = Arc::new(AtomicU64::new(0));
     let lane_ops: Arc<Vec<AtomicU64>> =
         Arc::new((0..workers_per_node).map(|_| AtomicU64::new(0)).collect());
+    let lane_ingress: Arc<Vec<AtomicU64>> =
+        Arc::new((0..workers_per_node).map(|_| AtomicU64::new(0)).collect());
     let mut handles = Vec::new();
     for (lane, (node, (_, rx))) in shards.into_iter().zip(channels).enumerate() {
         let worker = Worker::new(
@@ -517,9 +563,21 @@ pub(crate) fn spawn_node<E: Endpoint>(
             }));
         }
     }
-    // Started last: events arriving before the pump thread runs just queue.
+    // Started last: events arriving before the worker threads run just
+    // queue. Data-plane frames are decoded right here on the transport's
+    // reader threads and delivered straight into the lane owning each
+    // message's key — the per-worker ingress demux (DESIGN.md §7); only
+    // control frames (membership, shadow catch-up) and connectivity
+    // events still funnel through lane 0's pump, which hosts them.
     let sink_tx = txs[0].clone();
-    let guard = ep.start(Arc::new(move |ev| sink_tx.send(Command::Net(ev)).is_ok()));
+    let lane_txs = txs.clone();
+    let ingress = Arc::clone(&lane_ingress);
+    let guard = ep.start(Arc::new(move |ev| match ev {
+        NetEvent::Frame(from, ref frame) if !control::is_control(frame) => {
+            deliver_frame(&lane_txs, router, &ingress, from, frame)
+        }
+        other => sink_tx.send(Command::Net(other)).is_ok(),
+    }));
     NodeHandle {
         lanes: txs,
         router,
@@ -528,7 +586,37 @@ pub(crate) fn spawn_node<E: Endpoint>(
         peer_downs,
         status,
         lane_ops,
+        lane_ingress,
     }
+}
+
+/// Per-worker network ingress: decodes one data-plane Wings frame on the
+/// transport reader thread that received it and delivers each message
+/// directly into the command queue of the lane owning its key — no bounce
+/// through lane 0. Safe for Hermes because no message serializes
+/// ([`ShardRouter::lane_for_ingress`]); per-(peer, key) FIFO is preserved
+/// because each peer connection has exactly one reader thread. Returns
+/// `false` once the lanes are gone (shutdown), stopping the reader.
+fn deliver_frame(
+    lanes: &[Sender<Command>],
+    router: ShardRouter,
+    ingress: &[AtomicU64],
+    from: NodeId,
+    frame: &Bytes,
+) -> bool {
+    let Ok(msgs) = decode_frame(frame) else {
+        return true; // Malformed frame: drop it, as the pump would.
+    };
+    let mut alive = true;
+    for raw in msgs {
+        let Ok(msg) = codec::decode(&raw) else {
+            continue;
+        };
+        let lane = router.lane_for_ingress(msg.key());
+        ingress[lane].fetch_add(1, Ordering::Relaxed);
+        alive &= lanes[lane].send(Command::Deliver { from, msg }).is_ok();
+    }
+    alive
 }
 
 /// One worker lane: a shard's protocol engine plus the runtime state that
@@ -541,7 +629,7 @@ struct Worker<S: NetSender> {
     net: S,
     batcher: Batcher,
     timers: DeadlineQueue,
-    clients: HashMap<OpId, Sender<Completion>>,
+    clients: HashMap<OpId, ReplyTo>,
     /// Cached broadcast set of the current view, refreshed only on
     /// membership change (not rebuilt per effect drain).
     peers: Vec<NodeId>,
@@ -606,7 +694,7 @@ impl<S: NetSender> Worker<S> {
                 // partition, mid-view-change, shadow — refuses service
                 // without touching the protocol.
                 if !self.status.serving() {
-                    let _ = reply.send((op, Reply::NotOperational));
+                    reply.send(op, Reply::NotOperational);
                     return true;
                 }
                 self.clients.insert(op, reply);
@@ -674,19 +762,36 @@ impl<S: NetSender> Worker<S> {
     }
 
     /// Streams this lane's per-key state to the catching-up shadow `to` as
-    /// control frames, ending with this lane's mark. Values still in
-    /// flight are safe to ship: anything non-final here has a coordinator
-    /// driving it through the shadow-inclusive view, and the shadow merges
-    /// by timestamp.
+    /// control frames, ending with this lane's mark. Entries are batched
+    /// into [`ControlMsg::SyncBatch`] frames up to the
+    /// [`SYNC_BATCH_BUDGET`](control::SYNC_BATCH_BUDGET) size cap,
+    /// amortizing framing overhead across keys (one oversized value still
+    /// ships alone). Values still in flight are safe to ship: anything
+    /// non-final here has a coordinator driving it through the
+    /// shadow-inclusive view, and the shadow merges by timestamp.
     fn sync_lane(&mut self, to: NodeId) {
+        let mut entries: Vec<control::SyncEntry> = Vec::new();
+        let mut batched = 0usize;
         for (key, e) in self.node.entries() {
-            let chunk = ControlMsg::SyncChunk {
+            let entry = control::SyncEntry {
                 key: *key,
                 ts: e.ts,
                 kind: e.kind,
                 value: e.value.clone(),
             };
-            self.net.send(to, control::encode(&chunk));
+            if !entries.is_empty() && batched + entry.wire_size() > control::SYNC_BATCH_BUDGET {
+                let batch = ControlMsg::SyncBatch {
+                    entries: std::mem::take(&mut entries),
+                };
+                self.net.send(to, control::encode(&batch));
+                batched = 0;
+            }
+            batched += entry.wire_size();
+            entries.push(entry);
+        }
+        if !entries.is_empty() {
+            self.net
+                .send(to, control::encode(&ControlMsg::SyncBatch { entries }));
         }
         let mark = ControlMsg::SyncMark {
             lane: self.lane as u32,
@@ -738,8 +843,8 @@ impl<S: NetSender> Worker<S> {
                     }
                 }
                 Effect::Reply { op, reply } => {
-                    if let Some(tx) = self.clients.remove(&op) {
-                        let _ = tx.send((op, reply));
+                    if let Some(to) = self.clients.remove(&op) {
+                        to.send(op, reply);
                     }
                 }
                 Effect::ArmTimer { key } => {
@@ -850,6 +955,22 @@ impl<S: NetSender> PumpMembership<S> {
                         kind,
                         value,
                     });
+                }
+            }
+            ControlMsg::SyncBatch { entries } => {
+                // Each batched entry installs exactly like a lone chunk.
+                for e in entries {
+                    let owner = worker.router.spec().owner(e.key);
+                    if owner == worker.lane {
+                        worker.install_chunk(e.key, e.ts, e.kind, e.value);
+                    } else {
+                        let _ = lanes[owner].send(Command::InstallChunk {
+                            key: e.key,
+                            ts: e.ts,
+                            kind: e.kind,
+                            value: e.value,
+                        });
+                    }
                 }
             }
             ControlMsg::SyncMark { lane, lanes: total } => {

@@ -215,6 +215,14 @@ pub struct StatsPayload {
     pub synced: bool,
     /// Client operations handled per worker lane since start.
     pub lane_ops: Vec<u64>,
+    /// Remote client sessions currently open on the daemon's poller plane.
+    pub open_sessions: u64,
+    /// Open sessions per poller shard (length = poller pool size) — the
+    /// gauge that shows the accept path spreading connections.
+    pub sessions_per_shard: Vec<u64>,
+    /// Replica-to-replica messages delivered directly into each worker
+    /// lane's queue by the transport readers (per-lane ingress demux).
+    pub lane_ingress: Vec<u64>,
 }
 
 /// Encodes a shutdown request into a fresh buffer.
@@ -402,6 +410,15 @@ pub fn encode_stats_reply_bytes(seq: u64, stats: &StatsPayload) -> Bytes {
     for ops in &stats.lane_ops {
         out.put_u64_le(*ops);
     }
+    out.put_u64_le(stats.open_sessions);
+    out.put_u32_le(stats.sessions_per_shard.len() as u32);
+    for n in &stats.sessions_per_shard {
+        out.put_u64_le(*n);
+    }
+    out.put_u32_le(stats.lane_ingress.len() as u32);
+    for n in &stats.lane_ingress {
+        out.put_u64_le(*n);
+    }
     out.freeze()
 }
 
@@ -427,6 +444,17 @@ pub fn decode_stats_reply(buf: &[u8]) -> Result<(u64, StatsPayload), ClientCodec
     for _ in 0..n {
         lane_ops.push(c.u64()?);
     }
+    let open_sessions = c.u64()?;
+    let n = c.u32()? as usize;
+    let mut sessions_per_shard = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        sessions_per_shard.push(c.u64()?);
+    }
+    let n = c.u32()? as usize;
+    let mut lane_ingress = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        lane_ingress.push(c.u64()?);
+    }
     Ok((
         seq,
         StatsPayload {
@@ -437,6 +465,9 @@ pub fn decode_stats_reply(buf: &[u8]) -> Result<(u64, StatsPayload), ClientCodec
             serving,
             synced,
             lane_ops,
+            open_sessions,
+            sessions_per_shard,
+            lane_ingress,
         },
     ))
 }
@@ -708,6 +739,9 @@ mod tests {
             serving: true,
             synced: false,
             lane_ops: vec![10, 0, 7],
+            open_sessions: 1234,
+            sessions_per_shard: vec![617, 617],
+            lane_ingress: vec![42, 0, 99],
         };
         let frame = encode_stats_reply_bytes(9, &stats);
         assert_eq!(decode_stats_reply(&frame).unwrap(), (9, stats.clone()));

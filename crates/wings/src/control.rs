@@ -14,12 +14,18 @@
 //!   (heartbeats, Paxos view agreement, join requests; encoded by
 //!   `hermes_membership::wire`, opaque here so the messaging layer stays
 //!   independent of the membership crate);
-//! * [`ControlMsg::SyncRequest`] / [`ControlMsg::SyncChunk`] /
-//!   [`ControlMsg::SyncMark`] — shadow-replica bulk catch-up (paper §3.4,
-//!   *Recovery*): a joining shadow asks a member for its dataset, each of
-//!   the member's worker lanes streams its committed per-key state as
-//!   chunks and finishes with a mark naming the lane, and the shadow knows
-//!   it is caught up when every lane of the member has marked.
+//! * [`ControlMsg::SyncRequest`] / [`ControlMsg::SyncBatch`] /
+//!   [`ControlMsg::SyncChunk`] / [`ControlMsg::SyncMark`] — shadow-replica
+//!   bulk catch-up (paper §3.4, *Recovery*): a joining shadow asks a member
+//!   for its dataset, each of the member's worker lanes streams its
+//!   committed per-key state — batched into size-capped [`SyncBatch`]
+//!   frames ([`SYNC_BATCH_BUDGET`]); the one-key [`SyncChunk`] remains for
+//!   single-entry streams and wire compatibility — and finishes with a
+//!   mark naming the lane; the shadow knows it is caught up when every
+//!   lane of the member has marked.
+//!
+//! [`SyncBatch`]: ControlMsg::SyncBatch
+//! [`SyncChunk`]: ControlMsg::SyncChunk
 
 use bytes::{BufMut, Bytes, BytesMut};
 use hermes_common::{Key, Value};
@@ -29,6 +35,14 @@ const TAG_MEMBERSHIP: u8 = 0;
 const TAG_SYNC_REQUEST: u8 = 1;
 const TAG_SYNC_CHUNK: u8 = 2;
 const TAG_SYNC_MARK: u8 = 3;
+const TAG_SYNC_BATCH: u8 = 4;
+
+/// Soft size cap on one [`ControlMsg::SyncBatch`] frame's entry payload: a
+/// streaming lane flushes its current batch before appending an entry that
+/// would push the encoded entries past this budget. One oversized value
+/// still ships alone (a batch always carries at least one entry), so the
+/// cap bounds framing overhead without capping value sizes.
+pub const SYNC_BATCH_BUDGET: usize = 32 * 1024;
 
 /// One control-plane message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -58,7 +72,40 @@ pub enum ControlMsg {
         /// Total lanes on the member serving the sync.
         lanes: u32,
     },
+    /// Several keys' committed states batched into one catch-up frame
+    /// (size-capped by [`SYNC_BATCH_BUDGET`]): what streaming lanes emit
+    /// instead of one [`ControlMsg::SyncChunk`] per key, amortizing the
+    /// control-frame and transport framing overhead across entries. Each
+    /// entry installs exactly like a lone chunk (newer-timestamp-wins).
+    SyncBatch {
+        /// The batched per-key states, in stream order.
+        entries: Vec<SyncEntry>,
+    },
 }
+
+/// One key's committed state inside a [`ControlMsg::SyncBatch`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SyncEntry {
+    /// The key.
+    pub key: Key,
+    /// Its committed logical timestamp.
+    pub ts: Ts,
+    /// Kind of the last update (kept for faithful replays).
+    pub kind: UpdateKind,
+    /// Its committed value.
+    pub value: Value,
+}
+
+impl SyncEntry {
+    /// Encoded size of this entry on the wire (the unit the
+    /// [`SYNC_BATCH_BUDGET`] cap meters).
+    pub fn wire_size(&self) -> usize {
+        ENTRY_HEADER + self.value.len()
+    }
+}
+
+/// Fixed part of one sync entry: key, ts.version, ts.cid, kind, value len.
+const ENTRY_HEADER: usize = 8 + 8 + 4 + 1 + 4;
 
 /// Errors produced when decoding a malformed control frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -103,23 +150,68 @@ pub fn encode(msg: &ControlMsg) -> Bytes {
             value,
         } => {
             out.put_u8(TAG_SYNC_CHUNK);
-            out.put_u64_le(key.0);
-            out.put_u64_le(ts.version);
-            out.put_u32_le(ts.cid);
-            out.put_u8(match kind {
-                UpdateKind::Write => 0,
-                UpdateKind::Rmw => 1,
-            });
-            out.put_u32_le(value.len() as u32);
-            out.put_slice(value.as_bytes());
+            put_entry(&mut out, *key, *ts, *kind, value);
         }
         ControlMsg::SyncMark { lane, lanes } => {
             out.put_u8(TAG_SYNC_MARK);
             out.put_u32_le(*lane);
             out.put_u32_le(*lanes);
         }
+        ControlMsg::SyncBatch { entries } => {
+            out.put_u8(TAG_SYNC_BATCH);
+            out.put_u32_le(entries.len() as u32);
+            for e in entries {
+                put_entry(&mut out, e.key, e.ts, e.kind, &e.value);
+            }
+        }
     }
     out.freeze()
+}
+
+/// Appends one sync entry's wire layout (shared by the lone-chunk and
+/// batched encodings).
+fn put_entry(out: &mut BytesMut, key: Key, ts: Ts, kind: UpdateKind, value: &Value) {
+    out.put_u64_le(key.0);
+    out.put_u64_le(ts.version);
+    out.put_u32_le(ts.cid);
+    out.put_u8(match kind {
+        UpdateKind::Write => 0,
+        UpdateKind::Rmw => 1,
+    });
+    out.put_u32_le(value.len() as u32);
+    out.put_slice(value.as_bytes());
+}
+
+/// Decodes one sync entry starting at `buf[0]`; returns the entry and the
+/// bytes consumed.
+fn take_entry(buf: &[u8]) -> Result<(SyncEntry, usize), ControlError> {
+    if buf.len() < ENTRY_HEADER {
+        return Err(ControlError::Truncated);
+    }
+    let key = Key(u64::from_le_bytes(buf[0..8].try_into().expect("sized")));
+    let ts = Ts::new(
+        u64::from_le_bytes(buf[8..16].try_into().expect("sized")),
+        u32::from_le_bytes(buf[16..20].try_into().expect("sized")),
+    );
+    let kind = match buf[20] {
+        0 => UpdateKind::Write,
+        1 => UpdateKind::Rmw,
+        other => return Err(ControlError::BadTag(other)),
+    };
+    let vlen = u32::from_le_bytes(buf[21..25].try_into().expect("sized")) as usize;
+    if buf.len() < ENTRY_HEADER + vlen {
+        return Err(ControlError::Truncated);
+    }
+    let value = Value::from(buf[ENTRY_HEADER..ENTRY_HEADER + vlen].to_vec());
+    Ok((
+        SyncEntry {
+            key,
+            ts,
+            kind,
+            value,
+        },
+        ENTRY_HEADER + vlen,
+    ))
 }
 
 /// Decodes a control frame previously produced by [`encode`].
@@ -153,31 +245,33 @@ fn decode_body(buf: &[u8]) -> Result<ControlMsg, ControlError> {
             })
         }
         TAG_SYNC_CHUNK => {
-            const HEADER: usize = 8 + 8 + 4 + 1 + 4;
-            if rest.len() < HEADER {
-                return Err(ControlError::Truncated);
+            let (e, used) = take_entry(rest)?;
+            if used != rest.len() {
+                return Err(ControlError::Truncated); // Trailing garbage.
             }
-            let key = Key(u64::from_le_bytes(rest[0..8].try_into().expect("sized")));
-            let ts = Ts::new(
-                u64::from_le_bytes(rest[8..16].try_into().expect("sized")),
-                u32::from_le_bytes(rest[16..20].try_into().expect("sized")),
-            );
-            let kind = match rest[20] {
-                0 => UpdateKind::Write,
-                1 => UpdateKind::Rmw,
-                other => return Err(ControlError::BadTag(other)),
-            };
-            let vlen = u32::from_le_bytes(rest[21..25].try_into().expect("sized")) as usize;
-            if rest.len() < HEADER + vlen {
-                return Err(ControlError::Truncated);
-            }
-            let value = Value::from(rest[HEADER..HEADER + vlen].to_vec());
             Ok(ControlMsg::SyncChunk {
-                key,
-                ts,
-                kind,
-                value,
+                key: e.key,
+                ts: e.ts,
+                kind: e.kind,
+                value: e.value,
             })
+        }
+        TAG_SYNC_BATCH => {
+            if rest.len() < 4 {
+                return Err(ControlError::Truncated);
+            }
+            let n = u32::from_le_bytes(rest[0..4].try_into().expect("sized")) as usize;
+            let mut at = 4;
+            let mut entries = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let (e, used) = take_entry(&rest[at..])?;
+                at += used;
+                entries.push(e);
+            }
+            if at != rest.len() {
+                return Err(ControlError::Truncated); // Trailing garbage.
+            }
+            Ok(ControlMsg::SyncBatch { entries })
         }
         other => Err(ControlError::BadTag(other)),
     }
@@ -207,6 +301,29 @@ mod tests {
                 value: Value::EMPTY,
             },
             ControlMsg::SyncMark { lane: 3, lanes: 4 },
+            ControlMsg::SyncBatch { entries: vec![] },
+            ControlMsg::SyncBatch {
+                entries: vec![
+                    SyncEntry {
+                        key: Key(1),
+                        ts: Ts::new(2, 0),
+                        kind: UpdateKind::Write,
+                        value: Value::from_u64(77),
+                    },
+                    SyncEntry {
+                        key: Key(u64::MAX),
+                        ts: Ts::new(u64::MAX, u32::MAX),
+                        kind: UpdateKind::Rmw,
+                        value: Value::EMPTY,
+                    },
+                    SyncEntry {
+                        key: Key(9),
+                        ts: Ts::new(1, 1),
+                        kind: UpdateKind::Write,
+                        value: Value::filled(0xAB, 300),
+                    },
+                ],
+            },
         ]
     }
 
@@ -252,5 +369,67 @@ mod tests {
         let at = full.len() - 8 - 4; // vlen field precedes the 8-byte value
         inflated[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(decode(&inflated).unwrap(), Err(ControlError::Truncated));
+    }
+
+    #[test]
+    fn sync_batches_truncate_cleanly_at_every_cut() {
+        let full = encode(&ControlMsg::SyncBatch {
+            entries: vec![
+                SyncEntry {
+                    key: Key(1),
+                    ts: Ts::new(5, 2),
+                    kind: UpdateKind::Write,
+                    value: Value::from_u64(1),
+                },
+                SyncEntry {
+                    key: Key(2),
+                    ts: Ts::new(6, 0),
+                    kind: UpdateKind::Rmw,
+                    value: Value::filled(0x7F, 40),
+                },
+            ],
+        });
+        for cut in 3..full.len() {
+            assert!(
+                decode(&full[..cut]).unwrap().is_err(),
+                "batch cut at {cut} must error"
+            );
+        }
+        // A declared entry count past the payload errors rather than looping.
+        let mut inflated = full.to_vec();
+        inflated[3..7].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode(&inflated).unwrap(), Err(ControlError::Truncated));
+    }
+
+    #[test]
+    fn batch_entries_meter_the_size_budget() {
+        let small = SyncEntry {
+            key: Key(1),
+            ts: Ts::new(1, 0),
+            kind: UpdateKind::Write,
+            value: Value::from_u64(1),
+        };
+        let encoded = encode(&ControlMsg::SyncBatch {
+            entries: vec![small.clone(), small.clone()],
+        });
+        // frame = escape(2) + tag(1) + count(4) + entries.
+        assert_eq!(encoded.len(), 2 + 1 + 4 + 2 * small.wire_size());
+        assert!(small.wire_size() < SYNC_BATCH_BUDGET);
+        // One oversized value exceeds any budget alone — producers must
+        // still ship it (the cap bounds batching, not value size).
+        let big = SyncEntry {
+            key: Key(2),
+            ts: Ts::new(1, 0),
+            kind: UpdateKind::Write,
+            value: Value::filled(1, SYNC_BATCH_BUDGET + 1),
+        };
+        assert!(big.wire_size() > SYNC_BATCH_BUDGET);
+        let frame = encode(&ControlMsg::SyncBatch {
+            entries: vec![big.clone()],
+        });
+        match decode(&frame).unwrap().unwrap() {
+            ControlMsg::SyncBatch { entries } => assert_eq!(entries, vec![big]),
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 }

@@ -1,0 +1,284 @@
+//! The sharded-poller client plane under faults: sessions killed
+//! mid-pipeline are reaped (gauges return to baseline, no fd leak, late
+//! completions dropped), the daemon's thread count does not grow with its
+//! session count, and concurrent histories spanning a kill stay
+//! linearizable.
+//!
+//! These tests talk to an **in-process** [`NodeRuntime`], so procfs
+//! observations (`Threads:`, `/proc/self/fd`) see the daemon itself.
+//! Sessions are driven over raw framed sockets where thread/fd accounting
+//! matters — a [`RemoteChannel`] would add a client-side reader thread
+//! per session and muddy the measurement.
+
+use hermes::harness::{check_linearizable_per_key, run_recorded_session, RecordedOp};
+use hermes::prelude::*;
+use hermes::wings::client as rpc;
+use hermes::wings::CreditConfig;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Every test here observes process-wide state (procfs thread and fd
+/// counts, gauge baselines), so they must not overlap even when the test
+/// harness runs on many threads.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn serve_single_node() -> NodeRuntime {
+    let opts = NodeOptions {
+        node: NodeId(0),
+        peers: vec!["127.0.0.1:0".parse().unwrap()],
+        client_addr: "127.0.0.1:0".parse().unwrap(),
+        workers: 2,
+        pollers: 2,
+        protocol: ProtocolConfig::default(),
+        tcp: hermes::net::TcpConfig::default(),
+        run_for: None,
+        membership: Some(RmConfig::wall_clock()),
+        join: false,
+    };
+    NodeRuntime::serve(opts).expect("single-node daemon")
+}
+
+/// Sends one length-prefixed client frame.
+fn send_frame(stream: &mut TcpStream, payload: &[u8]) {
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    stream.write_all(&buf).expect("send frame");
+}
+
+/// Reads one length-prefixed reply frame (blocking).
+fn recv_frame(stream: &mut TcpStream) -> Vec<u8> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).expect("reply length");
+    let mut payload = vec![0u8; u32::from_le_bytes(len) as usize];
+    stream.read_exact(&mut payload).expect("reply payload");
+    payload
+}
+
+/// One blocking write round-trip over a raw socket.
+fn raw_write(stream: &mut TcpStream, seq: u64, key: Key, v: u64) {
+    send_frame(
+        stream,
+        &rpc::encode_request_bytes(seq, key, &ClientOp::Write(Value::from_u64(v))),
+    );
+    let (got, reply) = rpc::decode_reply(&recv_frame(stream)).expect("well-formed reply");
+    assert_eq!(got, seq);
+    assert_eq!(reply, Reply::WriteOk);
+}
+
+/// Polls the runtime's `open_sessions` gauge until it reaches `target`.
+fn await_open_sessions(runtime: &NodeRuntime, target: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if runtime.open_sessions() == target {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "open_sessions stuck at {} (want {target})",
+            runtime.open_sessions()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn proc_self_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .expect("procfs")
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+fn proc_self_fds() -> usize {
+    std::fs::read_dir("/proc/self/fd").expect("procfs").count()
+}
+
+/// A socket killed mid-pipeline — requests in flight, reply unread — is
+/// reaped: the gauges return to baseline and the daemon keeps serving new
+/// sessions (the reaped session's credits died with it; its completion is
+/// dropped on arrival, not delivered to a recycled session).
+#[test]
+fn mid_pipeline_kill_reaps_the_session() {
+    let _serial = serial();
+    let runtime = serve_single_node();
+    assert_eq!(runtime.open_sessions(), 0);
+
+    let mut victim = TcpStream::connect(runtime.client_addr()).expect("connect");
+    victim.set_nodelay(true).expect("nodelay");
+    raw_write(&mut victim, 1, Key(1), 7);
+    await_open_sessions(&runtime, 1);
+    let per_shard: u64 = runtime.sessions_per_shard().iter().sum();
+    assert_eq!(per_shard, 1, "shard gauges track the session");
+
+    // Kill mid-pipeline: a request is on the wire, the reply never read.
+    send_frame(
+        &mut victim,
+        &rpc::encode_request_bytes(2, Key(2), &ClientOp::Write(Value::from_u64(9))),
+    );
+    victim.shutdown(Shutdown::Both).expect("kill socket");
+    drop(victim);
+    await_open_sessions(&runtime, 0);
+    let per_shard: u64 = runtime.sessions_per_shard().iter().sum();
+    assert_eq!(per_shard, 0, "shard gauges drained");
+
+    // The in-flight write's completion lands after the reap and is
+    // dropped; the daemon still serves fresh sessions, and the killed
+    // write itself committed (it reached the lanes before the kill).
+    let mut fresh = TcpStream::connect(runtime.client_addr()).expect("reconnect");
+    fresh.set_nodelay(true).expect("nodelay");
+    send_frame(
+        &mut fresh,
+        &rpc::encode_request_bytes(1, Key(2), &ClientOp::Read),
+    );
+    let (_, reply) = rpc::decode_reply(&recv_frame(&mut fresh)).expect("reply");
+    assert_eq!(
+        reply,
+        Reply::ReadOk(Value::from_u64(9)),
+        "orphaned write still applied"
+    );
+    runtime.shutdown();
+}
+
+/// The daemon's thread count is set by `--workers`/`--pollers`, not by
+/// how many sessions are open: 64 concurrent sessions add zero threads.
+/// (Under the old thread-per-connection edge they added 128.)
+#[test]
+fn thread_count_is_independent_of_session_count() {
+    let _serial = serial();
+    let runtime = serve_single_node();
+    // Warm every lazily-spawned internal thread with one full round-trip.
+    let mut warm = TcpStream::connect(runtime.client_addr()).expect("connect");
+    raw_write(&mut warm, 1, Key(1), 1);
+    drop(warm);
+    await_open_sessions(&runtime, 0);
+    let baseline = proc_self_threads();
+
+    let mut fleet = Vec::new();
+    for i in 0..64u64 {
+        let mut s = TcpStream::connect(runtime.client_addr()).expect("connect");
+        raw_write(&mut s, 1, Key(100 + i), i);
+        fleet.push(s);
+    }
+    await_open_sessions(&runtime, 64);
+    assert_eq!(
+        proc_self_threads(),
+        baseline,
+        "sessions must not spawn daemon threads"
+    );
+
+    drop(fleet);
+    await_open_sessions(&runtime, 0);
+    runtime.shutdown();
+}
+
+/// Connect/kill churn leaks no file descriptors: after every session is
+/// reaped the process fd table is back to its baseline size.
+#[test]
+fn session_churn_leaks_no_fds() {
+    let _serial = serial();
+    let runtime = serve_single_node();
+    // One warm-up round so any lazily-created fds (epoll, wakers) exist
+    // before the baseline is taken.
+    let mut warm = TcpStream::connect(runtime.client_addr()).expect("connect");
+    raw_write(&mut warm, 1, Key(1), 1);
+    drop(warm);
+    await_open_sessions(&runtime, 0);
+    let baseline = proc_self_fds();
+
+    for round in 0..50u64 {
+        let mut s = TcpStream::connect(runtime.client_addr()).expect("connect");
+        if round % 2 == 0 {
+            // Clean round-trip, then hang up.
+            raw_write(&mut s, 1, Key(round), round);
+        } else {
+            // Mid-pipeline kill: bytes in flight, reply never read.
+            send_frame(
+                &mut s,
+                &rpc::encode_request_bytes(1, Key(round), &ClientOp::Write(Value::from_u64(round))),
+            );
+        }
+        drop(s);
+    }
+    await_open_sessions(&runtime, 0);
+    assert_eq!(
+        proc_self_fds(),
+        baseline,
+        "fd table grew across session churn"
+    );
+    runtime.shutdown();
+}
+
+/// Concurrent recorded sessions spanning a mid-run socket kill stay
+/// linearizable: the victim's in-flight write is on a key outside the
+/// recorded space, and its death neither wedges a poller shard nor
+/// corrupts any other session's stream.
+#[test]
+fn histories_stay_linearizable_across_a_mid_run_kill() {
+    let _serial = serial();
+    const SESSIONS: usize = 4;
+    const KEYS: u64 = 8;
+    const OPS_PER_SESSION: u64 = 40;
+    const DEPTH: usize = 4;
+
+    let runtime = Arc::new(serve_single_node());
+    let clock = Arc::new(AtomicU64::new(0));
+    let mut joins = Vec::new();
+    for sid in 0..SESSIONS {
+        let addr = runtime.client_addr();
+        let clock = Arc::clone(&clock);
+        joins.push(std::thread::spawn(move || {
+            let channel =
+                RemoteChannel::connect_within(addr, Duration::from_secs(5)).expect("client port");
+            let mut session = ClientSession::new(channel, CreditConfig::default());
+            run_recorded_session(
+                &mut session,
+                &clock,
+                sid as u64,
+                KEYS,
+                OPS_PER_SESSION,
+                DEPTH,
+            )
+        }));
+    }
+
+    // Mid-run, a bystander session dies with a request in flight.
+    std::thread::sleep(Duration::from_millis(5));
+    let mut victim = TcpStream::connect(runtime.client_addr()).expect("connect victim");
+    send_frame(
+        &mut victim,
+        &rpc::encode_request_bytes(1, Key(1 << 20), &ClientOp::Write(Value::from_u64(1))),
+    );
+    victim.shutdown(Shutdown::Both).expect("kill victim");
+    drop(victim);
+
+    let mut all: Vec<RecordedOp> = Vec::new();
+    for j in joins {
+        all.extend(j.join().expect("session thread"));
+    }
+    assert_eq!(all.len(), SESSIONS * OPS_PER_SESSION as usize);
+    for o in &all {
+        if !matches!(o.kind, hermes::model::OpKind::FetchAdd { .. }) {
+            assert_eq!(
+                o.outcome,
+                hermes::model::Outcome::Completed,
+                "op failed across the kill: {o:?}"
+            );
+        }
+    }
+    check_linearizable_per_key(&all, KEYS).expect("history linearizable across session kill");
+
+    await_open_sessions(&runtime, 0);
+    match Arc::try_unwrap(runtime) {
+        Ok(r) => r.shutdown(),
+        Err(_) => panic!("runtime still shared"),
+    }
+}

@@ -177,6 +177,7 @@ fn shutdown_rpc_reaches_the_daemon() {
         peers: vec!["127.0.0.1:0".parse().unwrap()],
         client_addr: "127.0.0.1:0".parse().unwrap(),
         workers: 2,
+        pollers: 2,
         protocol: ProtocolConfig::default(),
         tcp: hermes::net::TcpConfig::default(),
         run_for: None,
