@@ -52,7 +52,9 @@ pub use cost::CostModel;
 pub use membership::{MembershipOptions, MembershipStatus};
 pub use node::{query_stats, remote_txn, request_shutdown, NodeOptions, NodeRuntime, NodeStats};
 pub use remote::{KillSwitch, RemoteChannel};
-pub use session::{ClientSession, LaneChannel, PendingTxn, SessionChannel, Ticket, TxnResult};
+pub use session::{
+    ClientSession, LaneChannel, PendingTxn, SessionChannel, SessionEvent, Ticket, TxnResult,
+};
 pub use sharded::ShardedEngine;
 pub use simrun::{run_sim, RunReport, SimConfig};
 pub use threaded::{ClusterConfig, ThreadCluster};

@@ -23,7 +23,7 @@
 
 use crate::membership::{MembershipOptions, MembershipStatus};
 use crate::poller::{ClientPlane, PlaneConfig, PlaneGauges, StatsSource};
-use crate::threaded::{spawn_node, Command, Completion, ReplyTo};
+use crate::threaded::{spawn_node, Command, Completion, PushGauges, ReplyTo};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hermes_common::{
@@ -56,10 +56,21 @@ static NEXT_TXN_CLIENT: AtomicU64 = AtomicU64::new(0);
 /// Request frames larger than this kill the client connection.
 pub(crate) const MAX_CLIENT_FRAME: usize = 16 << 20;
 
-/// Poller shards of the client plane unless `--pollers` says otherwise: a
-/// couple of readiness-driven threads comfortably multiplex tens of
-/// thousands of sessions (DESIGN.md §7).
-const DEFAULT_POLLERS: usize = 2;
+/// Most poller shards the adaptive default will pick: readiness-driven
+/// threads multiplex tens of thousands of sessions each (DESIGN.md §7),
+/// so piling on more than this only costs wakeups.
+const MAX_DEFAULT_POLLERS: usize = 8;
+
+/// Poller shards of the client plane unless `--pollers` says otherwise:
+/// sized from the host's available parallelism (capped at
+/// [`MAX_DEFAULT_POLLERS`]) so a many-core daemon spreads its sessions
+/// without hand-tuning, while a 1-core CI box gets a single shard.
+fn default_pollers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(1, MAX_DEFAULT_POLLERS)
+}
 
 /// Transaction executor threads of the client plane.
 const TXN_EXECUTORS: usize = 2;
@@ -107,7 +118,7 @@ impl NodeOptions {
         let mut peers: Option<Vec<SocketAddr>> = None;
         let mut client_addr: Option<SocketAddr> = None;
         let mut workers = 2usize;
-        let mut pollers = DEFAULT_POLLERS;
+        let mut pollers = default_pollers();
         let mut run_for = None;
         let mut membership = Some(RmConfig::wall_clock());
         let mut join = false;
@@ -212,6 +223,8 @@ pub struct NodeRuntime {
     client_plane: Option<ClientPlane>,
     /// Session-occupancy gauges shared with the client plane.
     plane_gauges: Arc<PlaneGauges>,
+    /// Subscription/push gauges shared with the worker lanes.
+    push_gauges: Arc<PushGauges>,
     peer_downs: Arc<AtomicU64>,
     status: Arc<MembershipStatus>,
     /// Client operations handled per worker lane (stats RPC gauge).
@@ -271,6 +284,7 @@ impl NodeRuntime {
             let lane_ops = Arc::clone(&node.lane_ops);
             let lane_ingress = Arc::clone(&node.lane_ingress);
             let gauges = Arc::clone(&plane_gauges);
+            let push_gauges = Arc::clone(&node.push_gauges);
             Arc::new(move || rpc::StatsPayload {
                 epoch: status.epoch(),
                 view_changes: status.view_changes(),
@@ -285,6 +299,9 @@ impl NodeRuntime {
                     .iter()
                     .map(|c| c.load(Ordering::Relaxed))
                     .collect(),
+                subscriptions: push_gauges.subscriptions.load(Ordering::Relaxed),
+                pushes: push_gauges.pushes.load(Ordering::Relaxed),
+                accept_stalls: gauges.accept_stalls(),
             })
         };
         let client_plane = ClientPlane::start(
@@ -312,6 +329,7 @@ impl NodeRuntime {
             ingress: Some(node.guard),
             client_plane: Some(client_plane),
             plane_gauges,
+            push_gauges: node.push_gauges,
             peer_downs: node.peer_downs,
             status: node.status,
             lane_ops: node.lane_ops,
@@ -378,6 +396,22 @@ impl NodeRuntime {
         self.plane_gauges.sessions_per_shard()
     }
 
+    /// Live client push subscriptions across all worker lanes.
+    pub fn subscriptions(&self) -> u64 {
+        self.push_gauges.subscriptions.load(Ordering::Relaxed)
+    }
+
+    /// Push frames (invalidations, acks, flushes) sent to clients.
+    pub fn pushes(&self) -> u64 {
+        self.push_gauges.pushes.load(Ordering::Relaxed)
+    }
+
+    /// Times the client plane paused accepting because open fds neared
+    /// `ulimit -n` (DESIGN.md §7 backpressure).
+    pub fn accept_stalls(&self) -> u64 {
+        self.plane_gauges.accept_stalls()
+    }
+
     /// One coherent operator-facing snapshot of this replica's health.
     pub fn stats(&self) -> NodeStats {
         NodeStats {
@@ -395,6 +429,9 @@ impl NodeRuntime {
             lane_ingress: self.lane_ingress(),
             open_sessions: self.open_sessions(),
             sessions_per_shard: self.sessions_per_shard(),
+            subscriptions: self.subscriptions(),
+            pushes: self.pushes(),
+            accept_stalls: self.accept_stalls(),
         }
     }
 
@@ -487,6 +524,12 @@ pub struct NodeStats {
     pub open_sessions: u64,
     /// Open sessions per poller shard of the client plane.
     pub sessions_per_shard: Vec<u64>,
+    /// Live client push subscriptions across all worker lanes.
+    pub subscriptions: u64,
+    /// Push frames (invalidations, acks, flushes) sent to clients.
+    pub pushes: u64,
+    /// Times the client plane paused accepting near the fd budget.
+    pub accept_stalls: u64,
 }
 
 /// Asks the replica daemon at `addr` (its client port) to shut down
@@ -677,6 +720,29 @@ mod tests {
         assert!(NodeOptions::parse(&s(&["--node", "0"]))
             .unwrap_err()
             .contains("--peers"));
+    }
+
+    #[test]
+    fn adaptive_poller_default_is_bounded_and_overridable() {
+        let base = [
+            "--node",
+            "0",
+            "--peers",
+            "127.0.0.1:1",
+            "--client",
+            "127.0.0.1:0",
+        ];
+        let opts = NodeOptions::parse(&s(&base)).unwrap();
+        assert!((1..=MAX_DEFAULT_POLLERS).contains(&opts.pollers));
+
+        let mut with_flag = base.to_vec();
+        with_flag.extend(["--pollers", "3"]);
+        assert_eq!(NodeOptions::parse(&s(&with_flag)).unwrap().pollers, 3);
+        with_flag[6] = "--pollers";
+        with_flag[7] = "0";
+        assert!(NodeOptions::parse(&s(&with_flag))
+            .unwrap_err()
+            .contains("--pollers"));
     }
 
     #[test]

@@ -31,13 +31,13 @@
 //! completion. Thread count is a property of the deployment (pollers +
 //! executors), not of the session count.
 
-use crate::threaded::{Command, ReplyTo};
+use crate::threaded::{Command, PushEvent, PushSink, ReplyTo};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hermes_common::{ClientId, ClientOp, Key, NodeId, OpId, Reply, ShardRouter, TxnOp, TxnReply};
 use hermes_net::{Interest, PollEvent, Poller, Waker};
 use hermes_wings::client as rpc;
 use hermes_wings::{CreditConfig, CreditFlow};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -66,6 +66,15 @@ const TOKEN_SESSION_BASE: u64 = 2;
 
 /// Per-readiness-event read chunk.
 const READ_CHUNK: usize = 16 * 1024;
+
+/// File descriptors kept free under `ulimit -n` for everything that is not
+/// a client session: epoll instances, wakers, peer sockets, the listener,
+/// stdio and the store.
+const FD_HEADROOM: u64 = 64;
+
+/// Hysteresis below the fd budget before a paused listener resumes
+/// accepting, so the plane does not flap at the boundary.
+const ACCEPT_RESUME_SLACK: u64 = 8;
 
 /// A session whose client stops reading may accumulate at most this much
 /// undrained reply data before the shard kills it (slowloris bound).
@@ -99,6 +108,9 @@ pub(crate) struct PlaneConfig {
 pub(crate) struct PlaneGauges {
     open: AtomicU64,
     per_shard: Vec<AtomicU64>,
+    /// Times the listener paused accepting because open sessions neared
+    /// the process fd limit.
+    accept_stalls: AtomicU64,
 }
 
 impl PlaneGauges {
@@ -106,6 +118,7 @@ impl PlaneGauges {
         PlaneGauges {
             open: AtomicU64::new(0),
             per_shard: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            accept_stalls: AtomicU64::new(0),
         }
     }
 
@@ -120,6 +133,11 @@ impl PlaneGauges {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// Times the listener paused near the fd limit since start.
+    pub(crate) fn accept_stalls(&self) -> u64 {
+        self.accept_stalls.load(Ordering::Relaxed)
     }
 }
 
@@ -143,6 +161,14 @@ impl ShardHandle {
         self.deliver(Inbound::Done(op, reply));
     }
 
+    /// Posts one push event for a subscribed remote session (called from
+    /// worker lanes via [`PushSink::Poller`]). Rides the same inbox as
+    /// completions, so a reply and the push that supersedes it reach the
+    /// session's write buffer in lane order.
+    pub(crate) fn push(&self, client: ClientId, ev: PushEvent) {
+        self.deliver(Inbound::Push(client, ev));
+    }
+
     fn deliver(&self, item: Inbound) {
         if self.tx.send(item).is_ok() && !self.armed.swap(true, Ordering::AcqRel) {
             self.waker.wake();
@@ -158,6 +184,8 @@ pub(crate) enum Inbound {
     Done(OpId, Reply),
     /// A whole transaction resolved on the executor pool.
     TxnDone(ClientId, u64, TxnReply),
+    /// A push event for one of this shard's subscribed sessions.
+    Push(ClientId, PushEvent),
 }
 
 /// What a [`SessionMachine`] asks its shard to do — the sans-io boundary:
@@ -186,6 +214,27 @@ pub(crate) enum SessionEffect {
         /// Session-local sequence number echoed by the reply.
         seq: u64,
     },
+    /// Register this session for invalidation pushes on `key` at the
+    /// owning worker lane (no credit consumed; acked by a push frame).
+    Subscribe {
+        /// Session-local sequence number echoed by the ack.
+        seq: u64,
+        /// The key to watch.
+        key: Key,
+    },
+    /// Drop this session's subscription to `key` at the owning lane.
+    Unsubscribe {
+        /// Session-local sequence number echoed by the ack.
+        seq: u64,
+        /// The key to stop watching.
+        key: Key,
+    },
+    /// Forward the client's invalidation ack to the owning lane so it can
+    /// release the effects held behind the push.
+    InvalAck {
+        /// The acked key.
+        key: Key,
+    },
     /// The client asked the daemon to exit (ack already enqueued).
     Shutdown,
 }
@@ -208,6 +257,10 @@ pub(crate) struct SessionMachine {
     credits: CreditFlow,
     /// Transactions currently at the executor pool for this session.
     inflight_txns: u32,
+    /// Keys this session subscribed to for invalidation pushes: the
+    /// per-session filter that keeps a lane's fan-out from reaching
+    /// sessions that already unsubscribed (frames in flight race).
+    subs: HashSet<u64>,
     max_frame: usize,
     dead: bool,
 }
@@ -221,6 +274,7 @@ impl SessionMachine {
             out_at: 0,
             credits: CreditFlow::new(1, credits),
             inflight_txns: 0,
+            subs: HashSet::new(),
             max_frame,
             dead: false,
         }
@@ -314,6 +368,22 @@ impl SessionMachine {
                     self.parsed += 4 + len;
                     fx.push(SessionEffect::SendStats { seq });
                 }
+                rpc::Request::Subscribe { seq, key } => {
+                    // Like Stats: no credit consumed — subscription traffic
+                    // must not steal op pipelining capacity.
+                    self.parsed += 4 + len;
+                    self.subs.insert(key.0);
+                    fx.push(SessionEffect::Subscribe { seq, key });
+                }
+                rpc::Request::Unsubscribe { seq, key } => {
+                    self.parsed += 4 + len;
+                    self.subs.remove(&key.0);
+                    fx.push(SessionEffect::Unsubscribe { seq, key });
+                }
+                rpc::Request::InvalAck { key } => {
+                    self.parsed += 4 + len;
+                    fx.push(SessionEffect::InvalAck { key });
+                }
                 rpc::Request::Shutdown { seq } => {
                     self.parsed += 4 + len;
                     self.enqueue_frame(&rpc::encode_reply_bytes(seq, &Reply::WriteOk));
@@ -324,6 +394,45 @@ impl SessionMachine {
         if self.parsed > 0 {
             self.inbuf.drain(..self.parsed);
             self.parsed = 0;
+        }
+    }
+
+    /// A push event arrived from a worker lane: frame it for the client if
+    /// the session's subscription filter admits it. Returns whether an
+    /// `Invalidate` was actually framed — when it was not (the filter
+    /// raced an unsubscribe, or the session died), the shard acks the lane
+    /// on the client's behalf so the held effects release promptly.
+    pub(crate) fn on_push(&mut self, ev: PushEvent) -> bool {
+        if self.dead {
+            return false;
+        }
+        match ev {
+            PushEvent::Invalidate { key, epoch } => {
+                if !self.subs.contains(&key.0) {
+                    return false;
+                }
+                self.enqueue_frame(&rpc::encode_invalidate_bytes(key, epoch));
+                !self.dead
+            }
+            PushEvent::Subscribed { seq, key, epoch } => {
+                self.enqueue_frame(&rpc::encode_subscribed_bytes(seq, key, epoch));
+                false
+            }
+            PushEvent::Unsubscribed { seq, key } => {
+                self.subs.remove(&key.0);
+                self.enqueue_frame(&rpc::encode_unsubscribed_bytes(seq, key));
+                false
+            }
+            PushEvent::Flush { epoch } => {
+                self.enqueue_frame(&rpc::encode_flush_bytes(epoch));
+                false
+            }
+            PushEvent::Evict => {
+                // The lane gave up waiting for this session's ack: kill it
+                // (the shard reaps on the next finish_io).
+                self.dead = true;
+                false
+            }
         }
     }
 
@@ -441,6 +550,8 @@ impl ClientPlane {
                 inbox,
                 armed,
                 listener: if i == 0 { listener.take() } else { None },
+                fd_budget: nofile_limit().map(|n| n.saturating_sub(FD_HEADROOM)),
+                accept_paused: false,
                 peers: shards.clone(),
                 me: shards[i].clone(),
                 next_assign: i,
@@ -530,6 +641,12 @@ struct Shard {
     /// The client listener (shard 0 only): accepted connections round-robin
     /// across all shards.
     listener: Option<TcpListener>,
+    /// Plane-wide session budget derived from `ulimit -n` minus
+    /// [`FD_HEADROOM`]; `None` when the limit cannot be read.
+    fd_budget: Option<u64>,
+    /// Whether the listener is parked because open sessions hit the fd
+    /// budget (accepting more would exhaust the process fd table).
+    accept_paused: bool,
     peers: Vec<ShardHandle>,
     me: ShardHandle,
     next_assign: usize,
@@ -576,6 +693,10 @@ impl Shard {
                     token => self.session_io(token, *ev),
                 }
             }
+            // Reaps may have freed fds since the listener parked; the
+            // POLL_TIMEOUT bound guarantees this check runs at least twice
+            // a second even on an otherwise idle shard.
+            self.maybe_resume_accept();
         }
         let tokens: Vec<u64> = self.sessions.keys().copied().collect();
         for t in tokens {
@@ -612,13 +733,45 @@ impl Shard {
                 self.fx = fx;
                 self.finish_io(token);
             }
+            Inbound::Push(client, ev) => {
+                // A miss means the session was reaped; the lane's
+                // DropClient broadcast (sent at reap) clears whatever ack
+                // this push was waiting on.
+                let Some(&token) = self.by_client.get(&client.0) else {
+                    return;
+                };
+                let framed = match self.sessions.get_mut(&token) {
+                    Some(sess) => sess.machine.on_push(ev),
+                    None => false,
+                };
+                if let PushEvent::Invalidate { key, .. } = ev {
+                    if !framed {
+                        // Nothing went to the client, so no ack will come
+                        // back: ack the lane on its behalf rather than
+                        // making the writer wait for the kick timeout.
+                        let lane = self.router.lane_for_op(key, &ClientOp::Read);
+                        let _ = self.lanes[lane].send(Command::InvalAck { client, key });
+                    }
+                }
+                self.finish_io(token);
+            }
         }
     }
 
     /// Drains the accept queue, spreading connections round-robin over all
     /// shards (remote shards get theirs through their inbox + waker).
+    /// Stops — parking the listener — when open sessions reach the fd
+    /// budget; pending connections wait in the kernel backlog until
+    /// [`Shard::maybe_resume_accept`] unpauses.
     fn accept_ready(&mut self) {
         loop {
+            if self.accept_paused {
+                return;
+            }
+            if !accept_within_budget(self.gauges.open_sessions(), self.fd_budget) {
+                self.pause_accept();
+                return;
+            }
             let accepted = match self.listener.as_ref() {
                 Some(l) => l.accept(),
                 None => return,
@@ -637,6 +790,48 @@ impl Shard {
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(_) => break,
             }
+        }
+    }
+
+    /// Parks the listener: deregisters it from the poller (level-triggered
+    /// readiness would otherwise spin on the waiting backlog) and counts
+    /// the stall.
+    fn pause_accept(&mut self) {
+        let Some(l) = self.listener.as_ref() else {
+            return;
+        };
+        let _ = self.poller.deregister(l.as_raw_fd());
+        self.accept_paused = true;
+        self.gauges.accept_stalls.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "hermes-poller: {} open sessions reached the fd budget ({:?}); pausing accept",
+            self.gauges.open_sessions(),
+            self.fd_budget,
+        );
+    }
+
+    /// Re-registers a parked listener once enough sessions have reaped to
+    /// leave [`ACCEPT_RESUME_SLACK`] of headroom (hysteresis against
+    /// flapping at the boundary), then drains whatever queued meanwhile.
+    fn maybe_resume_accept(&mut self) {
+        if !self.accept_paused {
+            return;
+        }
+        let open = self.gauges.open_sessions();
+        let budget = self.fd_budget.unwrap_or(u64::MAX);
+        if open.saturating_add(ACCEPT_RESUME_SLACK) > budget {
+            return;
+        }
+        let Some(l) = self.listener.as_ref() else {
+            return;
+        };
+        if self
+            .poller
+            .register(l.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
+            .is_ok()
+        {
+            self.accept_paused = false;
+            self.accept_ready();
         }
     }
 
@@ -736,6 +931,26 @@ impl Shard {
                         sess.machine.enqueue_frame(&payload);
                     }
                 }
+                SessionEffect::Subscribe { seq, key } => {
+                    let lane = self.router.lane_for_op(key, &ClientOp::Read);
+                    let cmd = Command::Subscribe {
+                        seq,
+                        client,
+                        key,
+                        sink: PushSink::Poller(self.me.clone()),
+                    };
+                    // Send fails only at teardown; the client observes the
+                    // hangup instead of an ack.
+                    let _ = self.lanes[lane].send(cmd);
+                }
+                SessionEffect::Unsubscribe { seq, key } => {
+                    let lane = self.router.lane_for_op(key, &ClientOp::Read);
+                    let _ = self.lanes[lane].send(Command::Unsubscribe { seq, client, key });
+                }
+                SessionEffect::InvalAck { key } => {
+                    let lane = self.router.lane_for_op(key, &ClientOp::Read);
+                    let _ = self.lanes[lane].send(Command::InvalAck { client, key });
+                }
                 SessionEffect::Shutdown => {
                     self.shutdown.store(true, Ordering::SeqCst);
                 }
@@ -772,15 +987,55 @@ impl Shard {
     /// Closes and forgets one session: deregisters the socket (the fd
     /// closes with the stream), frees its client-id mapping, and returns
     /// its gauge counts. In-flight completions for it are dropped on
-    /// arrival by the `by_client` miss.
+    /// arrival by the `by_client` miss. Every worker lane hears
+    /// [`Command::DropClient`] so subscriptions and pending invalidation
+    /// acks held by the departed session die with it.
     fn reap(&mut self, token: u64) {
         if let Some(sess) = self.sessions.remove(&token) {
             let _ = self.poller.deregister(sess.stream.as_raw_fd());
             self.by_client.remove(&sess.client.0);
             self.gauges.open.fetch_sub(1, Ordering::Relaxed);
             self.gauges.per_shard[self.index].fetch_sub(1, Ordering::Relaxed);
+            for lane in &self.lanes {
+                let _ = lane.send(Command::DropClient {
+                    client: sess.client,
+                });
+            }
         }
     }
+}
+
+/// Whether the plane may accept another session under its fd budget.
+/// `None` (unreadable limit) never throttles.
+fn accept_within_budget(open: u64, budget: Option<u64>) -> bool {
+    budget.is_none_or(|b| open < b)
+}
+
+/// The process's soft `RLIMIT_NOFILE`, read without a libc dependency.
+#[cfg(target_os = "linux")]
+fn nofile_limit() -> Option<u64> {
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+    }
+    let mut r = RLimit { cur: 0, max: 0 };
+    // SAFETY: getrlimit writes the two-field struct it is given and
+    // nothing else; the struct layout matches the kernel ABI on Linux.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut r) } == 0 {
+        Some(r.cur)
+    } else {
+        None
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn nofile_limit() -> Option<u64> {
+    None
 }
 
 /// Reads while the machine wants bytes; returns `false` when the peer
@@ -950,5 +1205,107 @@ mod tests {
         assert_eq!(m.write_chunk().len(), total - 3);
         m.advance_write(total - 3);
         assert!(!m.wants_write());
+    }
+
+    #[test]
+    fn subscription_requests_cost_no_credits_and_set_the_filter() {
+        let mut m = machine_with_credits(1);
+        let mut fx = Vec::new();
+        // Consume the only credit with an op, then subscribe: the
+        // subscription decodes anyway (no credit needed).
+        let mut wire = frame(&rpc::encode_request_bytes(0, Key(1), &ClientOp::Read));
+        wire.extend_from_slice(&frame(&rpc::encode_subscribe_bytes(1, Key(7))));
+        m.on_bytes(&wire, &mut fx);
+        assert_eq!(fx.len(), 2);
+        assert!(matches!(
+            fx[1],
+            SessionEffect::Subscribe {
+                seq: 1,
+                key: Key(7)
+            }
+        ));
+
+        // The filter admits pushes for the subscribed key only.
+        assert!(m.on_push(PushEvent::Invalidate {
+            key: Key(7),
+            epoch: 1
+        }));
+        assert!(
+            !m.on_push(PushEvent::Invalidate {
+                key: Key(8),
+                epoch: 1
+            }),
+            "unsubscribed key must be filtered (and acked on the client's behalf)"
+        );
+        let framed = m.write_chunk();
+        let (seq, frame) = {
+            let len = u32::from_le_bytes(framed[..4].try_into().unwrap()) as usize;
+            (0u64, rpc::decode_server_frame(&framed[4..4 + len]).unwrap())
+        };
+        let _ = seq;
+        assert_eq!(
+            frame,
+            rpc::ServerFrame::Invalidate {
+                key: Key(7),
+                epoch: 1
+            }
+        );
+    }
+
+    #[test]
+    fn unsubscribe_clears_the_filter_and_acks_arrive_as_effects() {
+        let mut m = machine_with_credits(4);
+        let mut fx = Vec::new();
+        m.on_bytes(&frame(&rpc::encode_subscribe_bytes(1, Key(3))), &mut fx);
+        m.on_bytes(&frame(&rpc::encode_unsubscribe_bytes(2, Key(3))), &mut fx);
+        m.on_bytes(&frame(&rpc::encode_inval_ack_bytes(Key(3))), &mut fx);
+        assert_eq!(
+            fx,
+            vec![
+                SessionEffect::Subscribe {
+                    seq: 1,
+                    key: Key(3)
+                },
+                SessionEffect::Unsubscribe {
+                    seq: 2,
+                    key: Key(3)
+                },
+                SessionEffect::InvalAck { key: Key(3) },
+            ]
+        );
+        assert!(
+            !m.on_push(PushEvent::Invalidate {
+                key: Key(3),
+                epoch: 1
+            }),
+            "post-unsubscribe pushes must be filtered"
+        );
+    }
+
+    #[test]
+    fn evict_push_kills_the_machine() {
+        let mut m = machine_with_credits(4);
+        let mut fx = Vec::new();
+        m.on_bytes(&frame(&rpc::encode_subscribe_bytes(1, Key(3))), &mut fx);
+        assert!(!m.is_dead());
+        assert!(!m.on_push(PushEvent::Evict));
+        assert!(m.is_dead(), "a laggard subscriber is torn down");
+    }
+
+    #[test]
+    fn fd_budget_predicate_throttles_only_at_the_boundary() {
+        assert!(accept_within_budget(0, None), "no limit, never throttle");
+        assert!(accept_within_budget(999_999, None));
+        assert!(accept_within_budget(63, Some(64)));
+        assert!(!accept_within_budget(64, Some(64)));
+        assert!(!accept_within_budget(65, Some(64)));
+    }
+
+    #[test]
+    fn nofile_limit_is_readable_on_linux() {
+        if cfg!(target_os = "linux") {
+            let lim = nofile_limit().expect("getrlimit");
+            assert!(lim > 0);
+        }
     }
 }

@@ -9,15 +9,15 @@
 //!
 //! [`ClientSession`]: crate::ClientSession
 
-use crate::session::{ClientSession, SessionChannel};
+use crate::session::{ClientSession, SessionChannel, SessionEvent};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use hermes_common::{ClientId, ClientOp, Key, OpId, Reply};
+use hermes_common::{ClientId, ClientOp, Key, OpId};
 use hermes_net::{read_frame_from, write_frame_to, FrameRead};
 use hermes_wings::client as rpc;
 use hermes_wings::CreditConfig;
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -35,8 +35,14 @@ static NEXT_REMOTE_CLIENT: AtomicU64 = AtomicU64::new(0);
 #[derive(Debug)]
 pub struct RemoteChannel {
     client: ClientId,
+    /// Kept for teardown: shutting this half down stops the reader too
+    /// (all clones share one socket).
     stream: TcpStream,
-    completions: Receiver<(u64, Reply)>,
+    /// Write half, shared with the reader thread — invalidation pushes are
+    /// acked from the reader so writers on the replica unblock without
+    /// waiting for the session to pump.
+    writer: Arc<Mutex<TcpStream>>,
+    events: Receiver<rpc::ServerFrame>,
     stop: Arc<AtomicBool>,
     reader: Option<JoinHandle<()>>,
     alive: bool,
@@ -54,17 +60,32 @@ impl RemoteChannel {
         stream.set_nodelay(true)?;
         let mut read_half = stream.try_clone()?;
         read_half.set_read_timeout(Some(READ_POLL))?;
+        let writer = Arc::new(Mutex::new(stream.try_clone()?));
+        let ack_writer = Arc::clone(&writer);
         let stop = Arc::new(AtomicBool::new(false));
         let reader_stop = Arc::clone(&stop);
-        let (tx, completions): (Sender<(u64, Reply)>, _) = unbounded();
+        let (tx, events): (Sender<rpc::ServerFrame>, _) = unbounded();
         let reader = std::thread::spawn(move || loop {
             match read_frame_from(&mut read_half, MAX_FRAME, &reader_stop) {
                 FrameRead::Frame(payload) => {
-                    let Ok((seq, reply)) = rpc::decode_reply(&payload) else {
+                    let Ok(frame) = rpc::decode_server_frame(&payload) else {
                         return; // Protocol error: stop delivering.
                     };
-                    if tx.send((seq, reply)).is_err() {
+                    let ack = match frame {
+                        rpc::ServerFrame::Invalidate { key, .. } => Some(key),
+                        _ => None,
+                    };
+                    // Enqueue before acking: once the ack releases the
+                    // replica's held replies, the invalidation must already
+                    // be ahead of them in this session's event queue.
+                    if tx.send(frame).is_err() {
                         return;
+                    }
+                    if let Some(key) = ack {
+                        let mut w = ack_writer.lock().expect("writer lock");
+                        if write_frame_to(&mut w, &rpc::encode_inval_ack_bytes(key)).is_err() {
+                            return;
+                        }
                     }
                 }
                 FrameRead::Closed | FrameRead::Stopped => return,
@@ -73,7 +94,8 @@ impl RemoteChannel {
         Ok(RemoteChannel {
             client,
             stream,
-            completions,
+            writer,
+            events,
             stop,
             reader: Some(reader),
             alive: true,
@@ -130,26 +152,51 @@ impl KillSwitch {
     }
 }
 
+impl RemoteChannel {
+    /// Writes one framed payload, sharing the write half with the reader
+    /// thread's invalidation acks so frames never interleave.
+    fn send_frame(&mut self, payload: &[u8]) -> bool {
+        if !self.alive {
+            return false;
+        }
+        let ok = {
+            let mut w = self.writer.lock().expect("writer lock");
+            write_frame_to(&mut w, payload).is_ok()
+        };
+        if !ok {
+            self.alive = false;
+        }
+        ok
+    }
+
+    /// Maps a wire frame onto the session event stream.
+    fn event_from(&self, frame: rpc::ServerFrame) -> SessionEvent {
+        match frame {
+            rpc::ServerFrame::Reply(seq, reply) => {
+                SessionEvent::Completion(OpId::new(self.client, seq), reply)
+            }
+            rpc::ServerFrame::Invalidate { key, epoch } => SessionEvent::Invalidate { key, epoch },
+            rpc::ServerFrame::Subscribed { seq, key, epoch } => {
+                SessionEvent::Subscribed { seq, key, epoch }
+            }
+            rpc::ServerFrame::Unsubscribed { seq, key } => SessionEvent::Unsubscribed { seq, key },
+            rpc::ServerFrame::Flush { epoch } => SessionEvent::Flush { epoch },
+        }
+    }
+}
+
 impl SessionChannel for RemoteChannel {
     fn client_id(&self) -> ClientId {
         self.client
     }
 
     fn submit(&mut self, seq: u64, key: Key, cop: ClientOp) -> bool {
-        if !self.alive {
-            return false;
-        }
-        let payload = rpc::encode_request_bytes(seq, key, &cop);
-        if write_frame_to(&mut self.stream, &payload).is_err() {
-            self.alive = false;
-            return false;
-        }
-        true
+        self.send_frame(&rpc::encode_request_bytes(seq, key, &cop))
     }
 
-    fn try_recv(&mut self) -> Option<(OpId, Reply)> {
-        match self.completions.try_recv() {
-            Ok((seq, reply)) => Some((OpId::new(self.client, seq), reply)),
+    fn try_recv(&mut self) -> Option<SessionEvent> {
+        match self.events.try_recv() {
+            Ok(frame) => Some(self.event_from(frame)),
             Err(crossbeam::channel::TryRecvError::Empty) => None,
             Err(crossbeam::channel::TryRecvError::Disconnected) => {
                 // Reader thread gone and its queue drained: connection dead.
@@ -159,15 +206,23 @@ impl SessionChannel for RemoteChannel {
         }
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> Option<(OpId, Reply)> {
-        match self.completions.recv_timeout(timeout) {
-            Ok((seq, reply)) => Some((OpId::new(self.client, seq), reply)),
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<SessionEvent> {
+        match self.events.recv_timeout(timeout) {
+            Ok(frame) => Some(self.event_from(frame)),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
                 self.alive = false;
                 None
             }
         }
+    }
+
+    fn subscribe(&mut self, seq: u64, key: Key) -> bool {
+        self.send_frame(&rpc::encode_subscribe_bytes(seq, key))
+    }
+
+    fn unsubscribe(&mut self, seq: u64, key: Key) -> bool {
+        self.send_frame(&rpc::encode_unsubscribe_bytes(seq, key))
     }
 
     fn is_alive(&self) -> bool {

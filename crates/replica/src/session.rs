@@ -25,7 +25,7 @@
 //! [`ThreadCluster`]: crate::ThreadCluster
 //! [`ThreadCluster::session`]: crate::ThreadCluster::session
 
-use crate::threaded::{Command, Completion, ReplyTo};
+use crate::threaded::{Command, PushEvent, PushSink, ReplyTo};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hermes_common::{
     ClientId, ClientOp, Key, NodeId, OpId, Reply, RmwOp, ShardRouter, TxnAbort, TxnOp, TxnReply,
@@ -62,10 +62,68 @@ impl Ticket {
     }
 }
 
+/// Everything a session's replica can send it, in one FIFO stream:
+/// operation completions interleaved with server-initiated push events
+/// (DESIGN.md §8). One queue is load-bearing for cache coherence — a read
+/// reply that fills the cache and the invalidation that supersedes it
+/// arrive in the order the worker lane emitted them, so the session can
+/// never process the fill after the invalidation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// An operation completed.
+    Completion(OpId, Reply),
+    /// A subscribed key changed at the replica: drop the cached entry
+    /// (`epoch` detects view changes the session slept through).
+    Invalidate {
+        /// The invalidated key.
+        key: Key,
+        /// View epoch at the replica when the push was generated.
+        epoch: u64,
+    },
+    /// A subscription went live.
+    Subscribed {
+        /// Echo of the subscribe request's sequence number.
+        seq: u64,
+        /// The subscribed key.
+        key: Key,
+        /// Current view epoch at the replica.
+        epoch: u64,
+    },
+    /// A subscription ended.
+    Unsubscribed {
+        /// Echo of the unsubscribe request's sequence number.
+        seq: u64,
+        /// The unsubscribed key.
+        key: Key,
+    },
+    /// Drop every cached entry: the view changed or the replica stopped
+    /// serving.
+    Flush {
+        /// The epoch after the flush-triggering event.
+        epoch: u64,
+    },
+}
+
+impl SessionEvent {
+    /// Maps a lane push onto the client event stream. `Evict` is remote-only
+    /// (in-proc sinks never have unacked pushes) and carries no event.
+    pub(crate) fn from_push(ev: PushEvent) -> Option<SessionEvent> {
+        Some(match ev {
+            PushEvent::Invalidate { key, epoch } => SessionEvent::Invalidate { key, epoch },
+            PushEvent::Subscribed { seq, key, epoch } => {
+                SessionEvent::Subscribed { seq, key, epoch }
+            }
+            PushEvent::Unsubscribed { seq, key } => SessionEvent::Unsubscribed { seq, key },
+            PushEvent::Flush { epoch } => SessionEvent::Flush { epoch },
+            PushEvent::Evict => return None,
+        })
+    }
+}
+
 /// The wire between a [`ClientSession`] and its replica: submits
-/// operations, yields completions. Implementations must not block in
-/// [`SessionChannel::submit`] beyond the cost of handing the operation to
-/// the transport.
+/// operations, yields completions and push events. Implementations must
+/// not block in [`SessionChannel::submit`] beyond the cost of handing the
+/// operation to the transport.
 pub trait SessionChannel {
     /// The session id this channel submits as.
     fn client_id(&self) -> ClientId;
@@ -75,11 +133,27 @@ pub trait SessionChannel {
     /// [`Reply::NotOperational`] without submitting).
     fn submit(&mut self, seq: u64, key: Key, cop: ClientOp) -> bool;
 
-    /// Non-blocking completion poll.
-    fn try_recv(&mut self) -> Option<(OpId, Reply)>;
+    /// Non-blocking event poll.
+    fn try_recv(&mut self) -> Option<SessionEvent>;
 
-    /// Blocks up to `timeout` for one completion.
-    fn recv_timeout(&mut self, timeout: Duration) -> Option<(OpId, Reply)>;
+    /// Blocks up to `timeout` for one event.
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<SessionEvent>;
+
+    /// Asks the replica to push invalidations for `key` (acked by a
+    /// [`SessionEvent::Subscribed`]). Returns `false` when the channel
+    /// cannot carry the request; the default declines — channels without
+    /// a push path simply never cache.
+    fn subscribe(&mut self, seq: u64, key: Key) -> bool {
+        let _ = (seq, key);
+        false
+    }
+
+    /// Drops the push subscription for `key` (acked by a
+    /// [`SessionEvent::Unsubscribed`]).
+    fn unsubscribe(&mut self, seq: u64, key: Key) -> bool {
+        let _ = (seq, key);
+        false
+    }
 
     /// Whether the channel can still carry traffic. A dead channel (TCP
     /// connection cut) lets blocking waiters fail fast instead of running
@@ -90,25 +164,26 @@ pub trait SessionChannel {
 }
 
 /// In-process channel: operations go straight to the worker lane owning
-/// their key, completions come back over a crossbeam channel.
+/// their key; completions and push events come back over one crossbeam
+/// channel, preserving each lane's emission order.
 #[derive(Debug)]
 pub struct LaneChannel {
     client: ClientId,
     router: ShardRouter,
     lanes: Vec<Sender<Command>>,
-    completions_tx: Sender<Completion>,
-    completions_rx: Receiver<Completion>,
+    events_tx: Sender<SessionEvent>,
+    events_rx: Receiver<SessionEvent>,
 }
 
 impl LaneChannel {
     pub(crate) fn new(client: ClientId, router: ShardRouter, lanes: Vec<Sender<Command>>) -> Self {
-        let (completions_tx, completions_rx) = unbounded();
+        let (events_tx, events_rx) = unbounded();
         LaneChannel {
             client,
             router,
             lanes,
-            completions_tx,
-            completions_rx,
+            events_tx,
+            events_rx,
         }
     }
 }
@@ -124,17 +199,50 @@ impl SessionChannel for LaneChannel {
             op: OpId::new(self.client, seq),
             key,
             cop,
-            reply: ReplyTo::Channel(self.completions_tx.clone()),
+            reply: ReplyTo::Session(self.events_tx.clone()),
         };
         self.lanes[lane].send(cmd).is_ok()
     }
 
-    fn try_recv(&mut self) -> Option<(OpId, Reply)> {
-        self.completions_rx.try_recv().ok()
+    fn try_recv(&mut self) -> Option<SessionEvent> {
+        self.events_rx.try_recv().ok()
     }
 
-    fn recv_timeout(&mut self, timeout: Duration) -> Option<(OpId, Reply)> {
-        self.completions_rx.recv_timeout(timeout).ok()
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<SessionEvent> {
+        self.events_rx.recv_timeout(timeout).ok()
+    }
+
+    fn subscribe(&mut self, seq: u64, key: Key) -> bool {
+        let lane = self.router.lane_for_op(key, &ClientOp::Read);
+        let cmd = Command::Subscribe {
+            seq,
+            client: self.client,
+            key,
+            sink: PushSink::Session(self.events_tx.clone()),
+        };
+        self.lanes[lane].send(cmd).is_ok()
+    }
+
+    fn unsubscribe(&mut self, seq: u64, key: Key) -> bool {
+        let lane = self.router.lane_for_op(key, &ClientOp::Read);
+        let cmd = Command::Unsubscribe {
+            seq,
+            client: self.client,
+            key,
+        };
+        self.lanes[lane].send(cmd).is_ok()
+    }
+}
+
+impl Drop for LaneChannel {
+    fn drop(&mut self) {
+        // Lanes keep a clone of `events_tx` per subscription; tell them
+        // the client is gone so the registry (and the gauges) drain.
+        for lane in &self.lanes {
+            let _ = lane.send(Command::DropClient {
+                client: self.client,
+            });
+        }
     }
 }
 
@@ -179,6 +287,70 @@ pub struct ClientSession<C: SessionChannel = LaneChannel> {
     abandoned: HashSet<OpId>,
     /// Submitted operations whose completion has not arrived yet.
     in_flight: usize,
+    /// The invalidation-coherent read cache (DESIGN.md §8).
+    cache: ReadCache,
+    /// In-flight reads on subscribed keys, for cache fills on completion.
+    read_keys: HashMap<OpId, Key>,
+}
+
+/// Client-side read cache kept coherent by pushed invalidations: fills on
+/// read replies of subscribed keys, serves repeat reads with zero RTTs,
+/// drops entries on pushed invalidation, epoch change, or disconnect.
+#[derive(Debug, Default)]
+struct ReadCache {
+    /// Valid cached values by key.
+    entries: HashMap<Key, Value>,
+    /// Keys with a live, acked subscription.
+    subscribed: HashSet<Key>,
+    /// Highest view epoch observed in any push; a higher one flushes.
+    epoch: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    flushes: u64,
+}
+
+impl ReadCache {
+    fn on_event(&mut self, ev: &SessionEvent) {
+        match *ev {
+            SessionEvent::Completion(..) => {}
+            SessionEvent::Invalidate { key, epoch } => {
+                self.invalidations += 1;
+                if epoch > self.epoch {
+                    // The push outran the flush for a view change this
+                    // session has not heard of yet: nothing cached under
+                    // the old view may be served.
+                    self.epoch = epoch;
+                    self.flushes += 1;
+                    self.entries.clear();
+                } else {
+                    self.entries.remove(&key);
+                }
+            }
+            SessionEvent::Subscribed { key, epoch, .. } => {
+                self.subscribed.insert(key);
+                self.epoch = self.epoch.max(epoch);
+            }
+            SessionEvent::Unsubscribed { key, .. } => {
+                self.subscribed.remove(&key);
+                self.entries.remove(&key);
+            }
+            SessionEvent::Flush { epoch } => {
+                self.flushes += 1;
+                self.entries.clear();
+                self.epoch = self.epoch.max(epoch);
+            }
+        }
+    }
+
+    /// The channel died: nothing cached or subscribed survives it.
+    fn on_disconnect(&mut self) {
+        if !self.entries.is_empty() || !self.subscribed.is_empty() {
+            self.flushes += 1;
+        }
+        self.entries.clear();
+        self.subscribed.clear();
+    }
 }
 
 impl<C: SessionChannel> ClientSession<C> {
@@ -193,6 +365,8 @@ impl<C: SessionChannel> ClientSession<C> {
             ready: HashMap::new(),
             abandoned: HashSet::new(),
             in_flight: 0,
+            cache: ReadCache::default(),
+            read_keys: HashMap::new(),
         }
     }
 
@@ -226,6 +400,33 @@ impl<C: SessionChannel> ClientSession<C> {
     /// (backpressure); an unreachable service eventually completes the
     /// operation as [`Reply::NotOperational`].
     pub fn submit(&mut self, key: Key, cop: ClientOp) -> Ticket {
+        let is_read = matches!(cop, ClientOp::Read);
+        if !is_read {
+            // Issuer self-invalidation: the lane does not push the writer
+            // its own invalidation (it learns the outcome from the reply),
+            // so the stale entry must fall here, before the write departs —
+            // and so must any pending fill from a pipelined earlier read,
+            // whose reply may land after this write and would stick forever.
+            self.cache.entries.remove(&key);
+            self.read_keys.retain(|_, rk| *rk != key);
+        } else if self.cache.subscribed.contains(&key) {
+            // Drain-then-serve: apply every already-arrived invalidation
+            // before consulting the cache, so a served hit reflects all
+            // pushes that preceded this call.
+            self.pump(None);
+            if !self.channel.is_alive() {
+                self.cache.on_disconnect();
+            } else if let Some(value) = self.cache.entries.get(&key) {
+                self.cache.hits += 1;
+                let op = OpId::new(self.channel.client_id(), self.next_seq);
+                self.next_seq += 1;
+                // A zero-RTT local completion: no credit, no channel trip.
+                self.ready.insert(op, Reply::ReadOk(value.clone()));
+                return Ticket { op };
+            } else {
+                self.cache.misses += 1;
+            }
+        }
         let op = OpId::new(self.channel.client_id(), self.next_seq);
         self.next_seq += 1;
         let deadline = Instant::now() + WAIT_LIMIT;
@@ -241,6 +442,9 @@ impl<C: SessionChannel> ClientSession<C> {
         }
         if self.channel.submit(op.seq, key, cop) {
             self.in_flight += 1;
+            if is_read && self.cache.subscribed.contains(&key) {
+                self.read_keys.insert(op, key);
+            }
         } else {
             // Service gone: return the credit, complete immediately.
             self.flow.on_implicit_credit(SERVER);
@@ -264,13 +468,102 @@ impl<C: SessionChannel> ClientSession<C> {
         self.submit(key, ClientOp::Rmw(rmw))
     }
 
-    /// Moves arrived completions into `ready`; with a timeout, blocks until
-    /// at least one arrives or the timeout elapses. Returns whether any
-    /// completion was collected.
+    /// Asks the replica to push invalidations for `key` and blocks until
+    /// the subscription is live. While subscribed, repeat reads of `key`
+    /// are served from the local cache with zero round trips, staying
+    /// linearizable through the pushed invalidation stream (DESIGN.md §8).
+    /// Returns `false` when the channel cannot carry subscriptions (it
+    /// has no push path, or it died) — the session then simply never
+    /// caches, which is always safe.
+    pub fn subscribe(&mut self, key: Key) -> bool {
+        if self.cache.subscribed.contains(&key) {
+            return true;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if !self.channel.subscribe(seq, key) {
+            return false;
+        }
+        let deadline = Instant::now() + WAIT_LIMIT;
+        while !self.cache.subscribed.contains(&key) {
+            let now = Instant::now();
+            if now >= deadline || !self.channel.is_alive() {
+                return false;
+            }
+            self.pump(Some((deadline - now).min(STALL_POLL)));
+        }
+        true
+    }
+
+    /// Drops the push subscription for `key`, blocking until the replica
+    /// confirms; the cached entry is discarded immediately either way.
+    pub fn unsubscribe(&mut self, key: Key) -> bool {
+        self.cache.entries.remove(&key);
+        if !self.cache.subscribed.contains(&key) {
+            return true;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if !self.channel.unsubscribe(seq, key) {
+            return false;
+        }
+        let deadline = Instant::now() + WAIT_LIMIT;
+        while self.cache.subscribed.contains(&key) {
+            let now = Instant::now();
+            if now >= deadline || !self.channel.is_alive() {
+                return false;
+            }
+            self.pump(Some((deadline - now).min(STALL_POLL)));
+        }
+        true
+    }
+
+    /// Whether `key` currently has a live push subscription.
+    pub fn is_subscribed(&self, key: Key) -> bool {
+        self.cache.subscribed.contains(&key)
+    }
+
+    /// Reads served locally from the cache (zero round trips).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits
+    }
+
+    /// Reads of subscribed keys that had to go to the replica.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses
+    }
+
+    /// Invalidation pushes applied to this session's cache.
+    pub fn cache_invalidations(&self) -> u64 {
+        self.cache.invalidations
+    }
+
+    /// Whole-cache flushes (view changes, replica flush pushes,
+    /// disconnects).
+    pub fn cache_flushes(&self) -> u64 {
+        self.cache.flushes
+    }
+
+    /// Entries currently valid in the cache.
+    pub fn cached_entries(&self) -> usize {
+        self.cache.entries.len()
+    }
+
+    /// Highest view epoch the cache has observed in a push.
+    pub fn cache_epoch(&self) -> u64 {
+        self.cache.epoch
+    }
+
+    /// Drains arrived events into the session (completions into `ready`,
+    /// pushes into the cache); with a timeout, blocks until at least one
+    /// event arrives or the timeout elapses. Returns whether any
+    /// completion was collected — but returns after *any* event, so every
+    /// blocking caller's loop condition (a ready reply, a credit, a
+    /// subscription ack) is rechecked the moment it can have changed.
     fn pump(&mut self, block_for: Option<Duration>) -> bool {
         let mut got = false;
-        while let Some(completion) = self.channel.try_recv() {
-            got |= self.accept(completion);
+        while let Some(ev) = self.channel.try_recv() {
+            got |= self.on_event(ev);
         }
         if got {
             return true;
@@ -279,8 +572,40 @@ impl<C: SessionChannel> ClientSession<C> {
             return false;
         };
         match self.channel.recv_timeout(timeout) {
-            Some(completion) => self.accept(completion),
+            Some(ev) => self.on_event(ev),
             None => false,
+        }
+    }
+
+    /// Applies one channel event. Returns whether it surfaced a completion.
+    fn on_event(&mut self, ev: SessionEvent) -> bool {
+        match ev {
+            SessionEvent::Completion(op, reply) => self.accept((op, reply)),
+            other => {
+                // An invalidation also cancels pending fills for its key: a
+                // read reply held at the replica (pending earlier inval
+                // acks) can be released *after* a later write's push, and
+                // filling from it would resurrect the superseded value with
+                // no further invalidation to evict it. A flush (or an epoch
+                // the cache has not seen) cancels every pending fill for
+                // the same reason.
+                match other {
+                    SessionEvent::Invalidate { key, epoch } => {
+                        if epoch > self.cache.epoch {
+                            self.read_keys.clear();
+                        } else {
+                            self.read_keys.retain(|_, rk| *rk != key);
+                        }
+                    }
+                    SessionEvent::Flush { .. } => self.read_keys.clear(),
+                    SessionEvent::Unsubscribed { key, .. } => {
+                        self.read_keys.retain(|_, rk| *rk != key);
+                    }
+                    _ => {}
+                }
+                self.cache.on_event(&other);
+                false
+            }
         }
     }
 
@@ -290,6 +615,16 @@ impl<C: SessionChannel> ClientSession<C> {
     fn accept(&mut self, (op, reply): (OpId, Reply)) -> bool {
         self.in_flight = self.in_flight.saturating_sub(1);
         self.flow.on_implicit_credit(SERVER);
+        // Cache fill: a read reply on a subscribed key whose fill was not
+        // canceled by an interleaved invalidation, flush, or own write (see
+        // `on_event`/`submit`) reflects the latest acked state of the key.
+        if let Some(key) = self.read_keys.remove(&op) {
+            if let Reply::ReadOk(value) = &reply {
+                if self.cache.subscribed.contains(&key) {
+                    self.cache.entries.insert(key, value.clone());
+                }
+            }
+        }
         if self.abandoned.remove(&op) {
             return false;
         }

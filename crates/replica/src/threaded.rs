@@ -36,7 +36,7 @@
 
 use crate::membership::{boot_view, MembershipOptions, MembershipStatus};
 use crate::poller::ShardHandle;
-use crate::session::{ClientSession, LaneChannel};
+use crate::session::{ClientSession, LaneChannel, SessionEvent};
 use crate::sharded::ShardedEngine;
 use crate::timers::DeadlineQueue;
 use bytes::Bytes;
@@ -58,6 +58,11 @@ use std::time::{Duration, Instant};
 
 /// Message-loss timeout (paper §3.4): retransmission/replay cadence.
 pub(crate) const MLT: Duration = Duration::from_millis(25);
+/// How long a lane waits for a remote subscriber to ack an invalidation
+/// push before evicting it and releasing the held effects — the client
+/// leg's analogue of the paper's bounded-delay assumption: a subscriber
+/// that cannot ack within a few MLTs is treated as failed.
+const PUSH_ACK_KICK: Duration = Duration::from_millis(75);
 /// Bounded batch of events drained per loop iteration, per source.
 const DRAIN_BATCH: usize = 64;
 /// Client ids at or above this base name pipelined sessions; below it,
@@ -76,6 +81,10 @@ pub(crate) type Completion = (OpId, Reply);
 pub(crate) enum ReplyTo {
     /// An in-process completion channel.
     Channel(Sender<Completion>),
+    /// An in-process session's unified event queue: completions ride the
+    /// same FIFO as invalidation pushes, so a cache fill from a read reply
+    /// can never be reordered after the push that supersedes it.
+    Session(Sender<SessionEvent>),
     /// The poller shard owning the remote session (DESIGN.md §7).
     Poller(ShardHandle),
 }
@@ -86,9 +95,128 @@ impl ReplyTo {
             ReplyTo::Channel(tx) => {
                 let _ = tx.send((op, reply));
             }
+            ReplyTo::Session(tx) => {
+                let _ = tx.send(SessionEvent::Completion(op, reply));
+            }
             ReplyTo::Poller(shard) => shard.complete(op, reply),
         }
     }
+}
+
+/// One server→client push: an invalidation of a subscribed key, a
+/// subscription lifecycle ack, a flush-everything marker (view change or
+/// serving loss), or the eviction of a subscriber that stopped acking.
+///
+/// Pushes extend Hermes' invalidation phase one hop past the replicas:
+/// a client caching `key` is treated like a lightweight follower that must
+/// see the invalidation before the write's effects become visible anywhere
+/// (DESIGN.md §8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum PushEvent {
+    /// `key` changed: drop the cached entry. `epoch` lets clients detect
+    /// view changes they slept through.
+    Invalidate {
+        /// The invalidated key.
+        key: Key,
+        /// View epoch at the replica when the push was generated.
+        epoch: u64,
+    },
+    /// Subscription to `key` is live; pushed in response to `Subscribe`.
+    Subscribed {
+        /// Client-chosen request sequence number, echoed back.
+        seq: u64,
+        /// The subscribed key.
+        key: Key,
+        /// Current view epoch (seeds the client's epoch knowledge).
+        epoch: u64,
+    },
+    /// Subscription to `key` ended; pushed in response to `Unsubscribe`.
+    Unsubscribed {
+        /// Client-chosen request sequence number, echoed back.
+        seq: u64,
+        /// The unsubscribed key.
+        key: Key,
+    },
+    /// Drop *every* cached entry: the view changed (new `epoch`) or this
+    /// replica stopped serving.
+    Flush {
+        /// The epoch after the flush-triggering event.
+        epoch: u64,
+    },
+    /// The session failed to ack an invalidation within [`PUSH_ACK_KICK`]:
+    /// tear it down. A dead session serves nothing, so eviction preserves
+    /// coherence where waiting longer would stall writers.
+    Evict,
+}
+
+/// Where a lane delivers push events for one subscriber.
+#[derive(Clone)]
+pub(crate) enum PushSink {
+    /// An in-process session's unified event queue. Enqueueing happens
+    /// synchronously with the write's apply on the lane thread, and the
+    /// session drains this queue before serving any cached read — so an
+    /// in-proc push is acknowledged by construction and never holds
+    /// effects back.
+    Session(Sender<SessionEvent>),
+    /// A remote session via its poller shard: the frame still has to cross
+    /// the network, so invalidation pushes stay pending until the client's
+    /// `InvalAck` returns.
+    Poller(ShardHandle),
+}
+
+impl PushSink {
+    /// Sends one push; returns whether it must be acked before effects
+    /// touching the key may leave this replica.
+    fn push(&self, client: ClientId, ev: PushEvent) -> bool {
+        match self {
+            PushSink::Session(tx) => {
+                if let Some(ev) = SessionEvent::from_push(ev) {
+                    let _ = tx.send(ev);
+                }
+                false
+            }
+            PushSink::Poller(shard) => {
+                shard.push(client, ev);
+                matches!(ev, PushEvent::Invalidate { .. })
+            }
+        }
+    }
+}
+
+/// Node-wide client-subscription gauges surfaced through the stats RPC.
+#[derive(Debug, Default)]
+pub(crate) struct PushGauges {
+    /// Live (key, client) subscriptions across all lanes.
+    pub(crate) subscriptions: AtomicU64,
+    /// Push events sent to clients since start.
+    pub(crate) pushes: AtomicU64,
+}
+
+/// Outstanding invalidation pushes for one key: which remote subscribers
+/// still owe an ack, and when the lane gives up and evicts them.
+struct PendingAcks {
+    /// client id → unacked invalidation pushes to that client.
+    waiters: HashMap<u64, u32>,
+    /// Eviction deadline ([`PUSH_ACK_KICK`] past the newest push).
+    deadline: Instant,
+}
+
+/// One lane's subscriber registry: who caches which of this lane's keys,
+/// which pushes are still unacked, and the protocol effects held back
+/// until they are.
+#[derive(Default)]
+struct LaneSubs {
+    /// key → (client id → push sink).
+    by_key: HashMap<Key, HashMap<u64, PushSink>>,
+    /// client id → keys it subscribes to on this lane (reap cleanup).
+    by_client: HashMap<u64, HashSet<Key>>,
+    /// Keys with unacked invalidation pushes to remote subscribers.
+    pending: HashMap<Key, PendingAcks>,
+    /// Last committed timestamp pushed per subscribed key — the change
+    /// detector that turns "this drain touched k" into "k's value moved".
+    pushed_ts: HashMap<Key, Ts>,
+    /// Protocol effects held while their key has unacked pushes.
+    held: HashMap<Key, Vec<Effect<Msg>>>,
 }
 
 /// Events delivered to one worker lane.
@@ -127,6 +255,46 @@ pub(crate) enum Command {
         /// Committed value.
         value: Value,
     },
+    /// A client subscribes to invalidation pushes for `key` (routed to the
+    /// owning lane). Acked with [`PushEvent::Subscribed`] through `sink`.
+    Subscribe {
+        /// Client-chosen request sequence, echoed in the ack.
+        seq: u64,
+        /// The subscribing client.
+        client: ClientId,
+        /// The key to watch.
+        key: Key,
+        /// Where this client's pushes go.
+        sink: PushSink,
+    },
+    /// A client drops its subscription to `key` (routed to the owning
+    /// lane). Acked with [`PushEvent::Unsubscribed`].
+    Unsubscribe {
+        /// Client-chosen request sequence, echoed in the ack.
+        seq: u64,
+        /// The unsubscribing client.
+        client: ClientId,
+        /// The key to stop watching.
+        key: Key,
+    },
+    /// A remote client acknowledged one invalidation push for `key`,
+    /// releasing held effects once every waiter has acked.
+    InvalAck {
+        /// The acking client.
+        client: ClientId,
+        /// The acked key.
+        key: Key,
+    },
+    /// A client session ended (reaped or dropped): clear every
+    /// subscription and pending ack it holds on this lane.
+    DropClient {
+        /// The departed client.
+        client: ClientId,
+    },
+    /// This replica stopped serving (lease loss, deposed from the view):
+    /// push [`PushEvent::Flush`] to every subscriber so no client keeps
+    /// serving cached reads against a replica that no longer may.
+    FlushClients,
     /// Stop the worker thread.
     Shutdown,
 }
@@ -195,6 +363,8 @@ pub struct ThreadCluster {
     /// Per node: peer messages delivered directly into each lane by the
     /// transport readers (per-worker ingress demux).
     lane_ingress_counts: Vec<Arc<Vec<AtomicU64>>>,
+    /// Per node: client subscription/push gauges.
+    push_gauges: Vec<Arc<PushGauges>>,
     router: ShardRouter,
     next_seq: AtomicU64,
     next_session: AtomicU64,
@@ -277,6 +447,7 @@ impl ThreadCluster {
         let mut statuses = Vec::new();
         let mut lane_op_counts = Vec::new();
         let mut lane_ingress_counts = Vec::new();
+        let mut push_gauges = Vec::new();
         let mut router = None;
         let membership = cfg
             .membership
@@ -299,6 +470,7 @@ impl ThreadCluster {
             statuses.push(node.status);
             lane_op_counts.push(node.lane_ops);
             lane_ingress_counts.push(node.lane_ingress);
+            push_gauges.push(node.push_gauges);
         }
         ThreadCluster {
             handles,
@@ -309,6 +481,7 @@ impl ThreadCluster {
             statuses,
             lane_op_counts,
             lane_ingress_counts,
+            push_gauges,
             router: router.expect("at least one node"),
             next_seq: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
@@ -378,6 +551,17 @@ impl ThreadCluster {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// Live client cache subscriptions registered at replica `node`.
+    pub fn subscriptions(&self, node: usize) -> u64 {
+        self.push_gauges[node].subscriptions.load(Ordering::Relaxed)
+    }
+
+    /// Push events replica `node` has sent to client sessions since start
+    /// (invalidations, subscription acks, flushes).
+    pub fn pushes(&self, node: usize) -> u64 {
+        self.push_gauges[node].pushes.load(Ordering::Relaxed)
     }
 
     fn submit(&self, node: usize, key: Key, cop: ClientOp) -> Reply {
@@ -495,6 +679,8 @@ pub(crate) struct NodeHandle {
     /// Peer messages delivered directly into each lane's queue by the
     /// transport readers (the per-worker ingress demux gauge).
     pub(crate) lane_ingress: Arc<Vec<AtomicU64>>,
+    /// Client subscription/push gauges (stats RPC).
+    pub(crate) push_gauges: Arc<PushGauges>,
 }
 
 /// Spawns one replica node's worker threads over `ep` and points the
@@ -531,6 +717,7 @@ pub(crate) fn spawn_node<E: Endpoint>(
         Arc::new((0..workers_per_node).map(|_| AtomicU64::new(0)).collect());
     let lane_ingress: Arc<Vec<AtomicU64>> =
         Arc::new((0..workers_per_node).map(|_| AtomicU64::new(0)).collect());
+    let push_gauges = Arc::new(PushGauges::default());
     let mut handles = Vec::new();
     for (lane, (node, (_, rx))) in shards.into_iter().zip(channels).enumerate() {
         let worker = Worker::new(
@@ -541,6 +728,7 @@ pub(crate) fn spawn_node<E: Endpoint>(
             net_tx.clone(),
             Arc::clone(&status),
             Arc::clone(&lane_ops),
+            Arc::clone(&push_gauges),
         );
         let running = Arc::clone(&running);
         if lane == 0 {
@@ -587,6 +775,7 @@ pub(crate) fn spawn_node<E: Endpoint>(
         status,
         lane_ops,
         lane_ingress,
+        push_gauges,
     }
 }
 
@@ -640,10 +829,15 @@ struct Worker<S: NetSender> {
     /// Per-lane client-operation counters shared with the stats RPC; this
     /// worker bumps `lane_ops[lane]` once per operation delivered to it.
     lane_ops: Arc<Vec<AtomicU64>>,
+    /// Client subscriptions to this lane's keys (invalidation pushes).
+    subs: LaneSubs,
+    /// Node-wide subscription/push gauges (stats RPC).
+    push_gauges: Arc<PushGauges>,
     fx: Vec<Effect<Msg>>,
 }
 
 impl<S: NetSender> Worker<S> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         lane: usize,
         node: HermesNode,
@@ -652,6 +846,7 @@ impl<S: NetSender> Worker<S> {
         net: S,
         status: Arc<MembershipStatus>,
         lane_ops: Arc<Vec<AtomicU64>>,
+        push_gauges: Arc<PushGauges>,
     ) -> Self {
         let mut worker = Worker {
             lane,
@@ -665,6 +860,8 @@ impl<S: NetSender> Worker<S> {
             peers: Vec::new(),
             status,
             lane_ops,
+            subs: LaneSubs::default(),
+            push_gauges,
             fx: Vec::new(),
         };
         worker.refresh_peers();
@@ -697,9 +894,10 @@ impl<S: NetSender> Worker<S> {
                     reply.send(op, Reply::NotOperational);
                     return true;
                 }
+                let issuer = op.client;
                 self.clients.insert(op, reply);
                 self.node.on_client_op(op, key, cop, &mut self.fx);
-                self.drain_effects(Some(key));
+                self.drain_effects(Some(key), Some(issuer));
             }
             Command::Deliver { from, msg } => self.handle_message(from, msg),
             Command::SyncLane { to } => self.sync_lane(to),
@@ -709,14 +907,28 @@ impl<S: NetSender> Worker<S> {
                 kind,
                 value,
             } => self.install_chunk(key, ts, kind, value),
+            Command::Subscribe {
+                seq,
+                client,
+                key,
+                sink,
+            } => self.subscribe(seq, client, key, sink),
+            Command::Unsubscribe { seq, client, key } => self.unsubscribe(seq, client, key),
+            Command::InvalAck { client, key } => self.ack_push(client, key),
+            Command::DropClient { client } => self.drop_client(client),
+            Command::FlushClients => self.flush_subscribers(),
             Command::InstallView(view) => {
                 self.node.on_membership_update(view, &mut self.fx);
                 self.refresh_peers();
+                // Subscribers must not serve entries cached under the old
+                // view: flush them with the new epoch, and stop waiting on
+                // acks from the old world (held effects go out now).
+                self.flush_subscribers();
                 // No single key was touched. Mirroring a placeholder key
                 // here would have non-owner lanes overwrite the owner's
                 // slot with empty state; affected keys re-mirror when their
                 // own events next fire on their owning lane.
-                self.drain_effects(None);
+                self.drain_effects(None, None);
             }
             // Net events reach only lane 0, which intercepts them in
             // `pump_command` before delegating here.
@@ -730,7 +942,7 @@ impl<S: NetSender> Worker<S> {
     fn handle_message(&mut self, from: NodeId, msg: Msg) {
         let key = msg.key();
         self.node.on_message(from, msg, &mut self.fx);
-        self.drain_effects(Some(key));
+        self.drain_effects(Some(key), None);
     }
 
     /// Fires every due message-loss timer; returns whether any fired.
@@ -742,8 +954,12 @@ impl<S: NetSender> Worker<S> {
             // Re-arm first (retransmission cadence); effects may disarm.
             self.timers.arm(key, now + MLT);
             self.node.on_mlt_timeout(key, &mut self.fx);
-            self.drain_effects(Some(key));
+            self.drain_effects(Some(key), None);
         }
+        // Ride the same cadence for subscriber-ack liveness: evict remote
+        // subscribers that have sat on an invalidation past the kick
+        // deadline, releasing the writes they were holding up.
+        self.kick_stalled_pushes(now);
         worked
     }
 
@@ -759,6 +975,9 @@ impl<S: NetSender> Worker<S> {
     fn install_chunk(&mut self, key: Key, ts: Ts, kind: UpdateKind, value: Value) {
         self.node.install_chunk(key, ts, value, kind);
         self.mirror_key(key);
+        // Catch-up can move a key's committed timestamp outside a normal
+        // effect drain; subscribers still need to hear about it.
+        self.push_invalidations(key, None);
     }
 
     /// Streams this lane's per-key state to the catching-up shadow `to` as
@@ -820,42 +1039,293 @@ impl<S: NetSender> Worker<S> {
     /// this node must already observe the committed state. `touched` is
     /// `None` for transitions with no single subject key (view installs),
     /// which must not mirror: this lane may not own the state it would
-    /// write.
-    fn drain_effects(&mut self, touched: Option<Key>) {
+    /// write. `issuer` is the client whose own operation caused the
+    /// transition, if any — it already dropped its cached entry at submit
+    /// time and is excluded from the invalidation fan-out.
+    ///
+    /// While the touched key has unacked invalidation pushes to remote
+    /// subscribers, every message/reply effect for it is *held*: the write
+    /// must not become visible anywhere (follower ACKs, the coordinator's
+    /// INV broadcast, the client's `WriteOk`) before each subscriber can no
+    /// longer serve the superseded value. Timer effects always apply —
+    /// message-loss retransmissions simply regenerate (and re-hold) the
+    /// messages, and duplicates are idempotent.
+    fn drain_effects(&mut self, touched: Option<Key>, issuer: Option<ClientId>) {
         if let Some(touched) = touched {
             self.mirror_key(touched);
+            self.push_invalidations(touched, issuer);
         }
+        let held = touched.is_some_and(|k| self.subs.pending.contains_key(&k));
         let mut fx = std::mem::take(&mut self.fx);
         for e in fx.drain(..) {
             match e {
-                Effect::Send { to, msg } => {
-                    let encoded = codec::encode(&msg);
-                    if let Some((to, frame)) = self.batcher.push(to, &encoded) {
-                        self.net.send(to, frame);
-                    }
-                }
-                Effect::Broadcast { msg } => {
-                    let encoded = codec::encode(&msg);
-                    for &to in &self.peers {
-                        if let Some((to, frame)) = self.batcher.push(to, &encoded) {
-                            self.net.send(to, frame);
-                        }
-                    }
-                }
-                Effect::Reply { op, reply } => {
-                    if let Some(to) = self.clients.remove(&op) {
-                        to.send(op, reply);
-                    }
-                }
                 Effect::ArmTimer { key } => {
                     self.timers.arm(key, Instant::now() + MLT);
                 }
                 Effect::DisarmTimer { key } => {
                     self.timers.disarm(key);
                 }
+                e if held => {
+                    let key = touched.expect("held only with a touched key");
+                    self.subs.held.entry(key).or_default().push(e);
+                }
+                e => self.emit_effect(e),
             }
         }
         self.fx = fx;
+    }
+
+    /// Emits one already-released protocol effect.
+    fn emit_effect(&mut self, e: Effect<Msg>) {
+        match e {
+            Effect::Send { to, msg } => {
+                let encoded = codec::encode(&msg);
+                if let Some((to, frame)) = self.batcher.push(to, &encoded) {
+                    self.net.send(to, frame);
+                }
+            }
+            Effect::Broadcast { msg } => {
+                let encoded = codec::encode(&msg);
+                for &to in &self.peers {
+                    if let Some((to, frame)) = self.batcher.push(to, &encoded) {
+                        self.net.send(to, frame);
+                    }
+                }
+            }
+            Effect::Reply { op, reply } => {
+                if let Some(to) = self.clients.remove(&op) {
+                    to.send(op, reply);
+                }
+            }
+            Effect::ArmTimer { key } => {
+                self.timers.arm(key, Instant::now() + MLT);
+            }
+            Effect::DisarmTimer { key } => {
+                self.timers.disarm(key);
+            }
+        }
+    }
+
+    /// Fans an invalidation push out to `key`'s subscribers when its
+    /// committed timestamp moved since the last push. Remote subscribers
+    /// become ack waiters (their pushes gate this drain's effects);
+    /// in-proc sinks are synchronously coherent and never wait.
+    fn push_invalidations(&mut self, key: Key, issuer: Option<ClientId>) {
+        if !self.subs.by_key.contains_key(&key) {
+            return;
+        }
+        let (_, ts, _) = self.node.key_mirror(key);
+        if self.subs.pushed_ts.get(&key) == Some(&ts) {
+            return;
+        }
+        self.subs.pushed_ts.insert(key, ts);
+        let epoch = self.node.view().epoch.0;
+        let mut need_ack = Vec::new();
+        let subscribers = self.subs.by_key.get(&key).expect("checked above");
+        for (&client, sink) in subscribers {
+            if issuer.is_some_and(|c| c.0 == client) {
+                // The issuer dropped its own entry at submit time; pushing
+                // to it would make every writer wait on itself.
+                continue;
+            }
+            self.push_gauges.pushes.fetch_add(1, Ordering::Relaxed);
+            if sink.push(ClientId(client), PushEvent::Invalidate { key, epoch }) {
+                need_ack.push(client);
+            }
+        }
+        if !need_ack.is_empty() {
+            let now = Instant::now();
+            let p = self.subs.pending.entry(key).or_insert(PendingAcks {
+                waiters: HashMap::new(),
+                deadline: now + PUSH_ACK_KICK,
+            });
+            p.deadline = now + PUSH_ACK_KICK;
+            for client in need_ack {
+                *p.waiters.entry(client).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// One remote subscriber acknowledged one invalidation push for `key`.
+    /// Pushes are counted per client — an ack for an older push must not
+    /// release effects a newer, still-unacked push is guarding.
+    fn ack_push(&mut self, client: ClientId, key: Key) {
+        let released = match self.subs.pending.get_mut(&key) {
+            Some(p) => {
+                if let Some(n) = p.waiters.get_mut(&client.0) {
+                    *n -= 1;
+                    if *n == 0 {
+                        p.waiters.remove(&client.0);
+                    }
+                }
+                p.waiters.is_empty()
+            }
+            None => false,
+        };
+        if released {
+            self.subs.pending.remove(&key);
+            self.release_held(key);
+        }
+    }
+
+    /// Drops `client` from `key`'s ack waiters entirely (it unsubscribed,
+    /// died, or was evicted — no ack is coming), releasing held effects if
+    /// it was the last waiter.
+    fn clear_waiter(&mut self, client: u64, key: Key) {
+        let released = match self.subs.pending.get_mut(&key) {
+            Some(p) => {
+                p.waiters.remove(&client);
+                p.waiters.is_empty()
+            }
+            None => false,
+        };
+        if released {
+            self.subs.pending.remove(&key);
+            self.release_held(key);
+        }
+    }
+
+    /// Emits every effect held for `key`.
+    fn release_held(&mut self, key: Key) {
+        if let Some(held) = self.subs.held.remove(&key) {
+            for e in held {
+                self.emit_effect(e);
+            }
+        }
+    }
+
+    /// Evicts remote subscribers whose invalidation acks are overdue and
+    /// releases the effects they were holding. Mirrors the paper's
+    /// bounded-delay assumption at the client hop: past [`PUSH_ACK_KICK`]
+    /// the subscriber is treated as failed and torn down (a dead session
+    /// serves nothing, so coherence survives the forced release).
+    fn kick_stalled_pushes(&mut self, now: Instant) {
+        if self.subs.pending.is_empty() {
+            return;
+        }
+        let expired: Vec<Key> = self
+            .subs
+            .pending
+            .iter()
+            .filter(|(_, p)| now >= p.deadline)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in expired {
+            let Some(p) = self.subs.pending.remove(&key) else {
+                continue;
+            };
+            for &client in p.waiters.keys() {
+                if let Some(m) = self.subs.by_key.get(&key) {
+                    if let Some(sink) = m.get(&client) {
+                        sink.push(ClientId(client), PushEvent::Evict);
+                    }
+                }
+                self.remove_subscription(client, key);
+            }
+            self.release_held(key);
+        }
+    }
+
+    /// Registers `client` for pushes on `key` and acks through `sink`.
+    fn subscribe(&mut self, seq: u64, client: ClientId, key: Key, sink: PushSink) {
+        // Seed the change detector at the current committed timestamp so
+        // the first post-subscribe write pushes exactly once.
+        let (_, ts, _) = self.node.key_mirror(key);
+        self.subs.pushed_ts.insert(key, ts);
+        let epoch = self.node.view().epoch.0;
+        let fresh = self
+            .subs
+            .by_key
+            .entry(key)
+            .or_default()
+            .insert(client.0, sink.clone())
+            .is_none();
+        if fresh {
+            self.subs.by_client.entry(client.0).or_default().insert(key);
+            self.push_gauges
+                .subscriptions
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.push_gauges.pushes.fetch_add(1, Ordering::Relaxed);
+        sink.push(client, PushEvent::Subscribed { seq, key, epoch });
+    }
+
+    /// Ends `client`'s subscription to `key`, acking through the removed
+    /// sink.
+    fn unsubscribe(&mut self, seq: u64, client: ClientId, key: Key) {
+        if let Some(sink) = self.remove_subscription(client.0, key) {
+            self.clear_waiter(client.0, key);
+            self.push_gauges.pushes.fetch_add(1, Ordering::Relaxed);
+            sink.push(client, PushEvent::Unsubscribed { seq, key });
+        }
+    }
+
+    /// Removes one (client, key) subscription edge; returns the sink if it
+    /// existed.
+    fn remove_subscription(&mut self, client: u64, key: Key) -> Option<PushSink> {
+        let m = self.subs.by_key.get_mut(&key)?;
+        let sink = m.remove(&client)?;
+        if m.is_empty() {
+            self.subs.by_key.remove(&key);
+            self.subs.pushed_ts.remove(&key);
+        }
+        if let Some(keys) = self.subs.by_client.get_mut(&client) {
+            keys.remove(&key);
+            if keys.is_empty() {
+                self.subs.by_client.remove(&client);
+            }
+        }
+        self.push_gauges
+            .subscriptions
+            .fetch_sub(1, Ordering::Relaxed);
+        Some(sink)
+    }
+
+    /// Clears every subscription and pending ack held by a departed
+    /// client.
+    fn drop_client(&mut self, client: ClientId) {
+        let Some(keys) = self.subs.by_client.remove(&client.0) else {
+            return;
+        };
+        for key in keys {
+            if let Some(m) = self.subs.by_key.get_mut(&key) {
+                if m.remove(&client.0).is_some() {
+                    self.push_gauges
+                        .subscriptions
+                        .fetch_sub(1, Ordering::Relaxed);
+                }
+                if m.is_empty() {
+                    self.subs.by_key.remove(&key);
+                    self.subs.pushed_ts.remove(&key);
+                }
+            }
+            self.clear_waiter(client.0, key);
+        }
+    }
+
+    /// Pushes [`PushEvent::Flush`] to every subscriber (view change or
+    /// serving loss: cached entries from the old world must die), clears
+    /// all pending acks and emits all held effects. Subscriptions stay
+    /// registered — a still-live client refills from fresh reads.
+    fn flush_subscribers(&mut self) {
+        let epoch = self.node.view().epoch.0;
+        let mut seen: HashSet<u64> = HashSet::new();
+        for subs in self.subs.by_key.values() {
+            for (&client, sink) in subs {
+                if seen.insert(client) {
+                    self.push_gauges.pushes.fetch_add(1, Ordering::Relaxed);
+                    sink.push(ClientId(client), PushEvent::Flush { epoch });
+                }
+            }
+        }
+        let stalled: Vec<Key> = self.subs.pending.keys().copied().collect();
+        self.subs.pending.clear();
+        for key in stalled {
+            self.release_held(key);
+        }
+        // Reset the change detector: post-change timestamps may replay, so
+        // be conservative and push on the next touch of every key.
+        self.subs.pushed_ts.clear();
     }
 }
 
@@ -873,6 +1343,8 @@ struct PumpMembership<S: NetSender> {
     net: S,
     status: Arc<MembershipStatus>,
     rmfx: Vec<RmEffect>,
+    /// Last serving verdict; a true→false edge flushes client caches.
+    was_serving: bool,
     /// Lanes of the sync source that finished streaming chunks to us.
     marks: HashSet<u32>,
     /// Lane count announced by the sync source's marks.
@@ -887,6 +1359,7 @@ impl<S: NetSender> PumpMembership<S> {
             net,
             status,
             rmfx: Vec::new(),
+            was_serving: false,
             marks: HashSet::new(),
             lanes_expected: None,
             last_sync_request: None,
@@ -910,7 +1383,20 @@ impl<S: NetSender> PumpMembership<S> {
                 }
             }
         }
-        self.status.set_serving(self.driver.serving());
+        let serving = self.driver.serving();
+        if self.was_serving && !serving {
+            // Serving loss (lease expiry, deposed mid-reconfiguration):
+            // clients must stop serving cached reads against this replica.
+            // Best-effort within the lease grace period — a partitioned
+            // client that cannot hear the flush also cannot be reached by
+            // anything else; DESIGN.md §8 discusses the window.
+            for lane in &lanes[1..] {
+                let _ = lane.send(Command::FlushClients);
+            }
+            worker.handle_command(Command::FlushClients);
+        }
+        self.was_serving = serving;
+        self.status.set_serving(serving);
     }
 
     /// Consumes `frame` if it is control-plane; returns whether it was.

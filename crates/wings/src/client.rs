@@ -23,6 +23,9 @@ const REQ_FETCH_ADD: u8 = 3;
 const REQ_SHUTDOWN: u8 = 4;
 const REQ_TXN: u8 = 5;
 const REQ_STATS: u8 = 6;
+const REQ_SUBSCRIBE: u8 = 7;
+const REQ_UNSUBSCRIBE: u8 = 8;
+const REQ_INVAL_ACK: u8 = 9;
 
 const RSP_READ_OK: u8 = 0;
 const RSP_WRITE_OK: u8 = 1;
@@ -36,6 +39,15 @@ const RSP_UNSUPPORTED: u8 = 6;
 /// request/response exchanges, not the pipelined session stream).
 const RSP_TXN: u8 = 7;
 const RSP_STATS: u8 = 8;
+/// Server-initiated push frames (invalidation stream) and subscription
+/// acknowledgements. They carry no meaningful sequence number (the seq
+/// slot is zero for pushes) and are deliberately **not** decodable by
+/// [`decode_reply`]: only the superset [`decode_server_frame`] accepts
+/// them, so callers that never subscribed keep their strict decoder.
+const RSP_INVALIDATE: u8 = 9;
+const RSP_SUBSCRIBED: u8 = 10;
+const RSP_UNSUBSCRIBED: u8 = 11;
+const RSP_FLUSH: u8 = 12;
 
 const TXN_MULTI_GET: u8 = 0;
 const TXN_MULTI_PUT: u8 = 1;
@@ -155,6 +167,9 @@ pub fn decode_request(buf: &[u8]) -> Result<(u64, Key, ClientOp), ClientCodecErr
         Request::Txn { .. } => Err(ClientCodecError::BadTag(REQ_TXN)),
         Request::Stats { .. } => Err(ClientCodecError::BadTag(REQ_STATS)),
         Request::Shutdown { .. } => Err(ClientCodecError::BadTag(REQ_SHUTDOWN)),
+        Request::Subscribe { .. } => Err(ClientCodecError::BadTag(REQ_SUBSCRIBE)),
+        Request::Unsubscribe { .. } => Err(ClientCodecError::BadTag(REQ_UNSUBSCRIBE)),
+        Request::InvalAck { .. } => Err(ClientCodecError::BadTag(REQ_INVAL_ACK)),
     }
 }
 
@@ -194,6 +209,75 @@ pub enum Request {
         /// Session-local sequence number echoed by the acknowledgement.
         seq: u64,
     },
+    /// Join the invalidation stream for one key: the replica starts
+    /// pushing [`ServerFrame::Invalidate`] frames whenever the key's
+    /// protocol timestamp changes, acknowledged with one
+    /// [`ServerFrame::Subscribed`] carrying the current view epoch.
+    Subscribe {
+        /// Session-local sequence number echoed by the acknowledgement.
+        seq: u64,
+        /// Key to subscribe to.
+        key: Key,
+    },
+    /// Leave the invalidation stream for one key, acknowledged with one
+    /// [`ServerFrame::Unsubscribed`].
+    Unsubscribe {
+        /// Session-local sequence number echoed by the acknowledgement.
+        seq: u64,
+        /// Key to unsubscribe from.
+        key: Key,
+    },
+    /// Confirm one received [`ServerFrame::Invalidate`] for `key`. Not
+    /// replied to: the ack releases the replica-side effect hold that
+    /// keeps the superseding write invisible until every subscribed cache
+    /// has dropped its entry (the client-side leg of Hermes' invalidation
+    /// round).
+    InvalAck {
+        /// Key whose invalidation push is being confirmed.
+        key: Key,
+    },
+}
+
+/// Everything a replica daemon can send down a client connection: an
+/// ordinary sequenced [`Reply`], or one of the server-initiated push
+/// frames of the invalidation stream. Decoded by [`decode_server_frame`];
+/// the strict [`decode_reply`] keeps rejecting push tags.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerFrame {
+    /// A sequenced reply to a client request.
+    Reply(u64, Reply),
+    /// Push: the key changed — drop any cached entry and confirm with
+    /// [`Request::InvalAck`]. `epoch` newer than the last seen epoch means
+    /// a view changed under the cache: drop **everything**.
+    Invalidate {
+        /// Invalidated key.
+        key: Key,
+        /// View epoch the push was issued under.
+        epoch: u64,
+    },
+    /// Acknowledges a [`Request::Subscribe`]: pushes for `key` flow from
+    /// now on, and `epoch` anchors the subscriber's view knowledge.
+    Subscribed {
+        /// Sequence number of the subscribe request.
+        seq: u64,
+        /// Subscribed key.
+        key: Key,
+        /// Current view epoch at the replica.
+        epoch: u64,
+    },
+    /// Acknowledges a [`Request::Unsubscribe`].
+    Unsubscribed {
+        /// Sequence number of the unsubscribe request.
+        seq: u64,
+        /// Unsubscribed key.
+        key: Key,
+    },
+    /// Push: drop every cached entry (view change or serving loss at the
+    /// replica). Requires no ack — it never gates replica-side effects.
+    Flush {
+        /// View epoch at the replica when the flush was issued.
+        epoch: u64,
+    },
 }
 
 /// One replica daemon's operator-facing gauges, as served by the stats RPC
@@ -223,6 +307,12 @@ pub struct StatsPayload {
     /// Replica-to-replica messages delivered directly into each worker
     /// lane's queue by the transport readers (per-lane ingress demux).
     pub lane_ingress: Vec<u64>,
+    /// Live client cache subscriptions across all worker lanes.
+    pub subscriptions: u64,
+    /// Invalidation/flush pushes sent to subscribed sessions since start.
+    pub pushes: u64,
+    /// Times the accept path paused because open fds neared `ulimit -n`.
+    pub accept_stalls: u64,
 }
 
 /// Encodes a shutdown request into a fresh buffer.
@@ -276,6 +366,34 @@ pub fn encode_stats_request_bytes(seq: u64) -> Bytes {
     out.put_u64_le(seq);
     out.put_u64_le(0); // Key slot, unused: keeps one request layout.
     out.put_u8(REQ_STATS);
+    out.freeze()
+}
+
+/// Encodes a subscribe request into a fresh buffer.
+pub fn encode_subscribe_bytes(seq: u64, key: Key) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u64_le(seq);
+    out.put_u64_le(key.0);
+    out.put_u8(REQ_SUBSCRIBE);
+    out.freeze()
+}
+
+/// Encodes an unsubscribe request into a fresh buffer.
+pub fn encode_unsubscribe_bytes(seq: u64, key: Key) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u64_le(seq);
+    out.put_u64_le(key.0);
+    out.put_u8(REQ_UNSUBSCRIBE);
+    out.freeze()
+}
+
+/// Encodes an invalidation ack into a fresh buffer (seq slot zero: acks
+/// are fire-and-forget and never answered).
+pub fn encode_inval_ack_bytes(key: Key) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u64_le(0);
+    out.put_u64_le(key.0);
+    out.put_u8(REQ_INVAL_ACK);
     out.freeze()
 }
 
@@ -333,6 +451,9 @@ pub fn decode_any(buf: &[u8]) -> Result<Request, ClientCodecError> {
         }
         REQ_STATS => return Ok(Request::Stats { seq }),
         REQ_SHUTDOWN => return Ok(Request::Shutdown { seq }),
+        REQ_SUBSCRIBE => return Ok(Request::Subscribe { seq, key }),
+        REQ_UNSUBSCRIBE => return Ok(Request::Unsubscribe { seq, key }),
+        REQ_INVAL_ACK => return Ok(Request::InvalAck { key }),
         other => return Err(ClientCodecError::BadTag(other)),
     };
     Ok(Request::Op { seq, key, cop })
@@ -419,6 +540,9 @@ pub fn encode_stats_reply_bytes(seq: u64, stats: &StatsPayload) -> Bytes {
     for n in &stats.lane_ingress {
         out.put_u64_le(*n);
     }
+    out.put_u64_le(stats.subscriptions);
+    out.put_u64_le(stats.pushes);
+    out.put_u64_le(stats.accept_stalls);
     out.freeze()
 }
 
@@ -455,6 +579,9 @@ pub fn decode_stats_reply(buf: &[u8]) -> Result<(u64, StatsPayload), ClientCodec
     for _ in 0..n {
         lane_ingress.push(c.u64()?);
     }
+    let subscriptions = c.u64()?;
+    let pushes = c.u64()?;
+    let accept_stalls = c.u64()?;
     Ok((
         seq,
         StatsPayload {
@@ -468,6 +595,9 @@ pub fn decode_stats_reply(buf: &[u8]) -> Result<(u64, StatsPayload), ClientCodec
             open_sessions,
             sessions_per_shard,
             lane_ingress,
+            subscriptions,
+            pushes,
+            accept_stalls,
         },
     ))
 }
@@ -524,6 +654,77 @@ pub fn decode_reply(buf: &[u8]) -> Result<(u64, Reply), ClientCodecError> {
         other => return Err(ClientCodecError::BadTag(other)),
     };
     Ok((seq, reply))
+}
+
+/// Encodes one invalidation push into a fresh buffer.
+pub fn encode_invalidate_bytes(key: Key, epoch: u64) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u64_le(0); // Seq slot, unused: pushes are not replies.
+    out.put_u8(RSP_INVALIDATE);
+    out.put_u64_le(key.0);
+    out.put_u64_le(epoch);
+    out.freeze()
+}
+
+/// Encodes one subscription acknowledgement into a fresh buffer.
+pub fn encode_subscribed_bytes(seq: u64, key: Key, epoch: u64) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u64_le(seq);
+    out.put_u8(RSP_SUBSCRIBED);
+    out.put_u64_le(key.0);
+    out.put_u64_le(epoch);
+    out.freeze()
+}
+
+/// Encodes one unsubscription acknowledgement into a fresh buffer.
+pub fn encode_unsubscribed_bytes(seq: u64, key: Key) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u64_le(seq);
+    out.put_u8(RSP_UNSUBSCRIBED);
+    out.put_u64_le(key.0);
+    out.freeze()
+}
+
+/// Encodes one flush-everything push into a fresh buffer.
+pub fn encode_flush_bytes(epoch: u64) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u64_le(0); // Seq slot, unused: pushes are not replies.
+    out.put_u8(RSP_FLUSH);
+    out.put_u64_le(epoch);
+    out.freeze()
+}
+
+/// Decodes anything the server sends down a session stream: sequenced
+/// replies **or** push frames. Subscribing clients must use this instead
+/// of [`decode_reply`].
+///
+/// # Errors
+///
+/// Returns a [`ClientCodecError`] on truncation or an unknown tag.
+pub fn decode_server_frame(buf: &[u8]) -> Result<ServerFrame, ClientCodecError> {
+    let mut c = Cursor::new(buf);
+    let seq = c.u64()?;
+    let tag = c.u8()?;
+    Ok(match tag {
+        RSP_INVALIDATE => ServerFrame::Invalidate {
+            key: Key(c.u64()?),
+            epoch: c.u64()?,
+        },
+        RSP_SUBSCRIBED => ServerFrame::Subscribed {
+            seq,
+            key: Key(c.u64()?),
+            epoch: c.u64()?,
+        },
+        RSP_UNSUBSCRIBED => ServerFrame::Unsubscribed {
+            seq,
+            key: Key(c.u64()?),
+        },
+        RSP_FLUSH => ServerFrame::Flush { epoch: c.u64()? },
+        _ => {
+            let (seq, reply) = decode_reply(buf)?;
+            ServerFrame::Reply(seq, reply)
+        }
+    })
 }
 
 #[cfg(test)]
@@ -742,6 +943,9 @@ mod tests {
             open_sessions: 1234,
             sessions_per_shard: vec![617, 617],
             lane_ingress: vec![42, 0, 99],
+            subscriptions: 12,
+            pushes: 345,
+            accept_stalls: 6,
         };
         let frame = encode_stats_reply_bytes(9, &stats);
         assert_eq!(decode_stats_reply(&frame).unwrap(), (9, stats.clone()));
@@ -751,6 +955,102 @@ mod tests {
                 decode_stats_reply(&frame[..cut]),
                 Err(ClientCodecError::Truncated),
                 "stats reply cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn subscription_requests_roundtrip_and_are_rejected_by_the_op_decoder() {
+        let sub = encode_subscribe_bytes(3, Key(42));
+        assert_eq!(
+            decode_any(&sub).unwrap(),
+            Request::Subscribe {
+                seq: 3,
+                key: Key(42)
+            }
+        );
+        assert_eq!(
+            decode_request(&sub),
+            Err(ClientCodecError::BadTag(REQ_SUBSCRIBE))
+        );
+        let unsub = encode_unsubscribe_bytes(4, Key(u64::MAX));
+        assert_eq!(
+            decode_any(&unsub).unwrap(),
+            Request::Unsubscribe {
+                seq: 4,
+                key: Key(u64::MAX)
+            }
+        );
+        assert_eq!(
+            decode_request(&unsub),
+            Err(ClientCodecError::BadTag(REQ_UNSUBSCRIBE))
+        );
+        let ack = encode_inval_ack_bytes(Key(7));
+        assert_eq!(decode_any(&ack).unwrap(), Request::InvalAck { key: Key(7) });
+        assert_eq!(
+            decode_request(&ack),
+            Err(ClientCodecError::BadTag(REQ_INVAL_ACK))
+        );
+        for frame in [sub, unsub, ack] {
+            for cut in 0..frame.len() {
+                assert_eq!(
+                    decode_any(&frame[..cut]),
+                    Err(ClientCodecError::Truncated),
+                    "subscription request cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn push_frames_roundtrip_only_through_the_superset_decoder() {
+        let samples = vec![
+            (
+                encode_invalidate_bytes(Key(5), 2),
+                ServerFrame::Invalidate {
+                    key: Key(5),
+                    epoch: 2,
+                },
+            ),
+            (
+                encode_subscribed_bytes(9, Key(u64::MAX), 1),
+                ServerFrame::Subscribed {
+                    seq: 9,
+                    key: Key(u64::MAX),
+                    epoch: 1,
+                },
+            ),
+            (
+                encode_unsubscribed_bytes(10, Key(0)),
+                ServerFrame::Unsubscribed {
+                    seq: 10,
+                    key: Key(0),
+                },
+            ),
+            (encode_flush_bytes(7), ServerFrame::Flush { epoch: 7 }),
+        ];
+        for (frame, want) in samples {
+            assert_eq!(decode_server_frame(&frame).unwrap(), want);
+            // The strict reply decoder refuses every push tag: sessions
+            // that never subscribed keep their narrow protocol.
+            assert!(matches!(
+                decode_reply(&frame),
+                Err(ClientCodecError::BadTag(_))
+            ));
+            for cut in 0..frame.len() {
+                assert_eq!(
+                    decode_server_frame(&frame[..cut]),
+                    Err(ClientCodecError::Truncated),
+                    "push frame {want:?} cut at {cut}"
+                );
+            }
+        }
+        // Ordinary replies pass through the superset decoder unchanged.
+        for (seq, reply) in reply_samples() {
+            let frame = encode_reply_bytes(seq, &reply);
+            assert_eq!(
+                decode_server_frame(&frame).unwrap(),
+                ServerFrame::Reply(seq, reply)
             );
         }
     }

@@ -72,8 +72,8 @@ pub mod prelude {
     pub use hermes_replica::{
         query_stats, remote_txn, request_shutdown, run_sim, ClientSession, ClusterConfig,
         CostModel, MembershipOptions, MembershipStatus, NodeOptions, NodeRuntime, NodeStats,
-        PendingTxn, RemoteChannel, RunReport, SessionChannel, ShardedEngine, SimConfig,
-        ThreadCluster, Ticket, TxnResult,
+        PendingTxn, RemoteChannel, RunReport, SessionChannel, SessionEvent, ShardedEngine,
+        SimConfig, ThreadCluster, Ticket, TxnResult,
     };
     pub use hermes_txn::{check_txns_serializable, lock_key, TxnConfig, TxnMachine, TxnObs};
     pub use hermes_workload::{

@@ -217,6 +217,105 @@ fn session_churn_leaks_no_fds() {
     runtime.shutdown();
 }
 
+/// A subscriber killed mid-push is never delivered to again: the reap
+/// drops its subscription filter from every lane (gauges drain), writers
+/// on the subscribed key complete promptly via the shard's ack-on-behalf
+/// instead of waiting out the push-ack kick, and the daemon stays healthy.
+#[test]
+fn kill_mid_push_never_delivers_to_a_reaped_session() {
+    let _serial = serial();
+    let runtime = serve_single_node();
+
+    // The victim subscribes over a raw socket and confirms the ack.
+    let mut victim = TcpStream::connect(runtime.client_addr()).expect("connect victim");
+    victim.set_nodelay(true).expect("nodelay");
+    send_frame(&mut victim, &rpc::encode_subscribe_bytes(1, Key(77)));
+    match rpc::decode_server_frame(&recv_frame(&mut victim)).expect("subscribe ack") {
+        rpc::ServerFrame::Subscribed { seq, key, .. } => {
+            assert_eq!((seq, key), (1, Key(77)));
+        }
+        other => panic!("expected Subscribed ack, got {other:?}"),
+    }
+    assert_eq!(runtime.subscriptions(), 1);
+
+    // Kill it, then write the subscribed key immediately: pushes race the
+    // reap. Whether each push finds the session framed-but-dead or already
+    // reaped, the write must complete (bounded by the push-ack kick).
+    victim.shutdown(Shutdown::Both).expect("kill victim");
+    drop(victim);
+    let mut writer = TcpStream::connect(runtime.client_addr()).expect("connect writer");
+    writer.set_nodelay(true).expect("nodelay");
+    for seq in 1..=3u64 {
+        raw_write(&mut writer, seq, Key(77), 100 + seq);
+    }
+
+    // The reap drops the filter everywhere: subscription gauge drains and
+    // later writes push to nobody.
+    await_open_sessions(&runtime, 1); // only the writer remains
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while runtime.subscriptions() != 0 {
+        assert!(
+            Instant::now() < deadline,
+            "subscription gauge never drained"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let pushes_after_reap = runtime.pushes();
+    for seq in 4..=6u64 {
+        raw_write(&mut writer, seq, Key(77), 100 + seq);
+    }
+    assert_eq!(
+        runtime.pushes(),
+        pushes_after_reap,
+        "a reaped session received a push"
+    );
+    drop(writer);
+    await_open_sessions(&runtime, 0);
+    runtime.shutdown();
+}
+
+/// The client cache behaves identically over TCP: repeat reads of a
+/// subscribed key are served locally, and once a remote writer observes
+/// `WriteOk`, every subscriber's next read sees the new value — the
+/// replica holds the write's reply until the invalidation push is acked
+/// by the subscriber's connection (DESIGN.md §8).
+#[test]
+fn remote_sessions_cache_and_stay_coherent_over_tcp() {
+    let _serial = serial();
+    let runtime = serve_single_node();
+    let addr = runtime.client_addr();
+
+    let reader_chan =
+        RemoteChannel::connect_within(addr, Duration::from_secs(5)).expect("reader connect");
+    let mut reader = ClientSession::new(reader_chan, CreditConfig::default());
+    let writer_chan =
+        RemoteChannel::connect_within(addr, Duration::from_secs(5)).expect("writer connect");
+    let mut writer = ClientSession::new(writer_chan, CreditConfig::default());
+
+    let t = writer.write(Key(9), Value::from_u64(1));
+    assert_eq!(writer.wait(t), Reply::WriteOk);
+    assert!(reader.subscribe(Key(9)));
+    let t = reader.read(Key(9));
+    assert_eq!(reader.wait(t), Reply::ReadOk(Value::from_u64(1)));
+    let t = reader.read(Key(9));
+    assert_eq!(reader.wait(t), Reply::ReadOk(Value::from_u64(1)));
+    assert_eq!(reader.cache_hits(), 1);
+
+    // Coherence across the wire: WriteOk at the writer implies the
+    // invalidation is already queued at the reader.
+    let t = writer.write(Key(9), Value::from_u64(2));
+    assert_eq!(writer.wait(t), Reply::WriteOk);
+    let t = reader.read(Key(9));
+    assert_eq!(reader.wait(t), Reply::ReadOk(Value::from_u64(2)));
+    assert!(reader.cache_invalidations() >= 1);
+    assert!(runtime.pushes() > 0);
+
+    drop(reader);
+    drop(writer);
+    await_open_sessions(&runtime, 0);
+    runtime.shutdown();
+}
+
 /// Concurrent recorded sessions spanning a mid-run socket kill stay
 /// linearizable: the victim's in-flight write is on a key outside the
 /// recorded space, and its death neither wedges a poller shard nor
