@@ -1,0 +1,308 @@
+//! Per-lane structured protocol-phase tracing with slow-op capture.
+//!
+//! Every in-flight operation can carry a [`Span`]: a start instant plus a
+//! small list of `(Phase, offset)` marks recorded as the op moves through
+//! the protocol (issued → invalidations broadcast → acks collected →
+//! committed → reply released, and the analogous view-change / sync /
+//! transaction / cache-push phases). Marking is an `Instant::elapsed`
+//! plus a `Vec` push — nothing is formatted on the hot path.
+//!
+//! When an op completes, [`TraceRing::complete`] checks the span against
+//! the ring's slow-op threshold (`HERMES_SLOW_OP_US`, settable per ring).
+//! Fast ops are dropped on the floor; a slow op's full phase breakdown is
+//! captured into a bounded ring of [`SlowOp`] reports and emitted through
+//! the [`crate::log`] logger at `warn`, so "where did the time go" is
+//! answerable after the fact without re-running under a profiler.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Protocol phases an operation moves through. One flat namespace across
+/// subsystems keeps a single breakdown readable when phases interleave
+/// (e.g. a write held behind a cache push during a view change).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Client op arrived at its owning worker lane.
+    Issued,
+    /// Invalidations broadcast to the replica group.
+    InvalBroadcast,
+    /// All invalidation acks collected.
+    AcksCollected,
+    /// Write committed / read validated locally.
+    Committed,
+    /// Reply ready but held (subscriber invalidation push outstanding).
+    ReplyHeld,
+    /// Reply released to the client.
+    ReplyReleased,
+    /// Cache invalidation push sent to a subscribed session.
+    CachePush,
+    /// Cache push acknowledged by the session.
+    CachePushAck,
+    /// Held replies released after the last push ack.
+    HoldRelease,
+    /// View change proposed / detected.
+    ViewChangeStart,
+    /// New view installed.
+    ViewChangeInstalled,
+    /// One sync catch-up chunk installed.
+    SyncChunkInstall,
+    /// Transaction lock phase.
+    TxnLock,
+    /// Transaction validate phase.
+    TxnValidate,
+    /// Transaction apply phase.
+    TxnApply,
+    /// Transaction unlock phase.
+    TxnUnlock,
+}
+
+impl Phase {
+    /// Stable lower-case name (used in logs and dumps).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Issued => "issued",
+            Phase::InvalBroadcast => "inval_broadcast",
+            Phase::AcksCollected => "acks_collected",
+            Phase::Committed => "committed",
+            Phase::ReplyHeld => "reply_held",
+            Phase::ReplyReleased => "reply_released",
+            Phase::CachePush => "cache_push",
+            Phase::CachePushAck => "cache_push_ack",
+            Phase::HoldRelease => "hold_release",
+            Phase::ViewChangeStart => "view_change_start",
+            Phase::ViewChangeInstalled => "view_change_installed",
+            Phase::SyncChunkInstall => "sync_chunk_install",
+            Phase::TxnLock => "txn_lock",
+            Phase::TxnValidate => "txn_validate",
+            Phase::TxnApply => "txn_apply",
+            Phase::TxnUnlock => "txn_unlock",
+        }
+    }
+}
+
+/// One in-flight operation's phase timeline.
+#[derive(Clone, Debug)]
+pub struct Span {
+    start: Instant,
+    marks: Vec<(Phase, u64)>,
+}
+
+impl Span {
+    /// Starts a span at the current instant with its first phase mark.
+    pub fn begin(phase: Phase) -> Self {
+        let mut s = Span {
+            start: Instant::now(),
+            marks: Vec::with_capacity(4),
+        };
+        s.marks.push((phase, 0));
+        s
+    }
+
+    /// Marks a phase at the current offset from the span's start.
+    #[inline]
+    pub fn mark(&mut self, phase: Phase) {
+        self.marks
+            .push((phase, self.start.elapsed().as_micros() as u64));
+    }
+
+    /// Microseconds since the span began.
+    #[inline]
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// The recorded `(phase, offset_us)` marks.
+    pub fn marks(&self) -> &[(Phase, u64)] {
+        &self.marks
+    }
+}
+
+/// A captured slow operation: its full phase breakdown.
+#[derive(Clone, Debug)]
+pub struct SlowOp {
+    /// What the op was ("write key=7 lane=2", "view_change 3->4", ...).
+    pub label: String,
+    /// End-to-end duration in microseconds.
+    pub total_us: u64,
+    /// `(phase, offset_us_from_start)` in occurrence order.
+    pub phases: Vec<(Phase, &'static str, u64)>,
+}
+
+impl SlowOp {
+    /// One-line rendering: `label total=NNNus [phase+0us phase+12us ...]`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("slow-op {} total={}us [", self.label, self.total_us);
+        for (i, (_, name, at)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{name}+{at}us");
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Default slow-op threshold when `HERMES_SLOW_OP_US` is unset: 100 ms —
+/// far above any healthy op on loopback, so production lanes only capture
+/// genuine stalls.
+pub const DEFAULT_SLOW_OP_US: u64 = 100_000;
+
+/// How many slow-op reports a ring retains (oldest evicted first).
+pub const SLOW_RING_CAP: usize = 64;
+
+/// A bounded ring of captured slow operations, one per lane (or
+/// subsystem). Completion with a fast span is two atomic loads; only ops
+/// over the threshold pay for formatting.
+#[derive(Debug)]
+pub struct TraceRing {
+    /// Who owns this ring — prefixes log lines ("lane3", "pump", ...).
+    owner: String,
+    threshold_us: AtomicU64,
+    slow_total: AtomicU64,
+    slow: Mutex<VecDeque<SlowOp>>,
+}
+
+impl TraceRing {
+    /// A ring with the environment-derived threshold (`HERMES_SLOW_OP_US`,
+    /// else [`DEFAULT_SLOW_OP_US`]).
+    pub fn new(owner: impl Into<String>) -> Self {
+        let threshold = std::env::var("HERMES_SLOW_OP_US")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_SLOW_OP_US);
+        TraceRing {
+            owner: owner.into(),
+            threshold_us: AtomicU64::new(threshold),
+            slow_total: AtomicU64::new(0),
+            slow: Mutex::new(VecDeque::with_capacity(8)),
+        }
+    }
+
+    /// Overrides the slow-op threshold (tests force it to 0 to capture
+    /// everything).
+    pub fn set_threshold_us(&self, us: u64) {
+        self.threshold_us.store(us, Ordering::Relaxed);
+    }
+
+    /// The current slow-op threshold.
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Completes a span: if it exceeded the threshold, capture its phase
+    /// breakdown (the `label` closure is only invoked for slow ops).
+    /// Returns the span's total duration in microseconds.
+    pub fn complete(&self, span: &Span, label: impl FnOnce() -> String) -> u64 {
+        let total_us = span.elapsed_us();
+        if total_us >= self.threshold_us.load(Ordering::Relaxed) {
+            self.capture(span, total_us, label());
+        }
+        total_us
+    }
+
+    fn capture(&self, span: &Span, total_us: u64, label: String) {
+        self.slow_total.fetch_add(1, Ordering::Relaxed);
+        let report = SlowOp {
+            label: format!("{} {}", self.owner, label),
+            total_us,
+            phases: span
+                .marks()
+                .iter()
+                .map(|&(p, at)| (p, p.name(), at))
+                .collect(),
+        };
+        crate::log::emit(
+            crate::log::Level::Warn,
+            "obs::trace",
+            format_args!("{}", report.render()),
+        );
+        let mut ring = self.slow.lock().expect("trace ring lock");
+        if ring.len() >= SLOW_RING_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(report);
+    }
+
+    /// Total slow ops captured since startup (monotonic; the ring itself
+    /// is bounded).
+    pub fn slow_total(&self) -> u64 {
+        self.slow_total.load(Ordering::Relaxed)
+    }
+
+    /// The retained slow-op reports, oldest first.
+    pub fn slow_ops(&self) -> Vec<SlowOp> {
+        self.slow
+            .lock()
+            .expect("trace ring lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_ops_are_not_captured() {
+        let ring = TraceRing::new("lane0");
+        ring.set_threshold_us(u64::MAX);
+        let mut span = Span::begin(Phase::Issued);
+        span.mark(Phase::Committed);
+        ring.complete(&span, || unreachable!("label built for a fast op"));
+        assert_eq!(ring.slow_total(), 0);
+        assert!(ring.slow_ops().is_empty());
+    }
+
+    #[test]
+    fn threshold_zero_captures_phase_breakdown() {
+        let _quiet = crate::log::Capture::start();
+        let ring = TraceRing::new("lane1");
+        ring.set_threshold_us(0);
+        let mut span = Span::begin(Phase::Issued);
+        span.mark(Phase::InvalBroadcast);
+        span.mark(Phase::AcksCollected);
+        span.mark(Phase::Committed);
+        span.mark(Phase::ReplyReleased);
+        ring.complete(&span, || "write key=7".into());
+        assert_eq!(ring.slow_total(), 1);
+        let ops = ring.slow_ops();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].phases.len(), 5);
+        assert!(ops[0].label.contains("lane1"));
+        let line = ops[0].render();
+        assert!(line.contains("issued+0us"), "{line}");
+        assert!(line.contains("reply_released+"), "{line}");
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let _quiet = crate::log::Capture::start();
+        let ring = TraceRing::new("lane2");
+        ring.set_threshold_us(0);
+        for i in 0..(SLOW_RING_CAP + 10) {
+            let span = Span::begin(Phase::Issued);
+            ring.complete(&span, || format!("op {i}"));
+        }
+        assert_eq!(ring.slow_total() as usize, SLOW_RING_CAP + 10);
+        let ops = ring.slow_ops();
+        assert_eq!(ops.len(), SLOW_RING_CAP);
+        // Oldest evicted: the first retained is op 10.
+        assert!(ops[0].label.contains("op 10"), "{}", ops[0].label);
+    }
+
+    #[test]
+    fn marks_are_monotonic_offsets() {
+        let mut span = Span::begin(Phase::Issued);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        span.mark(Phase::Committed);
+        let marks = span.marks();
+        assert_eq!(marks[0], (Phase::Issued, 0));
+        assert!(marks[1].1 >= 1_000, "second mark {}us", marks[1].1);
+    }
+}

@@ -39,6 +39,7 @@
 
 mod cost;
 mod membership;
+mod metrics;
 mod node;
 mod poller;
 mod remote;
@@ -50,7 +51,9 @@ mod timers;
 
 pub use cost::CostModel;
 pub use membership::{MembershipOptions, MembershipStatus};
-pub use node::{query_stats, remote_txn, request_shutdown, NodeOptions, NodeRuntime, NodeStats};
+pub use node::{
+    query_metrics, query_stats, remote_txn, request_shutdown, NodeOptions, NodeRuntime, NodeStats,
+};
 pub use remote::{KillSwitch, RemoteChannel};
 pub use session::{
     ClientSession, LaneChannel, PendingTxn, SessionChannel, SessionEvent, Ticket, TxnResult,

@@ -1,0 +1,184 @@
+//! Runtime observability state shared across the threaded node, its
+//! client plane, and the metrics exposition.
+//!
+//! [`NodeObs`] is one `Arc` created in `spawn_node` and threaded through
+//! every layer: worker lanes record op latencies and protocol-phase
+//! counters into it, the pump records view-change outages and sync
+//! catch-up throughput, and the client-plane pollers record accept /
+//! decode / write-drain / credit-stall timings. `NodeRuntime::serve`
+//! registers all of it (plus the pre-existing runtime gauges) into a
+//! [`hermes_obs::Registry`] whose rendering backs the `Metrics` client
+//! RPC and `hermesd --metrics-dump`.
+//!
+//! Transaction accounting is process-wide ([`txn_counters`]) because
+//! transactions are driven from two places — server-side executors inside
+//! the client plane and client-side [`crate::ClientSession::drive_txn`] —
+//! and both should land in one set of counters.
+
+use hermes_common::TxnAbort;
+use hermes_obs::{Histogram, TraceRing};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-node observability state. Cheap to record into from any thread;
+/// rendered on demand by the metrics exposition.
+#[derive(Debug)]
+pub(crate) struct NodeObs {
+    /// Per-lane client-op latency (us), recorded at reply release.
+    pub(crate) lane_latency: Vec<Arc<Histogram>>,
+    /// Per-lane slow-op trace rings.
+    pub(crate) lane_traces: Vec<TraceRing>,
+    /// Lane-0 pump ring: view changes and other membership slow paths.
+    pub(crate) pump_trace: TraceRing,
+    /// Invalidation messages sent to peers (Inv broadcasts × fan-out).
+    pub(crate) invals_sent: AtomicU64,
+    /// Invalidation acks received from peers.
+    pub(crate) invals_acked: AtomicU64,
+    /// Validation messages sent to peers (Val broadcasts × fan-out).
+    pub(crate) vals_sent: AtomicU64,
+    /// Client-cache invalidation-push acks received from sessions.
+    pub(crate) push_acks: AtomicU64,
+    /// Replies released after their last outstanding cache-push ack.
+    pub(crate) holds_released: AtomicU64,
+    /// Completed view-change outages (serving → not serving → serving).
+    pub(crate) view_outages: AtomicU64,
+    /// View-change outage duration (us): how long the node was not
+    /// serving — the paper's headline failover metric.
+    pub(crate) view_change_us: Arc<Histogram>,
+    /// Sync catch-up chunks installed while rejoining.
+    pub(crate) sync_chunks: AtomicU64,
+    /// Sync catch-up payload bytes installed.
+    pub(crate) sync_bytes: AtomicU64,
+    /// Client connections accepted by the plane.
+    pub(crate) accepts: AtomicU64,
+    /// Sessions whose read interest was parked on credit exhaustion.
+    pub(crate) read_parks: AtomicU64,
+    /// Poller time spent decoding + applying one session's readable burst (us).
+    pub(crate) poller_decode_us: Arc<Histogram>,
+    /// Poller time spent draining one session's write buffer (us).
+    pub(crate) poller_write_us: Arc<Histogram>,
+    /// How long a session's read interest stayed parked awaiting credit (us).
+    pub(crate) credit_stall_us: Arc<Histogram>,
+}
+
+impl NodeObs {
+    pub(crate) fn new(node: usize, lanes: usize) -> Self {
+        NodeObs {
+            lane_latency: (0..lanes).map(|_| Arc::new(Histogram::new())).collect(),
+            lane_traces: (0..lanes)
+                .map(|l| TraceRing::new(format!("n{node}/lane{l}")))
+                .collect(),
+            pump_trace: TraceRing::new(format!("n{node}/pump")),
+            invals_sent: AtomicU64::new(0),
+            invals_acked: AtomicU64::new(0),
+            vals_sent: AtomicU64::new(0),
+            push_acks: AtomicU64::new(0),
+            holds_released: AtomicU64::new(0),
+            view_outages: AtomicU64::new(0),
+            view_change_us: Arc::new(Histogram::new()),
+            sync_chunks: AtomicU64::new(0),
+            sync_bytes: AtomicU64::new(0),
+            accepts: AtomicU64::new(0),
+            read_parks: AtomicU64::new(0),
+            poller_decode_us: Arc::new(Histogram::new()),
+            poller_write_us: Arc::new(Histogram::new()),
+            credit_stall_us: Arc::new(Histogram::new()),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Process-wide transaction accounting, shared by server-side executors
+/// and client sessions.
+#[derive(Debug, Default)]
+pub(crate) struct TxnCounters {
+    pub(crate) attempts: AtomicU64,
+    pub(crate) commits: AtomicU64,
+    pub(crate) backoffs: AtomicU64,
+    pub(crate) in_doubt: AtomicU64,
+    pub(crate) aborts_conflict: AtomicU64,
+    pub(crate) aborts_funds: AtomicU64,
+    pub(crate) aborts_invalid: AtomicU64,
+    pub(crate) aborts_not_operational: AtomicU64,
+    pub(crate) aborts_overflow: AtomicU64,
+}
+
+impl TxnCounters {
+    /// Books a finished transaction: its total protocol attempts and the
+    /// final outcome (commit, or abort by cause).
+    pub(crate) fn finish(&self, attempts: u64, outcome: Option<TxnAbort>) {
+        self.attempts.fetch_add(attempts, Ordering::Relaxed);
+        let slot = match outcome {
+            None => &self.commits,
+            Some(TxnAbort::Conflict) => &self.aborts_conflict,
+            Some(TxnAbort::InsufficientFunds) => &self.aborts_funds,
+            Some(TxnAbort::Invalid) => &self.aborts_invalid,
+            Some(TxnAbort::NotOperational) => &self.aborts_not_operational,
+            Some(TxnAbort::Overflow) => &self.aborts_overflow,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn aborts_by_cause(&self) -> [(&'static str, &AtomicU64); 5] {
+        [
+            ("conflict", &self.aborts_conflict),
+            ("insufficient_funds", &self.aborts_funds),
+            ("invalid", &self.aborts_invalid),
+            ("not_operational", &self.aborts_not_operational),
+            ("overflow", &self.aborts_overflow),
+        ]
+    }
+}
+
+static TXN_COUNTERS: TxnCounters = TxnCounters {
+    attempts: AtomicU64::new(0),
+    commits: AtomicU64::new(0),
+    backoffs: AtomicU64::new(0),
+    in_doubt: AtomicU64::new(0),
+    aborts_conflict: AtomicU64::new(0),
+    aborts_funds: AtomicU64::new(0),
+    aborts_invalid: AtomicU64::new(0),
+    aborts_not_operational: AtomicU64::new(0),
+    aborts_overflow: AtomicU64::new(0),
+};
+
+/// The process-wide transaction counters.
+pub(crate) fn txn_counters() -> &'static TxnCounters {
+    &TXN_COUNTERS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_finish_books_outcomes() {
+        let c = TxnCounters::default();
+        c.finish(3, None);
+        c.finish(2, Some(TxnAbort::Conflict));
+        c.finish(1, Some(TxnAbort::Overflow));
+        assert_eq!(c.attempts.load(Ordering::Relaxed), 6);
+        assert_eq!(c.commits.load(Ordering::Relaxed), 1);
+        assert_eq!(c.aborts_conflict.load(Ordering::Relaxed), 1);
+        assert_eq!(c.aborts_overflow.load(Ordering::Relaxed), 1);
+        let total_aborts: u64 = c
+            .aborts_by_cause()
+            .iter()
+            .map(|(_, a)| a.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(total_aborts, 2);
+    }
+
+    #[test]
+    fn node_obs_shapes_match_lanes() {
+        let obs = NodeObs::new(1, 3);
+        assert_eq!(obs.lane_latency.len(), 3);
+        assert_eq!(obs.lane_traces.len(), 3);
+        NodeObs::bump(&obs.invals_sent, 4);
+        assert_eq!(obs.invals_sent.load(Ordering::Relaxed), 4);
+    }
+}

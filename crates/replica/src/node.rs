@@ -22,8 +22,9 @@
 //! lives in `examples/session_scaling.rs`.
 
 use crate::membership::{MembershipOptions, MembershipStatus};
-use crate::poller::{ClientPlane, PlaneConfig, PlaneGauges, StatsSource};
-use crate::threaded::{spawn_node, Command, Completion, PushGauges, ReplyTo};
+use crate::metrics::txn_counters;
+use crate::poller::{ClientPlane, MetricsSource, PlaneConfig, PlaneGauges, StatsSource};
+use crate::threaded::{spawn_node, Command, Completion, NodeHandle, PushGauges, ReplyTo};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use hermes_common::{
@@ -34,6 +35,7 @@ use hermes_membership::RmConfig;
 use hermes_net::{
     read_frame_deadline, write_frame_to, FrameRead, TcpConfig, TcpEndpoint, TcpStats,
 };
+use hermes_obs::Registry;
 use hermes_store::{Store, StoreConfig};
 use hermes_txn::{conflict_backoff, TxnConfig, TxnMachine, TxnToken};
 use hermes_wings::{client as rpc, CreditConfig};
@@ -102,13 +104,16 @@ pub struct NodeOptions {
     /// (Re)start outside the group and join as a shadow: refuse service,
     /// ask the members for admission, bulk-sync, get promoted (`--join`).
     pub join: bool,
+    /// Periodically dump the metrics exposition (`--metrics-dump <secs>`).
+    /// Consumed by the `hermesd` example's main loop, like `run_for`.
+    pub metrics_dump: Option<Duration>,
 }
 
 impl NodeOptions {
     /// Parses daemon command-line arguments (everything after the program
     /// name): `--node <id> --peers <addr,addr,...> --client <addr>
     /// [--workers <n>] [--pollers <n>] [--duration <secs>] [--join]
-    /// [--no-membership]`.
+    /// [--no-membership] [--metrics-dump <secs>]`.
     ///
     /// # Errors
     ///
@@ -122,6 +127,7 @@ impl NodeOptions {
         let mut run_for = None;
         let mut membership = Some(RmConfig::wall_clock());
         let mut join = false;
+        let mut metrics_dump = None;
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let mut value = |name: &str| {
@@ -168,6 +174,15 @@ impl NodeOptions {
                         .map_err(|e| format!("--duration: {e}"))?;
                     run_for = Some(Duration::from_secs_f64(secs));
                 }
+                "--metrics-dump" => {
+                    let secs: f64 = value("--metrics-dump")?
+                        .parse()
+                        .map_err(|e| format!("--metrics-dump: {e}"))?;
+                    if secs <= 0.0 {
+                        return Err("--metrics-dump must be > 0".into());
+                    }
+                    metrics_dump = Some(Duration::from_secs_f64(secs));
+                }
                 "--join" => join = true,
                 "--no-membership" => membership = None,
                 other => return Err(format!("unknown flag {other}")),
@@ -202,6 +217,7 @@ impl NodeOptions {
             run_for,
             membership,
             join,
+            metrics_dump,
         })
     }
 }
@@ -236,6 +252,10 @@ pub struct NodeRuntime {
     /// Raised when a client connection delivers the shutdown RPC; the
     /// daemon's main loop polls it and winds the process down.
     shutdown_requested: Arc<AtomicBool>,
+    /// The metrics registry backing the `Metrics` RPC and
+    /// [`NodeRuntime::metrics_text`]; every runtime gauge, histogram and
+    /// protocol-phase counter is registered here at startup.
+    registry: Arc<Registry>,
 }
 
 impl NodeRuntime {
@@ -304,6 +324,11 @@ impl NodeRuntime {
                 accept_stalls: gauges.accept_stalls(),
             })
         };
+        let registry = Arc::new(build_registry(&node, &plane_gauges, &tcp_stats));
+        let metrics_source: Arc<MetricsSource> = {
+            let registry = Arc::clone(&registry);
+            Arc::new(move || registry.render())
+        };
         let client_plane = ClientPlane::start(
             client_listener,
             node.lanes.clone(),
@@ -317,6 +342,8 @@ impl NodeRuntime {
             Arc::clone(&plane_gauges),
             Arc::clone(&shutdown_requested),
             stats_source,
+            metrics_source,
+            Arc::clone(&node.obs),
         )?;
         Ok(NodeRuntime {
             node: opts.node,
@@ -336,7 +363,14 @@ impl NodeRuntime {
             lane_ingress: node.lane_ingress,
             tcp_stats,
             shutdown_requested,
+            registry,
         })
+    }
+
+    /// Renders this replica's full metrics exposition (the same text the
+    /// `Metrics` client RPC serves remotely, [`query_metrics`]).
+    pub fn metrics_text(&self) -> String {
+        self.registry.render()
     }
 
     /// This replica's node id.
@@ -532,6 +566,267 @@ pub struct NodeStats {
     pub accept_stalls: u64,
 }
 
+/// Registers every runtime gauge, protocol-phase counter and latency
+/// histogram of one replica into a fresh metrics registry. All handles are
+/// closures or shared `Arc`s over state the runtime already maintains —
+/// rendering samples live values, and registration adds no hot-path cost.
+fn build_registry(node: &NodeHandle, plane: &Arc<PlaneGauges>, tcp: &Arc<TcpStats>) -> Registry {
+    let r = Registry::new();
+    let obs = &node.obs;
+
+    // Membership / serving state.
+    let s = Arc::clone(&node.status);
+    r.gauge_fn(
+        "hermes_view_epoch",
+        "Epoch of the installed membership view.",
+        vec![],
+        move || s.epoch(),
+    );
+    let s = Arc::clone(&node.status);
+    r.counter_fn(
+        "hermes_view_changes_total",
+        "Reconfigured views installed since start.",
+        vec![],
+        move || s.view_changes(),
+    );
+    let s = Arc::clone(&node.status);
+    r.gauge_fn(
+        "hermes_serving",
+        "Whether this replica serves client operations (0/1).",
+        vec![],
+        move || s.serving() as u64,
+    );
+    let s = Arc::clone(&node.status);
+    r.gauge_fn(
+        "hermes_synced",
+        "Whether shadow catch-up completed (0/1).",
+        vec![],
+        move || s.synced() as u64,
+    );
+    r.histogram_shared(
+        "hermes_view_change_outage_us",
+        "Not-serving window per view-change outage (us).",
+        vec![],
+        Arc::clone(&obs.view_change_us),
+    );
+    let o = Arc::clone(obs);
+    r.counter_fn(
+        "hermes_view_change_outages_total",
+        "Completed serving outages (serving lost then restored).",
+        vec![],
+        move || o.view_outages.load(Ordering::Relaxed),
+    );
+
+    // Worker lanes: op throughput, ingress demux, op latency, slow ops.
+    for lane in 0..node.lane_ops.len() {
+        let ops = Arc::clone(&node.lane_ops);
+        r.counter_fn(
+            "hermes_lane_ops_total",
+            "Client operations handled per worker lane.",
+            vec![("lane", lane.to_string())],
+            move || ops[lane].load(Ordering::Relaxed),
+        );
+    }
+    for lane in 0..node.lane_ingress.len() {
+        let ing = Arc::clone(&node.lane_ingress);
+        r.counter_fn(
+            "hermes_lane_ingress_total",
+            "Peer messages delivered directly into each worker lane's queue.",
+            vec![("lane", lane.to_string())],
+            move || ing[lane].load(Ordering::Relaxed),
+        );
+    }
+    for (lane, h) in obs.lane_latency.iter().enumerate() {
+        r.histogram_shared(
+            "hermes_op_latency_us",
+            "Client-op latency per worker lane (us, issue to reply release).",
+            vec![("lane", lane.to_string())],
+            Arc::clone(h),
+        );
+    }
+    for lane in 0..obs.lane_traces.len() {
+        let o = Arc::clone(obs);
+        r.counter_fn(
+            "hermes_slow_ops_total",
+            "Ops captured over the slow-op trace threshold per lane.",
+            vec![("lane", lane.to_string())],
+            move || o.lane_traces[lane].slow_total(),
+        );
+    }
+
+    // Protocol-phase counters (paper §3.1: INV broadcast, ACK collection,
+    // VAL broadcast).
+    type PhaseReader = fn(&crate::metrics::NodeObs) -> u64;
+    let phase: [(&'static str, &'static str, PhaseReader); 5] = [
+        (
+            "hermes_invalidations_sent_total",
+            "Invalidation (INV) messages sent to peers.",
+            |o| o.invals_sent.load(Ordering::Relaxed),
+        ),
+        (
+            "hermes_invalidation_acks_total",
+            "Invalidation acks (ACK) received from peers.",
+            |o| o.invals_acked.load(Ordering::Relaxed),
+        ),
+        (
+            "hermes_validations_sent_total",
+            "Validation (VAL) messages sent to peers.",
+            |o| o.vals_sent.load(Ordering::Relaxed),
+        ),
+        (
+            "hermes_sync_chunks_total",
+            "Shadow catch-up chunks installed.",
+            |o| o.sync_chunks.load(Ordering::Relaxed),
+        ),
+        (
+            "hermes_sync_bytes_total",
+            "Shadow catch-up payload bytes installed.",
+            |o| o.sync_bytes.load(Ordering::Relaxed),
+        ),
+    ];
+    for (name, help, read) in phase {
+        let o = Arc::clone(obs);
+        r.counter_fn(name, help, vec![], move || read(&o));
+    }
+
+    // Client cache plane: subscriptions, pushes, acks, held releases.
+    let pg = Arc::clone(&node.push_gauges);
+    r.gauge_fn(
+        "hermes_cache_subscriptions",
+        "Live client push subscriptions across all worker lanes.",
+        vec![],
+        move || pg.subscriptions.load(Ordering::Relaxed),
+    );
+    let pg = Arc::clone(&node.push_gauges);
+    r.counter_fn(
+        "hermes_cache_pushes_total",
+        "Push frames (invalidations, acks, flushes) sent to clients.",
+        vec![],
+        move || pg.pushes.load(Ordering::Relaxed),
+    );
+    let o = Arc::clone(obs);
+    r.counter_fn(
+        "hermes_cache_push_acks_total",
+        "Client invalidation-push acks received.",
+        vec![],
+        move || o.push_acks.load(Ordering::Relaxed),
+    );
+    let o = Arc::clone(obs);
+    r.counter_fn(
+        "hermes_cache_holds_released_total",
+        "Effects released after their guarding cache-push acks arrived.",
+        vec![],
+        move || o.holds_released.load(Ordering::Relaxed),
+    );
+
+    // Client plane: sessions, accepts, poller timings, credit stalls.
+    let g = Arc::clone(plane);
+    r.gauge_fn(
+        "hermes_open_sessions",
+        "Remote client sessions currently open.",
+        vec![],
+        move || g.open_sessions(),
+    );
+    let g = Arc::clone(plane);
+    r.counter_fn(
+        "hermes_accept_stalls_total",
+        "Times the listener paused accepting near the fd budget.",
+        vec![],
+        move || g.accept_stalls(),
+    );
+    let o = Arc::clone(obs);
+    r.counter_fn(
+        "hermes_accepts_total",
+        "Client connections accepted.",
+        vec![],
+        move || o.accepts.load(Ordering::Relaxed),
+    );
+    let o = Arc::clone(obs);
+    r.counter_fn(
+        "hermes_credit_parks_total",
+        "Sessions whose read interest parked on credit exhaustion.",
+        vec![],
+        move || o.read_parks.load(Ordering::Relaxed),
+    );
+    r.histogram_shared(
+        "hermes_poller_decode_us",
+        "Poller time decoding one session's readable burst (us).",
+        vec![],
+        Arc::clone(&obs.poller_decode_us),
+    );
+    r.histogram_shared(
+        "hermes_poller_write_us",
+        "Poller time draining one session's write buffer (us).",
+        vec![],
+        Arc::clone(&obs.poller_write_us),
+    );
+    r.histogram_shared(
+        "hermes_credit_stall_us",
+        "How long a session's read interest stayed parked for credit (us).",
+        vec![],
+        Arc::clone(&obs.credit_stall_us),
+    );
+
+    // Transport.
+    let t = Arc::clone(tcp);
+    r.counter_fn(
+        "hermes_tcp_dials_total",
+        "Successful outbound peer dials (connects and reconnects).",
+        vec![],
+        move || t.dials(),
+    );
+    let t = Arc::clone(tcp);
+    r.counter_fn(
+        "hermes_tcp_frames_sent_total",
+        "Wings frames written to peers.",
+        vec![],
+        move || t.frames_sent(),
+    );
+    let t = Arc::clone(tcp);
+    r.counter_fn(
+        "hermes_tcp_frames_received_total",
+        "Wings frames received from peers.",
+        vec![],
+        move || t.frames_received(),
+    );
+
+    // Transactions (process-wide: server executors + in-process sessions).
+    let tc = txn_counters();
+    r.counter_fn(
+        "hermes_txn_attempts_total",
+        "Transaction protocol attempts (lock acquisition rounds).",
+        vec![],
+        || txn_counters().attempts.load(Ordering::Relaxed),
+    );
+    r.counter_fn(
+        "hermes_txn_commits_total",
+        "Transactions committed.",
+        vec![],
+        || txn_counters().commits.load(Ordering::Relaxed),
+    );
+    r.counter_fn(
+        "hermes_txn_backoffs_total",
+        "Conflict backoff sleeps taken by transaction drivers.",
+        vec![],
+        || txn_counters().backoffs.load(Ordering::Relaxed),
+    );
+    r.counter_fn(
+        "hermes_txn_in_doubt_total",
+        "Transactions whose fate was unresolved (coordinator lost lanes).",
+        vec![],
+        || txn_counters().in_doubt.load(Ordering::Relaxed),
+    );
+    for (cause, slot) in tc.aborts_by_cause() {
+        r.counter_fn(
+            "hermes_txn_aborts_total",
+            "Transactions aborted, by cause.",
+            vec![("cause", cause.to_string())],
+            move || slot.load(Ordering::Relaxed),
+        );
+    }
+    r
+}
+
 /// Asks the replica daemon at `addr` (its client port) to shut down
 /// cleanly, waiting up to `timeout` for the acknowledgement.
 ///
@@ -571,10 +866,16 @@ pub(crate) fn drive_server_txn(
     let mut paced_attempt = machine.attempts();
     loop {
         if let Some(reply) = machine.outcome() {
+            let abort = match reply {
+                TxnReply::Aborted(cause) => Some(*cause),
+                _ => None,
+            };
+            txn_counters().finish(machine.attempts().into(), abort);
             return reply.clone();
         }
         if machine.in_doubt() {
             // Lanes gone mid-transaction: the process is shutting down.
+            txn_counters().in_doubt.fetch_add(1, Ordering::Relaxed);
             return TxnReply::Aborted(TxnAbort::NotOperational);
         }
         if machine.attempts() > paced_attempt {
@@ -584,6 +885,7 @@ pub(crate) fn drive_server_txn(
             // session driver, so contending daemon-coordinated
             // transactions do not burn the whole retry budget in lockstep.
             paced_attempt = machine.attempts();
+            txn_counters().backoffs.fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(conflict_backoff(paced_attempt, client.0));
         }
         machine.poll(&mut subs);
@@ -605,6 +907,7 @@ pub(crate) fn drive_server_txn(
         match rx.recv_timeout(SERVER_TXN_WAIT) {
             Ok((op_id, reply)) => machine.on_reply(op_id.seq, reply),
             Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                txn_counters().in_doubt.fetch_add(1, Ordering::Relaxed);
                 return TxnReply::Aborted(TxnAbort::NotOperational);
             }
         }
@@ -625,6 +928,24 @@ pub fn query_stats(addr: SocketAddr, timeout: Duration) -> std::io::Result<rpc::
     match rpc::decode_stats_reply(&frame) {
         Ok((_, stats)) => Ok(stats),
         Err(e) => Err(std::io::Error::other(format!("bad stats reply: {e}"))),
+    }
+}
+
+/// Fetches the full metrics exposition of the replica daemon at `addr`
+/// (its client port): Prometheus-style text with per-lane op latency
+/// histograms, protocol-phase counters, cache-push and transaction
+/// accounting. The scraper-facing counterpart of
+/// [`NodeRuntime::metrics_text`].
+///
+/// # Errors
+///
+/// Fails if the daemon is unreachable or answers with a malformed frame
+/// before `timeout` elapses.
+pub fn query_metrics(addr: SocketAddr, timeout: Duration) -> std::io::Result<String> {
+    let frame = exchange_frame(addr, &rpc::encode_metrics_request_bytes(0), timeout)?;
+    match rpc::decode_metrics_reply(&frame) {
+        Ok((_, text)) => Ok(text),
+        Err(e) => Err(std::io::Error::other(format!("bad metrics reply: {e}"))),
     }
 }
 

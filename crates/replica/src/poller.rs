@@ -31,10 +31,12 @@
 //! completion. Thread count is a property of the deployment (pollers +
 //! executors), not of the session count.
 
+use crate::metrics::NodeObs;
 use crate::threaded::{Command, PushEvent, PushSink, ReplyTo};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hermes_common::{ClientId, ClientOp, Key, NodeId, OpId, Reply, ShardRouter, TxnOp, TxnReply};
 use hermes_net::{Interest, PollEvent, Poller, Waker};
+use hermes_obs::obs_warn;
 use hermes_wings::client as rpc;
 use hermes_wings::{CreditConfig, CreditFlow};
 use std::collections::{HashMap, HashSet};
@@ -44,7 +46,7 @@ use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Remote connections' protocol-level client ids live above this base so
 /// they can never collide with in-process session ids.
@@ -52,6 +54,10 @@ pub(crate) const REMOTE_CLIENT_BASE: u64 = 1 << 33;
 
 /// Provider of the stats-RPC payload, captured from the runtime's gauges.
 pub(crate) type StatsSource = dyn Fn() -> rpc::StatsPayload + Send + Sync;
+
+/// Provider of the metrics-RPC exposition text, captured from the
+/// runtime's [`hermes_obs::Registry`].
+pub(crate) type MetricsSource = dyn Fn() -> String + Send + Sync;
 
 /// Upper bound on a shard's blocked wait: the stop flag is re-checked at
 /// least this often even if the waker datagram is lost.
@@ -214,6 +220,11 @@ pub(crate) enum SessionEffect {
         /// Session-local sequence number echoed by the reply.
         seq: u64,
     },
+    /// Answer a metrics query with the runtime's rendered exposition.
+    SendMetrics {
+        /// Session-local sequence number echoed by the reply.
+        seq: u64,
+    },
     /// Register this session for invalidation pushes on `key` at the
     /// owning worker lane (no credit consumed; acked by a push frame).
     Subscribe {
@@ -368,6 +379,12 @@ impl SessionMachine {
                     self.parsed += 4 + len;
                     fx.push(SessionEffect::SendStats { seq });
                 }
+                rpc::Request::Metrics { seq } => {
+                    // Like Stats: no credit consumed — a scraper must not
+                    // steal op pipelining capacity.
+                    self.parsed += 4 + len;
+                    fx.push(SessionEffect::SendMetrics { seq });
+                }
                 rpc::Request::Subscribe { seq, key } => {
                     // Like Stats: no credit consumed — subscription traffic
                     // must not steal op pipelining capacity.
@@ -504,6 +521,8 @@ impl ClientPlane {
         gauges: Arc<PlaneGauges>,
         shutdown: Arc<AtomicBool>,
         stats: Arc<StatsSource>,
+        metrics: Arc<MetricsSource>,
+        obs: Arc<NodeObs>,
     ) -> io::Result<ClientPlane> {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -565,6 +584,8 @@ impl ClientPlane {
                 stop: Arc::clone(&stop),
                 shutdown: Arc::clone(&shutdown),
                 stats: Arc::clone(&stats),
+                metrics: Arc::clone(&metrics),
+                obs: Arc::clone(&obs),
                 gauges: Arc::clone(&gauges),
                 cfg,
                 rdbuf: vec![0u8; READ_CHUNK],
@@ -628,6 +649,9 @@ struct Session {
     /// Interest currently registered in the poller (avoids redundant
     /// `reregister` syscalls).
     interest: Interest,
+    /// When read interest was parked on credit exhaustion (observability:
+    /// the credit-stall duration is recorded at unpark).
+    parked_at: Option<Instant>,
 }
 
 /// One poller shard: a thread, a readiness multiplexer, and every session
@@ -661,6 +685,10 @@ struct Shard {
     stop: Arc<AtomicBool>,
     shutdown: Arc<AtomicBool>,
     stats: Arc<StatsSource>,
+    metrics: Arc<MetricsSource>,
+    /// Node-wide observability state (accept / decode / drain / stall
+    /// timings recorded by this shard).
+    obs: Arc<NodeObs>,
     gauges: Arc<PlaneGauges>,
     cfg: PlaneConfig,
     rdbuf: Vec<u8>,
@@ -803,8 +831,9 @@ impl Shard {
         let _ = self.poller.deregister(l.as_raw_fd());
         self.accept_paused = true;
         self.gauges.accept_stalls.fetch_add(1, Ordering::Relaxed);
-        eprintln!(
-            "hermes-poller: {} open sessions reached the fd budget ({:?}); pausing accept",
+        obs_warn!(
+            "replica::poller",
+            "{} open sessions reached the fd budget ({:?}); pausing accept",
             self.gauges.open_sessions(),
             self.fd_budget,
         );
@@ -858,8 +887,10 @@ impl Shard {
                 machine: SessionMachine::new(self.cfg.credits, self.cfg.max_frame),
                 client,
                 interest: Interest::READ,
+                parked_at: None,
             },
         );
+        NodeObs::bump(&self.obs.accepts, 1);
         self.gauges.open.fetch_add(1, Ordering::Relaxed);
         self.gauges.per_shard[self.index].fetch_add(1, Ordering::Relaxed);
     }
@@ -872,11 +903,17 @@ impl Shard {
                 return;
             };
             if ev.readable || ev.hangup {
+                let t0 = hermes_obs::recording_enabled().then(Instant::now);
                 let mut buf = std::mem::take(&mut self.rdbuf);
                 if !drain_read(sess, &mut buf, &mut fx) {
                     sess.machine.kill();
                 }
                 self.rdbuf = buf;
+                if let Some(t0) = t0 {
+                    self.obs
+                        .poller_decode_us
+                        .record(t0.elapsed().as_micros() as u64);
+                }
             }
         }
         self.apply_effects(token, &mut fx);
@@ -931,6 +968,12 @@ impl Shard {
                         sess.machine.enqueue_frame(&payload);
                     }
                 }
+                SessionEffect::SendMetrics { seq } => {
+                    let payload = rpc::encode_metrics_reply_bytes(seq, &(self.metrics)());
+                    if let Some(sess) = self.sessions.get_mut(&token) {
+                        sess.machine.enqueue_frame(&payload);
+                    }
+                }
                 SessionEffect::Subscribe { seq, key } => {
                     let lane = self.router.lane_for_op(key, &ClientOp::Read);
                     let cmd = Command::Subscribe {
@@ -962,11 +1005,20 @@ impl Shard {
     /// reap the session if it died, otherwise resubscribe its readiness to
     /// what the machine can currently make progress on.
     fn finish_io(&mut self, token: u64) {
+        let recording = hermes_obs::recording_enabled();
         let Some(sess) = self.sessions.get_mut(&token) else {
             return;
         };
-        if !sess.machine.is_dead() && sess.machine.wants_write() && !drain_write(sess) {
-            sess.machine.kill();
+        if !sess.machine.is_dead() && sess.machine.wants_write() {
+            let t0 = recording.then(Instant::now);
+            if !drain_write(sess) {
+                sess.machine.kill();
+            }
+            if let Some(t0) = t0 {
+                self.obs
+                    .poller_write_us
+                    .record(t0.elapsed().as_micros() as u64);
+            }
         }
         if sess.machine.is_dead() {
             self.reap(token);
@@ -979,6 +1031,21 @@ impl Shard {
         if want != sess.interest {
             let fd = sess.stream.as_raw_fd();
             if self.poller.reregister(fd, token, want).is_ok() {
+                // A read-interest drop means the session ran out of Wings
+                // credits (the machine stops wanting bytes only when
+                // stalled); the park→unpark window is the credit stall.
+                if recording {
+                    if sess.interest.read && !want.read {
+                        sess.parked_at = Some(Instant::now());
+                        NodeObs::bump(&self.obs.read_parks, 1);
+                    } else if !sess.interest.read && want.read {
+                        if let Some(at) = sess.parked_at.take() {
+                            self.obs
+                                .credit_stall_us
+                                .record(at.elapsed().as_micros() as u64);
+                        }
+                    }
+                }
                 sess.interest = want;
             }
         }

@@ -25,16 +25,19 @@
 //! [`ThreadCluster`]: crate::ThreadCluster
 //! [`ThreadCluster::session`]: crate::ThreadCluster::session
 
+use crate::metrics::txn_counters;
 use crate::threaded::{Command, PushEvent, PushSink, ReplyTo};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hermes_common::{
     ClientId, ClientOp, Key, NodeId, OpId, Reply, RmwOp, ShardRouter, TxnAbort, TxnOp, TxnReply,
     Value,
 };
+use hermes_obs::{HistogramSnapshot, Quantiles};
 use hermes_txn::{conflict_backoff, TxnConfig, TxnMachine, TxnToken};
 use hermes_wings::{CreditConfig, CreditFlow};
 use hermes_workload::PipelinedKv;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 /// Give up on an individual operation after this long (matches the blocking
@@ -291,6 +294,18 @@ pub struct ClientSession<C: SessionChannel = LaneChannel> {
     cache: ReadCache,
     /// In-flight reads on subscribed keys, for cache fills on completion.
     read_keys: HashMap<OpId, Key>,
+    /// Submission instants of in-flight remote operations, for RTT
+    /// recording at completion (absent when `HERMES_OBS=off`).
+    issued_at: HashMap<OpId, Instant>,
+    /// Round-trip latency (us) of completed remote operations.
+    rtt: HistogramSnapshot,
+    /// Latency (us) of reads served from the local cache — the zero-RTT
+    /// path; measures pure client-side overhead.
+    hit_latency: HistogramSnapshot,
+    /// Round-trip latency (us) of reads on subscribed keys that missed
+    /// the cache and went to the replica — the hit histogram's
+    /// counterpart for the DESIGN.md §8 hit/miss latency split.
+    miss_latency: HistogramSnapshot,
 }
 
 /// Client-side read cache kept coherent by pushed invalidations: fills on
@@ -367,6 +382,10 @@ impl<C: SessionChannel> ClientSession<C> {
             in_flight: 0,
             cache: ReadCache::default(),
             read_keys: HashMap::new(),
+            issued_at: HashMap::new(),
+            rtt: HistogramSnapshot::empty(),
+            hit_latency: HistogramSnapshot::empty(),
+            miss_latency: HistogramSnapshot::empty(),
         }
     }
 
@@ -400,6 +419,7 @@ impl<C: SessionChannel> ClientSession<C> {
     /// (backpressure); an unreachable service eventually completes the
     /// operation as [`Reply::NotOperational`].
     pub fn submit(&mut self, key: Key, cop: ClientOp) -> Ticket {
+        let t0 = hermes_obs::recording_enabled().then(Instant::now);
         let is_read = matches!(cop, ClientOp::Read);
         if !is_read {
             // Issuer self-invalidation: the lane does not push the writer
@@ -422,6 +442,9 @@ impl<C: SessionChannel> ClientSession<C> {
                 self.next_seq += 1;
                 // A zero-RTT local completion: no credit, no channel trip.
                 self.ready.insert(op, Reply::ReadOk(value.clone()));
+                if let Some(t0) = t0 {
+                    self.hit_latency.record(t0.elapsed().as_micros() as u64);
+                }
                 return Ticket { op };
             } else {
                 self.cache.misses += 1;
@@ -444,6 +467,9 @@ impl<C: SessionChannel> ClientSession<C> {
             self.in_flight += 1;
             if is_read && self.cache.subscribed.contains(&key) {
                 self.read_keys.insert(op, key);
+            }
+            if let Some(t0) = t0 {
+                self.issued_at.insert(op, t0);
             }
         } else {
             // Service gone: return the credit, complete immediately.
@@ -549,6 +575,29 @@ impl<C: SessionChannel> ClientSession<C> {
         self.cache.entries.len()
     }
 
+    /// Round-trip latency quantiles (us) over every completed remote
+    /// operation of this session. Empty when `HERMES_OBS=off`.
+    pub fn rtt_quantiles(&self) -> Quantiles {
+        self.rtt.quantiles()
+    }
+
+    /// The session's full RTT histogram, mergeable across sessions with
+    /// [`HistogramSnapshot::merge`] for fleet-wide percentiles.
+    pub fn rtt_histogram(&self) -> &HistogramSnapshot {
+        &self.rtt
+    }
+
+    /// Latency quantiles (us) of reads served from the local cache.
+    pub fn cache_hit_quantiles(&self) -> Quantiles {
+        self.hit_latency.quantiles()
+    }
+
+    /// Latency quantiles (us) of subscribed-key reads that missed the
+    /// cache and paid a full round trip.
+    pub fn cache_miss_quantiles(&self) -> Quantiles {
+        self.miss_latency.quantiles()
+    }
+
     /// Highest view epoch the cache has observed in a push.
     pub fn cache_epoch(&self) -> u64 {
         self.cache.epoch
@@ -615,6 +664,15 @@ impl<C: SessionChannel> ClientSession<C> {
     fn accept(&mut self, (op, reply): (OpId, Reply)) -> bool {
         self.in_flight = self.in_flight.saturating_sub(1);
         self.flow.on_implicit_credit(SERVER);
+        if let Some(t0) = self.issued_at.remove(&op) {
+            let us = t0.elapsed().as_micros() as u64;
+            self.rtt.record(us);
+            // A read that carried a fill intent was a read on a subscribed
+            // key that missed the cache: the other half of the hit split.
+            if self.read_keys.contains_key(&op) {
+                self.miss_latency.record(us);
+            }
+        }
         // Cache fill: a read reply on a subscribed key whose fill was not
         // canceled by an interleaved invalidation, flush, or own write (see
         // `on_event`/`submit`) reflects the latest acked state of the key.
@@ -652,6 +710,8 @@ impl<C: SessionChannel> ClientSession<C> {
             if now >= deadline {
                 if ticket.op.seq < self.next_seq {
                     self.abandoned.insert(ticket.op);
+                    // A late completion must not record a bogus 10s+ RTT.
+                    self.issued_at.remove(&ticket.op);
                 }
                 return Reply::NotOperational;
             }
@@ -722,12 +782,18 @@ impl<C: SessionChannel> ClientSession<C> {
         let mut paced_attempt = machine.attempts();
         loop {
             if let Some(reply) = machine.outcome() {
+                let abort = match reply {
+                    TxnReply::Aborted(cause) => Some(*cause),
+                    _ => None,
+                };
+                txn_counters().finish(machine.attempts().into(), abort);
                 return match reply.clone() {
                     TxnReply::Committed { values } => TxnResult::Committed(values),
                     TxnReply::Aborted(abort) => TxnResult::Aborted(abort),
                 };
             }
             if machine.in_doubt() {
+                txn_counters().in_doubt.fetch_add(1, Ordering::Relaxed);
                 self.abandon_txn_tickets(&mut tags);
                 return TxnResult::InDoubt(PendingTxn {
                     machine: Box::new(machine),
@@ -739,6 +805,7 @@ impl<C: SessionChannel> ClientSession<C> {
                 // retry's first lock CAS, so colliding coordinators do not
                 // re-collide in lockstep.
                 paced_attempt = machine.attempts();
+                txn_counters().backoffs.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(conflict_backoff(paced_attempt, self.client_id().0));
             }
             machine.poll(&mut subs);
@@ -754,6 +821,7 @@ impl<C: SessionChannel> ClientSession<C> {
                     self.abandoned.insert(ticket.op);
                     machine.on_reply(tag, Reply::NotOperational);
                 }
+                txn_counters().in_doubt.fetch_add(1, Ordering::Relaxed);
                 return TxnResult::InDoubt(PendingTxn {
                     machine: Box::new(machine),
                 });

@@ -35,6 +35,7 @@
 //! flight.
 
 use crate::membership::{boot_view, MembershipOptions, MembershipStatus};
+use crate::metrics::NodeObs;
 use crate::poller::ShardHandle;
 use crate::session::{ClientSession, LaneChannel, SessionEvent};
 use crate::sharded::ShardedEngine;
@@ -47,6 +48,7 @@ use hermes_common::{
 use hermes_core::{HermesNode, KeyState, Msg, ProtocolConfig, Ts, UpdateKind};
 use hermes_membership::{wire, MembershipDriver, RmEffect, RmMsg};
 use hermes_net::{Endpoint, InProcNet, IngressGuard, NetEvent, NetFaults, NetSender, Transport};
+use hermes_obs::{obs_info, obs_warn, Phase, Span};
 use hermes_store::{SlotMeta, SlotState, Store, StoreConfig};
 use hermes_wings::control::{self, ControlMsg};
 use hermes_wings::{codec, decode_frame, Batcher, CreditConfig};
@@ -681,6 +683,9 @@ pub(crate) struct NodeHandle {
     pub(crate) lane_ingress: Arc<Vec<AtomicU64>>,
     /// Client subscription/push gauges (stats RPC).
     pub(crate) push_gauges: Arc<PushGauges>,
+    /// Latency histograms, trace rings and protocol-phase counters shared
+    /// by every lane (and, via `NodeRuntime`, the metrics exposition).
+    pub(crate) obs: Arc<NodeObs>,
 }
 
 /// Spawns one replica node's worker threads over `ep` and points the
@@ -718,6 +723,7 @@ pub(crate) fn spawn_node<E: Endpoint>(
     let lane_ingress: Arc<Vec<AtomicU64>> =
         Arc::new((0..workers_per_node).map(|_| AtomicU64::new(0)).collect());
     let push_gauges = Arc::new(PushGauges::default());
+    let obs = Arc::new(NodeObs::new(me.0 as usize, workers_per_node));
     let mut handles = Vec::new();
     for (lane, (node, (_, rx))) in shards.into_iter().zip(channels).enumerate() {
         let worker = Worker::new(
@@ -729,6 +735,7 @@ pub(crate) fn spawn_node<E: Endpoint>(
             Arc::clone(&status),
             Arc::clone(&lane_ops),
             Arc::clone(&push_gauges),
+            Arc::clone(&obs),
         );
         let running = Arc::clone(&running);
         if lane == 0 {
@@ -740,7 +747,12 @@ pub(crate) fn spawn_node<E: Endpoint>(
                 } else {
                     MembershipDriver::new(me, boot, m.rm)
                 };
-                PumpMembership::new(driver, net_tx.clone(), Arc::clone(&status))
+                PumpMembership::new(
+                    driver,
+                    net_tx.clone(),
+                    Arc::clone(&status),
+                    Arc::clone(&obs),
+                )
             });
             handles.push(std::thread::spawn(move || {
                 pump_main(worker, rx, peer_lanes, running, peer_downs, glue);
@@ -776,6 +788,7 @@ pub(crate) fn spawn_node<E: Endpoint>(
         lane_ops,
         lane_ingress,
         push_gauges,
+        obs,
     }
 }
 
@@ -808,6 +821,13 @@ fn deliver_frame(
     alive
 }
 
+/// One in-flight client operation: where its reply goes, plus (when
+/// observability recording is on) its protocol-phase trace span.
+struct PendingOp {
+    reply: ReplyTo,
+    span: Option<Span>,
+}
+
 /// One worker lane: a shard's protocol engine plus the runtime state that
 /// interprets its effects. Generic over the transport's transmit half.
 struct Worker<S: NetSender> {
@@ -818,7 +838,7 @@ struct Worker<S: NetSender> {
     net: S,
     batcher: Batcher,
     timers: DeadlineQueue,
-    clients: HashMap<OpId, ReplyTo>,
+    clients: HashMap<OpId, PendingOp>,
     /// Cached broadcast set of the current view, refreshed only on
     /// membership change (not rebuilt per effect drain).
     peers: Vec<NodeId>,
@@ -833,6 +853,8 @@ struct Worker<S: NetSender> {
     subs: LaneSubs,
     /// Node-wide subscription/push gauges (stats RPC).
     push_gauges: Arc<PushGauges>,
+    /// Node-wide latency histograms, trace rings and phase counters.
+    obs: Arc<NodeObs>,
     fx: Vec<Effect<Msg>>,
 }
 
@@ -847,6 +869,7 @@ impl<S: NetSender> Worker<S> {
         status: Arc<MembershipStatus>,
         lane_ops: Arc<Vec<AtomicU64>>,
         push_gauges: Arc<PushGauges>,
+        obs: Arc<NodeObs>,
     ) -> Self {
         let mut worker = Worker {
             lane,
@@ -862,6 +885,7 @@ impl<S: NetSender> Worker<S> {
             lane_ops,
             subs: LaneSubs::default(),
             push_gauges,
+            obs,
             fx: Vec::new(),
         };
         worker.refresh_peers();
@@ -895,9 +919,10 @@ impl<S: NetSender> Worker<S> {
                     return true;
                 }
                 let issuer = op.client;
-                self.clients.insert(op, reply);
+                let span = hermes_obs::recording_enabled().then(|| Span::begin(Phase::Issued));
+                self.clients.insert(op, PendingOp { reply, span });
                 self.node.on_client_op(op, key, cop, &mut self.fx);
-                self.drain_effects(Some(key), Some(issuer));
+                self.drain_effects(Some(key), Some(issuer), Some(op));
             }
             Command::Deliver { from, msg } => self.handle_message(from, msg),
             Command::SyncLane { to } => self.sync_lane(to),
@@ -928,7 +953,7 @@ impl<S: NetSender> Worker<S> {
                 // here would have non-owner lanes overwrite the owner's
                 // slot with empty state; affected keys re-mirror when their
                 // own events next fire on their owning lane.
-                self.drain_effects(None, None);
+                self.drain_effects(None, None, None);
             }
             // Net events reach only lane 0, which intercepts them in
             // `pump_command` before delegating here.
@@ -941,8 +966,13 @@ impl<S: NetSender> Worker<S> {
     /// Processes a peer message this lane owns.
     fn handle_message(&mut self, from: NodeId, msg: Msg) {
         let key = msg.key();
+        if hermes_obs::recording_enabled() {
+            if let Msg::Ack { .. } = msg {
+                NodeObs::bump(&self.obs.invals_acked, 1);
+            }
+        }
         self.node.on_message(from, msg, &mut self.fx);
-        self.drain_effects(Some(key), None);
+        self.drain_effects(Some(key), None, None);
     }
 
     /// Fires every due message-loss timer; returns whether any fired.
@@ -954,7 +984,7 @@ impl<S: NetSender> Worker<S> {
             // Re-arm first (retransmission cadence); effects may disarm.
             self.timers.arm(key, now + MLT);
             self.node.on_mlt_timeout(key, &mut self.fx);
-            self.drain_effects(Some(key), None);
+            self.drain_effects(Some(key), None, None);
         }
         // Ride the same cadence for subscriber-ack liveness: evict remote
         // subscribers that have sat on an invalidation past the kick
@@ -973,6 +1003,8 @@ impl<S: NetSender> Worker<S> {
     /// (newer-timestamp-wins, [`HermesNode::install_chunk`]) and mirrors it
     /// so local reads observe the synced value.
     fn install_chunk(&mut self, key: Key, ts: Ts, kind: UpdateKind, value: Value) {
+        NodeObs::bump(&self.obs.sync_chunks, 1);
+        NodeObs::bump(&self.obs.sync_bytes, value.as_bytes().len() as u64);
         self.node.install_chunk(key, ts, value, kind);
         self.mirror_key(key);
         // Catch-up can move a key's committed timestamp outside a normal
@@ -1050,7 +1082,7 @@ impl<S: NetSender> Worker<S> {
     /// longer serve the superseded value. Timer effects always apply —
     /// message-loss retransmissions simply regenerate (and re-hold) the
     /// messages, and duplicates are idempotent.
-    fn drain_effects(&mut self, touched: Option<Key>, issuer: Option<ClientId>) {
+    fn drain_effects(&mut self, touched: Option<Key>, issuer: Option<ClientId>, op: Option<OpId>) {
         if let Some(touched) = touched {
             self.mirror_key(touched);
             self.push_invalidations(touched, issuer);
@@ -1066,10 +1098,36 @@ impl<S: NetSender> Worker<S> {
                     self.timers.disarm(key);
                 }
                 e if held => {
+                    // A reply parked behind unacked cache pushes: mark the
+                    // hold on the op's trace span before shelving it.
+                    if let Effect::Reply { op, .. } = &e {
+                        if let Some(p) = self.clients.get_mut(op) {
+                            if let Some(span) = p.span.as_mut() {
+                                span.mark(Phase::ReplyHeld);
+                            }
+                        }
+                    }
                     let key = touched.expect("held only with a touched key");
                     self.subs.held.entry(key).or_default().push(e);
                 }
-                e => self.emit_effect(e),
+                e => {
+                    // The issuing drain's Inv broadcast is the op's
+                    // invalidation phase (paper §3.1); mark it on the span.
+                    if let (
+                        Some(op),
+                        Effect::Broadcast {
+                            msg: Msg::Inv { .. },
+                        },
+                    ) = (op, &e)
+                    {
+                        if let Some(p) = self.clients.get_mut(&op) {
+                            if let Some(span) = p.span.as_mut() {
+                                span.mark(Phase::InvalBroadcast);
+                            }
+                        }
+                    }
+                    self.emit_effect(e);
+                }
             }
         }
         self.fx = fx;
@@ -1085,6 +1143,17 @@ impl<S: NetSender> Worker<S> {
                 }
             }
             Effect::Broadcast { msg } => {
+                if hermes_obs::recording_enabled() {
+                    match msg {
+                        Msg::Inv { .. } => {
+                            NodeObs::bump(&self.obs.invals_sent, self.peers.len() as u64);
+                        }
+                        Msg::Val { .. } => {
+                            NodeObs::bump(&self.obs.vals_sent, self.peers.len() as u64);
+                        }
+                        _ => {}
+                    }
+                }
                 let encoded = codec::encode(&msg);
                 for &to in &self.peers {
                     if let Some((to, frame)) = self.batcher.push(to, &encoded) {
@@ -1093,8 +1162,25 @@ impl<S: NetSender> Worker<S> {
                 }
             }
             Effect::Reply { op, reply } => {
-                if let Some(to) = self.clients.remove(&op) {
-                    to.send(op, reply);
+                if let Some(pending) = self.clients.remove(&op) {
+                    if let Some(mut span) = pending.span {
+                        // A write's reply means its acks are in (§3.1);
+                        // reads commit without an invalidation round.
+                        if span
+                            .marks()
+                            .iter()
+                            .any(|&(p, _)| p == Phase::InvalBroadcast)
+                        {
+                            span.mark(Phase::AcksCollected);
+                        }
+                        span.mark(Phase::Committed);
+                        span.mark(Phase::ReplyReleased);
+                        let total = self.obs.lane_traces[self.lane].complete(&span, || {
+                            format!("op client={} seq={}", op.client.0, op.seq)
+                        });
+                        self.obs.lane_latency[self.lane].record(total);
+                    }
+                    pending.reply.send(op, reply);
                 }
             }
             Effect::ArmTimer { key } => {
@@ -1150,6 +1236,9 @@ impl<S: NetSender> Worker<S> {
     /// Pushes are counted per client — an ack for an older push must not
     /// release effects a newer, still-unacked push is guarding.
     fn ack_push(&mut self, client: ClientId, key: Key) {
+        if hermes_obs::recording_enabled() {
+            NodeObs::bump(&self.obs.push_acks, 1);
+        }
         let released = match self.subs.pending.get_mut(&key) {
             Some(p) => {
                 if let Some(n) = p.waiters.get_mut(&client.0) {
@@ -1188,6 +1277,7 @@ impl<S: NetSender> Worker<S> {
     /// Emits every effect held for `key`.
     fn release_held(&mut self, key: Key) {
         if let Some(held) = self.subs.held.remove(&key) {
+            NodeObs::bump(&self.obs.holds_released, held.len() as u64);
             for e in held {
                 self.emit_effect(e);
             }
@@ -1350,10 +1440,19 @@ struct PumpMembership<S: NetSender> {
     /// Lane count announced by the sync source's marks.
     lanes_expected: Option<u32>,
     last_sync_request: Option<Instant>,
+    /// Node-wide observability state (view-change outage accounting).
+    obs: Arc<NodeObs>,
+    /// Span covering the current not-serving window, if one is open.
+    outage: Option<Span>,
 }
 
 impl<S: NetSender> PumpMembership<S> {
-    fn new(driver: MembershipDriver, net: S, status: Arc<MembershipStatus>) -> Self {
+    fn new(
+        driver: MembershipDriver,
+        net: S,
+        status: Arc<MembershipStatus>,
+        obs: Arc<NodeObs>,
+    ) -> Self {
         PumpMembership {
             driver,
             net,
@@ -1363,6 +1462,8 @@ impl<S: NetSender> PumpMembership<S> {
             marks: HashSet::new(),
             lanes_expected: None,
             last_sync_request: None,
+            obs,
+            outage: None,
         }
     }
 
@@ -1394,6 +1495,35 @@ impl<S: NetSender> PumpMembership<S> {
                 let _ = lane.send(Command::FlushClients);
             }
             worker.handle_command(Command::FlushClients);
+            obs_warn!(
+                "replica::membership",
+                "node {} stopped serving (epoch {})",
+                self.driver.node_id().0,
+                self.driver.view().epoch.0
+            );
+            if hermes_obs::recording_enabled() {
+                self.outage = Some(Span::begin(Phase::ViewChangeStart));
+            }
+        }
+        if !self.was_serving && serving {
+            // Serving restored: close the outage span — the span's total is
+            // exactly how long this replica refused operations, the paper's
+            // headline failover metric (§5.3).
+            if let Some(span) = self.outage.take() {
+                let epoch = self.driver.view().epoch.0;
+                let total = self
+                    .obs
+                    .pump_trace
+                    .complete(&span, || format!("view_change epoch={epoch}"));
+                self.obs.view_change_us.record(total);
+                NodeObs::bump(&self.obs.view_outages, 1);
+            }
+            obs_info!(
+                "replica::membership",
+                "node {} serving (epoch {})",
+                self.driver.node_id().0,
+                self.driver.view().epoch.0
+            );
         }
         self.was_serving = serving;
         self.status.set_serving(serving);
@@ -1494,6 +1624,16 @@ impl<S: NetSender> PumpMembership<S> {
                     }
                 }
                 RmEffect::InstallView(view) => {
+                    if let Some(span) = self.outage.as_mut() {
+                        span.mark(Phase::ViewChangeInstalled);
+                    }
+                    obs_info!(
+                        "replica::membership",
+                        "node {} installing view epoch={} members={}",
+                        self.driver.node_id().0,
+                        view.epoch.0,
+                        view.members.len()
+                    );
                     self.status.record_view(view);
                     for lane in &lanes[1..] {
                         let _ = lane.send(Command::InstallView(view));

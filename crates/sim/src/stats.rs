@@ -4,8 +4,12 @@
 //! throughput over time across a failure (Figure 9). This module provides the
 //! two containers those plots need:
 //!
-//! * [`Histogram`] — a log-bucketed latency histogram (HdrHistogram-style:
-//!   constant relative error, constant-time record) with percentile queries;
+//! * [`Histogram`] — a log-bucketed latency histogram with percentile
+//!   queries. The bucket layout and all percentile math live in
+//!   [`hermes_obs::HistogramSnapshot`] — this is a thin simulation-flavored
+//!   wrapper (nanosecond units, [`SimDuration`] recording) around the one
+//!   shared implementation, so the simulator, the benches and the metrics
+//!   exposition can never disagree on what "p99" means;
 //! * [`Timeline`] — fixed-width time bins counting completions, yielding a
 //!   throughput-over-time series.
 //!
@@ -24,64 +28,31 @@
 //! ```
 
 use crate::{SimDuration, SimTime};
-
-/// Number of linear sub-buckets per power-of-two bucket.
-///
-/// 32 sub-buckets bound the relative quantization error at ~3%, comfortably
-/// below the run-to-run noise of any throughput experiment.
-const SUB_BUCKETS: u64 = 32;
-const SUB_BUCKET_BITS: u32 = 5; // log2(SUB_BUCKETS)
+use hermes_obs::HistogramSnapshot;
 
 /// A log-bucketed histogram of `u64` samples (typically latencies in ns).
 ///
-/// Values are grouped into buckets whose width grows with magnitude, so the
-/// histogram covers the full `u64` range in a few KiB with bounded relative
-/// error. Recording is O(1); percentile queries are O(buckets).
-#[derive(Clone, Debug)]
+/// Values are grouped into buckets whose width grows with magnitude
+/// (HdrHistogram-style: ~3 % bounded relative error over the full `u64`
+/// range). Recording is O(1); percentile queries are O(buckets). All
+/// bucket and percentile math is [`hermes_obs::HistogramSnapshot`]'s.
+#[derive(Clone, Debug, Default)]
 pub struct Histogram {
-    counts: Vec<u64>,
-    count: u64,
-    sum: u128,
-    min: u64,
-    max: u64,
+    inner: HistogramSnapshot,
 }
 
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        // 64 powers of two, SUB_BUCKETS each; the first power collapses to
-        // exact values 0..SUB_BUCKETS.
         Histogram {
-            counts: vec![0; (64 - SUB_BUCKET_BITS as usize + 1) * SUB_BUCKETS as usize],
-            count: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
+            inner: HistogramSnapshot::empty(),
         }
-    }
-
-    #[inline]
-    fn index_of(value: u64) -> usize {
-        if value < SUB_BUCKETS {
-            return value as usize;
-        }
-        // Highest set bit determines the power-of-two bucket; the next
-        // SUB_BUCKET_BITS bits select the linear sub-bucket within it.
-        let msb = 63 - value.leading_zeros();
-        let bucket = (msb - SUB_BUCKET_BITS + 1) as usize;
-        let sub = ((value >> (msb - SUB_BUCKET_BITS)) - SUB_BUCKETS) as usize;
-        SUB_BUCKETS as usize + (bucket - 1) * SUB_BUCKETS as usize + sub
     }
 
     /// Records one sample.
     #[inline]
     pub fn record(&mut self, value: u64) {
-        let idx = Self::index_of(value);
-        self.counts[idx] += 1;
-        self.count += 1;
-        self.sum += value as u128;
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
+        self.inner.record(value);
     }
 
     /// Records a [`SimDuration`] sample in nanoseconds.
@@ -93,30 +64,22 @@ impl Histogram {
     /// Total number of recorded samples.
     #[inline]
     pub fn count(&self) -> u64 {
-        self.count
+        self.inner.count()
     }
 
     /// Smallest recorded sample, or 0 if empty.
     pub fn min(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.min
-        }
+        self.inner.min()
     }
 
     /// Largest recorded sample, or 0 if empty.
     pub fn max(&self) -> u64 {
-        self.max
+        self.inner.max()
     }
 
     /// Arithmetic mean of the recorded samples, or 0.0 if empty.
     pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
+        self.inner.mean()
     }
 
     /// The value at the given percentile (0–100), with the histogram's
@@ -126,64 +89,33 @@ impl Histogram {
     ///
     /// Panics if `p` is outside `[0, 100]`.
     pub fn percentile(&self, p: f64) -> u64 {
-        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (idx, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Self::value_of(idx).min(self.max).max(self.min);
-            }
-        }
-        self.max
-    }
-
-    #[inline]
-    fn value_of(index: usize) -> u64 {
-        let index = index as u64;
-        if index < SUB_BUCKETS {
-            return index;
-        }
-        let bucket = (index - SUB_BUCKETS) / SUB_BUCKETS + 1;
-        let sub = (index - SUB_BUCKETS) % SUB_BUCKETS;
-        // Midpoint of the bucket range for low bias.
-        let base = (SUB_BUCKETS + sub) << (bucket - 1);
-        let width = 1u64 << (bucket - 1);
-        base + width / 2
+        self.inner.percentile(p)
     }
 
     /// Merges another histogram's samples into this one.
     pub fn merge(&mut self, other: &Histogram) {
-        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
-            *dst += *src;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        if other.count > 0 {
-            self.min = self.min.min(other.min);
-            self.max = self.max.max(other.max);
-        }
+        self.inner.merge(&other.inner);
     }
 
-    /// Convenience summary (min/mean/p50/p99/max/count).
+    /// The underlying shared snapshot, for merging with histograms
+    /// recorded elsewhere in the runtime.
+    pub fn as_snapshot(&self) -> &HistogramSnapshot {
+        &self.inner
+    }
+
+    /// Convenience summary (min/mean/p50/p90/p99/p999/max/count).
     pub fn summary(&self) -> LatencySummary {
+        let q = self.inner.quantiles();
         LatencySummary {
-            count: self.count(),
-            min_ns: self.min(),
-            mean_ns: self.mean(),
-            p50_ns: self.percentile(50.0),
-            p99_ns: self.percentile(99.0),
-            max_ns: self.max(),
+            count: q.count,
+            min_ns: q.min,
+            mean_ns: q.mean,
+            p50_ns: q.p50,
+            p90_ns: q.p90,
+            p99_ns: q.p99,
+            p999_ns: q.p999,
+            max_ns: q.max,
         }
-    }
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
     }
 }
 
@@ -198,8 +130,12 @@ pub struct LatencySummary {
     pub mean_ns: f64,
     /// Median, nanoseconds.
     pub p50_ns: u64,
+    /// 90th percentile, nanoseconds.
+    pub p90_ns: u64,
     /// 99th percentile, nanoseconds.
     pub p99_ns: u64,
+    /// 99.9th percentile, nanoseconds.
+    pub p999_ns: u64,
     /// Maximum, nanoseconds.
     pub max_ns: u64,
 }
@@ -210,9 +146,19 @@ impl LatencySummary {
         self.p50_ns as f64 / 1e3
     }
 
+    /// 90th percentile in microseconds.
+    pub fn p90_us(&self) -> f64 {
+        self.p90_ns as f64 / 1e3
+    }
+
     /// 99th percentile in microseconds.
     pub fn p99_us(&self) -> f64 {
         self.p99_ns as f64 / 1e3
+    }
+
+    /// 99.9th percentile in microseconds.
+    pub fn p999_us(&self) -> f64 {
+        self.p999_ns as f64 / 1e3
     }
 }
 
@@ -305,11 +251,11 @@ mod tests {
     #[test]
     fn small_values_are_exact() {
         let mut h = Histogram::new();
-        for v in 0..SUB_BUCKETS {
+        for v in 0..32u64 {
             h.record(v);
         }
         assert_eq!(h.min(), 0);
-        assert_eq!(h.max(), SUB_BUCKETS - 1);
+        assert_eq!(h.max(), 31);
         // With 32 exact buckets the 50th percentile is the 16th value.
         assert_eq!(h.percentile(50.0), 15);
     }
@@ -391,6 +337,20 @@ mod tests {
         assert_eq!(s.count, 1);
         assert!((s.p50_us() - 2.0).abs() / 2.0 < 0.05);
         assert!((s.p99_us() - 2.0).abs() / 2.0 < 0.05);
+        assert!((s.p999_us() - 2.0).abs() / 2.0 < 0.05);
+    }
+
+    #[test]
+    fn summary_quantiles_are_ordered() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert!(s.p50_ns <= s.p90_ns);
+        assert!(s.p90_ns <= s.p99_ns);
+        assert!(s.p99_ns <= s.p999_ns);
+        assert!(s.p999_ns <= s.max_ns);
     }
 
     #[test]
@@ -419,27 +379,5 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn timeline_zero_bin_panics() {
         let _ = Timeline::new(SimDuration::ZERO);
-    }
-
-    #[test]
-    fn index_value_roundtrip_monotonicity() {
-        // value_of(index_of(v)) must stay within one bucket width of v, and
-        // index_of must be monotonically non-decreasing in v.
-        let mut samples: Vec<u64> = Vec::new();
-        for shift in 0..60 {
-            for off in [0u64, 1, 3] {
-                samples.push((1u64 << shift) + off);
-            }
-        }
-        samples.sort_unstable();
-        let mut last_idx = 0;
-        for v in samples {
-            let idx = Histogram::index_of(v);
-            assert!(idx >= last_idx, "index not monotonic at {v}");
-            last_idx = idx;
-            let back = Histogram::value_of(idx);
-            let rel = (back as f64 - v as f64).abs() / v as f64;
-            assert!(rel < 0.06, "roundtrip error at {v}: back {back}");
-        }
     }
 }

@@ -26,6 +26,7 @@ const REQ_STATS: u8 = 6;
 const REQ_SUBSCRIBE: u8 = 7;
 const REQ_UNSUBSCRIBE: u8 = 8;
 const REQ_INVAL_ACK: u8 = 9;
+const REQ_METRICS: u8 = 10;
 
 const RSP_READ_OK: u8 = 0;
 const RSP_WRITE_OK: u8 = 1;
@@ -48,6 +49,9 @@ const RSP_INVALIDATE: u8 = 9;
 const RSP_SUBSCRIBED: u8 = 10;
 const RSP_UNSUBSCRIBED: u8 = 11;
 const RSP_FLUSH: u8 = 12;
+/// Metrics exposition reply: like stats, a dedicated request/response
+/// exchange (never part of the pipelined session stream).
+const RSP_METRICS: u8 = 13;
 
 const TXN_MULTI_GET: u8 = 0;
 const TXN_MULTI_PUT: u8 = 1;
@@ -166,6 +170,7 @@ pub fn decode_request(buf: &[u8]) -> Result<(u64, Key, ClientOp), ClientCodecErr
         Request::Op { seq, key, cop } => Ok((seq, key, cop)),
         Request::Txn { .. } => Err(ClientCodecError::BadTag(REQ_TXN)),
         Request::Stats { .. } => Err(ClientCodecError::BadTag(REQ_STATS)),
+        Request::Metrics { .. } => Err(ClientCodecError::BadTag(REQ_METRICS)),
         Request::Shutdown { .. } => Err(ClientCodecError::BadTag(REQ_SHUTDOWN)),
         Request::Subscribe { .. } => Err(ClientCodecError::BadTag(REQ_SUBSCRIBE)),
         Request::Unsubscribe { .. } => Err(ClientCodecError::BadTag(REQ_UNSUBSCRIBE)),
@@ -200,6 +205,14 @@ pub enum Request {
     /// [`StatsPayload`] frame ([`encode_stats_reply_bytes`]) — the RPC
     /// that lets harnesses observe view changes without parsing logs.
     Stats {
+        /// Session-local sequence number echoed by the reply.
+        seq: u64,
+    },
+    /// Ask for the daemon's full metrics registry as Prometheus text
+    /// exposition, answered with one [`encode_metrics_reply_bytes`] frame:
+    /// per-lane latency histograms, protocol-phase counters, plane/cache
+    /// gauges. The machine-parseable superset of [`Request::Stats`].
+    Metrics {
         /// Session-local sequence number echoed by the reply.
         seq: u64,
     },
@@ -369,6 +382,44 @@ pub fn encode_stats_request_bytes(seq: u64) -> Bytes {
     out.freeze()
 }
 
+/// Encodes a metrics query into a fresh buffer.
+pub fn encode_metrics_request_bytes(seq: u64) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u64_le(seq);
+    out.put_u64_le(0); // Key slot, unused: keeps one request layout.
+    out.put_u8(REQ_METRICS);
+    out.freeze()
+}
+
+/// Encodes one metrics reply (UTF-8 exposition text) into a fresh buffer.
+pub fn encode_metrics_reply_bytes(seq: u64, text: &str) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u64_le(seq);
+    out.put_u8(RSP_METRICS);
+    out.put_u32_le(text.len() as u32);
+    out.put_slice(text.as_bytes());
+    out.freeze()
+}
+
+/// Decodes one metrics reply back into exposition text.
+///
+/// # Errors
+///
+/// Returns a [`ClientCodecError`] on truncation, a wrong tag, or
+/// non-UTF-8 text.
+pub fn decode_metrics_reply(buf: &[u8]) -> Result<(u64, String), ClientCodecError> {
+    let mut c = Cursor::new(buf);
+    let seq = c.u64()?;
+    let tag = c.u8()?;
+    if tag != RSP_METRICS {
+        return Err(ClientCodecError::BadTag(tag));
+    }
+    let len = c.u32()? as usize;
+    let text = String::from_utf8(c.take(len)?.to_vec())
+        .map_err(|_| ClientCodecError::BadTag(RSP_METRICS))?;
+    Ok((seq, text))
+}
+
 /// Encodes a subscribe request into a fresh buffer.
 pub fn encode_subscribe_bytes(seq: u64, key: Key) -> Bytes {
     let mut out = BytesMut::new();
@@ -450,6 +501,7 @@ pub fn decode_any(buf: &[u8]) -> Result<Request, ClientCodecError> {
             return Ok(Request::Txn { seq, op });
         }
         REQ_STATS => return Ok(Request::Stats { seq }),
+        REQ_METRICS => return Ok(Request::Metrics { seq }),
         REQ_SHUTDOWN => return Ok(Request::Shutdown { seq }),
         REQ_SUBSCRIBE => return Ok(Request::Subscribe { seq, key }),
         REQ_UNSUBSCRIBE => return Ok(Request::Unsubscribe { seq, key }),
@@ -547,6 +599,13 @@ pub fn encode_stats_reply_bytes(seq: u64, stats: &StatsPayload) -> Bytes {
 }
 
 /// Decodes one stats reply.
+///
+/// Forward-compatible: a daemon newer than this client may append fields
+/// after `accept_stalls`; any trailing bytes are skipped, so old clients
+/// keep reading new daemons. (The reverse direction — a new client
+/// reading an old daemon — requires any future field to be decoded
+/// optionally with a default, which is why new fields must only ever be
+/// *appended* here.)
 ///
 /// # Errors
 ///
@@ -957,6 +1016,76 @@ mod tests {
                 "stats reply cut at {cut}"
             );
         }
+    }
+
+    #[test]
+    fn stats_reply_skips_unknown_trailing_fields() {
+        // A newer daemon appends fields this client doesn't know. The
+        // decoder must read what it understands and skip the rest — old
+        // clients keep working against new daemons.
+        let stats = StatsPayload {
+            epoch: 5,
+            view_changes: 2,
+            members: NodeSet::first_n(3),
+            shadows: NodeSet::from_bits(0),
+            serving: true,
+            synced: true,
+            lane_ops: vec![1, 2],
+            open_sessions: 3,
+            sessions_per_shard: vec![3],
+            lane_ingress: vec![4],
+            subscriptions: 5,
+            pushes: 6,
+            accept_stalls: 7,
+        };
+        let mut extended = encode_stats_reply_bytes(1, &stats).to_vec();
+        // Hypothetical future fields: a u64 and a length-prefixed vec.
+        extended.extend_from_slice(&99u64.to_le_bytes());
+        extended.extend_from_slice(&2u32.to_le_bytes());
+        extended.extend_from_slice(&11u64.to_le_bytes());
+        extended.extend_from_slice(&22u64.to_le_bytes());
+        assert_eq!(decode_stats_reply(&extended).unwrap(), (1, stats.clone()));
+        // And the exact frame still round-trips byte-identically: what a
+        // new client encodes, an old daemon's payload shape decodes.
+        let exact = encode_stats_reply_bytes(1, &stats);
+        let (seq, decoded) = decode_stats_reply(&exact).unwrap();
+        assert_eq!((seq, &decoded), (1, &stats));
+        assert_eq!(encode_stats_reply_bytes(seq, &decoded), exact);
+    }
+
+    #[test]
+    fn metrics_rpc_roundtrips_and_truncates_cleanly() {
+        let frame = encode_metrics_request_bytes(8);
+        assert_eq!(decode_any(&frame).unwrap(), Request::Metrics { seq: 8 });
+        assert_eq!(
+            decode_request(&frame),
+            Err(ClientCodecError::BadTag(REQ_METRICS))
+        );
+        for cut in 0..frame.len() {
+            assert_eq!(
+                decode_any(&frame[..cut]),
+                Err(ClientCodecError::Truncated),
+                "metrics request cut at {cut}"
+            );
+        }
+
+        let text = "# HELP op_us Op latency.\n# TYPE op_us summary\n\
+                    op_us{lane=\"0\",quantile=\"0.99\"} 42\nop_us_count{lane=\"0\"} 7\n";
+        let reply = encode_metrics_reply_bytes(8, text);
+        assert_eq!(decode_metrics_reply(&reply).unwrap(), (8, text.to_string()));
+        // Neither the strict reply decoder nor the stats decoder accept it.
+        assert!(decode_reply(&reply).is_err());
+        assert!(decode_stats_reply(&reply).is_err());
+        for cut in 0..reply.len() {
+            assert_eq!(
+                decode_metrics_reply(&reply[..cut]),
+                Err(ClientCodecError::Truncated),
+                "metrics reply cut at {cut}"
+            );
+        }
+        // Empty exposition is legal (a daemon with recording off).
+        let empty = encode_metrics_reply_bytes(9, "");
+        assert_eq!(decode_metrics_reply(&empty).unwrap(), (9, String::new()));
     }
 
     #[test]

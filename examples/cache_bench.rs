@@ -78,7 +78,9 @@ struct ModeRecord {
     writes: u64,
     reads_per_sec: f64,
     p50_us: u64,
+    p90_us: u64,
     p99_us: u64,
+    p999_us: u64,
     hits: u64,
     misses: u64,
     invalidations: u64,
@@ -135,7 +137,8 @@ impl ModeRecord {
     fn to_json(&self) -> String {
         format!(
             "    {{\"mode\": \"{}\", \"reads\": {}, \"writes\": {}, \
-             \"reads_per_sec\": {:.1}, \"read_p50_us\": {}, \"read_p99_us\": {}, \
+             \"reads_per_sec\": {:.1}, \"read_p50_us\": {}, \"read_p90_us\": {}, \
+             \"read_p99_us\": {}, \"read_p999_us\": {}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \"invalidations\": {}, \
              \"daemon_subscriptions\": {}, \"daemon_pushes\": {}}}",
             self.mode,
@@ -143,7 +146,9 @@ impl ModeRecord {
             self.writes,
             self.reads_per_sec,
             self.p50_us,
+            self.p90_us,
             self.p99_us,
+            self.p999_us,
             self.hits,
             self.misses,
             self.invalidations,
@@ -277,7 +282,7 @@ fn run_mode(cached: bool, sessions: usize, keys: u64, window: Duration) -> ModeR
             let mut rng = Rng::seeded(0xCAC4E + sid as u64);
             let mut reads = 0u64;
             let mut writes = 0u64;
-            let mut latencies_us: Vec<u64> = Vec::new();
+            let mut latencies = HistogramSnapshot::empty();
             while !stop.load(Ordering::Relaxed) {
                 let key = Key(MEASURE_KEY_BASE + chooser.next_key(&mut rng).0);
                 if rng.next_u64() % 100 < READ_PCT {
@@ -287,7 +292,7 @@ fn run_mode(cached: bool, sessions: usize, keys: u64, window: Duration) -> ModeR
                     assert!(matches!(reply, Reply::ReadOk(_)), "fleet read: {reply:?}");
                     reads += 1;
                     if reads.is_multiple_of(LATENCY_SAMPLE) {
-                        latencies_us.push(begin.elapsed().as_micros() as u64);
+                        latencies.record(begin.elapsed().as_micros() as u64);
                     }
                 } else {
                     let t = session.write(key, Value::from_u64(rng.next_u64() >> 1));
@@ -300,7 +305,7 @@ fn run_mode(cached: bool, sessions: usize, keys: u64, window: Duration) -> ModeR
                 session.cache_misses(),
                 session.cache_invalidations(),
             );
-            (reads, writes, latencies_us, hits, misses, invals)
+            (reads, writes, latencies, hits, misses, invals)
         }));
     }
 
@@ -311,12 +316,12 @@ fn run_mode(cached: bool, sessions: usize, keys: u64, window: Duration) -> ModeR
     stop.store(true, Ordering::Relaxed);
 
     let (mut reads, mut writes, mut hits, mut misses, mut invals) = (0, 0, 0, 0, 0);
-    let mut latencies_us: Vec<u64> = Vec::new();
+    let mut latencies = HistogramSnapshot::empty();
     for j in fleet_joins {
         let (r, w, lat, h, m, i) = j.join().expect("fleet thread");
         reads += r;
         writes += w;
-        latencies_us.extend(lat);
+        latencies.merge(&lat);
         hits += h;
         misses += m;
         invals += i;
@@ -352,21 +357,16 @@ fn run_mode(cached: bool, sessions: usize, keys: u64, window: Duration) -> ModeR
         panic!("recorded history not linearizable under cache traffic: {e}");
     }
 
-    latencies_us.sort_unstable();
-    let pct = |p: f64| -> u64 {
-        if latencies_us.is_empty() {
-            return 0;
-        }
-        let idx = ((latencies_us.len() as f64 * p).ceil() as usize).saturating_sub(1);
-        latencies_us[idx.min(latencies_us.len() - 1)]
-    };
+    let q = latencies.quantiles();
     let record = ModeRecord {
         mode,
         reads,
         writes,
         reads_per_sec: reads as f64 / window.as_secs_f64(),
-        p50_us: pct(0.50),
-        p99_us: pct(0.99),
+        p50_us: q.p50,
+        p90_us: q.p90,
+        p99_us: q.p99,
+        p999_us: q.p999,
         hits,
         misses,
         invalidations: invals,

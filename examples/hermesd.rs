@@ -24,8 +24,13 @@
 //!   (`hermes_replica::request_shutdown`).
 //!
 //! The daemon logs every membership view transition and a transport stats
-//! line on exit, so operators can watch reconnects and view changes.
+//! line on exit through the `HERMES_LOG` leveled logger (DESIGN.md §9), so
+//! operators can watch reconnects and view changes; `--metrics-dump <secs>`
+//! additionally prints the full metrics exposition to stderr on an
+//! interval. Only the serving handshake and the clean-shutdown marker stay
+//! on stdout — supervising harnesses parse them.
 
+use hermes::obs::obs_info;
 use hermes::prelude::*;
 use std::io::Read;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -67,13 +72,15 @@ fn main() {
             eprintln!("hermesd: {e}");
             eprintln!(
                 "usage: hermesd --node <id> --peers <addr,addr,...> --client <addr> \
-                 [--workers <n>] [--duration <secs>] [--join] [--no-membership]"
+                 [--workers <n>] [--duration <secs>] [--join] [--no-membership] \
+                 [--metrics-dump <secs>]"
             );
             std::process::exit(2);
         }
     };
     install_sigint_handler();
     let run_for = opts.run_for;
+    let metrics_dump = opts.metrics_dump;
     let node = opts.node;
     let joining = opts.join;
     let runtime = match NodeRuntime::serve(opts) {
@@ -106,6 +113,7 @@ fn main() {
         })
     };
     let mut last = runtime.stats();
+    let mut next_dump = metrics_dump.map(|every| (Instant::now() + every, every));
     loop {
         if stdin_closed.load(Ordering::SeqCst) {
             break;
@@ -114,18 +122,19 @@ fn main() {
             break;
         }
         if SIGINT_SEEN.load(Ordering::Relaxed) {
-            println!("hermesd: node {node} caught SIGINT");
+            obs_info!("hermesd", "node {node} caught SIGINT");
             break;
         }
         if runtime.shutdown_requested() {
-            println!("hermesd: node {node} shutdown RPC received");
+            obs_info!("hermesd", "node {node} shutdown RPC received");
             break;
         }
         let stats = runtime.stats();
         // Log every membership transition (view change, serve/sync flips).
         if (stats.epoch, stats.serving, stats.synced) != (last.epoch, last.serving, last.synced) {
-            println!(
-                "hermesd: node {node} view epoch={} members={} shadows={} \
+            obs_info!(
+                "hermesd",
+                "node {node} view epoch={} members={} shadows={} \
                  serving={} synced={} (view_changes={})",
                 stats.epoch,
                 fmt_set(stats.members),
@@ -136,15 +145,27 @@ fn main() {
             );
             last = stats;
         }
+        if let Some((due, every)) = next_dump {
+            if Instant::now() >= due {
+                // Stderr, whole exposition at once: stdout stays reserved
+                // for the handshake and shutdown markers harnesses parse.
+                eprint!("{}", runtime.metrics_text());
+                next_dump = Some((due + every, every));
+            }
+        }
         std::thread::sleep(Duration::from_millis(25));
     }
     let stats = runtime.stats();
     runtime.shutdown();
     drop(watcher); // Detached: blocked in read() until our stdin closes.
-    println!(
-        "hermesd: node {node} transport: {} frames out, {} in, {} dials, \
+    obs_info!(
+        "hermesd",
+        "node {node} transport: {} frames out, {} in, {} dials, \
          {} peer disconnects",
-        stats.frames_sent, stats.frames_received, stats.reconnect_dials, stats.peer_disconnects,
+        stats.frames_sent,
+        stats.frames_received,
+        stats.reconnect_dials,
+        stats.peer_disconnects,
     );
     println!(
         "hermesd: node {node} clean shutdown (epoch={} view_changes={})",

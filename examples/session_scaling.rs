@@ -252,7 +252,7 @@ fn run_level(sessions: usize, window: Duration) -> String {
     let start = Instant::now();
     let window_end = start + window;
     let drain_end = window_end + DRAIN;
-    let mut latencies_us: Vec<u64> = Vec::with_capacity(sessions * 64);
+    let mut latencies = HistogramSnapshot::empty();
     let mut measured_ops: u64 = 0;
     let mut events: Vec<PollEvent> = Vec::new();
     let mut scratch = vec![0u8; 64 * 1024];
@@ -290,7 +290,7 @@ fn run_level(sessions: usize, window: Duration) -> String {
                     assert_eq!(reply, Reply::WriteOk, "fleet write failed");
                     let issued = sess.issued.take().expect("reply matches an issued op");
                     if now < window_end {
-                        latencies_us.push(issued.elapsed().as_micros() as u64);
+                        latencies.record(issued.elapsed().as_micros() as u64);
                         measured_ops += 1;
                         sess.issue();
                     }
@@ -366,15 +366,8 @@ fn run_level(sessions: usize, window: Duration) -> String {
 
     let secs = window.as_secs_f64();
     let ops_per_sec = measured_ops as f64 / secs;
-    latencies_us.sort_unstable();
-    let pct = |p: f64| -> u64 {
-        if latencies_us.is_empty() {
-            return 0;
-        }
-        let idx = ((latencies_us.len() as f64 * p).ceil() as usize).saturating_sub(1);
-        latencies_us[idx.min(latencies_us.len() - 1)]
-    };
-    let (p50, p99) = (pct(0.50), pct(0.99));
+    let q = latencies.quantiles();
+    let (p50, p90, p99, p999) = (q.p50, q.p90, q.p99, q.p999);
     println!(
         "   {measured_ops} ops in {secs:.1}s = {ops_per_sec:.0} ops/s; \
          p50 {p50}us p99 {p99}us; open_sessions={} threads={threads}",
@@ -407,7 +400,8 @@ fn run_level(sessions: usize, window: Duration) -> String {
         .join(", ");
     format!(
         "    {{\"sessions\": {sessions}, \"ops\": {measured_ops}, \
-         \"ops_per_sec\": {ops_per_sec:.1}, \"p50_us\": {p50}, \"p99_us\": {p99}, \
+         \"ops_per_sec\": {ops_per_sec:.1}, \"p50_us\": {p50}, \"p90_us\": {p90}, \
+         \"p99_us\": {p99}, \"p999_us\": {p999}, \
          \"open_sessions\": {}, \"daemon_threads\": {threads}, \
          \"lane_ingress\": [{lane_ingress}]}}",
         stats.open_sessions

@@ -23,20 +23,25 @@ struct Point {
     protocol: &'static str,
     ops_per_sec: f64,
     p50_us: f64,
+    p90_us: f64,
     p99_us: f64,
+    p999_us: f64,
 }
 
 impl Point {
     fn to_json(&self) -> String {
         format!(
             "    {{\"access\": \"{}\", \"write_ratio\": {:.2}, \"protocol\": \"{}\", \
-             \"ops_per_sec\": {:.0}, \"p50_us\": {:.2}, \"p99_us\": {:.2}}}",
+             \"ops_per_sec\": {:.0}, \"p50_us\": {:.2}, \"p90_us\": {:.2}, \
+             \"p99_us\": {:.2}, \"p999_us\": {:.2}}}",
             self.access,
             self.write_ratio,
             self.protocol,
             self.ops_per_sec,
             self.p50_us,
-            self.p99_us
+            self.p90_us,
+            self.p99_us,
+            self.p999_us
         )
     }
 }
@@ -61,7 +66,9 @@ fn run(
         protocol: name,
         ops_per_sec: report.throughput_mreqs * 1e6,
         p50_us: report.all.p50_us(),
+        p90_us: report.all.p90_us(),
         p99_us: report.all.p99_us(),
+        p999_us: report.all.p999_us(),
     });
 }
 

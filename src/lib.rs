@@ -23,6 +23,7 @@
 //! | [`workload`] | `hermes-workload` | uniform/zipfian YCSB-style workloads (§5.2) |
 //! | [`model`] | `hermes-model` | model checker + linearizability checker (§3.2) |
 //! | [`txn`] | `hermes-txn` | cross-shard multi-key transactions over single-key Hermes (§7) |
+//! | [`obs`] | `hermes-obs` | metrics registry, phase tracing, leveled logging (§9) |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@ pub use hermes_core as core;
 pub use hermes_membership as membership;
 pub use hermes_model as model;
 pub use hermes_net as net;
+pub use hermes_obs as obs;
 pub use hermes_replica as replica;
 pub use hermes_sim as sim;
 pub use hermes_store as store;
@@ -69,11 +71,12 @@ pub mod prelude {
     };
     pub use hermes_core::{HermesNode, KeyState, Msg, ProtocolConfig, Ts, UpdateKind};
     pub use hermes_membership::RmConfig;
+    pub use hermes_obs::{Histogram, HistogramSnapshot, Quantiles};
     pub use hermes_replica::{
-        query_stats, remote_txn, request_shutdown, run_sim, ClientSession, ClusterConfig,
-        CostModel, MembershipOptions, MembershipStatus, NodeOptions, NodeRuntime, NodeStats,
-        PendingTxn, RemoteChannel, RunReport, SessionChannel, SessionEvent, ShardedEngine,
-        SimConfig, ThreadCluster, Ticket, TxnResult,
+        query_metrics, query_stats, remote_txn, request_shutdown, run_sim, ClientSession,
+        ClusterConfig, CostModel, MembershipOptions, MembershipStatus, NodeOptions, NodeRuntime,
+        NodeStats, PendingTxn, RemoteChannel, RunReport, SessionChannel, SessionEvent,
+        ShardedEngine, SimConfig, ThreadCluster, Ticket, TxnResult,
     };
     pub use hermes_txn::{check_txns_serializable, lock_key, TxnConfig, TxnMachine, TxnObs};
     pub use hermes_workload::{

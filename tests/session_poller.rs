@@ -41,6 +41,7 @@ fn serve_single_node() -> NodeRuntime {
         run_for: None,
         membership: Some(RmConfig::wall_clock()),
         join: false,
+        metrics_dump: None,
     };
     NodeRuntime::serve(opts).expect("single-node daemon")
 }

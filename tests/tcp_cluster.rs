@@ -183,6 +183,7 @@ fn shutdown_rpc_reaches_the_daemon() {
         run_for: None,
         membership: Some(RmConfig::wall_clock()),
         join: false,
+        metrics_dump: None,
     };
     let runtime = NodeRuntime::serve(opts).expect("single-node daemon");
     assert!(!runtime.shutdown_requested());
