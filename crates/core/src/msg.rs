@@ -92,6 +92,15 @@ impl Msg {
             Msg::Ack { .. } | Msg::Val { .. } => FIXED,
         }
     }
+
+    /// Wire size with optional cross-node trace context: a sampled trace
+    /// id adds exactly 8 bytes (flagged in the tag byte by the Wings
+    /// codec); an unsampled message is byte-identical to the plain
+    /// format. The simulator's bandwidth model never samples, so it keeps
+    /// charging [`Msg::wire_size`] — the codec tests pin both shapes.
+    pub fn wire_size_traced(&self, traced: bool) -> usize {
+        self.wire_size() + if traced { 8 } else { 0 }
+    }
 }
 
 #[cfg(test)]
@@ -149,5 +158,19 @@ mod tests {
             epoch: Epoch(2),
         };
         assert!(ack.wire_size() < small.wire_size());
+    }
+
+    #[test]
+    fn traced_wire_size_adds_exactly_eight_bytes_when_sampled() {
+        let inv = sample_inv();
+        let ack = Msg::Ack {
+            key: Key(7),
+            ts: Ts::new(3, 1),
+            epoch: Epoch(2),
+        };
+        for m in [&inv, &ack] {
+            assert_eq!(m.wire_size_traced(false), m.wire_size());
+            assert_eq!(m.wire_size_traced(true), m.wire_size() + 8);
+        }
     }
 }

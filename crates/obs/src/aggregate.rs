@@ -1,0 +1,357 @@
+//! Cluster-level aggregation: merging per-node metric scrapes and
+//! stitching cross-node trace spans into causal timelines.
+//!
+//! A Hermes write is a multi-node event — coordinator broadcasts INV,
+//! followers ack, VAL commits (paper Fig. 2/3) — so a slow op's story is
+//! spread over every replica's [`TraceRing`](crate::TraceRing). This
+//! module is the pure (no I/O) half of `hermes-top`: it takes the text
+//! expositions and [`TraceSpan`] records scraped from each daemon's
+//! Metrics / Traces RPCs and produces
+//!
+//! * one merged, node-labeled exposition ([`merge_expositions`]), and
+//! * one [`Timeline`] per trace id ([`stitch`]), ordering every phase
+//!   mark from every node on a single axis
+//!   (`issued@n0 +0us -> inv_ingress@n1 +130us -> ack_write@n1 +180us ->
+//!   acks_collected@n0 +410us`), with [`Timeline::slowest_gap`] naming
+//!   the node that made the op slow.
+//!
+//! Marks from different processes are aligned by each span's wall-clock
+//! anchor (`start_unix_us`). Within one machine — the deployment the
+//! 3-process smoke runs — the clock is shared and the alignment is exact
+//! to clock-read noise; across machines it is as good as NTP, which is
+//! plenty to attribute a stall an order of magnitude above the skew.
+
+use crate::trace::TraceSpan;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Merges per-node expositions into one: `# HELP` / `# TYPE` headers are
+/// emitted once per family (first scrape wins) and every node's sample
+/// lines are grouped under them, in first-seen family order. Assumes the
+/// scrapes already carry a distinguishing `node="<id>"` label (the
+/// daemon's registry adds it).
+pub fn merge_expositions(scrapes: &[String]) -> String {
+    let mut order: Vec<String> = Vec::new();
+    let mut headers: HashMap<String, Vec<String>> = HashMap::new();
+    let mut samples: HashMap<String, Vec<String>> = HashMap::new();
+    for text in scrapes {
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let (fam, is_header) = if let Some(rest) = line.strip_prefix('#') {
+                let name = rest.split_whitespace().nth(1).unwrap_or("");
+                (family_of(name), true)
+            } else {
+                let name = line.split(['{', ' ']).next().unwrap_or(line);
+                (family_of(name), false)
+            };
+            if !headers.contains_key(&fam) && !samples.contains_key(&fam) {
+                order.push(fam.clone());
+            }
+            if is_header {
+                let fam_headers = headers.entry(fam).or_default();
+                if !fam_headers.iter().any(|h| h == line) {
+                    fam_headers.push(line.to_string());
+                }
+            } else {
+                samples.entry(fam).or_default().push(line.to_string());
+            }
+        }
+    }
+    let mut out = String::with_capacity(scrapes.iter().map(String::len).sum());
+    for fam in &order {
+        for h in headers.get(fam).map(Vec::as_slice).unwrap_or_default() {
+            out.push_str(h);
+            out.push('\n');
+        }
+        for s in samples.get(fam).map(Vec::as_slice).unwrap_or_default() {
+            out.push_str(s);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// The family a sample name belongs to: histogram-summary suffixes fold
+/// into their base name so `op_us_sum` / `op_us_count` group with
+/// `op_us`.
+fn family_of(name: &str) -> String {
+    name.strip_suffix("_sum")
+        .or_else(|| name.strip_suffix("_count"))
+        .unwrap_or(name)
+        .to_string()
+}
+
+/// One phase mark on a stitched cluster timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Node that recorded the mark.
+    pub node: u32,
+    /// Lane that recorded it (`u32::MAX` for non-lane rings).
+    pub lane: u32,
+    /// Phase name (`issued`, `inv_ingress`, `ack_write`, ...).
+    pub phase: String,
+    /// Microseconds after the timeline's first event.
+    pub at_us: u64,
+}
+
+/// Every phase mark sharing one trace id, from every node, on one axis.
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    /// The trace id the constituent spans shared.
+    pub trace: u64,
+    /// Label of the originating (coordinator) span when identifiable,
+    /// else of the first span seen.
+    pub label: String,
+    /// First-to-last extent of the stitched timeline in microseconds.
+    pub total_us: u64,
+    /// Marks in causal (wall-clock) order.
+    pub events: Vec<TimelineEvent>,
+}
+
+impl Timeline {
+    /// One-line rendering:
+    /// `trace=00ab.. total=410us <label>: issued@n0 +0us -> inv_ingress@n1 +130us -> ...`.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "trace={:016x} total={}us {}: ",
+            self.trace, self.total_us, self.label
+        );
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" -> ");
+            }
+            let _ = write!(out, "{}@n{} +{}us", e.phase, e.node, e.at_us);
+        }
+        out
+    }
+
+    /// The event that ended the longest wait between consecutive marks,
+    /// with that wait in microseconds — "which replica made this op
+    /// slow" in one lookup. `None` for timelines with fewer than two
+    /// events.
+    pub fn slowest_gap(&self) -> Option<(&TimelineEvent, u64)> {
+        self.events
+            .windows(2)
+            .map(|w| (&w[1], w[1].at_us - w[0].at_us))
+            .max_by_key(|&(_, gap)| gap)
+    }
+}
+
+/// Groups spans by trace id and merges each group's marks into one
+/// [`Timeline`], slowest first. Spans without a trace id or wall-clock
+/// anchor (threshold-captured local slow ops) cannot be aligned across
+/// processes and are skipped.
+pub fn stitch(spans: &[TraceSpan]) -> Vec<Timeline> {
+    let mut order: Vec<u64> = Vec::new();
+    let mut groups: HashMap<u64, Vec<&TraceSpan>> = HashMap::new();
+    for span in spans {
+        if span.trace == 0 || span.start_unix_us == 0 {
+            continue;
+        }
+        let group = groups.entry(span.trace).or_default();
+        if group.is_empty() {
+            order.push(span.trace);
+        }
+        group.push(span);
+    }
+    let mut timelines: Vec<Timeline> = order
+        .into_iter()
+        .map(|trace| {
+            let group = &groups[&trace];
+            let label = group
+                .iter()
+                .find(|s| s.phases.iter().any(|(p, _)| p == "issued"))
+                .unwrap_or(&group[0])
+                .label
+                .clone();
+            let mut marks: Vec<(u64, TimelineEvent)> = Vec::new();
+            for span in group {
+                for (phase, off) in &span.phases {
+                    marks.push((
+                        span.start_unix_us + off,
+                        TimelineEvent {
+                            node: span.node,
+                            lane: span.lane,
+                            phase: phase.clone(),
+                            at_us: 0,
+                        },
+                    ));
+                }
+            }
+            marks.sort_by_key(|&(abs, _)| abs);
+            let start = marks.first().map(|&(abs, _)| abs).unwrap_or(0);
+            let total_us = marks.last().map(|&(abs, _)| abs - start).unwrap_or(0);
+            let events = marks
+                .into_iter()
+                .map(|(abs, mut e)| {
+                    e.at_us = abs - start;
+                    e
+                })
+                .collect();
+            Timeline {
+                trace,
+                label,
+                total_us,
+                events,
+            }
+        })
+        .collect();
+    timelines.sort_by_key(|t| std::cmp::Reverse(t.total_us));
+    timelines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        trace: u64,
+        node: u32,
+        start_unix_us: u64,
+        label: &str,
+        phases: &[(&str, u64)],
+    ) -> TraceSpan {
+        TraceSpan {
+            trace,
+            node,
+            lane: 0,
+            start_unix_us,
+            total_us: phases.last().map(|&(_, at)| at).unwrap_or(0),
+            label: label.to_string(),
+            phases: phases.iter().map(|&(p, at)| (p.to_string(), at)).collect(),
+        }
+    }
+
+    #[test]
+    fn stitch_orders_marks_across_nodes() {
+        let spans = vec![
+            span(
+                7,
+                0,
+                1_000_000,
+                "n0/lane0 op client=1 seq=4",
+                &[
+                    ("issued", 0),
+                    ("inval_broadcast", 20),
+                    ("acks_collected", 410),
+                    ("committed", 420),
+                    ("reply_released", 430),
+                ],
+            ),
+            span(
+                7,
+                1,
+                1_000_130,
+                "n1/lane0 inv key=9",
+                &[("inv_ingress", 0), ("local_apply", 20), ("ack_write", 50)],
+            ),
+        ];
+        let timelines = stitch(&spans);
+        assert_eq!(timelines.len(), 1);
+        let t = &timelines[0];
+        assert_eq!(t.trace, 7);
+        assert_eq!(t.total_us, 430);
+        assert_eq!(t.label, "n0/lane0 op client=1 seq=4");
+        let order: Vec<(&str, u32)> = t
+            .events
+            .iter()
+            .map(|e| (e.phase.as_str(), e.node))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("issued", 0),
+                ("inval_broadcast", 0),
+                ("inv_ingress", 1),
+                ("local_apply", 1),
+                ("ack_write", 1),
+                ("acks_collected", 0),
+                ("committed", 0),
+                ("reply_released", 0),
+            ]
+        );
+        let line = t.render();
+        assert!(line.contains("issued@n0 +0us"), "{line}");
+        assert!(line.contains("inv_ingress@n1 +130us"), "{line}");
+        assert!(line.contains("ack_write@n1 +180us"), "{line}");
+        assert!(line.contains("acks_collected@n0 +410us"), "{line}");
+    }
+
+    #[test]
+    fn slowest_gap_names_the_stalled_node() {
+        let spans = vec![
+            span(
+                9,
+                0,
+                5_000_000,
+                "n0/lane1 op client=2 seq=1",
+                &[
+                    ("issued", 0),
+                    ("acks_collected", 50_400),
+                    ("committed", 50_410),
+                ],
+            ),
+            span(
+                9,
+                2,
+                5_000_100,
+                "n2/lane1 inv key=3",
+                &[
+                    ("inv_ingress", 0),
+                    ("local_apply", 50_000),
+                    ("ack_write", 50_050),
+                ],
+            ),
+        ];
+        let timelines = stitch(&spans);
+        let (event, gap) = timelines[0].slowest_gap().expect("gap");
+        assert_eq!(event.node, 2, "delay must be attributed to the follower");
+        assert_eq!(event.phase, "local_apply");
+        assert!(gap >= 49_000, "gap {gap}");
+    }
+
+    #[test]
+    fn stitch_skips_unanchored_and_sorts_slowest_first() {
+        let spans = vec![
+            span(0, 0, 1_000, "local slow op", &[("issued", 0)]),
+            span(1, 0, 1_000, "fast", &[("issued", 0), ("committed", 10)]),
+            span(2, 0, 1_000, "slow", &[("issued", 0), ("committed", 99)]),
+            span(3, 0, 0, "no anchor", &[("issued", 0)]),
+        ];
+        let timelines = stitch(&spans);
+        assert_eq!(timelines.len(), 2);
+        assert_eq!(timelines[0].trace, 2);
+        assert_eq!(timelines[1].trace, 1);
+    }
+
+    #[test]
+    fn merge_groups_samples_under_one_header() {
+        let n0 = "# HELP ops_total Total operations.\n# TYPE ops_total counter\n\
+                  ops_total{node=\"0\"} 3\n\
+                  # HELP op_us Op latency.\n# TYPE op_us summary\n\
+                  op_us{node=\"0\",quantile=\"0.99\"} 12\nop_us_sum{node=\"0\"} 40\nop_us_count{node=\"0\"} 4\n";
+        let n1 = "# HELP ops_total Total operations.\n# TYPE ops_total counter\n\
+                  ops_total{node=\"1\"} 5\n\
+                  # HELP op_us Op latency.\n# TYPE op_us summary\n\
+                  op_us{node=\"1\",quantile=\"0.99\"} 9\nop_us_sum{node=\"1\"} 20\nop_us_count{node=\"1\"} 2\n";
+        let merged = merge_expositions(&[n0.to_string(), n1.to_string()]);
+        crate::validate_exposition(&merged).unwrap();
+        assert_eq!(merged.matches("# TYPE ops_total counter").count(), 1);
+        assert_eq!(merged.matches("# TYPE op_us summary").count(), 1);
+        assert!(merged.contains("ops_total{node=\"0\"} 3"));
+        assert!(merged.contains("ops_total{node=\"1\"} 5"));
+        let counter_block = merged.find("ops_total{node=\"1\"}").unwrap();
+        let summary_header = merged.find("# HELP op_us").unwrap();
+        assert!(
+            counter_block < summary_header,
+            "samples must group under their family header:\n{merged}"
+        );
+        assert_eq!(
+            crate::sample_value(&merged, "op_us_count{node=\"1\"}"),
+            Some(2.0)
+        );
+    }
+}

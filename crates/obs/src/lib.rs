@@ -13,7 +13,12 @@
 //!   `Request::Metrics` RPC);
 //! * [`trace`] — per-lane protocol-phase [`Span`]s and [`TraceRing`]s
 //!   with slow-op capture (any op over `HERMES_SLOW_OP_US` dumps its full
-//!   phase breakdown);
+//!   phase breakdown; `HERMES_SLOW_OP_US=0` is the intended
+//!   capture-everything mode — the warn log is rate-limited per ring, the
+//!   ring itself keeps every capture) and sampled cross-node trace ids
+//!   ([`TraceId`], `HERMES_TRACE_SAMPLE`);
+//! * [`aggregate`] — cluster-side merging of per-node scrapes and
+//!   stitching of trace spans into causal cross-node [`Timeline`]s;
 //! * [`log`] — the `HERMES_LOG` leveled logger ([`obs_error!`] …
 //!   [`obs_trace!`]) with an in-memory capture sink for tests.
 //!
@@ -23,14 +28,19 @@
 
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod hist;
 pub mod log;
 pub mod registry;
 pub mod trace;
 
+pub use aggregate::{merge_expositions, stitch, Timeline, TimelineEvent};
 pub use hist::{Histogram, HistogramSnapshot, Quantiles};
 pub use registry::{sample_value, validate_exposition, Counter, Gauge, Registry};
-pub use trace::{Phase, SlowOp, Span, TraceRing};
+pub use trace::{
+    maybe_trace, set_trace_sample, trace_sampling_on, Phase, SlowOp, Span, TraceId, TraceRing,
+    TraceSpan,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

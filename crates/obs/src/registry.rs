@@ -104,6 +104,9 @@ struct Metric {
 /// The registry: a list of named metrics that renders to exposition text.
 #[derive(Default)]
 pub struct Registry {
+    /// Labels prepended to every registered metric (e.g. `node="2"`), so
+    /// scrapes from different daemons merge without sample collisions.
+    base_labels: Vec<(&'static str, String)>,
     metrics: Mutex<Vec<Metric>>,
 }
 
@@ -111,6 +114,15 @@ impl Registry {
     /// An empty registry.
     pub fn new() -> Self {
         Registry::default()
+    }
+
+    /// An empty registry whose every metric carries `base` labels first in
+    /// its label set.
+    pub fn with_base_labels(base: Vec<(&'static str, String)>) -> Self {
+        Registry {
+            base_labels: base,
+            metrics: Mutex::new(Vec::new()),
+        }
     }
 
     /// Registers and returns a counter.
@@ -218,6 +230,13 @@ impl Registry {
         labels: Vec<(&'static str, String)>,
         handle: Handle,
     ) {
+        let labels = if self.base_labels.is_empty() {
+            labels
+        } else {
+            let mut all = self.base_labels.clone();
+            all.extend(labels);
+            all
+        };
         self.metrics.lock().expect("registry lock").push(Metric {
             name,
             help,
@@ -473,6 +492,26 @@ mod tests {
         assert!(validate_exposition("noval\n").is_err());
         assert!(validate_exposition("m{unterminated 1\n").is_err());
         assert!(validate_exposition("m{l=\"x\"} notanumber\n").is_err());
+    }
+
+    #[test]
+    fn base_labels_prefix_every_metric() {
+        let r = Registry::with_base_labels(vec![("node", "2".into())]);
+        let c = r.counter("ops_total", "Total operations.", vec![("lane", "1".into())]);
+        let h = r.histogram("op_us", "Op latency (us).", vec![]);
+        c.inc();
+        h.record(5);
+        let text = r.render();
+        assert!(
+            text.contains("ops_total{node=\"2\",lane=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("op_us{node=\"2\",quantile=\"0.99\"}"),
+            "{text}"
+        );
+        assert!(text.contains("op_us_count{node=\"2\"} 1"), "{text}");
+        validate_exposition(&text).unwrap();
     }
 
     #[test]

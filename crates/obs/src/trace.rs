@@ -16,8 +16,106 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Cluster-unique identifier for a sampled operation. `0` means
+/// *unsampled*: the op carries no trace context, pays no wire bytes and
+/// no extra tracing work anywhere.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The unsampled trace id.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// Whether this op was sampled for cross-node tracing.
+    #[inline]
+    pub fn is_sampled(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// Sampling period cell: every Nth issued op is traced; `0` = tracing
+/// off. Initialized once from `HERMES_TRACE_SAMPLE` (a rate in `[0, 1]`).
+static TRACE_PERIOD: OnceLock<AtomicU64> = OnceLock::new();
+/// Issued-op counter driving deterministic every-Nth sampling.
+static TRACE_COUNTER: AtomicU64 = AtomicU64::new(0);
+/// Per-process seed so two daemons minting the same counter values never
+/// collide on trace ids.
+static TRACE_SEED: OnceLock<u64> = OnceLock::new();
+
+fn trace_period_cell() -> &'static AtomicU64 {
+    TRACE_PERIOD.get_or_init(|| {
+        let rate: f64 = std::env::var("HERMES_TRACE_SAMPLE")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0.0);
+        AtomicU64::new(period_for_rate(rate))
+    })
+}
+
+fn period_for_rate(rate: f64) -> u64 {
+    if rate.is_nan() || rate <= 0.0 {
+        0
+    } else if rate >= 1.0 {
+        1
+    } else {
+        (1.0 / rate).round() as u64
+    }
+}
+
+/// Overrides the trace sampling rate at runtime (`0.0` disables, `1.0`
+/// samples every op, `0.01` every 100th). Normally set once via the
+/// `HERMES_TRACE_SAMPLE` environment variable before startup.
+pub fn set_trace_sample(rate: f64) {
+    trace_period_cell().store(period_for_rate(rate), Ordering::Relaxed);
+}
+
+/// Whether trace sampling is enabled at all (rate > 0).
+#[inline]
+pub fn trace_sampling_on() -> bool {
+    trace_period_cell().load(Ordering::Relaxed) != 0
+}
+
+/// Mints a trace id for a newly issued op: [`TraceId::NONE`] unless this
+/// op falls on the sampling period. With sampling off this is one relaxed
+/// atomic load — the zero-cost guarantee the hot path relies on.
+#[inline]
+pub fn maybe_trace() -> TraceId {
+    let period = trace_period_cell().load(Ordering::Relaxed);
+    if period == 0 {
+        return TraceId::NONE;
+    }
+    let n = TRACE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    if !n.is_multiple_of(period) {
+        return TraceId::NONE;
+    }
+    let seed = *TRACE_SEED.get_or_init(|| {
+        let clock = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e3779b97f4a7c15);
+        let stack_entropy = &clock as *const _ as u64;
+        clock ^ stack_entropy.rotate_left(32)
+    });
+    // splitmix64: a full-period mix, so sequential counters spread over
+    // the whole id space and `0` (the unsampled sentinel) is dodged below.
+    let mut z = n.wrapping_add(seed).wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    TraceId(if z == 0 { 1 } else { z })
+}
+
+/// Microseconds since the UNIX epoch — the wall-clock anchor that lets
+/// the aggregator order marks from different processes on one axis.
+fn unix_micros() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
 
 /// Protocol phases an operation moves through. One flat namespace across
 /// subsystems keeps a single breakdown readable when phases interleave
@@ -56,6 +154,16 @@ pub enum Phase {
     TxnApply,
     /// Transaction unlock phase.
     TxnUnlock,
+    /// Follower: a traced invalidation arrived off the wire.
+    InvIngress,
+    /// Follower: a traced validation arrived off the wire.
+    ValIngress,
+    /// Follower: the message was applied to the local protocol state.
+    LocalApply,
+    /// Follower: the ack was enqueued into the Wings batcher.
+    AckEnqueue,
+    /// Follower: the ack batch was flushed into the transport writer.
+    AckWrite,
 }
 
 impl Phase {
@@ -78,33 +186,77 @@ impl Phase {
             Phase::TxnValidate => "txn_validate",
             Phase::TxnApply => "txn_apply",
             Phase::TxnUnlock => "txn_unlock",
+            Phase::InvIngress => "inv_ingress",
+            Phase::ValIngress => "val_ingress",
+            Phase::LocalApply => "local_apply",
+            Phase::AckEnqueue => "ack_enqueue",
+            Phase::AckWrite => "ack_write",
         }
     }
 }
 
-/// One in-flight operation's phase timeline.
+/// Inline mark capacity of a [`Span`]. The longest phase chain an op
+/// records today is six marks (issued → reply_held → inval_broadcast →
+/// acks_collected → committed → reply_released); eight leaves headroom.
+/// Marks live inline so starting a span never allocates — it runs on
+/// every op whenever recording is enabled, and the heap round-trip was
+/// measurable in the threaded closed-loop bench.
+const MAX_MARKS: usize = 8;
+
+/// One in-flight operation's phase timeline. Allocation-free: marks are
+/// stored inline (capacity [`MAX_MARKS`]; later marks are dropped, which
+/// no current phase chain can reach).
 #[derive(Clone, Debug)]
 pub struct Span {
     start: Instant,
-    marks: Vec<(Phase, u64)>,
+    /// Wall-clock anchor of `start` (0 for untraced spans — only sampled
+    /// spans pay the `SystemTime::now` call, and only they need
+    /// cross-process alignment).
+    start_unix_us: u64,
+    trace: TraceId,
+    marks: [(Phase, u64); MAX_MARKS],
+    len: u8,
 }
 
 impl Span {
     /// Starts a span at the current instant with its first phase mark.
     pub fn begin(phase: Phase) -> Self {
-        let mut s = Span {
-            start: Instant::now(),
-            marks: Vec::with_capacity(4),
-        };
-        s.marks.push((phase, 0));
-        s
+        Span::begin_traced(phase, TraceId::NONE)
     }
 
-    /// Marks a phase at the current offset from the span's start.
+    /// Starts a span carrying a trace id. Sampled spans also record a
+    /// wall-clock anchor so marks from different nodes can be merged onto
+    /// one timeline.
+    pub fn begin_traced(phase: Phase, trace: TraceId) -> Self {
+        Span {
+            start: Instant::now(),
+            start_unix_us: if trace.is_sampled() { unix_micros() } else { 0 },
+            trace,
+            marks: [(phase, 0); MAX_MARKS],
+            len: 1,
+        }
+    }
+
+    /// The trace id this span carries ([`TraceId::NONE`] if unsampled).
+    #[inline]
+    pub fn trace(&self) -> TraceId {
+        self.trace
+    }
+
+    /// Wall-clock micros of the span's start (0 if unsampled).
+    #[inline]
+    pub fn start_unix_us(&self) -> u64 {
+        self.start_unix_us
+    }
+
+    /// Marks a phase at the current offset from the span's start. Marks
+    /// beyond the inline capacity are dropped (no phase chain reaches it).
     #[inline]
     pub fn mark(&mut self, phase: Phase) {
-        self.marks
-            .push((phase, self.start.elapsed().as_micros() as u64));
+        if (self.len as usize) < MAX_MARKS {
+            self.marks[self.len as usize] = (phase, self.start.elapsed().as_micros() as u64);
+            self.len += 1;
+        }
     }
 
     /// Microseconds since the span began.
@@ -115,7 +267,7 @@ impl Span {
 
     /// The recorded `(phase, offset_us)` marks.
     pub fn marks(&self) -> &[(Phase, u64)] {
-        &self.marks
+        &self.marks[..self.len as usize]
     }
 }
 
@@ -128,6 +280,14 @@ pub struct SlowOp {
     pub total_us: u64,
     /// `(phase, offset_us_from_start)` in occurrence order.
     pub phases: Vec<(Phase, &'static str, u64)>,
+    /// Trace id (`0` if the op was not sampled for cross-node tracing).
+    pub trace: u64,
+    /// Node that captured this span.
+    pub node: u32,
+    /// Lane that captured this span (`u32::MAX` for non-lane rings).
+    pub lane: u32,
+    /// Wall-clock micros of the span start (`0` if unsampled).
+    pub start_unix_us: u64,
 }
 
 impl SlowOp {
@@ -144,6 +304,46 @@ impl SlowOp {
         out.push(']');
         out
     }
+
+    /// Converts to the owned, wire-friendly record drained by the Traces
+    /// RPC (phase names become owned strings so decoded records on the
+    /// aggregator side are the same type).
+    pub fn to_record(&self) -> TraceSpan {
+        TraceSpan {
+            trace: self.trace,
+            node: self.node,
+            lane: self.lane,
+            start_unix_us: self.start_unix_us,
+            total_us: self.total_us,
+            label: self.label.clone(),
+            phases: self
+                .phases
+                .iter()
+                .map(|&(_, name, at)| (name.to_string(), at))
+                .collect(),
+        }
+    }
+}
+
+/// One captured span as drained by the Traces client RPC: everything the
+/// cluster aggregator needs to stitch cross-node timelines, with no
+/// borrowed data so it round-trips through the wire codec.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Trace id (`0` if the span was captured by threshold, not sampling).
+    pub trace: u64,
+    /// Node that captured the span.
+    pub node: u32,
+    /// Lane that captured the span (`u32::MAX` for non-lane rings).
+    pub lane: u32,
+    /// Wall-clock micros of the span start (`0` if unknown).
+    pub start_unix_us: u64,
+    /// End-to-end duration in microseconds.
+    pub total_us: u64,
+    /// What the op was.
+    pub label: String,
+    /// `(phase_name, offset_us_from_start)` in occurrence order.
+    pub phases: Vec<(String, u64)>,
 }
 
 /// Default slow-op threshold when `HERMES_SLOW_OP_US` is unset: 100 ms —
@@ -154,15 +354,32 @@ pub const DEFAULT_SLOW_OP_US: u64 = 100_000;
 /// How many slow-op reports a ring retains (oldest evicted first).
 pub const SLOW_RING_CAP: usize = 64;
 
+/// How many slow-op warn lines one ring may emit per second. The ring
+/// still captures every qualifying span — this only throttles the
+/// logger, so `HERMES_SLOW_OP_US=0` ("capture everything") is usable on
+/// a live cluster without drowning the log.
+pub const SLOW_WARNS_PER_SEC: u64 = 10;
+
 /// A bounded ring of captured slow operations, one per lane (or
 /// subsystem). Completion with a fast span is two atomic loads; only ops
-/// over the threshold pay for formatting.
+/// over the threshold (or carrying a sampled trace) pay for formatting.
 #[derive(Debug)]
 pub struct TraceRing {
     /// Who owns this ring — prefixes log lines ("lane3", "pump", ...).
     owner: String,
+    /// Node / lane tags stamped on captured spans (the Traces RPC and the
+    /// cluster aggregator key on them).
+    node: u32,
+    lane: u32,
+    created: Instant,
     threshold_us: AtomicU64,
     slow_total: AtomicU64,
+    /// Log rate-limit state: current one-second window (seconds since
+    /// `created`), emissions inside it, and emissions suppressed since
+    /// the last line that made it out.
+    emit_window_s: AtomicU64,
+    emit_in_window: AtomicU64,
+    emit_suppressed: AtomicU64,
     slow: Mutex<VecDeque<SlowOp>>,
 }
 
@@ -170,14 +387,26 @@ impl TraceRing {
     /// A ring with the environment-derived threshold (`HERMES_SLOW_OP_US`,
     /// else [`DEFAULT_SLOW_OP_US`]).
     pub fn new(owner: impl Into<String>) -> Self {
+        TraceRing::labeled(owner, 0, u32::MAX)
+    }
+
+    /// A ring tagged with the node and lane it belongs to; captured spans
+    /// carry the tags so the cluster aggregator can attribute them.
+    pub fn labeled(owner: impl Into<String>, node: u32, lane: u32) -> Self {
         let threshold = std::env::var("HERMES_SLOW_OP_US")
             .ok()
             .and_then(|v| v.trim().parse().ok())
             .unwrap_or(DEFAULT_SLOW_OP_US);
         TraceRing {
             owner: owner.into(),
+            node,
+            lane,
+            created: Instant::now(),
             threshold_us: AtomicU64::new(threshold),
             slow_total: AtomicU64::new(0),
+            emit_window_s: AtomicU64::new(u64::MAX),
+            emit_in_window: AtomicU64::new(0),
+            emit_suppressed: AtomicU64::new(0),
             slow: Mutex::new(VecDeque::with_capacity(8)),
         }
     }
@@ -193,19 +422,26 @@ impl TraceRing {
         self.threshold_us.load(Ordering::Relaxed)
     }
 
-    /// Completes a span: if it exceeded the threshold, capture its phase
-    /// breakdown (the `label` closure is only invoked for slow ops).
-    /// Returns the span's total duration in microseconds.
+    /// Completes a span: if it exceeded the threshold — or carries a
+    /// sampled trace id, which must reach the cluster aggregator however
+    /// fast the local work was — capture its phase breakdown (the `label`
+    /// closure is only invoked for captured ops). Only threshold
+    /// exceedances are warn-logged, through a per-ring rate limit; the
+    /// ring itself captures everything that qualifies. Returns the span's
+    /// total duration in microseconds.
     pub fn complete(&self, span: &Span, label: impl FnOnce() -> String) -> u64 {
         let total_us = span.elapsed_us();
-        if total_us >= self.threshold_us.load(Ordering::Relaxed) {
-            self.capture(span, total_us, label());
+        let slow = total_us >= self.threshold_us.load(Ordering::Relaxed);
+        if slow || span.trace().is_sampled() {
+            self.capture(span, total_us, label(), slow);
         }
         total_us
     }
 
-    fn capture(&self, span: &Span, total_us: u64, label: String) {
-        self.slow_total.fetch_add(1, Ordering::Relaxed);
+    fn capture(&self, span: &Span, total_us: u64, label: String, slow: bool) {
+        if slow {
+            self.slow_total.fetch_add(1, Ordering::Relaxed);
+        }
         let report = SlowOp {
             label: format!("{} {}", self.owner, label),
             total_us,
@@ -214,17 +450,52 @@ impl TraceRing {
                 .iter()
                 .map(|&(p, at)| (p, p.name(), at))
                 .collect(),
+            trace: span.trace().0,
+            node: self.node,
+            lane: self.lane,
+            start_unix_us: span.start_unix_us(),
         };
-        crate::log::emit(
-            crate::log::Level::Warn,
-            "obs::trace",
-            format_args!("{}", report.render()),
-        );
+        if slow {
+            self.emit_rate_limited(&report);
+        }
         let mut ring = self.slow.lock().expect("trace ring lock");
         if ring.len() >= SLOW_RING_CAP {
             ring.pop_front();
         }
         ring.push_back(report);
+    }
+
+    /// Emits the slow-op warn line unless this ring already emitted
+    /// [`SLOW_WARNS_PER_SEC`] lines in the current one-second window;
+    /// suppressed lines are counted and acknowledged on the next line
+    /// that makes it out. Window bookkeeping races are benign — at worst
+    /// a couple of extra lines slip through at a boundary.
+    fn emit_rate_limited(&self, report: &SlowOp) {
+        let now_s = self.created.elapsed().as_secs();
+        if self.emit_window_s.swap(now_s, Ordering::Relaxed) != now_s {
+            self.emit_in_window.store(0, Ordering::Relaxed);
+        }
+        if self.emit_in_window.fetch_add(1, Ordering::Relaxed) >= SLOW_WARNS_PER_SEC {
+            self.emit_suppressed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let suppressed = self.emit_suppressed.swap(0, Ordering::Relaxed);
+        if suppressed > 0 {
+            crate::log::emit(
+                crate::log::Level::Warn,
+                "obs::trace",
+                format_args!(
+                    "{} ({suppressed} slow-op lines suppressed)",
+                    report.render()
+                ),
+            );
+        } else {
+            crate::log::emit(
+                crate::log::Level::Warn,
+                "obs::trace",
+                format_args!("{}", report.render()),
+            );
+        }
     }
 
     /// Total slow ops captured since startup (monotonic; the ring itself
@@ -240,6 +511,18 @@ impl TraceRing {
             .expect("trace ring lock")
             .iter()
             .cloned()
+            .collect()
+    }
+
+    /// Drains the retained reports as wire-friendly [`TraceSpan`]
+    /// records, oldest first — the Traces RPC consumes captures so each
+    /// scrape sees every span exactly once.
+    pub fn drain_spans(&self) -> Vec<TraceSpan> {
+        self.slow
+            .lock()
+            .expect("trace ring lock")
+            .drain(..)
+            .map(|op| op.to_record())
             .collect()
     }
 }
@@ -294,6 +577,76 @@ mod tests {
         assert_eq!(ops.len(), SLOW_RING_CAP);
         // Oldest evicted: the first retained is op 10.
         assert!(ops[0].label.contains("op 10"), "{}", ops[0].label);
+    }
+
+    #[test]
+    fn sampling_period_semantics() {
+        assert_eq!(period_for_rate(0.0), 0);
+        assert_eq!(period_for_rate(-1.0), 0);
+        assert_eq!(period_for_rate(f64::NAN), 0);
+        assert_eq!(period_for_rate(1.0), 1);
+        assert_eq!(period_for_rate(2.0), 1);
+        assert_eq!(period_for_rate(0.01), 100);
+        assert_eq!(period_for_rate(0.5), 2);
+    }
+
+    #[test]
+    fn minted_ids_are_sampled_and_distinct() {
+        set_trace_sample(1.0);
+        let a = maybe_trace();
+        let b = maybe_trace();
+        set_trace_sample(0.0);
+        assert!(a.is_sampled() && b.is_sampled());
+        assert_ne!(a, b);
+        assert_eq!(maybe_trace(), TraceId::NONE, "rate 0 must mint nothing");
+    }
+
+    #[test]
+    fn sampled_span_is_captured_below_threshold() {
+        let _quiet = crate::log::Capture::start();
+        let ring = TraceRing::labeled("lane0", 3, 1);
+        ring.set_threshold_us(u64::MAX);
+        let mut span = Span::begin_traced(Phase::InvIngress, TraceId(0xabcd));
+        span.mark(Phase::LocalApply);
+        ring.complete(&span, || "inv key=9".into());
+        // Not slow: no warn bookkeeping — but the sampled span is retained.
+        assert_eq!(ring.slow_total(), 0);
+        let spans = ring.drain_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].trace, 0xabcd);
+        assert_eq!(spans[0].node, 3);
+        assert_eq!(spans[0].lane, 1);
+        assert!(
+            spans[0].start_unix_us > 0,
+            "sampled span needs a wall anchor"
+        );
+        assert_eq!(spans[0].phases[0].0, "inv_ingress");
+        assert_eq!(spans[0].phases[1].0, "local_apply");
+        assert!(ring.drain_spans().is_empty(), "drain consumes");
+    }
+
+    #[test]
+    fn warn_emission_is_rate_limited_but_ring_captures_all() {
+        let capture = crate::log::Capture::start();
+        let ring = TraceRing::new("lane9");
+        ring.set_threshold_us(0);
+        const N: usize = 200;
+        for i in 0..N {
+            let span = Span::begin(Phase::Issued);
+            ring.complete(&span, || format!("op {i}"));
+        }
+        assert_eq!(ring.slow_total() as usize, N, "every op counted as slow");
+        let lines = capture
+            .take()
+            .iter()
+            .filter(|e| e.target == "obs::trace")
+            .count() as u64;
+        assert!(lines >= 1, "rate limit must not silence everything");
+        // The loop spans well under a second; allow one window rollover.
+        assert!(
+            lines <= 2 * SLOW_WARNS_PER_SEC,
+            "{lines} warn lines emitted for {N} slow ops"
+        );
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Property fuzz of the exposition round-trip (DESIGN.md §9): label
+//! values drawn from a palette heavy in quotes, backslashes and newlines
+//! must render to expositions that [`validate_exposition`] accepts and
+//! [`sample_value`] reads back exactly — one line per sample, no matter
+//! what the labels contain — and [`merge_expositions`] must preserve
+//! both properties when it regroups scrapes from several nodes.
+//!
+//! The escaping contract under test: a rendered label value is the raw
+//! value with `\` → `\\`, `"` → `\"` and newline → `\n` applied, so a
+//! scraper that unescapes those three sequences recovers the original.
+
+use hermes_obs::{merge_expositions, sample_value, validate_exposition, Registry};
+use proptest::prelude::*;
+
+/// What the registry is expected to emit for a label value — the
+/// documented escaping contract, restated independently of the
+/// implementation.
+fn expected_escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Reader-side unescape: the inverse of [`expected_escape`].
+fn unescape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Label values biased hard toward the characters that break naive
+/// exposition writers: quotes, backslashes, newlines — plus braces,
+/// equals signs, commas and spaces, which must pass through untouched.
+fn nasty_value() -> impl Strategy<Value = String> {
+    let palette: Vec<char> = vec![
+        '"', '\\', '\n', '"', '\\', '\n', // double weight on the escapes
+        '{', '}', '=', ',', ' ', 'a', 'Z', '7', '_', 'µ', '→',
+    ];
+    collection::vec(0usize..17, 0..12).prop_map(move |idx| {
+        idx.into_iter()
+            .map(|i| palette[i % palette.len()])
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Counter + gauge + histogram with hostile label values (including a
+    /// hostile `node` base label): the rendering validates, every sample
+    /// stays on one physical line, and reading the series back through
+    /// the documented unescape recovers the original label values and the
+    /// recorded numbers exactly.
+    #[test]
+    fn hostile_labels_round_trip(
+        node_label in nasty_value(),
+        lane_label in nasty_value(),
+        path_label in nasty_value(),
+        count in 0u64..1_000_000,
+        gauge_v in 0u64..1_000_000,
+        records in 1u64..64,
+    ) {
+        let r = Registry::with_base_labels(vec![("node", node_label.clone())]);
+        let c = r.counter("fz_ops_total", "Fuzzed counter.", vec![("lane", lane_label.clone())]);
+        let g = r.gauge("fz_open", "Fuzzed gauge.", vec![("path", path_label.clone())]);
+        let h = r.histogram("fz_us", "Fuzzed histogram.", vec![]);
+        c.add(count);
+        g.set(gauge_v);
+        for v in 0..records {
+            h.record(v + 1);
+        }
+        let text = r.render();
+        validate_exposition(&text).unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
+
+        // One line per sample: raw newlines in label values must not
+        // split lines. 3 families x 2 header lines + 1 counter + 1 gauge
+        // + 4 quantiles + _sum + _count.
+        prop_assert_eq!(text.lines().count(), 6 + 1 + 1 + 6, "{}", text);
+
+        let counter_series = format!(
+            "fz_ops_total{{node=\"{}\",lane=\"{}\"}}",
+            expected_escape(&node_label),
+            expected_escape(&lane_label)
+        );
+        prop_assert_eq!(sample_value(&text, &counter_series), Some(count as f64), "{}", text);
+        let gauge_series = format!(
+            "fz_open{{node=\"{}\",path=\"{}\"}}",
+            expected_escape(&node_label),
+            expected_escape(&path_label)
+        );
+        prop_assert_eq!(sample_value(&text, &gauge_series), Some(gauge_v as f64), "{}", text);
+        let hist_count = format!("fz_us_count{{node=\"{}\"}}", expected_escape(&node_label));
+        prop_assert_eq!(sample_value(&text, &hist_count), Some(records as f64), "{}", text);
+
+        // The reader-side inverse recovers the raw values from the line.
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("fz_open"))
+            .expect("gauge line");
+        let rendered = line
+            .split("path=\"")
+            .nth(1)
+            .and_then(|r| r.rsplit_once("\"}"))
+            .map(|(v, _)| v)
+            .expect("path label");
+        prop_assert_eq!(unescape(rendered), path_label);
+    }
+
+    /// Merging scrapes whose node labels and samples are hostile keeps the
+    /// merged exposition valid and every node's samples readable — the
+    /// aggregator path never corrupts escaped labels.
+    #[test]
+    fn hostile_merge_round_trips(
+        label_a in nasty_value(),
+        label_b in nasty_value(),
+        v_a in 0u64..1_000_000,
+        v_b in 0u64..1_000_000,
+    ) {
+        let scrape = |node: &str, lane: &str, v: u64| {
+            let r = Registry::with_base_labels(vec![("node", node.to_string())]);
+            let c = r.counter("fz_merge_total", "Fuzzed counter.", vec![("lane", lane.to_string())]);
+            c.add(v);
+            r.render()
+        };
+        let merged = merge_expositions(&[
+            scrape("0", &label_a, v_a),
+            scrape("1", &label_b, v_b),
+        ]);
+        validate_exposition(&merged).unwrap_or_else(|e| panic!("invalid merge: {e}\n{merged}"));
+        prop_assert_eq!(merged.matches("# TYPE fz_merge_total counter").count(), 1, "{}", merged);
+        let series_a = format!("fz_merge_total{{node=\"0\",lane=\"{}\"}}", expected_escape(&label_a));
+        let series_b = format!("fz_merge_total{{node=\"1\",lane=\"{}\"}}", expected_escape(&label_b));
+        prop_assert_eq!(sample_value(&merged, &series_a), Some(v_a as f64), "{}", merged);
+        prop_assert_eq!(sample_value(&merged, &series_b), Some(v_b as f64), "{}", merged);
+    }
+}

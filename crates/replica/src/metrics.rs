@@ -66,9 +66,9 @@ impl NodeObs {
         NodeObs {
             lane_latency: (0..lanes).map(|_| Arc::new(Histogram::new())).collect(),
             lane_traces: (0..lanes)
-                .map(|l| TraceRing::new(format!("n{node}/lane{l}")))
+                .map(|l| TraceRing::labeled(format!("n{node}/lane{l}"), node as u32, l as u32))
                 .collect(),
-            pump_trace: TraceRing::new(format!("n{node}/pump")),
+            pump_trace: TraceRing::labeled(format!("n{node}/pump"), node as u32, u32::MAX),
             invals_sent: AtomicU64::new(0),
             invals_acked: AtomicU64::new(0),
             vals_sent: AtomicU64::new(0),

@@ -22,8 +22,10 @@
 //! lives in `examples/session_scaling.rs`.
 
 use crate::membership::{MembershipOptions, MembershipStatus};
-use crate::metrics::txn_counters;
-use crate::poller::{ClientPlane, MetricsSource, PlaneConfig, PlaneGauges, StatsSource};
+use crate::metrics::{txn_counters, NodeObs};
+use crate::poller::{
+    ClientPlane, MetricsSource, PlaneConfig, PlaneGauges, StatsSource, TracesSource,
+};
 use crate::threaded::{spawn_node, Command, Completion, NodeHandle, PushGauges, ReplyTo};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -35,7 +37,7 @@ use hermes_membership::RmConfig;
 use hermes_net::{
     read_frame_deadline, write_frame_to, FrameRead, TcpConfig, TcpEndpoint, TcpStats,
 };
-use hermes_obs::Registry;
+use hermes_obs::{Registry, TraceSpan};
 use hermes_store::{Store, StoreConfig};
 use hermes_txn::{conflict_backoff, TxnConfig, TxnMachine, TxnToken};
 use hermes_wings::{client as rpc, CreditConfig};
@@ -256,6 +258,9 @@ pub struct NodeRuntime {
     /// [`NodeRuntime::metrics_text`]; every runtime gauge, histogram and
     /// protocol-phase counter is registered here at startup.
     registry: Arc<Registry>,
+    /// The shared observability state (trace rings backing the `Traces`
+    /// RPC and [`NodeRuntime::trace_spans`]).
+    obs: Arc<NodeObs>,
 }
 
 impl NodeRuntime {
@@ -324,10 +329,14 @@ impl NodeRuntime {
                 accept_stalls: gauges.accept_stalls(),
             })
         };
-        let registry = Arc::new(build_registry(&node, &plane_gauges, &tcp_stats));
+        let registry = Arc::new(build_registry(opts.node, &node, &plane_gauges, &tcp_stats));
         let metrics_source: Arc<MetricsSource> = {
             let registry = Arc::clone(&registry);
             Arc::new(move || registry.render())
+        };
+        let traces_source: Arc<TracesSource> = {
+            let obs = Arc::clone(&node.obs);
+            Arc::new(move || drain_trace_spans(&obs))
         };
         let client_plane = ClientPlane::start(
             client_listener,
@@ -343,8 +352,10 @@ impl NodeRuntime {
             Arc::clone(&shutdown_requested),
             stats_source,
             metrics_source,
+            traces_source,
             Arc::clone(&node.obs),
         )?;
+        let obs = Arc::clone(&node.obs);
         Ok(NodeRuntime {
             node: opts.node,
             client_addr,
@@ -364,6 +375,7 @@ impl NodeRuntime {
             tcp_stats,
             shutdown_requested,
             registry,
+            obs,
         })
     }
 
@@ -371,6 +383,14 @@ impl NodeRuntime {
     /// `Metrics` client RPC serves remotely, [`query_metrics`]).
     pub fn metrics_text(&self) -> String {
         self.registry.render()
+    }
+
+    /// Drains every captured trace span (slow ops and sampled ops) from
+    /// this replica's rings — the same records the `Traces` client RPC
+    /// serves remotely ([`query_traces`]). Each span is returned exactly
+    /// once across local drains and RPC scrapes.
+    pub fn trace_spans(&self) -> Vec<TraceSpan> {
+        drain_trace_spans(&self.obs)
     }
 
     /// This replica's node id.
@@ -570,8 +590,15 @@ pub struct NodeStats {
 /// histogram of one replica into a fresh metrics registry. All handles are
 /// closures or shared `Arc`s over state the runtime already maintains —
 /// rendering samples live values, and registration adds no hot-path cost.
-fn build_registry(node: &NodeHandle, plane: &Arc<PlaneGauges>, tcp: &Arc<TcpStats>) -> Registry {
-    let r = Registry::new();
+/// Every metric carries a `node="<id>"` base label so a cluster aggregator
+/// can merge the expositions of all replicas without collisions.
+fn build_registry(
+    id: NodeId,
+    node: &NodeHandle,
+    plane: &Arc<PlaneGauges>,
+    tcp: &Arc<TcpStats>,
+) -> Registry {
+    let r = Registry::with_base_labels(vec![("node", id.0.to_string())]);
     let obs = &node.obs;
 
     // Membership / serving state.
@@ -827,6 +854,17 @@ fn build_registry(node: &NodeHandle, plane: &Arc<PlaneGauges>, tcp: &Arc<TcpStat
     r
 }
 
+/// Drains every captured trace span from one node's rings (all worker
+/// lanes plus the pump), in lane order.
+fn drain_trace_spans(obs: &NodeObs) -> Vec<TraceSpan> {
+    let mut spans = Vec::new();
+    for ring in &obs.lane_traces {
+        spans.extend(ring.drain_spans());
+    }
+    spans.extend(obs.pump_trace.drain_spans());
+    spans
+}
+
 /// Asks the replica daemon at `addr` (its client port) to shut down
 /// cleanly, waiting up to `timeout` for the acknowledgement.
 ///
@@ -946,6 +984,25 @@ pub fn query_metrics(addr: SocketAddr, timeout: Duration) -> std::io::Result<Str
     match rpc::decode_metrics_reply(&frame) {
         Ok((_, text)) => Ok(text),
         Err(e) => Err(std::io::Error::other(format!("bad metrics reply: {e}"))),
+    }
+}
+
+/// Drains the captured trace spans of the replica daemon at `addr` (its
+/// client port): slow ops over the `HERMES_SLOW_OP_US` threshold plus
+/// every op sampled for cross-node tracing (`HERMES_TRACE_SAMPLE`). The
+/// drain consumes — polling aggregators see each span exactly once; stitch
+/// the spans of all replicas with [`hermes_obs::stitch`] to rebuild
+/// cross-node causal timelines.
+///
+/// # Errors
+///
+/// Fails if the daemon is unreachable or answers with a malformed frame
+/// before `timeout` elapses.
+pub fn query_traces(addr: SocketAddr, timeout: Duration) -> std::io::Result<Vec<TraceSpan>> {
+    let frame = exchange_frame(addr, &rpc::encode_traces_request_bytes(0), timeout)?;
+    match rpc::decode_traces_reply(&frame) {
+        Ok((_, spans)) => Ok(spans),
+        Err(e) => Err(std::io::Error::other(format!("bad traces reply: {e}"))),
     }
 }
 

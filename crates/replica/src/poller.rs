@@ -59,6 +59,11 @@ pub(crate) type StatsSource = dyn Fn() -> rpc::StatsPayload + Send + Sync;
 /// runtime's [`hermes_obs::Registry`].
 pub(crate) type MetricsSource = dyn Fn() -> String + Send + Sync;
 
+/// Provider of the traces-RPC payload: drains every captured span (slow
+/// ops and sampled ops) from the runtime's trace rings, so each scrape
+/// sees each span exactly once.
+pub(crate) type TracesSource = dyn Fn() -> Vec<hermes_obs::TraceSpan> + Send + Sync;
+
 /// Upper bound on a shard's blocked wait: the stop flag is re-checked at
 /// least this often even if the waker datagram is lost.
 const POLL_TIMEOUT: Duration = Duration::from_millis(500);
@@ -225,6 +230,11 @@ pub(crate) enum SessionEffect {
         /// Session-local sequence number echoed by the reply.
         seq: u64,
     },
+    /// Answer a traces query by draining the runtime's trace rings.
+    SendTraces {
+        /// Session-local sequence number echoed by the reply.
+        seq: u64,
+    },
     /// Register this session for invalidation pushes on `key` at the
     /// owning worker lane (no credit consumed; acked by a push frame).
     Subscribe {
@@ -385,6 +395,12 @@ impl SessionMachine {
                     self.parsed += 4 + len;
                     fx.push(SessionEffect::SendMetrics { seq });
                 }
+                rpc::Request::Traces { seq } => {
+                    // Credit-exempt like Metrics: the trace aggregator
+                    // polls alongside the metrics scraper.
+                    self.parsed += 4 + len;
+                    fx.push(SessionEffect::SendTraces { seq });
+                }
                 rpc::Request::Subscribe { seq, key } => {
                     // Like Stats: no credit consumed — subscription traffic
                     // must not steal op pipelining capacity.
@@ -522,6 +538,7 @@ impl ClientPlane {
         shutdown: Arc<AtomicBool>,
         stats: Arc<StatsSource>,
         metrics: Arc<MetricsSource>,
+        traces: Arc<TracesSource>,
         obs: Arc<NodeObs>,
     ) -> io::Result<ClientPlane> {
         listener.set_nonblocking(true)?;
@@ -585,6 +602,7 @@ impl ClientPlane {
                 shutdown: Arc::clone(&shutdown),
                 stats: Arc::clone(&stats),
                 metrics: Arc::clone(&metrics),
+                traces: Arc::clone(&traces),
                 obs: Arc::clone(&obs),
                 gauges: Arc::clone(&gauges),
                 cfg,
@@ -686,6 +704,7 @@ struct Shard {
     shutdown: Arc<AtomicBool>,
     stats: Arc<StatsSource>,
     metrics: Arc<MetricsSource>,
+    traces: Arc<TracesSource>,
     /// Node-wide observability state (accept / decode / drain / stall
     /// timings recorded by this shard).
     obs: Arc<NodeObs>,
@@ -970,6 +989,12 @@ impl Shard {
                 }
                 SessionEffect::SendMetrics { seq } => {
                     let payload = rpc::encode_metrics_reply_bytes(seq, &(self.metrics)());
+                    if let Some(sess) = self.sessions.get_mut(&token) {
+                        sess.machine.enqueue_frame(&payload);
+                    }
+                }
+                SessionEffect::SendTraces { seq } => {
+                    let payload = rpc::encode_traces_reply_bytes(seq, &(self.traces)());
                     if let Some(sess) = self.sessions.get_mut(&token) {
                         sess.machine.enqueue_frame(&payload);
                     }

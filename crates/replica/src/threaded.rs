@@ -48,13 +48,13 @@ use hermes_common::{
 use hermes_core::{HermesNode, KeyState, Msg, ProtocolConfig, Ts, UpdateKind};
 use hermes_membership::{wire, MembershipDriver, RmEffect, RmMsg};
 use hermes_net::{Endpoint, InProcNet, IngressGuard, NetEvent, NetFaults, NetSender, Transport};
-use hermes_obs::{obs_info, obs_warn, Phase, Span};
+use hermes_obs::{obs_info, obs_warn, Phase, Span, TraceId, TraceSpan};
 use hermes_store::{SlotMeta, SlotState, Store, StoreConfig};
 use hermes_wings::control::{self, ControlMsg};
 use hermes_wings::{codec, decode_frame, Batcher, CreditConfig};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -231,7 +231,15 @@ pub(crate) enum Command {
         reply: ReplyTo,
     },
     /// A peer protocol message demuxed to this lane by the node's pump.
-    Deliver { from: NodeId, msg: Msg },
+    Deliver {
+        /// The sending peer.
+        from: NodeId,
+        /// The decoded protocol message.
+        msg: Msg,
+        /// Cross-node trace context carried by the message's Wings frame
+        /// ([`TraceId::NONE`] when the originating op was not sampled).
+        trace: TraceId,
+    },
     /// Raw transport ingress (lane 0 only): the transport's reader threads
     /// push frames and connectivity events straight into the pump's command
     /// queue — the unified wakeup path.
@@ -367,6 +375,8 @@ pub struct ThreadCluster {
     lane_ingress_counts: Vec<Arc<Vec<AtomicU64>>>,
     /// Per node: client subscription/push gauges.
     push_gauges: Vec<Arc<PushGauges>>,
+    /// Per node: the shared observability state (trace rings, histograms).
+    obs: Vec<Arc<NodeObs>>,
     router: ShardRouter,
     next_seq: AtomicU64,
     next_session: AtomicU64,
@@ -450,6 +460,7 @@ impl ThreadCluster {
         let mut lane_op_counts = Vec::new();
         let mut lane_ingress_counts = Vec::new();
         let mut push_gauges = Vec::new();
+        let mut obs = Vec::new();
         let mut router = None;
         let membership = cfg
             .membership
@@ -473,6 +484,7 @@ impl ThreadCluster {
             lane_op_counts.push(node.lane_ops);
             lane_ingress_counts.push(node.lane_ingress);
             push_gauges.push(node.push_gauges);
+            obs.push(node.obs);
         }
         ThreadCluster {
             handles,
@@ -484,6 +496,7 @@ impl ThreadCluster {
             lane_op_counts,
             lane_ingress_counts,
             push_gauges,
+            obs,
             router: router.expect("at least one node"),
             next_seq: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
@@ -564,6 +577,21 @@ impl ThreadCluster {
     /// (invalidations, subscription acks, flushes).
     pub fn pushes(&self, node: usize) -> u64 {
         self.push_gauges[node].pushes.load(Ordering::Relaxed)
+    }
+
+    /// Drains every captured trace span (slow ops and sampled ops) from
+    /// replica `node`'s rings — what the Traces RPC serves on a real
+    /// deployment. Each span is returned exactly once; stitch spans from
+    /// all nodes with [`hermes_obs::stitch`] to rebuild cross-node
+    /// timelines.
+    pub fn trace_spans(&self, node: usize) -> Vec<TraceSpan> {
+        let obs = &self.obs[node];
+        let mut spans = Vec::new();
+        for ring in &obs.lane_traces {
+            spans.extend(ring.drain_spans());
+        }
+        spans.extend(obs.pump_trace.drain_spans());
+        spans
     }
 
     fn submit(&self, node: usize, key: Key, cop: ClientOp) -> Reply {
@@ -811,14 +839,30 @@ fn deliver_frame(
     };
     let mut alive = true;
     for raw in msgs {
-        let Ok(msg) = codec::decode(&raw) else {
+        let Ok((msg, trace)) = codec::decode_traced(&raw) else {
             continue;
         };
         let lane = router.lane_for_ingress(msg.key());
         ingress[lane].fetch_add(1, Ordering::Relaxed);
-        alive &= lanes[lane].send(Command::Deliver { from, msg }).is_ok();
+        alive &= lanes[lane]
+            .send(Command::Deliver { from, msg, trace })
+            .is_ok();
     }
     alive
+}
+
+/// Follower-side fault hook: delay every incoming `INV` by this many
+/// microseconds (`HERMES_FAULT_INV_DELAY_US`, read once). Used by the
+/// trace-smoke harness to force one replica to be the slow hop of a
+/// cross-node timeline; zero (the default) is free.
+fn inv_delay_us() -> u64 {
+    static DELAY: OnceLock<u64> = OnceLock::new();
+    *DELAY.get_or_init(|| {
+        std::env::var("HERMES_FAULT_INV_DELAY_US")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0)
+    })
 }
 
 /// One in-flight client operation: where its reply goes, plus (when
@@ -855,6 +899,19 @@ struct Worker<S: NetSender> {
     push_gauges: Arc<PushGauges>,
     /// Node-wide latency histograms, trace rings and phase counters.
     obs: Arc<NodeObs>,
+    /// Trace context of the event currently draining: outgoing frames from
+    /// this drain carry it on the wire ([`codec::encode_traced`]). Set
+    /// when a client op mints a sampled id or an ingress message carries
+    /// one; [`TraceId::NONE`] otherwise — and then frames are
+    /// byte-identical to the untraced codec.
+    cur_trace: TraceId,
+    /// Follower-side span of the sampled peer message being handled right
+    /// now (so [`Worker::emit_effect`] can mark the ACK enqueue on it).
+    net_span: Option<Span>,
+    /// Follower-side INV spans awaiting their final `ack_write` mark: the
+    /// ACK's frame is handed to the transport writer at the next
+    /// [`Worker::flush`], which completes them into the lane's ring.
+    net_spans: Vec<(Span, Key)>,
     fx: Vec<Effect<Msg>>,
 }
 
@@ -886,6 +943,9 @@ impl<S: NetSender> Worker<S> {
             subs: LaneSubs::default(),
             push_gauges,
             obs,
+            cur_trace: TraceId::NONE,
+            net_span: None,
+            net_spans: Vec::new(),
             fx: Vec::new(),
         };
         worker.refresh_peers();
@@ -919,12 +979,24 @@ impl<S: NetSender> Worker<S> {
                     return true;
                 }
                 let issuer = op.client;
-                let span = hermes_obs::recording_enabled().then(|| Span::begin(Phase::Issued));
+                // Mint the op's cross-node trace context here, at issue:
+                // when sampled, every frame this op's protocol round emits
+                // (INV out, and — via the ACK echo — VAL out) carries the
+                // id, so follower-side phase marks land in *their* rings
+                // tagged with it.
+                let span = if hermes_obs::recording_enabled() {
+                    let trace = hermes_obs::maybe_trace();
+                    self.cur_trace = trace;
+                    Some(Span::begin_traced(Phase::Issued, trace))
+                } else {
+                    self.cur_trace = TraceId::NONE;
+                    None
+                };
                 self.clients.insert(op, PendingOp { reply, span });
                 self.node.on_client_op(op, key, cop, &mut self.fx);
                 self.drain_effects(Some(key), Some(issuer), Some(op));
             }
-            Command::Deliver { from, msg } => self.handle_message(from, msg),
+            Command::Deliver { from, msg, trace } => self.handle_message(from, msg, trace),
             Command::SyncLane { to } => self.sync_lane(to),
             Command::InstallChunk {
                 key,
@@ -963,20 +1035,64 @@ impl<S: NetSender> Worker<S> {
         true
     }
 
-    /// Processes a peer message this lane owns.
-    fn handle_message(&mut self, from: NodeId, msg: Msg) {
+    /// Processes a peer message this lane owns. `trace` is the cross-node
+    /// trace context its frame carried; a sampled INV/VAL opens a
+    /// follower-side span here so the originating coordinator's timeline
+    /// gains this replica's ingress → apply → ack phases, and a sampled
+    /// ACK re-arms `cur_trace` so the VAL broadcast it triggers inherits
+    /// the id without the coordinator storing any per-op trace map.
+    fn handle_message(&mut self, from: NodeId, msg: Msg, trace: TraceId) {
         let key = msg.key();
+        if matches!(msg, Msg::Inv { .. }) {
+            let delay = inv_delay_us();
+            if delay > 0 {
+                std::thread::sleep(Duration::from_micros(delay));
+            }
+        }
         if hermes_obs::recording_enabled() {
             if let Msg::Ack { .. } = msg {
                 NodeObs::bump(&self.obs.invals_acked, 1);
             }
         }
+        self.cur_trace = trace;
+        let follower = if trace.is_sampled() && hermes_obs::recording_enabled() {
+            match msg {
+                Msg::Inv { .. } => Some(Phase::InvIngress),
+                Msg::Val { .. } => Some(Phase::ValIngress),
+                Msg::Ack { .. } => None,
+            }
+        } else {
+            None
+        };
+        let Some(ingress) = follower else {
+            self.node.on_message(from, msg, &mut self.fx);
+            self.drain_effects(Some(key), None, None);
+            return;
+        };
+        let is_inv = ingress == Phase::InvIngress;
+        self.net_span = Some(Span::begin_traced(ingress, trace));
         self.node.on_message(from, msg, &mut self.fx);
+        if let Some(s) = self.net_span.as_mut() {
+            s.mark(Phase::LocalApply);
+        }
         self.drain_effects(Some(key), None, None);
+        if let Some(span) = self.net_span.take() {
+            if is_inv {
+                // The ACK was enqueued during the drain; its final
+                // `ack_write` mark lands when the batch is handed to the
+                // transport writer, at the next flush.
+                self.net_spans.push((span, key));
+            } else {
+                self.obs.lane_traces[self.lane].complete(&span, || format!("val key={}", key.0));
+            }
+        }
     }
 
     /// Fires every due message-loss timer; returns whether any fired.
     fn expire_timers(&mut self) -> bool {
+        // Retransmissions belong to no single traced op: drop the trace
+        // context so replayed frames go out untagged.
+        self.cur_trace = TraceId::NONE;
         let now = Instant::now();
         let mut worked = false;
         while let Some(key) = self.timers.pop_due(now) {
@@ -993,10 +1109,19 @@ impl<S: NetSender> Worker<S> {
         worked
     }
 
-    /// Emits every pending Wings frame into the node's shared egress.
+    /// Emits every pending Wings frame into the node's shared egress, then
+    /// closes follower-side INV spans: the ACK frame just left for the
+    /// transport writer, so `ack_write` is their final phase mark.
     fn flush(&mut self) {
         let net = &self.net;
         self.batcher.flush_into(|to, frame| net.send(to, frame));
+        if !self.net_spans.is_empty() {
+            let spans = std::mem::take(&mut self.net_spans);
+            for (mut span, key) in spans {
+                span.mark(Phase::AckWrite);
+                self.obs.lane_traces[self.lane].complete(&span, || format!("inv key={}", key.0));
+            }
+        }
     }
 
     /// Installs one key's state from a shadow catch-up chunk
@@ -1137,7 +1262,10 @@ impl<S: NetSender> Worker<S> {
     fn emit_effect(&mut self, e: Effect<Msg>) {
         match e {
             Effect::Send { to, msg } => {
-                let encoded = codec::encode(&msg);
+                if let (Msg::Ack { .. }, Some(span)) = (&msg, self.net_span.as_mut()) {
+                    span.mark(Phase::AckEnqueue);
+                }
+                let encoded = codec::encode_traced(&msg, self.cur_trace);
                 if let Some((to, frame)) = self.batcher.push(to, &encoded) {
                     self.net.send(to, frame);
                 }
@@ -1154,7 +1282,7 @@ impl<S: NetSender> Worker<S> {
                         _ => {}
                     }
                 }
-                let encoded = codec::encode(&msg);
+                let encoded = codec::encode_traced(&msg, self.cur_trace);
                 for &to in &self.peers {
                     if let Some((to, frame)) = self.batcher.push(to, &encoded) {
                         self.net.send(to, frame);
@@ -1276,6 +1404,10 @@ impl<S: NetSender> Worker<S> {
 
     /// Emits every effect held for `key`.
     fn release_held(&mut self, key: Key) {
+        // Held effects may release long after the drain that produced
+        // them, under an unrelated trace context: emit them untagged
+        // rather than mislabeled.
+        self.cur_trace = TraceId::NONE;
         if let Some(held) = self.subs.held.remove(&key) {
             NodeObs::bump(&self.obs.holds_released, held.len() as u64);
             for e in held {
@@ -1667,14 +1799,14 @@ fn handle_frame<S: NetSender>(
         return;
     };
     for raw in msgs {
-        let Ok(msg) = codec::decode(&raw) else {
+        let Ok((msg, trace)) = codec::decode_traced(&raw) else {
             continue;
         };
         let lane = worker.router.lane_for_msg(&worker.node, msg.key(), &msg);
         if lane == worker.lane {
-            worker.handle_message(from, msg);
+            worker.handle_message(from, msg, trace);
         } else {
-            let _ = lanes[lane].send(Command::Deliver { from, msg });
+            let _ = lanes[lane].send(Command::Deliver { from, msg, trace });
         }
     }
 }
@@ -2013,6 +2145,66 @@ mod tests {
                 "iteration {i}: view install clobbered the seqlock mirror"
             );
         }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn sampled_write_traces_coordinator_and_followers() {
+        hermes_obs::set_recording(true);
+        hermes_obs::set_trace_sample(1.0);
+        let cluster = ThreadCluster::start(3, ProtocolConfig::default());
+        assert_eq!(
+            cluster.write(0, Key(3), Value::from_u64(11)),
+            Reply::WriteOk
+        );
+        // The coordinator's span completes with the reply; follower spans
+        // complete at their lanes' next flush — poll briefly for both.
+        let mut spans = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let (issued, ingress) = loop {
+            for node in 0..3 {
+                spans.extend(cluster.trace_spans(node));
+            }
+            let issued = spans
+                .iter()
+                .find(|s| s.phases.iter().any(|(p, _)| p == "issued"))
+                .cloned();
+            let ingress = spans
+                .iter()
+                .find(|s| s.phases.iter().any(|(p, _)| p == "inv_ingress"))
+                .cloned();
+            match (issued, ingress) {
+                (Some(i), Some(g)) => break (i, g),
+                _ if Instant::now() > deadline => {
+                    panic!("spans never surfaced: {spans:?}")
+                }
+                _ => std::thread::sleep(Duration::from_millis(5)),
+            }
+        };
+        hermes_obs::set_trace_sample(0.0);
+        // One causal identity across nodes: the follower's ingress span
+        // carries the id minted at the coordinator, plus its own phases
+        // and a wall-clock anchor for cross-node stitching.
+        assert_eq!(issued.trace, ingress.trace);
+        assert_ne!(issued.trace, 0);
+        assert_ne!(issued.node, ingress.node);
+        assert!(issued.start_unix_us > 0 && ingress.start_unix_us > 0);
+        for phase in ["local_apply", "ack_enqueue", "ack_write"] {
+            assert!(
+                ingress.phases.iter().any(|(p, _)| p == phase),
+                "follower span missing {phase}: {ingress:?}"
+            );
+        }
+        let timelines = hermes_obs::stitch(&spans);
+        let tl = timelines
+            .iter()
+            .find(|t| t.trace == issued.trace)
+            .expect("stitched timeline for the sampled write");
+        assert!(
+            tl.events.iter().any(|e| e.phase == "inv_ingress"),
+            "timeline lost the follower hop: {}",
+            tl.render()
+        );
         cluster.shutdown();
     }
 

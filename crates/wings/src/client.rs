@@ -15,6 +15,7 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 use hermes_common::{ClientOp, Key, NodeSet, Reply, RmwOp, TxnAbort, TxnOp, TxnReply, Value};
+use hermes_obs::TraceSpan;
 
 const REQ_READ: u8 = 0;
 const REQ_WRITE: u8 = 1;
@@ -27,6 +28,7 @@ const REQ_SUBSCRIBE: u8 = 7;
 const REQ_UNSUBSCRIBE: u8 = 8;
 const REQ_INVAL_ACK: u8 = 9;
 const REQ_METRICS: u8 = 10;
+const REQ_TRACES: u8 = 11;
 
 const RSP_READ_OK: u8 = 0;
 const RSP_WRITE_OK: u8 = 1;
@@ -52,6 +54,9 @@ const RSP_FLUSH: u8 = 12;
 /// Metrics exposition reply: like stats, a dedicated request/response
 /// exchange (never part of the pipelined session stream).
 const RSP_METRICS: u8 = 13;
+/// Trace-span drain reply: like metrics, a dedicated request/response
+/// exchange (never part of the pipelined session stream).
+const RSP_TRACES: u8 = 14;
 
 const TXN_MULTI_GET: u8 = 0;
 const TXN_MULTI_PUT: u8 = 1;
@@ -171,6 +176,7 @@ pub fn decode_request(buf: &[u8]) -> Result<(u64, Key, ClientOp), ClientCodecErr
         Request::Txn { .. } => Err(ClientCodecError::BadTag(REQ_TXN)),
         Request::Stats { .. } => Err(ClientCodecError::BadTag(REQ_STATS)),
         Request::Metrics { .. } => Err(ClientCodecError::BadTag(REQ_METRICS)),
+        Request::Traces { .. } => Err(ClientCodecError::BadTag(REQ_TRACES)),
         Request::Shutdown { .. } => Err(ClientCodecError::BadTag(REQ_SHUTDOWN)),
         Request::Subscribe { .. } => Err(ClientCodecError::BadTag(REQ_SUBSCRIBE)),
         Request::Unsubscribe { .. } => Err(ClientCodecError::BadTag(REQ_UNSUBSCRIBE)),
@@ -213,6 +219,14 @@ pub enum Request {
     /// per-lane latency histograms, protocol-phase counters, plane/cache
     /// gauges. The machine-parseable superset of [`Request::Stats`].
     Metrics {
+        /// Session-local sequence number echoed by the reply.
+        seq: u64,
+    },
+    /// Drain the daemon's captured trace spans (slow ops and sampled
+    /// cross-node traces), answered with one
+    /// [`encode_traces_reply_bytes`] frame. Each scrape consumes what it
+    /// returns, so a polling aggregator sees every span exactly once.
+    Traces {
         /// Session-local sequence number echoed by the reply.
         seq: u64,
     },
@@ -420,6 +434,90 @@ pub fn decode_metrics_reply(buf: &[u8]) -> Result<(u64, String), ClientCodecErro
     Ok((seq, text))
 }
 
+/// Encodes a trace-drain query into a fresh buffer.
+pub fn encode_traces_request_bytes(seq: u64) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u64_le(seq);
+    out.put_u64_le(0); // Key slot, unused: keeps one request layout.
+    out.put_u8(REQ_TRACES);
+    out.freeze()
+}
+
+fn put_str(out: &mut BytesMut, s: &str) {
+    out.put_u32_le(s.len() as u32);
+    out.put_slice(s.as_bytes());
+}
+
+fn take_str(c: &mut Cursor<'_>) -> Result<String, ClientCodecError> {
+    let len = c.u32()? as usize;
+    String::from_utf8(c.take(len)?.to_vec()).map_err(|_| ClientCodecError::BadTag(RSP_TRACES))
+}
+
+/// Encodes one traces reply — the structured span records drained from
+/// the daemon's trace rings — into a fresh buffer.
+pub fn encode_traces_reply_bytes(seq: u64, spans: &[TraceSpan]) -> Bytes {
+    let mut out = BytesMut::new();
+    out.put_u64_le(seq);
+    out.put_u8(RSP_TRACES);
+    out.put_u32_le(spans.len() as u32);
+    for s in spans {
+        out.put_u64_le(s.trace);
+        out.put_u32_le(s.node);
+        out.put_u32_le(s.lane);
+        out.put_u64_le(s.start_unix_us);
+        out.put_u64_le(s.total_us);
+        put_str(&mut out, &s.label);
+        out.put_u32_le(s.phases.len() as u32);
+        for (phase, at) in &s.phases {
+            put_str(&mut out, phase);
+            out.put_u64_le(*at);
+        }
+    }
+    out.freeze()
+}
+
+/// Decodes one traces reply back into span records.
+///
+/// # Errors
+///
+/// Returns a [`ClientCodecError`] on truncation, a wrong tag, or
+/// non-UTF-8 strings.
+pub fn decode_traces_reply(buf: &[u8]) -> Result<(u64, Vec<TraceSpan>), ClientCodecError> {
+    let mut c = Cursor::new(buf);
+    let seq = c.u64()?;
+    let tag = c.u8()?;
+    if tag != RSP_TRACES {
+        return Err(ClientCodecError::BadTag(tag));
+    }
+    let n = c.u32()? as usize;
+    let mut spans = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let trace = c.u64()?;
+        let node = c.u32()?;
+        let lane = c.u32()?;
+        let start_unix_us = c.u64()?;
+        let total_us = c.u64()?;
+        let label = take_str(&mut c)?;
+        let p = c.u32()? as usize;
+        let mut phases = Vec::with_capacity(p.min(1024));
+        for _ in 0..p {
+            let phase = take_str(&mut c)?;
+            let at = c.u64()?;
+            phases.push((phase, at));
+        }
+        spans.push(TraceSpan {
+            trace,
+            node,
+            lane,
+            start_unix_us,
+            total_us,
+            label,
+            phases,
+        });
+    }
+    Ok((seq, spans))
+}
+
 /// Encodes a subscribe request into a fresh buffer.
 pub fn encode_subscribe_bytes(seq: u64, key: Key) -> Bytes {
     let mut out = BytesMut::new();
@@ -502,6 +600,7 @@ pub fn decode_any(buf: &[u8]) -> Result<Request, ClientCodecError> {
         }
         REQ_STATS => return Ok(Request::Stats { seq }),
         REQ_METRICS => return Ok(Request::Metrics { seq }),
+        REQ_TRACES => return Ok(Request::Traces { seq }),
         REQ_SHUTDOWN => return Ok(Request::Shutdown { seq }),
         REQ_SUBSCRIBE => return Ok(Request::Subscribe { seq, key }),
         REQ_UNSUBSCRIBE => return Ok(Request::Unsubscribe { seq, key }),
@@ -1086,6 +1185,64 @@ mod tests {
         // Empty exposition is legal (a daemon with recording off).
         let empty = encode_metrics_reply_bytes(9, "");
         assert_eq!(decode_metrics_reply(&empty).unwrap(), (9, String::new()));
+    }
+
+    #[test]
+    fn traces_rpc_roundtrips_and_truncates_cleanly() {
+        let frame = encode_traces_request_bytes(12);
+        assert_eq!(decode_any(&frame).unwrap(), Request::Traces { seq: 12 });
+        assert_eq!(
+            decode_request(&frame),
+            Err(ClientCodecError::BadTag(REQ_TRACES))
+        );
+        for cut in 0..frame.len() {
+            assert_eq!(
+                decode_any(&frame[..cut]),
+                Err(ClientCodecError::Truncated),
+                "traces request cut at {cut}"
+            );
+        }
+
+        let spans = vec![
+            TraceSpan {
+                trace: 0xfeed_f00d,
+                node: 1,
+                lane: 0,
+                start_unix_us: 1_700_000_000_000_000,
+                total_us: 430,
+                label: "n1/lane0 op client=4294967296 seq=9".into(),
+                phases: vec![
+                    ("issued".into(), 0),
+                    ("inval_broadcast".into(), 20),
+                    ("reply_released".into(), 430),
+                ],
+            },
+            TraceSpan {
+                trace: 0,
+                node: 2,
+                lane: u32::MAX,
+                start_unix_us: 0,
+                total_us: 120_000,
+                label: "n2/pump view_change epoch=3".into(),
+                phases: vec![("view_change_start".into(), 0)],
+            },
+        ];
+        let reply = encode_traces_reply_bytes(12, &spans);
+        assert_eq!(decode_traces_reply(&reply).unwrap(), (12, spans.clone()));
+        // No other decoder accepts a traces reply.
+        assert!(decode_reply(&reply).is_err());
+        assert!(decode_stats_reply(&reply).is_err());
+        assert!(decode_metrics_reply(&reply).is_err());
+        for cut in 0..reply.len() {
+            assert_eq!(
+                decode_traces_reply(&reply[..cut]),
+                Err(ClientCodecError::Truncated),
+                "traces reply cut at {cut}"
+            );
+        }
+        // An empty drain is the common steady-state answer.
+        let empty = encode_traces_reply_bytes(13, &[]);
+        assert_eq!(decode_traces_reply(&empty).unwrap(), (13, vec![]));
     }
 
     #[test]

@@ -6,14 +6,26 @@
 //! propagation). All integers are little-endian. The encoded size equals
 //! [`hermes_core::Msg::wire_size`], which the simulator's bandwidth model
 //! also uses — the unit tests pin the two together.
+//!
+//! **Trace context.** A sampled op's 8-byte [`TraceId`] rides inside the
+//! data frames: the tag byte's high bit ([`TRACE_FLAG`]) flags its
+//! presence and the id follows immediately after the tag, before the
+//! fixed header. Unsampled messages (`HERMES_TRACE_SAMPLE=0`, the
+//! default) are byte-identical to the untraced format — zero wire cost —
+//! and the traced size is pinned to
+//! [`hermes_core::Msg::wire_size_traced`] the same way.
 
 use bytes::{BufMut, Bytes, BytesMut};
 use hermes_common::{Epoch, Key, Value};
 use hermes_core::{Msg, Ts, UpdateKind};
+use hermes_obs::TraceId;
 
 const TAG_INV: u8 = 1;
 const TAG_ACK: u8 = 2;
 const TAG_VAL: u8 = 3;
+
+/// High bit of the tag byte: set when an 8-byte trace id follows the tag.
+pub const TRACE_FLAG: u8 = 0x80;
 
 const KIND_WRITE: u8 = 0;
 const KIND_RMW: u8 = 1;
@@ -44,8 +56,14 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-/// Encodes `msg` into `out` (appending).
+/// Encodes `msg` into `out` (appending), without trace context.
 pub fn encode_into(msg: &Msg, out: &mut BytesMut) {
+    encode_traced_into(msg, TraceId::NONE, out);
+}
+
+/// Encodes `msg` into `out` (appending); a sampled `trace` sets
+/// [`TRACE_FLAG`] on the tag byte and writes the id right after it.
+pub fn encode_traced_into(msg: &Msg, trace: TraceId, out: &mut BytesMut) {
     match msg {
         Msg::Inv {
             key,
@@ -54,7 +72,7 @@ pub fn encode_into(msg: &Msg, out: &mut BytesMut) {
             kind,
             epoch,
         } => {
-            out.put_u8(TAG_INV);
+            put_tag(out, TAG_INV, trace);
             put_header(out, *epoch, *key, *ts);
             out.put_u8(match kind {
                 UpdateKind::Write => KIND_WRITE,
@@ -64,13 +82,22 @@ pub fn encode_into(msg: &Msg, out: &mut BytesMut) {
             out.put_slice(value.as_bytes());
         }
         Msg::Ack { key, ts, epoch } => {
-            out.put_u8(TAG_ACK);
+            put_tag(out, TAG_ACK, trace);
             put_header(out, *epoch, *key, *ts);
         }
         Msg::Val { key, ts, epoch } => {
-            out.put_u8(TAG_VAL);
+            put_tag(out, TAG_VAL, trace);
             put_header(out, *epoch, *key, *ts);
         }
+    }
+}
+
+fn put_tag(out: &mut BytesMut, tag: u8, trace: TraceId) {
+    if trace.is_sampled() {
+        out.put_u8(tag | TRACE_FLAG);
+        out.put_u64_le(trace.0);
+    } else {
+        out.put_u8(tag);
     }
 }
 
@@ -81,61 +108,94 @@ fn put_header(out: &mut BytesMut, epoch: Epoch, key: Key, ts: Ts) {
     out.put_u32_le(ts.cid);
 }
 
-/// Encodes `msg` into a fresh buffer.
+/// Encodes `msg` into a fresh buffer, without trace context.
 pub fn encode(msg: &Msg) -> Bytes {
-    let mut out = BytesMut::with_capacity(msg.wire_size());
-    encode_into(msg, &mut out);
+    let out = encode_traced(msg, TraceId::NONE);
     debug_assert_eq!(out.len(), msg.wire_size(), "codec must match wire_size");
+    out
+}
+
+/// Encodes `msg` carrying `trace` into a fresh buffer.
+pub fn encode_traced(msg: &Msg, trace: TraceId) -> Bytes {
+    let mut out = BytesMut::with_capacity(msg.wire_size_traced(trace.is_sampled()));
+    encode_traced_into(msg, trace, &mut out);
+    debug_assert_eq!(
+        out.len(),
+        msg.wire_size_traced(trace.is_sampled()),
+        "codec must match wire_size_traced"
+    );
     out.freeze()
 }
 
-/// Decodes one message from `buf`.
+/// Decodes one message from `buf`, discarding any trace context.
 ///
 /// # Errors
 ///
 /// Returns a [`DecodeError`] if the buffer is truncated or contains invalid
 /// tag/kind/length fields.
 pub fn decode(buf: &[u8]) -> Result<Msg, DecodeError> {
-    const HEADER: usize = 1 + 8 + 8 + 8 + 4;
-    if buf.len() < HEADER {
+    decode_traced(buf).map(|(msg, _)| msg)
+}
+
+/// Decodes one message plus its trace context ([`TraceId::NONE`] when the
+/// tag byte carries no [`TRACE_FLAG`]).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the buffer is truncated or contains invalid
+/// tag/kind/length fields.
+pub fn decode_traced(buf: &[u8]) -> Result<(Msg, TraceId), DecodeError> {
+    let raw = *buf.first().ok_or(DecodeError::Truncated)?;
+    let (trace, body) = if raw & TRACE_FLAG != 0 {
+        if buf.len() < 9 {
+            return Err(DecodeError::Truncated);
+        }
+        let id = u64::from_le_bytes(buf[1..9].try_into().expect("sized"));
+        (TraceId(id), &buf[9..])
+    } else {
+        (TraceId::NONE, &buf[1..])
+    };
+    // Fixed header past the tag/trace prefix: epoch + key + version + cid.
+    const HEADER: usize = 8 + 8 + 8 + 4;
+    if body.len() < HEADER {
         return Err(DecodeError::Truncated);
     }
-    let tag = buf[0];
-    let epoch = Epoch(u64::from_le_bytes(buf[1..9].try_into().expect("sized")));
-    let key = Key(u64::from_le_bytes(buf[9..17].try_into().expect("sized")));
+    let epoch = Epoch(u64::from_le_bytes(body[0..8].try_into().expect("sized")));
+    let key = Key(u64::from_le_bytes(body[8..16].try_into().expect("sized")));
     let ts = Ts::new(
-        u64::from_le_bytes(buf[17..25].try_into().expect("sized")),
-        u32::from_le_bytes(buf[25..29].try_into().expect("sized")),
+        u64::from_le_bytes(body[16..24].try_into().expect("sized")),
+        u32::from_le_bytes(body[24..28].try_into().expect("sized")),
     );
-    match tag {
-        TAG_ACK => Ok(Msg::Ack { key, ts, epoch }),
-        TAG_VAL => Ok(Msg::Val { key, ts, epoch }),
+    let msg = match raw & !TRACE_FLAG {
+        TAG_ACK => Msg::Ack { key, ts, epoch },
+        TAG_VAL => Msg::Val { key, ts, epoch },
         TAG_INV => {
-            if buf.len() < HEADER + 5 {
+            if body.len() < HEADER + 5 {
                 return Err(DecodeError::Truncated);
             }
-            let kind = match buf[HEADER] {
+            let kind = match body[HEADER] {
                 KIND_WRITE => UpdateKind::Write,
                 KIND_RMW => UpdateKind::Rmw,
                 other => return Err(DecodeError::BadKind(other)),
             };
-            let vlen =
-                u32::from_le_bytes(buf[HEADER + 1..HEADER + 5].try_into().expect("sized")) as usize;
+            let vlen = u32::from_le_bytes(body[HEADER + 1..HEADER + 5].try_into().expect("sized"))
+                as usize;
             let start = HEADER + 5;
-            if buf.len() < start + vlen {
+            if body.len() < start + vlen {
                 return Err(DecodeError::BadValueLength);
             }
-            let value = Value::from(buf[start..start + vlen].to_vec());
-            Ok(Msg::Inv {
+            let value = Value::from(body[start..start + vlen].to_vec());
+            Msg::Inv {
                 key,
                 ts,
                 value,
                 kind,
                 epoch,
-            })
+            }
         }
-        other => Err(DecodeError::BadTag(other)),
-    }
+        _ => return Err(DecodeError::BadTag(raw)),
+    };
+    Ok((msg, trace))
 }
 
 #[cfg(test)]
@@ -197,6 +257,68 @@ mod tests {
     }
 
     #[test]
+    fn traced_roundtrip_all_variants() {
+        let trace = TraceId(0xdead_beef_1234_5678);
+        for msg in samples() {
+            let encoded = encode_traced(&msg, trace);
+            let (decoded, got) = decode_traced(&encoded).unwrap();
+            assert_eq!(decoded, msg);
+            assert_eq!(got, trace);
+            // The legacy decoder still understands traced frames.
+            assert_eq!(decode(&encoded).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn unsampled_trace_is_byte_identical_and_free() {
+        for msg in samples() {
+            let plain = encode(&msg);
+            let traced_none = encode_traced(&msg, TraceId::NONE);
+            assert_eq!(plain, traced_none, "NONE must add zero wire bytes");
+            let (decoded, trace) = decode_traced(&plain).unwrap();
+            assert_eq!(decoded, msg);
+            assert_eq!(trace, TraceId::NONE);
+        }
+    }
+
+    #[test]
+    fn traced_size_matches_wire_size_traced_pin() {
+        // The sim bandwidth model charges `wire_size` (it never samples);
+        // this pins the codec to `wire_size_traced` in both shapes so the
+        // model stays honest with tracing on and off.
+        for msg in samples() {
+            assert_eq!(
+                encode_traced(&msg, TraceId::NONE).len(),
+                msg.wire_size_traced(false)
+            );
+            assert_eq!(encode_traced(&msg, TraceId::NONE).len(), msg.wire_size());
+            assert_eq!(
+                encode_traced(&msg, TraceId(42)).len(),
+                msg.wire_size_traced(true)
+            );
+            assert_eq!(
+                encode_traced(&msg, TraceId(42)).len(),
+                msg.wire_size() + 8,
+                "a sampled trace costs exactly 8 bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_traced_buffers_error() {
+        let full = encode_traced(&samples()[0], TraceId(7));
+        for cut in 0..full.len() {
+            assert!(
+                decode_traced(&full[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+        let (msg, trace) = decode_traced(&full).unwrap();
+        assert_eq!(msg, samples()[0]);
+        assert_eq!(trace, TraceId(7));
+    }
+
+    #[test]
     fn truncated_buffers_error() {
         let full = encode(&samples()[0]);
         for cut in [0, 1, 10, 28, 30] {
@@ -224,5 +346,15 @@ mod tests {
         // Declare a value longer than the buffer.
         inv[30..34].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(decode(&inv), Err(DecodeError::BadValueLength));
+    }
+
+    #[test]
+    fn bad_tag_under_trace_flag_reports_raw_byte() {
+        let mut buf = encode_traced(&samples()[2], TraceId(9)).to_vec();
+        buf[0] = TRACE_FLAG | 0x55;
+        assert_eq!(
+            decode_traced(&buf),
+            Err(DecodeError::BadTag(TRACE_FLAG | 0x55))
+        );
     }
 }

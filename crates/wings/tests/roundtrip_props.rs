@@ -59,6 +59,23 @@ proptest! {
     #[test]
     fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
         let _ = codec::decode(&bytes); // must return Err, not panic
+        let _ = codec::decode_traced(&bytes);
+    }
+
+    #[test]
+    fn traced_codec_roundtrips_and_pins_wire_size(msg in msg_strategy(), trace in any::<u64>()) {
+        let trace = hermes_obs::TraceId(trace);
+        let encoded = codec::encode_traced(&msg, trace);
+        // The wire_size pin holds in both shapes: unsampled frames are
+        // byte-identical to the plain codec (what the sim bandwidth model
+        // charges); sampled frames cost exactly 8 extra bytes.
+        prop_assert_eq!(encoded.len(), msg.wire_size_traced(trace.is_sampled()));
+        if !trace.is_sampled() {
+            prop_assert_eq!(&encoded, &codec::encode(&msg));
+        }
+        let (decoded, got) = codec::decode_traced(&encoded).unwrap();
+        prop_assert_eq!(decoded, msg);
+        prop_assert_eq!(got, trace);
     }
 
     #[test]

@@ -99,11 +99,17 @@ fn metrics_rpc_exposes_live_histograms() {
         "op histogram count {op_count} < {}",
         OPS + 2
     );
-    // A p99 is derivable: the rendered summary carries the quantile series.
+    // A p99 is derivable: the rendered summary carries the quantile
+    // series — and every sample leads with the daemon's node base label,
+    // so a cluster aggregator can merge expositions without collisions.
     assert!(
-        text.contains("hermes_op_latency_us{lane=\"0\",quantile=\"0.99\"}")
-            || text.contains("hermes_op_latency_us{lane=\"1\",quantile=\"0.99\"}"),
-        "no op latency p99 series:\n{text}"
+        text.contains("hermes_op_latency_us{node=\"0\",lane=\"0\",quantile=\"0.99\"}")
+            || text.contains("hermes_op_latency_us{node=\"0\",lane=\"1\",quantile=\"0.99\"}"),
+        "no node-labeled op latency p99 series:\n{text}"
+    );
+    assert!(
+        !text.contains("hermes_op_latency_us{lane="),
+        "a sample escaped the node base label:\n{text}"
     );
     for family in [
         "hermes_invalidations_sent_total",
@@ -177,6 +183,59 @@ fn slow_op_trace_dumps_multi_phase_write_breakdown() {
 
     drop(session);
     drop(capture);
+    runtime.shutdown();
+}
+
+/// The Traces RPC end-to-end: with sampling forced on, a write driven
+/// through a live daemon surfaces node-tagged, wall-clock-anchored spans
+/// over the client port — and the drain consumes, so a second scrape
+/// without new traffic comes back empty.
+#[test]
+fn traces_rpc_drains_sampled_spans() {
+    let _serial = serial();
+    hermes::obs::set_trace_sample(1.0);
+    let runtime = serve_single_node();
+    let mut session = session_to(&runtime);
+    let t = session.write(Key(5), Value::from_u64(77));
+    assert_eq!(session.wait(t), Reply::WriteOk);
+    hermes::obs::set_trace_sample(0.0);
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut spans = Vec::new();
+    loop {
+        spans.extend(
+            query_traces(runtime.client_addr(), Duration::from_secs(5)).expect("traces RPC"),
+        );
+        if spans
+            .iter()
+            .any(|s| s.phases.iter().any(|(p, _)| p == "issued"))
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no sampled span drained: {spans:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let span = spans
+        .iter()
+        .find(|s| s.phases.iter().any(|(p, _)| p == "issued"))
+        .expect("checked above");
+    assert_ne!(span.trace, 0, "sampled span lost its trace id");
+    assert_eq!(span.node, 0);
+    assert!(span.start_unix_us > 0, "span missing its wall-clock anchor");
+
+    // Idle re-scrape: the previous drains consumed everything.
+    std::thread::sleep(Duration::from_millis(50));
+    let again = query_traces(runtime.client_addr(), Duration::from_secs(5)).expect("traces RPC");
+    let residue: Vec<_> = again
+        .iter()
+        .filter(|s| s.phases.iter().any(|(p, _)| p == "issued"))
+        .collect();
+    assert!(residue.is_empty(), "drain did not consume: {residue:?}");
+
+    drop(session);
     runtime.shutdown();
 }
 

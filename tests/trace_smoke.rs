@@ -1,0 +1,271 @@
+//! Cross-node causal tracing smoke (DESIGN.md §10): a real three-process
+//! Hermes cluster with a fault hook delaying one follower's INV ingress
+//! must be *diagnosable from the outside* — `hermes_top --once` scrapes
+//! every daemon's Metrics + Traces RPCs, stitches the drained spans into
+//! a cross-node timeline, and its slowest-hop attribution must name the
+//! delayed follower.
+//!
+//! The harness spawns **three copies of this very test binary** as
+//! replica daemons (the libtest re-execution trick of
+//! `membership_failover.rs`): every child samples all traces
+//! (`HERMES_TRACE_SAMPLE=1`), and node 2 alone carries
+//! `HERMES_FAULT_INV_DELAY_US` — a deterministic stall injected at its
+//! INV ingress. Writes driven through node 0 then broadcast INVs whose
+//! trace context crosses the wire, so node 2's delayed phase marks land
+//! in its own ring tagged with the originating trace id, and the
+//! aggregator's stitched timeline pins the latency on `@n2`.
+
+use hermes::prelude::*;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const NODES: usize = 3;
+/// The follower whose INV ingress the fault hook stalls.
+const DELAYED_NODE: usize = 2;
+/// Injected stall per INV, far above loopback noise and clock skew.
+const DELAY_US: u64 = 20_000;
+/// `hermes_top --slow-us`: prints timelines for ops at least this slow.
+const SLOW_US: u64 = 10_000;
+
+/// Daemon half of the re-execution trick: inert under a plain
+/// `cargo test`, a replica daemon when spawned with the env set.
+#[test]
+fn daemon_process() {
+    let Ok(node) = std::env::var("HERMES_TRACE_SMOKE_NODE") else {
+        return; // Normal test run: nothing to do.
+    };
+    let peers = std::env::var("HERMES_TRACE_SMOKE_PEERS").expect("peers env");
+    let client = std::env::var("HERMES_TRACE_SMOKE_CLIENT").expect("client env");
+    let args = vec![
+        "--node".to_string(),
+        node,
+        "--peers".to_string(),
+        peers,
+        "--client".to_string(),
+        client,
+        "--workers".to_string(),
+        "2".to_string(),
+    ];
+    let opts = NodeOptions::parse(&args).expect("daemon options");
+    let node = opts.node;
+    let runtime = NodeRuntime::serve(opts).expect("daemon serves");
+    println!("trace-smoke-daemon: node {node} serving");
+    // Serve until the harness hangs up our stdin.
+    let mut sink = [0u8; 64];
+    let mut stdin = std::io::stdin();
+    while !matches!(stdin.read(&mut sink), Ok(0) | Err(_)) {}
+    runtime.shutdown();
+    println!("trace-smoke-daemon: node {node} clean shutdown");
+}
+
+/// Kills the child on drop so a panicking harness leaves no orphans.
+struct ChildGuard(Option<Child>);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn reserve_loopback_addrs(n: usize) -> Vec<SocketAddr> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr"))
+        .collect()
+}
+
+fn spawn_daemon(node: usize, peers: &str, client: SocketAddr) -> ChildGuard {
+    let exe = std::env::current_exe().expect("own path");
+    let mut cmd = Command::new(exe);
+    cmd.args(["daemon_process", "--exact", "--nocapture"])
+        .env("HERMES_TRACE_SMOKE_NODE", node.to_string())
+        .env("HERMES_TRACE_SMOKE_PEERS", peers)
+        .env("HERMES_TRACE_SMOKE_CLIENT", client.to_string())
+        .env("HERMES_TRACE_SAMPLE", "1")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    if node == DELAYED_NODE {
+        cmd.env("HERMES_FAULT_INV_DELAY_US", DELAY_US.to_string());
+    }
+    ChildGuard(Some(cmd.spawn().expect("spawn replica daemon")))
+}
+
+/// Polls `addr` until a write commits — the cluster is serving.
+fn poll_until_served(addr: SocketAddr, deadline: Duration) {
+    let end = Instant::now() + deadline;
+    let mut last = Reply::NotOperational;
+    while Instant::now() < end {
+        if let Ok(channel) = RemoteChannel::connect_within(addr, Duration::from_millis(500)) {
+            let mut session = ClientSession::new(channel, hermes::wings::CreditConfig::default());
+            let ticket = session.write(Key(1), Value::from_u64(1));
+            last = session.wait(ticket);
+            if last == Reply::WriteOk {
+                return;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("cluster never served a write: {last:?}");
+}
+
+/// The built `hermes_top` example binary — `cargo test` compiles every
+/// example into `target/<profile>/examples` alongside this test binary's
+/// `deps` directory. Falls back to building it if a bare libtest
+/// invocation skipped examples.
+fn hermes_top_exe() -> PathBuf {
+    let exe = std::env::current_exe().expect("own path");
+    let profile_dir = exe
+        .parent()
+        .and_then(|deps| deps.parent())
+        .expect("target profile dir")
+        .to_path_buf();
+    let top = profile_dir.join("examples").join("hermes_top");
+    if !top.exists() {
+        let mut build = Command::new(env!("CARGO"));
+        build.args(["build", "--offline", "--example", "hermes_top"]);
+        // Build into the same profile directory this test binary runs from.
+        if profile_dir.file_name().is_some_and(|p| p == "release") {
+            build.arg("--release");
+        }
+        let status = build
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .status()
+            .expect("cargo build hermes_top");
+        assert!(status.success(), "building hermes_top failed");
+    }
+    top
+}
+
+fn hangup_and_reap(mut guard: ChildGuard, name: &str) {
+    let mut child = guard.0.take().expect("child alive");
+    drop(child.stdin.take()); // EOF = orderly shutdown request.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("wait child") {
+            break status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{name} did not exit after stdin hangup"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    let mut out = String::new();
+    let _ = child
+        .stdout
+        .take()
+        .expect("piped stdout")
+        .read_to_string(&mut out);
+    assert!(status.success(), "{name} exited with {status}:\n{out}");
+    assert!(
+        out.contains("clean shutdown"),
+        "{name} missing shutdown marker:\n{out}"
+    );
+}
+
+/// The acceptance gate: a forced follower-side delay in a real 3-process
+/// cluster is attributed to that follower by the stitched cross-node
+/// timeline `hermes_top --once` prints.
+#[test]
+fn hermes_top_attributes_forced_follower_delay() {
+    if std::env::var("HERMES_TRACE_SMOKE_NODE").is_ok() {
+        return; // We are a daemon child; only daemon_process runs.
+    }
+    let repl_addrs = reserve_loopback_addrs(NODES);
+    let client_addrs = reserve_loopback_addrs(NODES);
+    let peers = repl_addrs
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let top = hermes_top_exe();
+
+    let children: Vec<ChildGuard> = (0..NODES)
+        .map(|i| spawn_daemon(i, &peers, client_addrs[i]))
+        .collect();
+    poll_until_served(client_addrs[0], Duration::from_secs(20));
+
+    let nodes_flag = client_addrs
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let channel = RemoteChannel::connect_within(client_addrs[0], Duration::from_secs(5))
+        .expect("node 0 client port");
+    let mut session = ClientSession::new(channel, hermes::wings::CreditConfig::default());
+
+    // Drive a traced write, give the follower rings a beat to flush, then
+    // let the aggregator scrape. Every round mints fresh sampled traces,
+    // so a scrape that raced the span flush just retries on new ops.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut last_output;
+    let attributed = loop {
+        let ticket = session.write(Key(42), Value::from_u64(7));
+        assert_eq!(session.wait(ticket), Reply::WriteOk);
+        std::thread::sleep(Duration::from_millis(300));
+
+        let scrape = Command::new(&top)
+            .args(["--nodes", &nodes_flag, "--once", "--slow-us"])
+            .arg(SLOW_US.to_string())
+            .output()
+            .expect("run hermes_top");
+        assert!(
+            scrape.status.success(),
+            "hermes_top failed: {}",
+            String::from_utf8_lossy(&scrape.stderr)
+        );
+        last_output = String::from_utf8_lossy(&scrape.stdout).into_owned();
+        assert!(
+            last_output.contains(&format!("scraped {NODES}/{NODES} nodes")),
+            "hermes_top could not scrape every node:\n{last_output}"
+        );
+        let timeline_crosses_nodes = last_output
+            .lines()
+            .any(|l| l.contains("issued@n0") && l.contains(&format!("@n{DELAYED_NODE}")));
+        let slowest_on_delayed = last_output
+            .lines()
+            .any(|l| l.contains("slowest hop:") && l.contains(&format!("@n{DELAYED_NODE} waited")));
+        if timeline_crosses_nodes && slowest_on_delayed {
+            break true;
+        }
+        if Instant::now() >= deadline {
+            break false;
+        }
+    };
+    assert!(
+        attributed,
+        "stitched timeline never attributed the stall to n{DELAYED_NODE}; \
+         last hermes_top output:\n{last_output}"
+    );
+    // The injected stall must also dominate the timeline's extent: the
+    // slowest printed trace spans at least the injected delay.
+    let slow_line = last_output
+        .lines()
+        .find(|l| l.contains("trace=") && l.contains("total="))
+        .expect("a stitched timeline line");
+    let total_us: u64 = slow_line
+        .split("total=")
+        .nth(1)
+        .and_then(|r| r.split("us").next())
+        .and_then(|n| n.parse().ok())
+        .expect("parse total=..us");
+    assert!(
+        total_us >= SLOW_US,
+        "printed timeline is not slow: {slow_line}"
+    );
+
+    drop(session);
+    for (i, child) in children.into_iter().enumerate() {
+        hangup_and_reap(child, &format!("node {i}"));
+    }
+}
